@@ -1,0 +1,138 @@
+//! Criterion end-to-end benchmarks: the full kRSP solver and its phases on
+//! sized fabrics (the wall-clock companion to experiment F2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use krsp::{phase1, solve, Config, Instance, Phase1Backend};
+use krsp_bench::standard_workload;
+use krsp_gen::{Family, Regime};
+
+fn instances(n: usize) -> Vec<Instance> {
+    (0..3u64)
+        .filter_map(|seed| {
+            standard_workload(Family::Layered, n, 2, Regime::Anticorrelated, 0.4, 777 + seed)
+        })
+        .collect()
+}
+
+fn bench_full_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve");
+    group.sample_size(10);
+    for n in [20usize, 40, 80] {
+        let insts = instances(n);
+        if insts.is_empty() {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("krsp_default", n), &insts, |b, insts| {
+            b.iter(|| {
+                for inst in insts {
+                    let _ = solve(inst, &Config::default());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("krsp_single_probe", n), &insts, |b, insts| {
+            let cfg = Config {
+                single_probe: true,
+                ..Config::default()
+            };
+            b.iter(|| {
+                for inst in insts {
+                    let _ = solve(inst, &cfg);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_phase1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase1");
+    group.sample_size(10);
+    for n in [20usize, 40, 80] {
+        let insts = instances(n);
+        if insts.is_empty() {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("lagrangian", n), &insts, |b, insts| {
+            b.iter(|| {
+                for inst in insts {
+                    let _ = phase1::run(inst, Phase1Backend::Lagrangian);
+                }
+            })
+        });
+        if n <= 40 {
+            group.bench_with_input(BenchmarkId::new("simplex", n), &insts, |b, insts| {
+                b.iter(|| {
+                    for inst in insts {
+                        let _ = phase1::run(inst, Phase1Backend::Simplex);
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    let insts = instances(40);
+    if insts.is_empty() {
+        return;
+    }
+    group.bench_function("min_sum", |b| {
+        b.iter(|| {
+            for inst in &insts {
+                let _ = krsp::baselines::min_sum(inst);
+            }
+        })
+    });
+    group.bench_function("orda_sprintson", |b| {
+        b.iter(|| {
+            for inst in &insts {
+                let _ = krsp::baselines::orda_sprintson(inst);
+            }
+        })
+    });
+    group.bench_function("greedy_rsp", |b| {
+        b.iter(|| {
+            for inst in &insts {
+                let _ = krsp::baselines::greedy_rsp(inst);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(10);
+    let insts: Vec<Instance> = (0..16u64)
+        .filter_map(|seed| {
+            standard_workload(Family::Layered, 30, 2, Regime::Anticorrelated, 0.4, 555 + seed)
+        })
+        .collect();
+    if insts.len() < 4 {
+        return;
+    }
+    group.bench_function("sequential_16", |b| {
+        b.iter(|| {
+            insts
+                .iter()
+                .map(|i| solve(i, &Config::default()))
+                .filter(Result::is_ok)
+                .count()
+        })
+    });
+    group.bench_function("rayon_16", |b| {
+        b.iter(|| {
+            krsp::solve_batch(&insts, &Config::default())
+                .iter()
+                .filter(|r| r.is_ok())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_solver, bench_phase1, bench_baselines, bench_batch);
+criterion_main!(benches);

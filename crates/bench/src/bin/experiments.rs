@@ -1,0 +1,51 @@
+//! Experiment runner: regenerates every table/figure of EXPERIMENTS.md.
+//!
+//! Usage:
+//!   cargo run -p krsp-bench --release --bin experiments -- all
+//!   cargo run -p krsp-bench --release --bin experiments -- t1 f2 a3
+//!
+//! Results are printed as text tables and saved as JSON under `results/`.
+
+use krsp_bench::experiments;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments <id>... | all");
+        eprintln!("ids: {}", experiments::ALL.join(" "));
+        std::process::exit(2);
+    }
+    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
+        experiments::ALL.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    let out_dir = PathBuf::from("results");
+    let mut failed = false;
+    for id in &ids {
+        match experiments::run(id) {
+            Some(table) => {
+                println!("{}", table.render());
+                if let Err(e) = table.save(&out_dir) {
+                    eprintln!("(could not save {id}: {e})");
+                }
+                if table
+                    .rows
+                    .iter()
+                    .any(|r| r.iter().any(|c| c == "FAIL"))
+                {
+                    failed = true;
+                    eprintln!("!! {id} contains FAIL rows");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

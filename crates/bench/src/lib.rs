@@ -1,0 +1,83 @@
+//! Experiment harness regenerating every table and figure of
+//! EXPERIMENTS.md (the paper itself is a theory-only brief announcement;
+//! DESIGN.md §5 maps each experiment to the claim it validates).
+//!
+//! Every experiment is a library function returning a [`Table`], so the
+//! `experiments` binary, the criterion benches, and the test-suite all
+//! share one implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+use krsp::Instance;
+use krsp_gen::{instantiate_with_retries, Family, Regime, Workload};
+
+/// Standard workload grid used across experiments.
+#[must_use]
+pub fn standard_workload(
+    family: Family,
+    n: usize,
+    k: usize,
+    regime: Regime,
+    tightness: f64,
+    seed: u64,
+) -> Option<Instance> {
+    instantiate_with_retries(
+        Workload {
+            family,
+            n,
+            m: n * 4,
+            regime,
+            k,
+            tightness,
+            seed,
+        },
+        40,
+    )
+}
+
+/// Milliseconds spent running `f`, along with its output.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Simple mean of a (nonempty) slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Maximum of a slice (NaN for empty).
+#[must_use]
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NAN, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(max(&[1.0, 5.0, 3.0]), 5.0);
+        assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, ms) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+    }
+}

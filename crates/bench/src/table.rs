@@ -1,0 +1,122 @@
+//! Result tables: pretty text rendering + JSON persistence.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One experiment's output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table {
+    /// Experiment id (`t1`, `f2`, `a3`, …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (stringified).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form commentary lines (claim checks, observations).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Starts a table.
+    #[must_use]
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifies on the way in).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a commentary line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Renders as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n\n", self.id.to_uppercase(), self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n> {n}"));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Persists as JSON under `dir/<id>.json`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(path, serde_json::to_string_pretty(self).unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("t0", "demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("T0"));
+        assert!(s.contains("> a note"));
+        assert!(s.lines().count() >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("t0", "demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn save_round_trip() {
+        let mut t = Table::new("t_test_save", "demo", &["x"]);
+        t.row(vec!["1".into()]);
+        let dir = std::env::temp_dir().join("krsp-table-test");
+        t.save(&dir).unwrap();
+        let loaded: Table =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("t_test_save.json")).unwrap())
+                .unwrap();
+        assert_eq!(loaded.rows, t.rows);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

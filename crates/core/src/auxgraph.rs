@@ -1,0 +1,246 @@
+//! Auxiliary (layered) graphs `H_v⁺(B)` / `H_v⁻(B)` — Algorithm 2.
+//!
+//! Levels track the *accumulated cost* of a walk through the residual graph
+//! `G̃`: node `u^r` means "at `u`, having accumulated cost `r` since the
+//! seed". Edges of `G̃` shift the level by their cost; the seed vertex `v`
+//! gets zero-delay *closing* edges (`v^i → v^0` in `H⁺`, `v^i → v^B` in
+//! `H⁻`) so that cycles through `v` with total cost in `[0, B]`
+//! (respectively `[−B, 0]`) correspond to cycles of `H` (Lemma 15).
+//!
+//! Two constructions are provided:
+//!
+//! * [`AuxGraph::seeded`] — the paper's per-seed `H_v^±(B)` (used by the
+//!   LP-rounding engine of Algorithm 3 and as the test oracle);
+//! * [`AuxGraph::combined`] — a single graph covering levels `−B..=B` with
+//!   closing edges at *every* vertex; cycles of this graph project to closed
+//!   walks of `G̃` whose pieces are cost-bounded, which the fast layered
+//!   Bellman–Ford engine filters after projection (see `bicameral`).
+
+use krsp_graph::{DiGraph, EdgeId, NodeId};
+
+/// Sign of the cost window: `Plus` = cycles with cost in `[0, B]`,
+/// `Minus` = cycles with cost in `[−B, 0]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sign {
+    /// `H_v⁺(B)`.
+    Plus,
+    /// `H_v⁻(B)`.
+    Minus,
+}
+
+/// A materialized auxiliary graph with the projection map back to `G̃`.
+#[derive(Clone, Debug)]
+pub struct AuxGraph {
+    /// The layered graph itself.
+    pub graph: DiGraph,
+    /// For each `H` edge: the residual edge it represents (`None` for
+    /// closing edges).
+    pub origin: Vec<Option<EdgeId>>,
+    /// Number of levels per base vertex.
+    levels: usize,
+    /// Smallest level value (0 for seeded graphs, `−B` for combined).
+    level_min: i64,
+}
+
+impl AuxGraph {
+    /// Node id of `(base, level)` in the layered graph.
+    #[must_use]
+    fn node(&self, base: NodeId, level: i64) -> NodeId {
+        let l = (level - self.level_min) as usize;
+        debug_assert!(l < self.levels);
+        NodeId((base.index() * self.levels + l) as u32)
+    }
+
+    /// Builds the paper's `H_v^±(B)` for seed `v` (Algorithm 2).
+    #[must_use]
+    pub fn seeded(g: &DiGraph, v: NodeId, bound: i64, sign: Sign) -> Self {
+        assert!(bound >= 1, "cost bound must be at least 1");
+        let levels = (bound + 1) as usize;
+        let mut aux = AuxGraph {
+            graph: DiGraph::new(g.node_count() * levels),
+            origin: Vec::new(),
+            levels,
+            level_min: 0,
+        };
+        // Cost transitions. In H⁻ the "accumulated" cost runs downward from
+        // B, which is the same construction with levels reinterpreted; we
+        // keep levels as absolute accumulated cost offset by B for Minus.
+        for (id, e) in g.edge_iter() {
+            let c = e.cost;
+            for r in 0..=bound {
+                let r2 = r + c;
+                if (0..=bound).contains(&r2) {
+                    let a = aux.node(e.src, r);
+                    let b = aux.node(e.dst, r2);
+                    aux.graph.add_edge(a, b, e.cost, e.delay);
+                    aux.origin.push(Some(id));
+                }
+            }
+        }
+        // Closing edges at the seed.
+        for i in 1..=bound {
+            let (from, to) = match sign {
+                Sign::Plus => (aux.node(v, i), aux.node(v, 0)),
+                // H⁻: start at level B, drift down; close from B−i back up.
+                Sign::Minus => (aux.node(v, bound - i), aux.node(v, bound)),
+            };
+            aux.graph.add_edge(from, to, 0, 0);
+            aux.origin.push(None);
+        }
+        debug_assert_eq!(aux.graph.edge_count(), aux.origin.len());
+        aux
+    }
+
+    /// Builds the combined layered graph over levels `−B..=B` with closing
+    /// edges at every vertex (fast-engine variant).
+    #[must_use]
+    pub fn combined(g: &DiGraph, bound: i64) -> Self {
+        assert!(bound >= 1, "cost bound must be at least 1");
+        let levels = (2 * bound + 1) as usize;
+        let mut aux = AuxGraph {
+            graph: DiGraph::new(g.node_count() * levels),
+            origin: Vec::new(),
+            levels,
+            level_min: -bound,
+        };
+        for (id, e) in g.edge_iter() {
+            let c = e.cost;
+            for r in -bound..=bound {
+                let r2 = r + c;
+                if (-bound..=bound).contains(&r2) {
+                    let a = aux.node(e.src, r);
+                    let b = aux.node(e.dst, r2);
+                    aux.graph.add_edge(a, b, e.cost, e.delay);
+                    aux.origin.push(Some(id));
+                }
+            }
+        }
+        for v in g.node_iter() {
+            for i in -bound..=bound {
+                if i != 0 {
+                    let from = aux.node(v, i);
+                    let to = aux.node(v, 0);
+                    aux.graph.add_edge(from, to, 0, 0);
+                    aux.origin.push(None);
+                }
+            }
+        }
+        debug_assert_eq!(aux.graph.edge_count(), aux.origin.len());
+        aux
+    }
+
+    /// Projects a cycle of `H` (contiguous closed edge list) down to a
+    /// closed walk in `G̃` by dropping closing edges. Contiguity survives
+    /// because closing edges keep the base vertex fixed.
+    #[must_use]
+    pub fn project(&self, cycle: &[EdgeId]) -> Vec<EdgeId> {
+        cycle
+            .iter()
+            .filter_map(|&e| self.origin[e.index()])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krsp_graph::{EdgeSet, ResidualGraph};
+
+    /// Residual graph of the paper's Figure 2 flavour: one solution path
+    /// reversed (negative weights) plus forward alternatives.
+    fn residual() -> (krsp_graph::DiGraph, ResidualGraph) {
+        let g = krsp_graph::DiGraph::from_edges(
+            4,
+            &[
+                (0, 1, 2, 5), // e0: in solution
+                (1, 3, 2, 5), // e1: in solution
+                (0, 2, 1, 1), // e2
+                (2, 3, 1, 1), // e3
+                (2, 1, 3, 0), // e4
+            ],
+        );
+        let sol = EdgeSet::from_edges(g.edge_count(), &[EdgeId(0), EdgeId(1)]);
+        let res = ResidualGraph::build(&g, &sol);
+        (g, res)
+    }
+
+    #[test]
+    fn seeded_plus_sizes() {
+        let (_, res) = residual();
+        let b = 4;
+        let aux = AuxGraph::seeded(res.graph(), NodeId(0), b, Sign::Plus);
+        assert_eq!(aux.graph.node_count(), 4 * (b as usize + 1));
+        // Closing edges present: exactly B of them (origin None).
+        let closing = aux.origin.iter().filter(|o| o.is_none()).count();
+        assert_eq!(closing, b as usize);
+    }
+
+    #[test]
+    fn level_transitions_respect_costs() {
+        let (_, res) = residual();
+        let aux = AuxGraph::seeded(res.graph(), NodeId(0), 3, Sign::Plus);
+        // Every non-closing H edge must shift level by its G̃ cost.
+        for (id, e) in aux.graph.edge_iter() {
+            if let Some(base) = aux.origin[id.index()] {
+                let lvl_src = (e.src.index() % aux.levels) as i64;
+                let lvl_dst = (e.dst.index() % aux.levels) as i64;
+                assert_eq!(lvl_dst - lvl_src, res.graph().edge(base).cost);
+            }
+        }
+    }
+
+    #[test]
+    fn projection_drops_closing_edges_only() {
+        let (_, res) = residual();
+        // Project a hand-built cycle: the residual cycle 0→2 (e2), 2→1
+        // (e4), 1→0 (rev e0 with cost −2) has total cost 1+3−2 = 2 and
+        // prefix levels up to 4, so bound 5 hosts it.
+        let aux = AuxGraph::combined(res.graph(), 5);
+        // walk levels: 0 -(e2,c1)-> 1 -(e4,c3)-> 4 -(rev e0,c-2)-> 2, then
+        // closing edge at node 0 from level 2 to level 0.
+        let find_edge = |from: NodeId, to: NodeId| -> EdgeId {
+            aux.graph
+                .edge_iter()
+                .find(|(_, e)| e.src == from && e.dst == to)
+                .map(|(id, _)| id)
+                .expect("edge present")
+        };
+        let lvl = |base: u32, l: i64| aux.node(NodeId(base), l);
+        let h_cycle = vec![
+            find_edge(lvl(0, 0), lvl(2, 1)),
+            find_edge(lvl(2, 1), lvl(1, 4)),
+            find_edge(lvl(1, 4), lvl(0, 2)),
+            find_edge(lvl(0, 2), lvl(0, 0)), // closing
+        ];
+        let projected = aux.project(&h_cycle);
+        assert_eq!(projected.len(), 3);
+        let cost: i64 = projected
+            .iter()
+            .map(|&e| res.graph().edge(e).cost)
+            .sum();
+        assert_eq!(cost, 2);
+        // Projection is a contiguous closed walk.
+        let rg = res.graph();
+        let first = rg.edge(projected[0]).src;
+        let mut cur = first;
+        for &e in &projected {
+            assert_eq!(rg.edge(e).src, cur);
+            cur = rg.edge(e).dst;
+        }
+        assert_eq!(cur, first);
+    }
+
+    #[test]
+    fn seeded_minus_mirrors_plus() {
+        let (_, res) = residual();
+        let aux = AuxGraph::seeded(res.graph(), NodeId(1), 4, Sign::Minus);
+        // Closing edges go up to level B.
+        for (id, e) in aux.graph.edge_iter() {
+            if aux.origin[id.index()].is_none() {
+                let lvl_dst = (e.dst.index() % aux.levels) as i64;
+                assert_eq!(lvl_dst, 4);
+                assert_eq!(e.dst.index() / aux.levels, 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Batch solving — the SDN-controller shape of the workload.
+//!
+//! A controller re-provisions many flows at once (nightly re-optimization,
+//! failure storms); the instances are independent, so the batch API simply
+//! fans out over rayon's thread pool. This is the suite's primary
+//! data-parallel surface (cf. the per-seed parallelism inside the
+//! bicameral engines).
+
+use crate::algorithm1::{solve, Config, Solved, SolveError};
+use crate::instance::Instance;
+use rayon::prelude::*;
+
+/// Solves every instance in parallel, preserving order.
+///
+/// ```
+/// use krsp::{solve_batch, Config, Instance};
+/// use krsp_graph::{DiGraph, NodeId};
+///
+/// let mk = |d| {
+///     let g = DiGraph::from_edges(4, &[
+///         (0, 1, 1, 5), (1, 3, 1, 5), (0, 2, 4, 1), (2, 3, 4, 1),
+///     ]);
+///     Instance::new(g, NodeId(0), NodeId(3), 2, d).unwrap()
+/// };
+/// let batch = vec![mk(20), mk(3)];
+/// let results = solve_batch(&batch, &Config::default());
+/// assert!(results[0].is_ok());
+/// assert!(results[1].is_err()); // budget 3 is unsatisfiable
+/// ```
+#[must_use]
+pub fn solve_batch(instances: &[Instance], cfg: &Config) -> Vec<Result<Solved, SolveError>> {
+    instances.par_iter().map(|i| solve(i, cfg)).collect()
+}
+
+/// Aggregate statistics over a batch result.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BatchSummary {
+    /// Number of solved instances.
+    pub solved: usize,
+    /// Number of infeasible instances.
+    pub infeasible: usize,
+    /// Total cost over solved instances.
+    pub total_cost: i64,
+    /// Worst delay utilization (delay / D) over solved instances.
+    pub worst_delay_utilization: f64,
+}
+
+/// Summarizes a batch result against its instances.
+#[must_use]
+pub fn summarize(instances: &[Instance], results: &[Result<Solved, SolveError>]) -> BatchSummary {
+    let mut s = BatchSummary::default();
+    for (inst, r) in instances.iter().zip(results) {
+        match r {
+            Ok(out) => {
+                s.solved += 1;
+                s.total_cost += out.solution.cost;
+                let u = out.solution.delay as f64 / inst.delay_bound.max(1) as f64;
+                s.worst_delay_utilization = s.worst_delay_utilization.max(u);
+            }
+            Err(_) => s.infeasible += 1,
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krsp_graph::{DiGraph, NodeId};
+
+    fn inst(d: i64) -> Instance {
+        let g = DiGraph::from_edges(
+            4,
+            &[(0, 1, 1, 5), (1, 3, 1, 5), (0, 2, 4, 1), (2, 3, 4, 1)],
+        );
+        Instance::new(g, NodeId(0), NodeId(3), 2, d).unwrap()
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let batch: Vec<Instance> = [20, 12, 8, 3].into_iter().map(inst).collect();
+        let cfg = Config::default();
+        let par = solve_batch(&batch, &cfg);
+        for (i, r) in par.iter().enumerate() {
+            let seq = solve(&batch[i], &cfg);
+            match (r, seq) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.solution.cost, b.solution.cost);
+                    assert_eq!(a.solution.delay, b.solution.delay);
+                }
+                (Err(a), Err(b)) => assert_eq!(*a, b),
+                other => panic!("batch/sequential disagree: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn summary_counts() {
+        let batch: Vec<Instance> = [20, 12, 3].into_iter().map(inst).collect();
+        let results = solve_batch(&batch, &Config::default());
+        let s = summarize(&batch, &results);
+        assert_eq!(s.solved, 2);
+        assert_eq!(s.infeasible, 1); // D = 3 < min total delay 12... (fast pair delay 2+... )
+        assert!(s.worst_delay_utilization <= 1.0);
+    }
+}

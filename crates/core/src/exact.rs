@@ -1,0 +1,294 @@
+//! Exact kRSP solvers — used to compute `C_OPT` for the approximation-ratio
+//! experiments (kRSP is NP-hard, so these are exponential-time tools for
+//! small instances only).
+//!
+//! * [`brute_force`] — enumerates all systems of `k` edge-disjoint simple
+//!   `st`-paths by depth-first search.
+//! * [`branch_and_bound`] — branches on edge inclusion/exclusion with the
+//!   phase-1 Lagrangian LP relaxation as the lower bound; exponentially
+//!   faster in practice than enumeration.
+
+use crate::instance::Instance;
+use crate::phase1::{self, Phase1Backend};
+use crate::solution::Solution;
+use krsp_graph::{DiGraph, EdgeId, EdgeSet, NodeId};
+
+/// An exact optimum (cost-minimal among delay-feasible path systems).
+#[derive(Clone, Debug)]
+pub struct Exact {
+    /// The optimal solution.
+    pub edges: EdgeSet,
+    /// `C_OPT`.
+    pub cost: i64,
+    /// Its delay (`≤ D`).
+    pub delay: i64,
+}
+
+impl Exact {
+    /// Converts to a [`Solution`].
+    #[must_use]
+    pub fn into_solution(self, inst: &Instance) -> Solution {
+        Solution::from_edge_set(inst, self.edges).expect("exact solution is a k-flow")
+    }
+}
+
+/// Exhaustive search over systems of `k` edge-disjoint simple paths.
+/// Exponential; intended for `m ≲ 30`-edge instances in tests.
+#[must_use]
+pub fn brute_force(inst: &Instance) -> Option<Exact> {
+    let mut used = EdgeSet::with_capacity(inst.m());
+    let mut best: Option<Exact> = None;
+    search_paths(inst, 0, &mut used, 0, 0, &mut best);
+    best
+}
+
+fn search_paths(
+    inst: &Instance,
+    depth: usize,
+    used: &mut EdgeSet,
+    cost: i64,
+    delay: i64,
+    best: &mut Option<Exact>,
+) {
+    if delay > inst.delay_bound {
+        return;
+    }
+    if let Some(b) = best {
+        if cost >= b.cost {
+            return; // cannot improve
+        }
+    }
+    if depth == inst.k {
+        *best = Some(Exact {
+            edges: used.clone(),
+            cost,
+            delay,
+        });
+        return;
+    }
+    // Enumerate all simple s→t paths avoiding `used`, recursing per path.
+    let mut visited = vec![false; inst.n()];
+    visited[inst.s.index()] = true;
+    let mut stack: Vec<EdgeId> = Vec::new();
+    dfs_paths(
+        inst,
+        inst.s,
+        depth,
+        used,
+        &mut visited,
+        &mut stack,
+        cost,
+        delay,
+        best,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_paths(
+    inst: &Instance,
+    v: NodeId,
+    depth: usize,
+    used: &mut EdgeSet,
+    visited: &mut Vec<bool>,
+    stack: &mut Vec<EdgeId>,
+    cost: i64,
+    delay: i64,
+    best: &mut Option<Exact>,
+) {
+    if delay > inst.delay_bound {
+        return;
+    }
+    if let Some(b) = best {
+        if cost >= b.cost {
+            return;
+        }
+    }
+    if v == inst.t {
+        for &e in stack.iter() {
+            used.insert(e);
+        }
+        search_paths(inst, depth + 1, used, cost, delay, best);
+        for &e in stack.iter() {
+            used.remove(e);
+        }
+        return;
+    }
+    for &e in inst.graph.out_edges(v) {
+        if used.contains(e) {
+            continue;
+        }
+        let r = inst.graph.edge(e);
+        if visited[r.dst.index()] {
+            continue;
+        }
+        visited[r.dst.index()] = true;
+        stack.push(e);
+        dfs_paths(
+            inst,
+            r.dst,
+            depth,
+            used,
+            visited,
+            stack,
+            cost + r.cost,
+            delay + r.delay,
+            best,
+        );
+        stack.pop();
+        visited[r.dst.index()] = false;
+    }
+}
+
+/// Branch-and-bound exact solver.
+///
+/// Each node carries a set of *removed* edges (excluded from the graph) and
+/// a set of *committed* edges (pledged to the solution — never eligible for
+/// removal deeper in the subtree). The node is evaluated by phase 1 on the
+/// restricted graph: the LP optimum prunes, and the delay-feasible extreme
+/// flow `F` is a genuine candidate. Branching picks an undecided edge
+/// `e ∈ F` and explores `removed + e` and `committed + e`.
+///
+/// Completeness: if the subtree's optimum `O` is cheaper than the candidate
+/// `F`, then `F ⊄ O` (two `k`-flows whose difference is a forward
+/// circulation would put a directed cycle inside the path system `O`), so
+/// an undecided branch edge in `F \ O` exists and the `removed` child keeps
+/// `O` alive; once all of `F` is committed, `F ⊆ O` forces `F = O`.
+#[must_use]
+pub fn branch_and_bound(inst: &Instance) -> Option<Exact> {
+    let mut incumbent: Option<Exact> = None;
+    let mut removed = vec![false; inst.m()];
+    let mut committed = vec![false; inst.m()];
+    bb(inst, &mut removed, &mut committed, &mut incumbent);
+    incumbent
+}
+
+fn bb(
+    inst: &Instance,
+    removed: &mut Vec<bool>,
+    committed: &mut Vec<bool>,
+    best: &mut Option<Exact>,
+) {
+    // Build the restricted instance (excluded edges become unusable).
+    let g = restricted_graph(&inst.graph, removed);
+    let sub = Instance {
+        graph: g,
+        ..inst.clone()
+    };
+    let Ok(p1) = phase1::run(&sub, Phase1Backend::Lagrangian) else {
+        return; // restricted instance infeasible
+    };
+    // Prune on the LP bound.
+    if let Some(b) = best {
+        if p1.lp_bound >= krsp_lp::Rat::int(b.cost as i128) {
+            return;
+        }
+    }
+    // The feasible extreme flow is integral and delay-feasible: candidate.
+    if best.as_ref().is_none_or(|b| p1.feasible_cost < b.cost) {
+        *best = Some(Exact {
+            edges: p1.feasible_flow.clone(),
+            cost: p1.feasible_cost,
+            delay: p1.feasible_delay,
+        });
+    }
+    // LP bound attained by an integral candidate: subtree solved.
+    if krsp_lp::Rat::int(p1.feasible_cost as i128) == p1.lp_bound {
+        return;
+    }
+    // Branch on an undecided edge of the candidate flow.
+    let branch_edge = (0..inst.m()).map(|i| EdgeId(i as u32)).find(|&e| {
+        !removed[e.index()] && !committed[e.index()] && p1.feasible_flow.contains(e)
+    });
+    let Some(e) = branch_edge else {
+        return; // candidate fully committed: it is the subtree optimum
+    };
+    removed[e.index()] = true;
+    bb(inst, removed, committed, best);
+    removed[e.index()] = false;
+    committed[e.index()] = true;
+    bb(inst, removed, committed, best);
+    committed[e.index()] = false;
+}
+
+fn restricted_graph(g: &DiGraph, removed: &[bool]) -> DiGraph {
+    let mut out = DiGraph::new(g.node_count());
+    for (id, e) in g.edge_iter() {
+        if removed[id.index()] {
+            // Keep edge ids aligned by inserting an unusably expensive
+            // self-loop at the source (never on any s-t path).
+            out.add_edge(e.src, e.src, 0, 0);
+        } else {
+            out.add_edge(e.src, e.dst, e.cost, e.delay);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krsp_graph::{DiGraph, NodeId};
+
+    fn tradeoff(d_bound: i64) -> Instance {
+        let g = DiGraph::from_edges(
+            6,
+            &[
+                (0, 1, 1, 10),
+                (1, 5, 1, 10),
+                (0, 2, 8, 1),
+                (2, 5, 8, 1),
+                (0, 3, 2, 6),
+                (3, 5, 2, 6),
+                (0, 4, 9, 2),
+                (4, 5, 9, 2),
+            ],
+        );
+        Instance::new(g, NodeId(0), NodeId(5), 2, d_bound).unwrap()
+    }
+
+    #[test]
+    fn brute_force_picks_cheapest_feasible_mix() {
+        // D=32: cheap+middle (cost 6, delay 32) fits exactly.
+        let e = brute_force(&tradeoff(32)).unwrap();
+        assert_eq!((e.cost, e.delay), (6, 32));
+        // D=22: cheap+fast (cost 18, delay 22)? vs middle+fast (20, 14)
+        // vs cheap+sparefast (20, 24 > 22) → 18.
+        let e = brute_force(&tradeoff(22)).unwrap();
+        assert_eq!((e.cost, e.delay), (18, 22));
+        // D=6: fast+sparefast (cost 34, delay 6).
+        let e = brute_force(&tradeoff(6)).unwrap();
+        assert_eq!((e.cost, e.delay), (34, 6));
+        // D=5: infeasible.
+        assert!(brute_force(&tradeoff(5)).is_none());
+    }
+
+    #[test]
+    fn bnb_matches_brute_force() {
+        for d in [6, 8, 14, 16, 22, 24, 32, 40, 100] {
+            let inst = tradeoff(d);
+            let bf = brute_force(&inst).map(|e| e.cost);
+            let bb = branch_and_bound(&inst).map(|e| e.cost);
+            assert_eq!(bf, bb, "mismatch at D={d}");
+        }
+    }
+
+    #[test]
+    fn exact_respects_disjointness() {
+        // Shared middle edge makes the naive two cheap paths illegal.
+        let g = DiGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1, 1),
+                (1, 3, 1, 1),
+                (0, 1, 5, 1), // parallel, pricier
+                (1, 3, 5, 1),
+                (0, 3, 20, 1),
+            ],
+        );
+        let inst = Instance::new(g, NodeId(0), NodeId(3), 2, 10).unwrap();
+        let e = brute_force(&inst).unwrap();
+        assert_eq!(e.cost, 12); // 1+1 + 5+5
+        let bb = branch_and_bound(&inst).unwrap();
+        assert_eq!(bb.cost, 12);
+    }
+}

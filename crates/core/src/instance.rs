@@ -1,0 +1,165 @@
+//! kRSP problem instances (Definition 2).
+
+use krsp_graph::{DiGraph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A kRSP instance: digraph with nonnegative integral cost/delay, terminals
+/// `s ≠ t`, path count `k ≥ 1`, and total delay budget `D ≥ 0`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Instance {
+    /// The underlying digraph (costs and delays must be nonnegative).
+    pub graph: DiGraph,
+    /// Source vertex.
+    pub s: NodeId,
+    /// Sink vertex.
+    pub t: NodeId,
+    /// Number of edge-disjoint paths required.
+    pub k: usize,
+    /// Total delay budget `D` over all `k` paths.
+    pub delay_bound: i64,
+}
+
+/// Instance validation failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstanceError {
+    /// `s == t`.
+    SourceEqualsSink,
+    /// Terminal out of node range.
+    TerminalOutOfRange,
+    /// `k == 0`.
+    ZeroPaths,
+    /// Negative delay bound.
+    NegativeDelayBound,
+    /// An edge carries a negative cost or delay.
+    NegativeWeight,
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            InstanceError::SourceEqualsSink => "source equals sink",
+            InstanceError::TerminalOutOfRange => "terminal out of node range",
+            InstanceError::ZeroPaths => "k must be at least 1",
+            InstanceError::NegativeDelayBound => "delay bound must be nonnegative",
+            InstanceError::NegativeWeight => "edge costs and delays must be nonnegative",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+impl Instance {
+    /// Builds and validates an instance.
+    pub fn new(
+        graph: DiGraph,
+        s: NodeId,
+        t: NodeId,
+        k: usize,
+        delay_bound: i64,
+    ) -> Result<Self, InstanceError> {
+        let inst = Instance {
+            graph,
+            s,
+            t,
+            k,
+            delay_bound,
+        };
+        inst.validate()?;
+        Ok(inst)
+    }
+
+    /// Re-checks all invariants (useful after deserialization).
+    pub fn validate(&self) -> Result<(), InstanceError> {
+        if self.s == self.t {
+            return Err(InstanceError::SourceEqualsSink);
+        }
+        if self.s.index() >= self.graph.node_count() || self.t.index() >= self.graph.node_count()
+        {
+            return Err(InstanceError::TerminalOutOfRange);
+        }
+        if self.k == 0 {
+            return Err(InstanceError::ZeroPaths);
+        }
+        if self.delay_bound < 0 {
+            return Err(InstanceError::NegativeDelayBound);
+        }
+        if self
+            .graph
+            .edges()
+            .iter()
+            .any(|e| e.cost < 0 || e.delay < 0)
+        {
+            return Err(InstanceError::NegativeWeight);
+        }
+        Ok(())
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// True iff `k` edge-disjoint `st`-paths exist at all (ignoring delay).
+    #[must_use]
+    pub fn is_structurally_feasible(&self) -> bool {
+        krsp_flow::max_edge_disjoint_paths(&self.graph, self.s, self.t) >= self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krsp_graph::DiGraph;
+
+    fn graph() -> DiGraph {
+        DiGraph::from_edges(3, &[(0, 1, 1, 1), (1, 2, 1, 1), (0, 2, 2, 2)])
+    }
+
+    #[test]
+    fn valid_instance() {
+        let inst = Instance::new(graph(), NodeId(0), NodeId(2), 2, 10).unwrap();
+        assert_eq!(inst.n(), 3);
+        assert_eq!(inst.m(), 3);
+        assert!(inst.is_structurally_feasible());
+    }
+
+    #[test]
+    fn validation_failures() {
+        assert_eq!(
+            Instance::new(graph(), NodeId(0), NodeId(0), 1, 1).unwrap_err(),
+            InstanceError::SourceEqualsSink
+        );
+        assert_eq!(
+            Instance::new(graph(), NodeId(0), NodeId(9), 1, 1).unwrap_err(),
+            InstanceError::TerminalOutOfRange
+        );
+        assert_eq!(
+            Instance::new(graph(), NodeId(0), NodeId(2), 0, 1).unwrap_err(),
+            InstanceError::ZeroPaths
+        );
+        assert_eq!(
+            Instance::new(graph(), NodeId(0), NodeId(2), 1, -1).unwrap_err(),
+            InstanceError::NegativeDelayBound
+        );
+        let bad = DiGraph::from_edges(2, &[(0, 1, -1, 1)]);
+        assert_eq!(
+            Instance::new(bad, NodeId(0), NodeId(1), 1, 1).unwrap_err(),
+            InstanceError::NegativeWeight
+        );
+    }
+
+    #[test]
+    fn structural_feasibility() {
+        let inst = Instance::new(graph(), NodeId(0), NodeId(2), 3, 10).unwrap();
+        assert!(!inst.is_structurally_feasible());
+    }
+}

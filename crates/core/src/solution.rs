@@ -1,0 +1,121 @@
+//! kRSP solutions and quality accounting.
+
+use crate::instance::Instance;
+use krsp_graph::{decompose, EdgeSet, Path};
+use krsp_numeric::Rat;
+use serde::{Deserialize, Serialize};
+
+/// A candidate solution: `k` edge-disjoint `st`-paths.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Solution {
+    /// The solution as a `k`-unit flow edge set.
+    pub edges: EdgeSet,
+    /// Total cost `Σ c(P_i)`.
+    pub cost: i64,
+    /// Total delay `Σ d(P_i)`.
+    pub delay: i64,
+    /// A lower bound on `C_OPT` certified during solving (the phase-1 LP
+    /// optimum `C_LP`), when available.
+    pub lower_bound: Option<Rat>,
+}
+
+impl Solution {
+    /// Builds a solution from a flow edge set, verifying the `k`-flow
+    /// structure and computing totals. Strips any zero-flow cycles present
+    /// in the set (cycles never reduce delay since delays are nonnegative).
+    #[must_use]
+    pub fn from_edge_set(inst: &Instance, edges: EdgeSet) -> Option<Self> {
+        let d = decompose(&inst.graph, &edges, inst.s, inst.t, inst.k).ok()?;
+        // Keep only path edges: cycles in a min-cost context only ever add
+        // cost/delay, and Definition 2 asks for paths.
+        let mut clean = EdgeSet::with_capacity(inst.graph.edge_count());
+        for p in &d.paths {
+            for &e in p.edges() {
+                clean.insert(e);
+            }
+        }
+        Some(Solution {
+            cost: d.path_cost(),
+            delay: d.path_delay(),
+            edges: clean,
+            lower_bound: None,
+        })
+    }
+
+    /// The explicit `k` disjoint paths of this solution.
+    #[must_use]
+    pub fn paths(&self, inst: &Instance) -> Vec<Path> {
+        decompose(&inst.graph, &self.edges, inst.s, inst.t, inst.k)
+            .expect("solution is a valid k-flow")
+            .paths
+    }
+
+    /// `delay / D` — the delay bifactor component `α` (`None` if `D = 0`).
+    #[must_use]
+    pub fn delay_factor(&self, inst: &Instance) -> Option<Rat> {
+        (inst.delay_bound != 0)
+            .then(|| Rat::new(self.delay as i128, inst.delay_bound as i128))
+    }
+
+    /// True iff the delay budget is respected.
+    #[must_use]
+    pub fn is_delay_feasible(&self, inst: &Instance) -> bool {
+        self.delay <= inst.delay_bound
+    }
+
+    /// `cost / lower_bound` — an upper bound on the cost bifactor `β`
+    /// (`None` without a recorded lower bound or with a zero bound).
+    #[must_use]
+    pub fn cost_factor(&self) -> Option<Rat> {
+        let lb = self.lower_bound?;
+        (!lb.is_zero()).then(|| Rat::int(self.cost as i128) / lb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krsp_graph::{DiGraph, EdgeId, NodeId};
+
+    fn inst() -> Instance {
+        let g = DiGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1, 2),
+                (1, 3, 1, 2),
+                (0, 2, 3, 4),
+                (2, 3, 3, 4),
+            ],
+        );
+        Instance::new(g, NodeId(0), NodeId(3), 2, 12).unwrap()
+    }
+
+    #[test]
+    fn from_edge_set_totals() {
+        let i = inst();
+        let set = EdgeSet::from_edges(4, &[EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)]);
+        let sol = Solution::from_edge_set(&i, set).unwrap();
+        assert_eq!(sol.cost, 8);
+        assert_eq!(sol.delay, 12);
+        assert!(sol.is_delay_feasible(&i));
+        assert_eq!(sol.delay_factor(&i), Some(Rat::ONE));
+        assert_eq!(sol.paths(&i).len(), 2);
+    }
+
+    #[test]
+    fn invalid_set_rejected() {
+        let i = inst();
+        let set = EdgeSet::from_edges(4, &[EdgeId(0), EdgeId(1), EdgeId(2)]);
+        assert!(Solution::from_edge_set(&i, set).is_none());
+    }
+
+    #[test]
+    fn cost_factor_uses_lower_bound() {
+        let i = inst();
+        let set = EdgeSet::from_edges(4, &[EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)]);
+        let mut sol = Solution::from_edge_set(&i, set).unwrap();
+        assert_eq!(sol.cost_factor(), None);
+        sol.lower_bound = Some(Rat::int(4));
+        assert_eq!(sol.cost_factor(), Some(Rat::int(2)));
+    }
+}

@@ -1,0 +1,207 @@
+//! Independent solution auditing.
+//!
+//! A downstream system acting on a provisioning decision should not have to
+//! trust the solver: [`audit`] re-derives every property of a claimed
+//! solution from first principles (structure, disjointness, budgets, and —
+//! when a bound is supplied — the cost guarantee), using only the graph
+//! and elementary checks. The test-suite and the experiment harness run it
+//! on every output; it is `O(m + n)`.
+
+use crate::instance::Instance;
+use crate::solution::Solution;
+use krsp_graph::decompose;
+use krsp_numeric::Rat;
+
+/// Everything that can be wrong with a claimed solution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// The edge set is not a `k`-unit `st`-flow.
+    NotAFlow,
+    /// Decomposition produced cycles (a path system must have none).
+    ContainsCycles,
+    /// Recorded cost differs from the recomputed cost.
+    CostMismatch {
+        /// Value stored on the solution.
+        recorded: i64,
+        /// Value recomputed from the graph.
+        actual: i64,
+    },
+    /// Recorded delay differs from the recomputed delay.
+    DelayMismatch {
+        /// Value stored on the solution.
+        recorded: i64,
+        /// Value recomputed from the graph.
+        actual: i64,
+    },
+    /// Total delay exceeds the instance budget.
+    DelayBudgetExceeded {
+        /// Recomputed delay.
+        delay: i64,
+        /// The instance budget.
+        bound: i64,
+    },
+    /// Cost exceeds `factor ×` the supplied reference bound.
+    CostGuaranteeExceeded {
+        /// Recomputed cost.
+        cost: i64,
+        /// The reference bound (e.g. `C_OPT` or the LP bound).
+        reference: Rat,
+        /// The allowed factor.
+        factor: u32,
+    },
+}
+
+/// Audits `sol` against `inst`. When `cost_reference` is given (an exact
+/// optimum or any lower bound on it), additionally checks the
+/// `cost ≤ factor·reference` guarantee. Returns all violations found.
+#[must_use]
+pub fn audit(
+    inst: &Instance,
+    sol: &Solution,
+    cost_reference: Option<(Rat, u32)>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    match decompose(&inst.graph, &sol.edges, inst.s, inst.t, inst.k) {
+        Err(_) => {
+            out.push(Violation::NotAFlow);
+            return out; // nothing else is meaningful
+        }
+        Ok(d) => {
+            if !d.cycles.is_empty() {
+                out.push(Violation::ContainsCycles);
+            }
+            let actual_cost = d.path_cost();
+            let actual_delay = d.path_delay();
+            if actual_cost != sol.cost {
+                out.push(Violation::CostMismatch {
+                    recorded: sol.cost,
+                    actual: actual_cost,
+                });
+            }
+            if actual_delay != sol.delay {
+                out.push(Violation::DelayMismatch {
+                    recorded: sol.delay,
+                    actual: actual_delay,
+                });
+            }
+            if actual_delay > inst.delay_bound {
+                out.push(Violation::DelayBudgetExceeded {
+                    delay: actual_delay,
+                    bound: inst.delay_bound,
+                });
+            }
+            if let Some((reference, factor)) = cost_reference {
+                if Rat::int(actual_cost as i128) > Rat::int(i128::from(factor)) * reference {
+                    out.push(Violation::CostGuaranteeExceeded {
+                        cost: actual_cost,
+                        reference,
+                        factor,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: audit and panic with a readable report on any violation.
+/// Used liberally by the test-suite.
+pub fn assert_valid(inst: &Instance, sol: &Solution, cost_reference: Option<(Rat, u32)>) {
+    let violations = audit(inst, sol, cost_reference);
+    assert!(
+        violations.is_empty(),
+        "solution audit failed: {violations:?}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm1::{solve, Config};
+    use krsp_graph::{DiGraph, EdgeId, EdgeSet, NodeId};
+
+    fn inst() -> Instance {
+        let g = DiGraph::from_edges(
+            4,
+            &[(0, 1, 1, 2), (1, 3, 1, 2), (0, 2, 3, 4), (2, 3, 3, 4)],
+        );
+        Instance::new(g, NodeId(0), NodeId(3), 2, 12).unwrap()
+    }
+
+    #[test]
+    fn clean_solution_passes() {
+        let i = inst();
+        let out = solve(&i, &Config::default()).unwrap();
+        assert_valid(&i, &out.solution, None);
+        // With the solver's own LP bound and factor 2.
+        let lb = out.solution.lower_bound.unwrap();
+        assert_valid(&i, &out.solution, Some((lb, 2)));
+    }
+
+    #[test]
+    fn detects_broken_structure() {
+        let i = inst();
+        let sol = Solution {
+            edges: EdgeSet::from_edges(4, &[EdgeId(0)]),
+            cost: 1,
+            delay: 2,
+            lower_bound: None,
+        };
+        assert_eq!(audit(&i, &sol, None), vec![Violation::NotAFlow]);
+    }
+
+    #[test]
+    fn detects_bookkeeping_mismatches() {
+        let i = inst();
+        let sol = Solution {
+            edges: EdgeSet::from_edges(4, &[EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)]),
+            cost: 7,   // actually 8
+            delay: 11, // actually 12
+            lower_bound: None,
+        };
+        let v = audit(&i, &sol, None);
+        assert!(v.contains(&Violation::CostMismatch {
+            recorded: 7,
+            actual: 8
+        }));
+        assert!(v.contains(&Violation::DelayMismatch {
+            recorded: 11,
+            actual: 12
+        }));
+    }
+
+    #[test]
+    fn detects_budget_and_guarantee_violations() {
+        let mut i = inst();
+        i.delay_bound = 10; // actual delay is 12
+        let sol = Solution {
+            edges: EdgeSet::from_edges(4, &[EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)]),
+            cost: 8,
+            delay: 12,
+            lower_bound: None,
+        };
+        let v = audit(&i, &sol, Some((Rat::int(3), 2)));
+        assert!(v.contains(&Violation::DelayBudgetExceeded {
+            delay: 12,
+            bound: 10
+        }));
+        assert!(v.contains(&Violation::CostGuaranteeExceeded {
+            cost: 8,
+            reference: Rat::int(3),
+            factor: 2
+        }));
+    }
+
+    #[test]
+    #[should_panic(expected = "audit failed")]
+    fn assert_valid_panics_on_violation() {
+        let i = inst();
+        let sol = Solution {
+            edges: EdgeSet::from_edges(4, &[EdgeId(0)]),
+            cost: 1,
+            delay: 2,
+            lower_bound: None,
+        };
+        assert_valid(&i, &sol, None);
+    }
+}

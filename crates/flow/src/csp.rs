@@ -1,0 +1,436 @@
+//! Restricted (constrained) shortest paths — the `k = 1` case of kRSP.
+//!
+//! * [`constrained_shortest_path`] — exact pseudo-polynomial DP: the
+//!   minimum-cost `st`-path with delay at most `D`.
+//! * [`rsp_fptas`] — the Lorenz–Raz style `(1+ε)` FPTAS [17]: cost at most
+//!   `(1+ε)·OPT`, delay at most `D`, polynomial in `1/ε`. This is also the
+//!   scaling template the paper's Theorem 4 applies to Algorithm 1.
+//!
+//! Both are used as the `k = 1` baseline (`greedy_rsp` runs them per path).
+
+use crate::dijkstra::dijkstra;
+use krsp_graph::{DiGraph, EdgeId, NodeId};
+
+/// A cost/delay-annotated simple path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CspPath {
+    /// Edge sequence from `s` to `t`.
+    pub edges: Vec<EdgeId>,
+    /// Total cost at original weights.
+    pub cost: i64,
+    /// Total delay at original weights.
+    pub delay: i64,
+}
+
+impl CspPath {
+    fn from_edges(graph: &DiGraph, edges: Vec<EdgeId>) -> Self {
+        let cost = edges.iter().map(|&e| graph.edge(e).cost).sum();
+        let delay = edges.iter().map(|&e| graph.edge(e).delay).sum();
+        CspPath { edges, cost, delay }
+    }
+}
+
+/// Budgeted DP: `value[b][v]` = minimum `objective` over `s→v` walks with
+/// `Σ budget ≤ b`, for `b = 0..=bound`. Zero-budget edges are handled with a
+/// per-level Dijkstra pass (objectives must be nonnegative).
+///
+/// Returns `(value, parent)` where `parent[b][v] = (edge, b_prev)`.
+struct BudgetDp {
+    value: Vec<Vec<Option<i64>>>,
+    parent: Vec<Vec<Option<(EdgeId, usize)>>>,
+}
+
+fn budget_dp(
+    graph: &DiGraph,
+    s: NodeId,
+    bound: usize,
+    budget_of: &dyn Fn(EdgeId) -> i64,
+    objective_of: &dyn Fn(EdgeId) -> i64,
+) -> BudgetDp {
+    let n = graph.node_count();
+    for (id, _) in graph.edge_iter() {
+        assert!(budget_of(id) >= 0, "budgets must be nonnegative");
+        assert!(objective_of(id) >= 0, "objectives must be nonnegative");
+    }
+    let mut value: Vec<Vec<Option<i64>>> = Vec::with_capacity(bound + 1);
+    let mut parent: Vec<Vec<Option<(EdgeId, usize)>>> = Vec::with_capacity(bound + 1);
+
+    for b in 0..=bound {
+        // Initialize from carry-over and cross-level transitions.
+        let mut val: Vec<Option<i64>> = if b == 0 {
+            vec![None; n]
+        } else {
+            value[b - 1].clone()
+        };
+        let mut par: Vec<Option<(EdgeId, usize)>> = vec![None; n];
+        val[s.index()] = Some(0);
+        for (id, e) in graph.edge_iter() {
+            let be = budget_of(id) as usize;
+            if be >= 1 && be <= b {
+                if let Some(vu) = value[b - be][e.src.index()] {
+                    let cand = vu + objective_of(id);
+                    if val[e.dst.index()].is_none_or(|x| cand < x) {
+                        val[e.dst.index()] = Some(cand);
+                        par[e.dst.index()] = Some((id, b - be));
+                    }
+                }
+            }
+        }
+        // Within-level relaxation over zero-budget edges (Dijkstra flavor:
+        // repeatedly settle the smallest tentative value).
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(i64, u32)>> = val
+            .iter()
+            .enumerate()
+            .filter_map(|(v, x)| x.map(|x| std::cmp::Reverse((x, v as u32))))
+            .collect();
+        let mut done = vec![false; n];
+        while let Some(std::cmp::Reverse((dv, v))) = heap.pop() {
+            let v = NodeId(v);
+            if done[v.index()] || val[v.index()] != Some(dv) {
+                continue;
+            }
+            done[v.index()] = true;
+            for &e in graph.out_edges(v) {
+                if budget_of(e) == 0 {
+                    let u = graph.edge(e).dst;
+                    let cand = dv + objective_of(e);
+                    if val[u.index()].is_none_or(|x| cand < x) {
+                        val[u.index()] = Some(cand);
+                        par[u.index()] = Some((e, b));
+                        heap.push(std::cmp::Reverse((cand, u.0)));
+                    }
+                }
+            }
+        }
+        value.push(val);
+        parent.push(par);
+    }
+    BudgetDp { value, parent }
+}
+
+/// Reconstructs the path reaching `t` at level `b` of a [`budget_dp`] table.
+fn recover(dp: &BudgetDp, graph: &DiGraph, s: NodeId, t: NodeId, mut b: usize) -> Vec<EdgeId> {
+    let mut edges = Vec::new();
+    let mut v = t;
+    let mut guard = 0usize;
+    while v != s {
+        // Drop to the lowest level with the same value (carried entries have
+        // no parent at this level).
+        while b > 0 && dp.value[b - 1][v.index()] == dp.value[b][v.index()] {
+            b -= 1;
+        }
+        let (e, bp) = dp.parent[b][v.index()].expect("dp parent chain intact");
+        edges.push(e);
+        v = graph.edge(e).src;
+        b = bp;
+        guard += 1;
+        assert!(
+            guard <= graph.edge_count() + dp.value.len(),
+            "dp path recovery loop"
+        );
+    }
+    edges.reverse();
+    edges
+}
+
+/// Exact restricted shortest path: minimum-cost `s→t` path with total delay
+/// at most `delay_bound`. Pseudo-polynomial: `O(D·m·log n)`.
+///
+/// Requires nonnegative costs and delays.
+#[must_use]
+pub fn constrained_shortest_path(
+    graph: &DiGraph,
+    s: NodeId,
+    t: NodeId,
+    delay_bound: i64,
+) -> Option<CspPath> {
+    assert!(delay_bound >= 0);
+    let dp = budget_dp(
+        graph,
+        s,
+        delay_bound as usize,
+        &|e| graph.edge(e).delay,
+        &|e| graph.edge(e).cost,
+    );
+    dp.value[delay_bound as usize][t.index()]?;
+    let edges = recover(&dp, graph, s, t, delay_bound as usize);
+    let p = CspPath::from_edges(graph, edges);
+    debug_assert!(p.delay <= delay_bound);
+    Some(p)
+}
+
+/// Lorenz–Raz style FPTAS for the restricted shortest path problem:
+/// returns a path with `delay ≤ delay_bound` and
+/// `cost ≤ (1 + eps_num/eps_den) · OPT`, or `None` if infeasible.
+///
+/// Runs in time polynomial in the graph size and `eps_den/eps_num`.
+#[must_use]
+pub fn rsp_fptas(
+    graph: &DiGraph,
+    s: NodeId,
+    t: NodeId,
+    delay_bound: i64,
+    eps_num: u32,
+    eps_den: u32,
+) -> Option<CspPath> {
+    assert!(eps_num > 0 && eps_den > 0, "epsilon must be positive");
+    assert!(delay_bound >= 0);
+    let n = graph.node_count() as i64;
+
+    // Feasibility + bottleneck bounds: the smallest edge-cost threshold c*
+    // whose subgraph contains a delay-feasible path gives OPT ∈ [c*, n·c*].
+    // "Removed" edges get a finite sentinel weight strictly larger than any
+    // real path delay *and* the budget, so they cannot appear on a path
+    // that passes the budget check and sums cannot overflow.
+    let sentinel = graph
+        .total_delay()
+        .max(delay_bound)
+        .saturating_add(1);
+    let min_delay_using = |threshold: i64| -> bool {
+        let (dist, _) = dijkstra(graph, s, |e| {
+            if graph.edge(e).cost <= threshold {
+                graph.edge(e).delay
+            } else {
+                sentinel
+            }
+        });
+        matches!(dist[t.index()], Some(d) if d <= delay_bound)
+    };
+    let mut costs: Vec<i64> = graph.edges().iter().map(|e| e.cost).collect();
+    costs.push(0);
+    costs.sort_unstable();
+    costs.dedup();
+    if !min_delay_using(*costs.last().unwrap()) {
+        return None; // no delay-feasible path at all
+    }
+    // Binary search the threshold list.
+    let mut lo = 0usize;
+    let mut hi = costs.len() - 1;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if min_delay_using(costs[mid]) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let cstar = costs[lo];
+    if cstar == 0 {
+        // A zero-cost feasible path exists: it is optimal; extract it via
+        // the exact min-delay path over zero-cost edges.
+        let (dist, pred) = dijkstra(graph, s, |e| {
+            if graph.edge(e).cost == 0 {
+                graph.edge(e).delay
+            } else {
+                sentinel
+            }
+        });
+        let edges = crate::dijkstra::path_to(graph, &dist, &pred, t)?;
+        let p = CspPath::from_edges(graph, edges);
+        debug_assert_eq!(p.cost, 0);
+        return Some(p);
+    }
+    let mut lb = cstar; // OPT ≥ lb
+    let mut ub = n * cstar; // a feasible path of cost ≤ ub exists
+
+    // Scaled test: does a delay-feasible path of cost ≤ c(1+ε0) exist?
+    // (pass ⇒ such a path is produced; fail ⇒ OPT > c). ε0 = 1 here.
+    let test = |c: i64| -> Option<CspPath> {
+        // θ = c / (n+1); scaled cost c'(e) = floor(c(e)/θ); budget n+1.
+        // For any ≤n-edge path: c(P)/θ − n ≤ c'(P) ≤ c(P)/θ.
+        let theta_num = c;
+        let theta_den = n + 1;
+        let scaled = |e: EdgeId| -> i64 { graph.edge(e).cost * theta_den / theta_num };
+        let budget = (n + 1) as usize; // floor(c/θ) = n+1
+        let dp = budget_dp(graph, s, budget, &|e| scaled(e).min(budget as i64 + 1), &|e| {
+            graph.edge(e).delay
+        });
+        let b = (0..=budget).find(|&b| {
+            dp.value[b][t.index()].is_some_and(|d| d <= delay_bound)
+        })?;
+        let edges = recover(&dp, graph, s, t, b);
+        Some(CspPath::from_edges(graph, edges))
+    };
+
+    // Geometric shrink until ub ≤ 4·lb. The test at the integer geometric
+    // mean `c` either certifies OPT > c (fail ⇒ lb := c+1) or produces a
+    // feasible path of cost ≤ 2c (pass ⇒ ub := 2c, using ε₀ = 1). While
+    // ub > 4·lb, `2·⌊√(lb·ub)⌋ < ub`, so both branches strictly shrink the
+    // bracket and the loop terminates in O(log log(ub/lb)) tests.
+    while ub > 4 * lb {
+        let c = ((lb as f64) * (ub as f64)).sqrt().floor() as i64;
+        let c = c.clamp(lb, ub);
+        match test(c) {
+            Some(p) => {
+                debug_assert!(p.cost <= 2 * c, "test contract: cost ≤ (1+ε₀)·c");
+                ub = ub.min((2 * c).max(lb));
+            }
+            None => {
+                lb = c + 1;
+            }
+        }
+        debug_assert!(lb <= ub);
+    }
+
+    // Final scaled DP with target ε: θ = lb·ε/(n+1).
+    // scaled(e) = floor(c(e)/θ) = floor(c(e)·(n+1)·eps_den / (lb·eps_num)).
+    let denom = lb as i128 * eps_num as i128;
+    let scaled = |e: EdgeId| -> i64 {
+        ((graph.edge(e).cost as i128 * (n as i128 + 1) * eps_den as i128) / denom) as i64
+    };
+    // Budget: c'(P*) ≤ OPT/θ ≤ ub·(n+1)·eps_den/(lb·eps_num) (+ slack n).
+    let budget = ((ub as i128 * (n as i128 + 1) * eps_den as i128) / denom + n as i128 + 1)
+        .min(i128::from(u32::MAX)) as usize;
+    let dp = budget_dp(graph, s, budget, &|e| scaled(e).min(budget as i64 + 1), &|e| {
+        graph.edge(e).delay
+    });
+    let b = (0..=budget).find(|&b| dp.value[b][t.index()].is_some_and(|d| d <= delay_bound))?;
+    let edges = recover(&dp, graph, s, t, b);
+    let p = CspPath::from_edges(graph, edges);
+    debug_assert!(p.delay <= delay_bound);
+    Some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Cheap path is slow; fast path is pricey.
+    fn tradeoff_graph() -> DiGraph {
+        DiGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1, 10), // cheap+slow leg
+                (1, 3, 1, 10),
+                (0, 2, 10, 1), // fast+pricey leg
+                (2, 3, 10, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn exact_obeys_budget() {
+        let g = tradeoff_graph();
+        // Loose budget: cheap path.
+        let p = constrained_shortest_path(&g, NodeId(0), NodeId(3), 20).unwrap();
+        assert_eq!((p.cost, p.delay), (2, 20));
+        // Tight budget: forced onto the fast path.
+        let p = constrained_shortest_path(&g, NodeId(0), NodeId(3), 5).unwrap();
+        assert_eq!((p.cost, p.delay), (20, 2));
+        // Impossible budget.
+        assert!(constrained_shortest_path(&g, NodeId(0), NodeId(3), 1).is_none());
+    }
+
+    #[test]
+    fn exact_mixed_budget_uses_best_combination() {
+        let g = DiGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1, 10),
+                (1, 3, 1, 10), // cheap-slow: cost 2 delay 20
+                (0, 2, 10, 1),
+                (2, 3, 10, 1), // fast: cost 20 delay 2
+                (1, 2, 0, 0),  // bridge allows half-and-half
+            ],
+        );
+        // Budget 11: 0→1 (1,10) then bridge (0,0) then 2→3 (10,1) = (11, 11).
+        let p = constrained_shortest_path(&g, NodeId(0), NodeId(3), 11).unwrap();
+        assert_eq!((p.cost, p.delay), (11, 11));
+    }
+
+    #[test]
+    fn zero_delay_edges_within_level() {
+        let g = DiGraph::from_edges(
+            4,
+            &[(0, 1, 3, 0), (1, 2, 4, 0), (0, 2, 9, 0), (2, 3, 1, 0)],
+        );
+        let p = constrained_shortest_path(&g, NodeId(0), NodeId(3), 0).unwrap();
+        assert_eq!((p.cost, p.delay), (8, 0));
+    }
+
+    #[test]
+    fn unreachable_none() {
+        let g = DiGraph::from_edges(3, &[(0, 1, 1, 1)]);
+        assert!(constrained_shortest_path(&g, NodeId(0), NodeId(2), 100).is_none());
+    }
+
+    #[test]
+    fn fptas_feasible_and_near_optimal() {
+        let g = tradeoff_graph();
+        let p = rsp_fptas(&g, NodeId(0), NodeId(3), 20, 1, 2).unwrap();
+        assert!(p.delay <= 20);
+        assert!(p.cost <= 3); // OPT = 2, (1+1/2)·2 = 3
+        let p = rsp_fptas(&g, NodeId(0), NodeId(3), 5, 1, 2).unwrap();
+        assert!(p.delay <= 5);
+        assert!(p.cost <= 30); // OPT = 20
+        assert!(rsp_fptas(&g, NodeId(0), NodeId(3), 1, 1, 2).is_none());
+    }
+
+    #[test]
+    fn fptas_zero_cost_shortcut() {
+        let g = DiGraph::from_edges(3, &[(0, 1, 0, 5), (1, 2, 0, 5), (0, 2, 7, 1)]);
+        let p = rsp_fptas(&g, NodeId(0), NodeId(2), 10, 1, 10).unwrap();
+        assert_eq!(p.cost, 0);
+    }
+
+    fn arb_graph() -> impl Strategy<Value = (DiGraph, i64)> {
+        (
+            proptest::collection::vec((0u32..7, 0u32..7, 0i64..15, 0i64..15), 1..24),
+            0i64..40,
+        )
+            .prop_map(|(edges, d)| {
+                let list: Vec<_> = edges
+                    .into_iter()
+                    .filter(|&(u, v, _, _)| u != v)
+                    .collect();
+                (DiGraph::from_edges(7, &list), d)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_fptas_within_factor((g, d) in arb_graph()) {
+            let exact = constrained_shortest_path(&g, NodeId(0), NodeId(6), d);
+            let approx = rsp_fptas(&g, NodeId(0), NodeId(6), d, 1, 2);
+            match (exact, approx) {
+                (None, None) => {}
+                (Some(e), Some(a)) => {
+                    prop_assert!(a.delay <= d);
+                    // cost ≤ (1 + 1/2) OPT, integer arithmetic:
+                    prop_assert!(2 * a.cost <= 3 * e.cost,
+                        "approx {} vs opt {}", a.cost, e.cost);
+                }
+                (e, a) => prop_assert!(false, "feasibility mismatch: exact={:?} approx={:?}", e.is_some(), a.is_some()),
+            }
+        }
+
+        #[test]
+        fn prop_exact_is_minimal_vs_enumeration((g, d) in arb_graph()) {
+            // Brute force: DFS all simple paths, track best cost within D.
+            fn dfs(g: &DiGraph, cur: NodeId, t: NodeId, visited: &mut Vec<bool>,
+                   cost: i64, delay: i64, d: i64, best: &mut Option<i64>) {
+                if delay > d { return; }
+                if cur == t {
+                    *best = Some(best.map_or(cost, |b: i64| b.min(cost)));
+                    return;
+                }
+                for &e in g.out_edges(cur) {
+                    let r = g.edge(e);
+                    if !visited[r.dst.index()] {
+                        visited[r.dst.index()] = true;
+                        dfs(g, r.dst, t, visited, cost + r.cost, delay + r.delay, d, best);
+                        visited[r.dst.index()] = false;
+                    }
+                }
+            }
+            let mut best = None;
+            let mut visited = vec![false; g.node_count()];
+            visited[0] = true;
+            dfs(&g, NodeId(0), NodeId(6), &mut visited, 0, 0, d, &mut best);
+            let ours = constrained_shortest_path(&g, NodeId(0), NodeId(6), d).map(|p| p.cost);
+            prop_assert_eq!(ours, best);
+        }
+    }
+}

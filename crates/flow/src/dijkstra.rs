@@ -1,0 +1,121 @@
+//! Dijkstra shortest paths for nonnegative weights.
+
+use crate::weight::Weight;
+use krsp_graph::{DiGraph, EdgeId, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Single-source shortest paths; all edge weights must be `≥ W::ZERO`
+/// (checked in debug builds).
+///
+/// Returns `(dist, pred)` in the same layout as
+/// [`crate::bellman_ford::BfResult`].
+pub fn dijkstra<W: Weight>(
+    graph: &DiGraph,
+    source: NodeId,
+    weight: impl Fn(EdgeId) -> W,
+) -> (Vec<Option<W>>, Vec<Option<EdgeId>>) {
+    let n = graph.node_count();
+    let mut dist: Vec<Option<W>> = vec![None; n];
+    let mut pred: Vec<Option<EdgeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(W, u32)>> = BinaryHeap::new();
+    dist[source.index()] = Some(W::ZERO);
+    heap.push(Reverse((W::ZERO, source.0)));
+
+    while let Some(Reverse((du, u))) = heap.pop() {
+        let u = NodeId(u);
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        for &e in graph.out_edges(u) {
+            let w = weight(e);
+            debug_assert!(!w.is_negative(), "dijkstra requires nonnegative weights");
+            let v = graph.edge(e).dst;
+            let cand = du.add_checked(w);
+            let better = match dist[v.index()] {
+                None => true,
+                Some(dv) => cand < dv,
+            };
+            if better {
+                dist[v.index()] = Some(cand);
+                pred[v.index()] = Some(e);
+                heap.push(Reverse((cand, v.0)));
+            }
+        }
+    }
+    (dist, pred)
+}
+
+/// Reconstructs the edge sequence of the shortest path to `v` from a
+/// `(dist, pred)` pair produced by [`dijkstra`].
+#[must_use]
+pub fn path_to(
+    graph: &DiGraph,
+    dist: &[Option<impl Copy>],
+    pred: &[Option<EdgeId>],
+    v: NodeId,
+) -> Option<Vec<EdgeId>> {
+    dist[v.index()]?;
+    let mut edges = Vec::new();
+    let mut cur = v;
+    while let Some(e) = pred[cur.index()] {
+        edges.push(e);
+        cur = graph.edge(e).src;
+    }
+    edges.reverse();
+    Some(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bellman_ford::bellman_ford;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_hand_computed() {
+        let g = DiGraph::from_edges(
+            5,
+            &[
+                (0, 1, 7, 0),
+                (0, 2, 3, 0),
+                (2, 1, 2, 0),
+                (1, 3, 1, 0),
+                (2, 3, 8, 0),
+                (3, 4, 2, 0),
+            ],
+        );
+        let (dist, pred) = dijkstra(&g, NodeId(0), |e| g.edge(e).cost);
+        assert_eq!(dist[1], Some(5));
+        assert_eq!(dist[3], Some(6));
+        assert_eq!(dist[4], Some(8));
+        assert_eq!(
+            path_to(&g, &dist, &pred, NodeId(4)).unwrap(),
+            vec![EdgeId(1), EdgeId(2), EdgeId(3), EdgeId(5)]
+        );
+    }
+
+    #[test]
+    fn unreachable() {
+        let g = DiGraph::from_edges(3, &[(1, 2, 1, 0)]);
+        let (dist, pred) = dijkstra(&g, NodeId(0), |e| g.edge(e).cost);
+        assert_eq!(dist[1], None);
+        assert!(path_to(&g, &dist, &pred, NodeId(1)).is_none());
+    }
+
+    proptest! {
+        /// Dijkstra agrees with Bellman–Ford on random nonnegative graphs.
+        #[test]
+        fn prop_matches_bellman_ford(
+            edges in proptest::collection::vec((0u32..12, 0u32..12, 0i64..50), 1..60),
+        ) {
+            let g = DiGraph::from_edges(12, &edges.iter().map(|&(u, v, c)| (u, v, c, 0)).collect::<Vec<_>>());
+            let (dist, _) = dijkstra(&g, NodeId(0), |e| g.edge(e).cost);
+            let bf = bellman_ford(&g, NodeId(0), |e| g.edge(e).cost);
+            prop_assert!(bf.negative_cycle.is_none());
+            prop_assert_eq!(dist, bf.dist);
+        }
+    }
+}

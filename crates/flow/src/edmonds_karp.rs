@@ -1,0 +1,159 @@
+//! Edmonds–Karp max flow (BFS augmentation).
+//!
+//! Kept alongside [`crate::dinic`] as an independently implemented
+//! cross-check: the two are property-tested against each other, which
+//! guards the feasibility layer (Menger counts) of the whole suite.
+
+use krsp_graph::{DiGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Max flow from `s` to `t` over an explicit arc list with capacities.
+#[derive(Clone, Debug)]
+pub struct EdmondsKarp {
+    to: Vec<u32>,
+    cap: Vec<i64>,
+    head: Vec<Vec<u32>>,
+}
+
+impl EdmondsKarp {
+    /// New empty network with `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        EdmondsKarp {
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds a directed arc with capacity `cap`; returns its id.
+    pub fn add_arc(&mut self, u: NodeId, v: NodeId, cap: i64) -> usize {
+        assert!(cap >= 0);
+        let id = self.to.len();
+        self.to.push(v.0);
+        self.cap.push(cap);
+        self.head[u.index()].push(id as u32);
+        self.to.push(u.0);
+        self.cap.push(0);
+        self.head[v.index()].push((id + 1) as u32);
+        id
+    }
+
+    /// Computes the max flow value.
+    pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> i64 {
+        assert_ne!(s, t);
+        let n = self.head.len();
+        let mut total = 0i64;
+        loop {
+            // BFS for the shortest augmenting path.
+            let mut pred: Vec<Option<usize>> = vec![None; n];
+            let mut seen = vec![false; n];
+            seen[s.index()] = true;
+            let mut queue = VecDeque::from([s.0]);
+            'bfs: while let Some(u) = queue.pop_front() {
+                for &a in &self.head[u as usize] {
+                    let a = a as usize;
+                    let v = self.to[a] as usize;
+                    if self.cap[a] > 0 && !seen[v] {
+                        seen[v] = true;
+                        pred[v] = Some(a);
+                        if v == t.index() {
+                            break 'bfs;
+                        }
+                        queue.push_back(v as u32);
+                    }
+                }
+            }
+            if !seen[t.index()] {
+                return total;
+            }
+            // Bottleneck and augment.
+            let mut bottleneck = i64::MAX;
+            let mut v = t.index();
+            while let Some(a) = pred[v] {
+                bottleneck = bottleneck.min(self.cap[a]);
+                v = self.to[a ^ 1] as usize;
+            }
+            let mut v = t.index();
+            while let Some(a) = pred[v] {
+                self.cap[a] -= bottleneck;
+                self.cap[a ^ 1] += bottleneck;
+                v = self.to[a ^ 1] as usize;
+            }
+            total += bottleneck;
+        }
+    }
+}
+
+/// Max edge-disjoint `st`-paths via Edmonds–Karp (unit capacities).
+#[must_use]
+pub fn max_edge_disjoint_paths_ek(graph: &DiGraph, s: NodeId, t: NodeId) -> usize {
+    let mut ek = EdmondsKarp::new(graph.node_count());
+    for (_, e) in graph.edge_iter() {
+        ek.add_arc(e.src, e.dst, 1);
+    }
+    ek.max_flow(s, t) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dinic::max_edge_disjoint_paths;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_network() {
+        let mut ek = EdmondsKarp::new(4);
+        ek.add_arc(NodeId(0), NodeId(1), 10);
+        ek.add_arc(NodeId(0), NodeId(2), 10);
+        ek.add_arc(NodeId(1), NodeId(2), 5);
+        ek.add_arc(NodeId(1), NodeId(3), 8);
+        ek.add_arc(NodeId(2), NodeId(3), 12);
+        assert_eq!(ek.max_flow(NodeId(0), NodeId(3)), 20);
+    }
+
+    #[test]
+    fn no_path_zero_flow() {
+        let g = DiGraph::from_edges(3, &[(1, 0, 0, 0)]);
+        assert_eq!(max_edge_disjoint_paths_ek(&g, NodeId(0), NodeId(2)), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+        /// Independent implementations agree on Menger counts.
+        #[test]
+        fn prop_agrees_with_dinic(
+            edges in proptest::collection::vec((0u32..9, 0u32..9), 0..50),
+        ) {
+            let list: Vec<(u32, u32, i64, i64)> = edges
+                .iter()
+                .filter(|&&(u, v)| u != v)
+                .map(|&(u, v)| (u, v, 0, 0))
+                .collect();
+            let g = DiGraph::from_edges(9, &list);
+            prop_assert_eq!(
+                max_edge_disjoint_paths_ek(&g, NodeId(0), NodeId(8)),
+                max_edge_disjoint_paths(&g, NodeId(0), NodeId(8))
+            );
+        }
+
+        /// General capacities agree too.
+        #[test]
+        fn prop_general_capacities_agree(
+            arcs in proptest::collection::vec((0u32..6, 0u32..6, 0i64..20), 1..24),
+        ) {
+            let mut ek = EdmondsKarp::new(6);
+            let mut dn = crate::dinic::Dinic::new(6);
+            for &(u, v, c) in &arcs {
+                if u != v {
+                    ek.add_arc(NodeId(u), NodeId(v), c);
+                    dn.add_arc(NodeId(u), NodeId(v), c);
+                }
+            }
+            prop_assert_eq!(
+                ek.max_flow(NodeId(0), NodeId(5)),
+                dn.max_flow(NodeId(0), NodeId(5), i64::MAX)
+            );
+        }
+    }
+}

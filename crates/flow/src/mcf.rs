@@ -1,0 +1,291 @@
+//! Min-cost flow by successive shortest paths over generic ordered weights.
+//!
+//! Unit capacities (one unit per graph edge) are all the suite needs: a
+//! kRSP solution is a unit `st`-flow of value `k`. Shortest augmenting paths
+//! are found with Bellman–Ford on the residual arc network, so weights may
+//! be negative (e.g. exact lexicographic weights whose secondary component
+//! dips below zero) as long as the *input graph* has no negative-weight
+//! cycle — which holds for every weighting used in this suite and is
+//! debug-asserted.
+//!
+//! Successively augmenting along shortest paths yields, after the `v`-th
+//! augmentation, a minimum-weight flow of value `v` — the classical SSP
+//! invariant. The parametric phase-1 backend and the Suurballe-style
+//! min-sum baseline ([20, 21]) are thin wrappers over [`min_cost_k_flow`].
+
+use crate::weight::Weight;
+use krsp_graph::{DiGraph, EdgeId, EdgeSet, NodeId};
+
+/// A minimum-weight unit `st`-flow.
+#[derive(Clone, Debug)]
+pub struct McfFlow<W> {
+    /// Edges carrying one unit of flow (a `k`-unit flow edge set).
+    pub edges: EdgeSet,
+    /// Total weight of the flow.
+    pub weight: W,
+    /// Flow value actually achieved (= requested `k` on success).
+    pub value: usize,
+}
+
+/// Computes a minimum-weight flow of value exactly `k` from `s` to `t` with
+/// unit capacity on every edge. Returns `None` if fewer than `k` disjoint
+/// paths exist.
+///
+/// Requirement: `graph` has no negative-weight cycle under `weight`
+/// (debug-asserted).
+pub fn min_cost_k_flow<W: Weight>(
+    graph: &DiGraph,
+    s: NodeId,
+    t: NodeId,
+    k: usize,
+    weight: impl Fn(EdgeId) -> W,
+) -> Option<McfFlow<W>> {
+    assert_ne!(s, t, "source and sink must differ");
+    debug_assert!(
+        crate::bellman_ford::find_negative_cycle(graph, &weight).is_none(),
+        "min_cost_k_flow requires a graph without negative-weight cycles"
+    );
+
+    let m = graph.edge_count();
+    // flow[e] = true iff edge e currently carries a unit.
+    let mut flow = vec![false; m];
+
+    for _round in 0..k {
+        // Bellman–Ford over the residual network: forward arcs for unused
+        // edges (weight w), backward arcs for used edges (weight -w).
+        let n = graph.node_count();
+        let mut dist: Vec<Option<W>> = vec![None; n];
+        // pred[v] = (edge, is_backward)
+        let mut pred: Vec<Option<(EdgeId, bool)>> = vec![None; n];
+        dist[s.index()] = Some(W::ZERO);
+        for _ in 0..n {
+            let mut changed = false;
+            for (id, e) in graph.edge_iter() {
+                if !flow[id.index()] {
+                    if let Some(du) = dist[e.src.index()] {
+                        let cand = du.add_checked(weight(id));
+                        if dist[e.dst.index()].is_none_or(|dv| cand < dv) {
+                            dist[e.dst.index()] = Some(cand);
+                            pred[e.dst.index()] = Some((id, false));
+                            changed = true;
+                        }
+                    }
+                } else if let Some(dv) = dist[e.dst.index()] {
+                    let cand = dv.add_checked(-weight(id));
+                    if dist[e.src.index()].is_none_or(|du| cand < du) {
+                        dist[e.src.index()] = Some(cand);
+                        pred[e.src.index()] = Some((id, true));
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        dist[t.index()]?;
+        // Augment one unit along the shortest path.
+        let mut cur = t;
+        let mut steps = 0;
+        while cur != s {
+            let (e, backward) = pred[cur.index()].expect("path reconstruction");
+            if backward {
+                flow[e.index()] = false;
+                cur = graph.edge(e).dst;
+            } else {
+                flow[e.index()] = true;
+                cur = graph.edge(e).src;
+            }
+            steps += 1;
+            assert!(steps <= 2 * m + 1, "augmenting path reconstruction loop");
+        }
+    }
+
+    let mut edges = EdgeSet::with_capacity(m);
+    let mut total = W::ZERO;
+    for (i, &f) in flow.iter().enumerate() {
+        if f {
+            let id = EdgeId(i as u32);
+            edges.insert(id);
+            total = total.add_checked(weight(id));
+        }
+    }
+    debug_assert!(edges.is_k_flow(graph, s, t, k));
+    Some(McfFlow {
+        edges,
+        weight: total,
+        value: k,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krsp_numeric::Lex2;
+    use proptest::prelude::*;
+
+    fn cost(g: &DiGraph) -> impl Fn(EdgeId) -> i64 + '_ {
+        move |e| g.edge(e).cost
+    }
+
+    #[test]
+    fn single_path_is_shortest() {
+        let g = DiGraph::from_edges(
+            4,
+            &[(0, 1, 1, 0), (1, 3, 1, 0), (0, 2, 5, 0), (2, 3, 5, 0)],
+        );
+        let f = min_cost_k_flow(&g, NodeId(0), NodeId(3), 1, cost(&g)).unwrap();
+        assert_eq!(f.weight, 2);
+        let got: Vec<_> = f.edges.iter().collect();
+        assert_eq!(got, vec![EdgeId(0), EdgeId(1)]);
+    }
+
+    #[test]
+    fn two_units_take_both_paths() {
+        let g = DiGraph::from_edges(
+            4,
+            &[(0, 1, 1, 0), (1, 3, 1, 0), (0, 2, 5, 0), (2, 3, 5, 0)],
+        );
+        let f = min_cost_k_flow(&g, NodeId(0), NodeId(3), 2, cost(&g)).unwrap();
+        assert_eq!(f.weight, 12);
+        assert_eq!(f.edges.count(), 4);
+    }
+
+    #[test]
+    fn rerouting_via_backward_arcs() {
+        // Classic Suurballe example where the greedy first path must be
+        // partially undone: s=0, t=3.
+        // Edges: 0→1 (1), 1→3 (1), 0→2 (2), 2→1 (... ) build the trap:
+        // shortest single path uses 0→1→3; two disjoint paths must be
+        // 0→1→2→3 and 0→... construct explicitly:
+        let g = DiGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1, 0), // e0
+                (1, 3, 1, 0), // e1
+                (0, 2, 2, 0), // e2
+                (2, 3, 2, 0), // e3
+                (1, 2, 0, 0), // e4
+                (2, 1, 100, 0),
+            ],
+        );
+        // First augmentation: 0→1→3 (cost 2). Second: 0→2→3 (cost 4).
+        // Total 6 — no rerouting needed here. Now make direct 2→3 pricey so
+        // rerouting pays off; use a dedicated trap graph instead:
+        let trap = DiGraph::from_edges(
+            5,
+            &[
+                (0, 1, 1, 0),  // e0
+                (1, 2, 1, 0),  // e1
+                (2, 4, 1, 0),  // e2  — shortest path 0-1-2-4 cost 3
+                (0, 2, 4, 0),  // e3
+                (1, 3, 4, 0),  // e4
+                (3, 4, 1, 0),  // e5
+            ],
+        );
+        let f1 = min_cost_k_flow(&trap, NodeId(0), NodeId(4), 1, cost(&trap)).unwrap();
+        assert_eq!(f1.weight, 3);
+        let f2 = min_cost_k_flow(&trap, NodeId(0), NodeId(4), 2, cost(&trap)).unwrap();
+        // Optimal pair: 0-1-3-4 (6) and 0-2-4 (5) = 11; greedy without
+        // rerouting would be 3 + (4+4+1)... SSP must find 11.
+        assert_eq!(f2.weight, 11);
+        assert!(f2.edges.is_k_flow(&trap, NodeId(0), NodeId(4), 2));
+        let _ = g;
+    }
+
+    #[test]
+    fn infeasible_when_not_enough_paths() {
+        let g = DiGraph::from_edges(3, &[(0, 1, 1, 0), (1, 2, 1, 0)]);
+        assert!(min_cost_k_flow(&g, NodeId(0), NodeId(2), 2, cost(&g)).is_none());
+        assert!(min_cost_k_flow(&g, NodeId(0), NodeId(2), 1, cost(&g)).is_some());
+    }
+
+    #[test]
+    fn lexicographic_tie_breaking_minimizes_secondary() {
+        // Two cost-equal paths with different delays; Lex2(cost, delay)
+        // must pick the lower-delay one.
+        let g = DiGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1, 50), // e0
+                (1, 3, 1, 50), // e1   path A: cost 2, delay 100
+                (0, 2, 1, 10), // e2
+                (2, 3, 1, 10), // e3   path B: cost 2, delay 20
+            ],
+        );
+        let f = min_cost_k_flow(&g, NodeId(0), NodeId(3), 1, |e| {
+            let r = g.edge(e);
+            Lex2::new(r.cost as i128, r.delay as i128)
+        })
+        .unwrap();
+        assert_eq!(f.weight, Lex2::new(2, 20));
+        let got: Vec<_> = f.edges.iter().collect();
+        assert_eq!(got, vec![EdgeId(2), EdgeId(3)]);
+    }
+
+    #[test]
+    fn max_delay_tiebreak_via_negated_secondary() {
+        let g = DiGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1, 50),
+                (1, 3, 1, 50),
+                (0, 2, 1, 10),
+                (2, 3, 1, 10),
+            ],
+        );
+        let f = min_cost_k_flow(&g, NodeId(0), NodeId(3), 1, |e| {
+            let r = g.edge(e);
+            Lex2::new(r.cost as i128, -(r.delay as i128))
+        })
+        .unwrap();
+        assert_eq!(f.weight.primary, 2);
+        assert_eq!(f.weight.secondary, -100); // picked the high-delay path
+    }
+
+    /// Brute force: enumerate all k-subsets of edges forming a k-flow.
+    fn brute_force_min(g: &DiGraph, s: NodeId, t: NodeId, k: usize) -> Option<i64> {
+        let m = g.edge_count();
+        let mut best: Option<i64> = None;
+        for mask in 0u32..(1 << m) {
+            let ids: Vec<EdgeId> = (0..m)
+                .filter(|&i| mask >> i & 1 == 1)
+                .map(|i| EdgeId(i as u32))
+                .collect();
+            let set = EdgeSet::from_edges(m, &ids);
+            if set.is_k_flow(g, s, t, k) {
+                let c = set.total_cost(g);
+                // A k-flow edge set may include cycles; with nonnegative
+                // costs dropping cycles never hurts, so the minimum over all
+                // k-flow sets equals the minimum over k path systems.
+                best = Some(best.map_or(c, |b: i64| b.min(c)));
+            }
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_matches_brute_force(
+            edges in proptest::collection::vec((0u32..6, 0u32..6, 0i64..20), 1..12),
+            k in 1usize..3,
+        ) {
+            let list: Vec<(u32, u32, i64, i64)> = edges
+                .iter()
+                .filter(|&&(u, v, _)| u != v)
+                .map(|&(u, v, c)| (u, v, c, 0))
+                .collect();
+            prop_assume!(!list.is_empty());
+            let g = DiGraph::from_edges(6, &list);
+            let (s, t) = (NodeId(0), NodeId(5));
+            let ours = min_cost_k_flow(&g, s, t, k, cost(&g));
+            let brute = brute_force_min(&g, s, t, k);
+            match (ours, brute) {
+                (None, None) => {}
+                (Some(f), Some(b)) => prop_assert_eq!(f.weight, b),
+                (a, b) => prop_assert!(false, "mismatch: ours={:?} brute={:?}", a.map(|f| f.weight), b),
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The weight abstraction shared by the path/flow algorithms.
+
+use krsp_numeric::Lex2;
+use std::ops::{Add, Neg};
+
+/// An additive, totally ordered, negatable weight.
+///
+/// Implemented for `i64` (plain instance weights), `i128` (the scalarized
+/// weights `q·c + p·d` and `ΔC·d − ΔD·c` which can exceed `i64`), and
+/// [`Lex2`] (exact lexicographic tie-breaking).
+pub trait Weight:
+    Copy + Ord + Add<Output = Self> + Neg<Output = Self> + std::fmt::Debug + Send + Sync
+{
+    /// The additive identity.
+    const ZERO: Self;
+
+    /// True iff strictly below [`Self::ZERO`].
+    fn is_negative(self) -> bool {
+        self < Self::ZERO
+    }
+
+    /// Checked addition semantics: implementations must panic on overflow
+    /// rather than wrap (the default `Add` for primitives wraps only in
+    /// release; we add explicitly checked impls below).
+    #[must_use]
+    fn add_checked(self, rhs: Self) -> Self;
+}
+
+impl Weight for i64 {
+    const ZERO: Self = 0;
+    fn add_checked(self, rhs: Self) -> Self {
+        self.checked_add(rhs).expect("i64 weight overflow")
+    }
+}
+
+impl Weight for i128 {
+    const ZERO: Self = 0;
+    fn add_checked(self, rhs: Self) -> Self {
+        self.checked_add(rhs).expect("i128 weight overflow")
+    }
+}
+
+impl Weight for Lex2 {
+    const ZERO: Self = Lex2::ZERO;
+    fn add_checked(self, rhs: Self) -> Self {
+        self + rhs // Lex2's Add is already checked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_sign() {
+        assert_eq!(<i64 as Weight>::ZERO, 0);
+        assert!(Weight::is_negative(-1i64));
+        assert!(!Weight::is_negative(0i64));
+        assert!(Weight::is_negative(Lex2::new(0, -1)));
+    }
+
+    #[test]
+    fn checked_add() {
+        assert_eq!(5i64.add_checked(7), 12);
+        assert_eq!(
+            Lex2::new(1, 2).add_checked(Lex2::new(3, 4)),
+            Lex2::new(4, 6)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let _ = i64::MAX.add_checked(1);
+    }
+}

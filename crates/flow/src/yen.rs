@@ -1,0 +1,271 @@
+//! Yen's algorithm for the K shortest loopless paths.
+//!
+//! Substrate for the `yen_disjoint` heuristic baseline: enumerate the K
+//! cheapest simple `st`-paths, then greedily pick a delay-feasible
+//! edge-disjoint subset — a strategy practitioners reach for before
+//! learning about flow-based formulations, and a useful foil in the
+//! comparison experiments.
+
+use crate::dijkstra::{dijkstra, path_to};
+use krsp_graph::{DiGraph, EdgeId, NodeId};
+
+/// A path with its total weight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedPath {
+    /// Edge sequence.
+    pub edges: Vec<EdgeId>,
+    /// Total weight under the query's weight function.
+    pub weight: i64,
+}
+
+/// Returns up to `k` cheapest *simple* `s→t` paths in nondecreasing weight
+/// order (Yen's algorithm over Dijkstra; weights must be nonnegative).
+#[must_use]
+pub fn k_shortest_paths(
+    graph: &DiGraph,
+    s: NodeId,
+    t: NodeId,
+    k: usize,
+    weight: impl Fn(EdgeId) -> i64 + Copy,
+) -> Vec<WeightedPath> {
+    assert!(s != t, "source and sink must differ");
+    let mut result: Vec<WeightedPath> = Vec::new();
+    // Candidate pool (may contain duplicates; filtered on pop).
+    let mut candidates: Vec<WeightedPath> = Vec::new();
+
+    // Any path through a banned edge/node weighs more than every real path.
+    let sentinel = graph
+        .edge_iter()
+        .map(|(id, _)| weight(id))
+        .sum::<i64>()
+        .saturating_add(1);
+    let masked_weight = |banned_edges: &std::collections::HashSet<EdgeId>,
+                         banned_nodes: &[bool],
+                         e: EdgeId|
+     -> i64 {
+        let rec = graph.edge(e);
+        if banned_edges.contains(&e)
+            || banned_nodes[rec.src.index()]
+            || banned_nodes[rec.dst.index()]
+        {
+            sentinel
+        } else {
+            weight(e)
+        }
+    };
+
+    // Shortest path.
+    let none = std::collections::HashSet::new();
+    let no_nodes = vec![false; graph.node_count()];
+    let (dist, pred) = dijkstra(graph, s, |e| masked_weight(&none, &no_nodes, e));
+    let Some(first) = path_to(graph, &dist, &pred, t) else {
+        return result;
+    };
+    let w0: i64 = first.iter().map(|&e| weight(e)).sum();
+    if w0 >= sentinel {
+        return result;
+    }
+    result.push(WeightedPath {
+        edges: first,
+        weight: w0,
+    });
+
+    while result.len() < k {
+        let prev = result.last().unwrap().edges.clone();
+        // Spur from every prefix of the previous path.
+        let mut prefix: Vec<EdgeId> = Vec::new();
+        for i in 0..prev.len() {
+            let spur_node = if i == 0 {
+                s
+            } else {
+                graph.edge(prev[i - 1]).dst
+            };
+            // Ban edges that would replicate an already-found path sharing
+            // this prefix, and ban prefix nodes (looplessness).
+            let mut banned_edges = std::collections::HashSet::new();
+            for p in &result {
+                if p.edges.len() > i && p.edges[..i] == prefix[..] {
+                    banned_edges.insert(p.edges[i]);
+                }
+            }
+            let mut banned_nodes = vec![false; graph.node_count()];
+            let mut cur = s;
+            for &e in &prefix {
+                banned_nodes[cur.index()] = true;
+                cur = graph.edge(e).dst;
+            }
+            debug_assert_eq!(cur, spur_node);
+
+            let (dist, pred) = dijkstra(graph, spur_node, |e| {
+                masked_weight(&banned_edges, &banned_nodes, e)
+            });
+            if let Some(spur) = path_to(graph, &dist, &pred, t) {
+                let spur_w: i64 = spur
+                    .iter()
+                    .map(|&e| masked_weight(&banned_edges, &banned_nodes, e))
+                    .sum();
+                if spur_w < sentinel && !spur.is_empty() {
+                    let mut total: Vec<EdgeId> = prefix.clone();
+                    total.extend_from_slice(&spur);
+                    let w: i64 = total.iter().map(|&e| weight(e)).sum();
+                    if !candidates.iter().any(|c| c.edges == total)
+                        && !result.iter().any(|r| r.edges == total)
+                    {
+                        candidates.push(WeightedPath { edges: total, weight: w });
+                    }
+                }
+            }
+            prefix.push(prev[i]);
+        }
+        // Take the lightest candidate.
+        if candidates.is_empty() {
+            break;
+        }
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.weight)
+            .map(|(i, _)| i)
+            .unwrap();
+        result.push(candidates.swap_remove(best));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cost(g: &DiGraph) -> impl Fn(EdgeId) -> i64 + Copy + '_ {
+        move |e| g.edge(e).cost
+    }
+
+    #[test]
+    fn classic_yen_example() {
+        // Well-known 6-node example (C..H renamed 0..5).
+        let g = DiGraph::from_edges(
+            6,
+            &[
+                (0, 1, 3, 0), // C→D
+                (0, 2, 2, 0), // C→E
+                (1, 3, 4, 0), // D→F
+                (2, 1, 1, 0), // E→D
+                (2, 3, 2, 0), // E→F
+                (2, 4, 3, 0), // E→G
+                (3, 4, 2, 0), // F→G
+                (3, 5, 1, 0), // F→H
+                (4, 5, 2, 0), // G→H
+            ],
+        );
+        let paths = k_shortest_paths(&g, NodeId(0), NodeId(5), 3, cost(&g));
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].weight, 5); // C-E-F-H
+        assert_eq!(paths[1].weight, 7); // C-E-G-H
+        assert_eq!(paths[2].weight, 8); // C-E-F-G-H (or C-D-F-H, both 8)
+        // Nondecreasing weights.
+        assert!(paths.windows(2).all(|w| w[0].weight <= w[1].weight));
+    }
+
+    #[test]
+    fn fewer_paths_than_requested() {
+        let g = DiGraph::from_edges(3, &[(0, 1, 1, 0), (1, 2, 1, 0)]);
+        let paths = k_shortest_paths(&g, NodeId(0), NodeId(2), 5, cost(&g));
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn disconnected_is_empty() {
+        let g = DiGraph::from_edges(3, &[(0, 1, 1, 0)]);
+        assert!(k_shortest_paths(&g, NodeId(0), NodeId(2), 3, cost(&g)).is_empty());
+    }
+
+    #[test]
+    fn paths_are_simple_and_distinct() {
+        let g = DiGraph::from_edges(
+            5,
+            &[
+                (0, 1, 1, 0),
+                (1, 4, 1, 0),
+                (0, 2, 2, 0),
+                (2, 4, 2, 0),
+                (0, 3, 3, 0),
+                (3, 4, 3, 0),
+                (1, 2, 1, 0),
+                (2, 3, 1, 0),
+            ],
+        );
+        let paths = k_shortest_paths(&g, NodeId(0), NodeId(4), 6, cost(&g));
+        assert!(paths.len() >= 4);
+        for (i, p) in paths.iter().enumerate() {
+            // Simple: no repeated nodes.
+            let mut seen = vec![false; 5];
+            let mut cur = NodeId(0);
+            seen[0] = true;
+            for &e in &p.edges {
+                assert_eq!(g.edge(e).src, cur);
+                cur = g.edge(e).dst;
+                assert!(!seen[cur.index()], "path {i} revisits a node");
+                seen[cur.index()] = true;
+            }
+            assert_eq!(cur, NodeId(4));
+            // Distinct from all others.
+            for q in &paths[i + 1..] {
+                assert_ne!(p.edges, q.edges);
+            }
+        }
+    }
+
+    /// Brute-force enumeration of all simple paths, sorted by weight.
+    fn all_paths_sorted(g: &DiGraph, s: NodeId, t: NodeId) -> Vec<i64> {
+        fn dfs(
+            g: &DiGraph,
+            cur: NodeId,
+            t: NodeId,
+            visited: &mut Vec<bool>,
+            w: i64,
+            out: &mut Vec<i64>,
+        ) {
+            if cur == t {
+                out.push(w);
+                return;
+            }
+            for &e in g.out_edges(cur) {
+                let v = g.edge(e).dst;
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    dfs(g, v, t, visited, w + g.edge(e).cost, out);
+                    visited[v.index()] = false;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        let mut visited = vec![false; g.node_count()];
+        visited[s.index()] = true;
+        dfs(g, s, t, &mut visited, 0, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_matches_exhaustive_enumeration(
+            edges in proptest::collection::vec((0u32..6, 0u32..6, 1i64..9), 1..16),
+            k in 1usize..6,
+        ) {
+            let list: Vec<_> = edges
+                .into_iter()
+                .filter(|&(u, v, _)| u != v)
+                .map(|(u, v, c)| (u, v, c, 0))
+                .collect();
+            prop_assume!(!list.is_empty());
+            let g = DiGraph::from_edges(6, &list);
+            let ours = k_shortest_paths(&g, NodeId(0), NodeId(5), k, cost(&g));
+            let brute = all_paths_sorted(&g, NodeId(0), NodeId(5));
+            let expect: Vec<i64> = brute.into_iter().take(k).collect();
+            let got: Vec<i64> = ours.iter().map(|p| p.weight).collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

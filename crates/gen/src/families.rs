@@ -1,0 +1,318 @@
+//! Topology families (DESIGN.md §6).
+
+use crate::regimes::{Regime, WeightParams};
+use krsp_graph::{DiGraph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The topology families of the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Family {
+    /// Uniform random simple digraph with `m` edges.
+    Gnm,
+    /// Directed grid with forward shortcuts (mesh/NoC fabric).
+    Grid,
+    /// Layered DAG with dense inter-layer wiring (SDN fabric).
+    Layered,
+    /// Random geometric digraph; delay tracks Euclidean distance.
+    Geometric,
+    /// Scale-free DAG via preferential attachment (Internet-AS-like skew).
+    ScaleFree,
+}
+
+impl Family {
+    /// Canonical source/sink for an `n`-node instance of this family.
+    #[must_use]
+    pub fn terminals(&self, n: usize) -> (NodeId, NodeId) {
+        (NodeId(0), NodeId((n - 1) as u32))
+    }
+
+    /// Samples a digraph with roughly `n` nodes / `m` edges.
+    pub fn sample(&self, n: usize, m: usize, regime: Regime, rng: &mut impl Rng) -> DiGraph {
+        match self {
+            Family::Gnm => gnm(n, m, regime, WeightParams::default(), rng),
+            Family::Grid => grid(isqrt(n), regime, WeightParams::default(), rng),
+            Family::Layered => {
+                let width = (n / 6).clamp(2, 8);
+                let depth = (n / width).max(2);
+                layered(depth, width, regime, WeightParams::default(), rng)
+            }
+            Family::Geometric => geometric(n, m, WeightParams::default(), rng),
+            Family::ScaleFree => {
+                let deg = (m / n.max(1)).clamp(2, 6);
+                scale_free(n, deg, regime, WeightParams::default(), rng)
+            }
+        }
+    }
+}
+
+fn isqrt(n: usize) -> usize {
+    ((n as f64).sqrt().round() as usize).max(2)
+}
+
+/// Uniform random simple digraph: `n` nodes, up to `m` distinct directed
+/// edges (no self-loops), weights from `regime`. A spine path `0→…→n−1`
+/// through a random permutation is added first so the terminals are always
+/// connected.
+pub fn gnm(
+    n: usize,
+    m: usize,
+    regime: Regime,
+    params: WeightParams,
+    rng: &mut impl Rng,
+) -> DiGraph {
+    assert!(n >= 2);
+    let mut g = DiGraph::new(n);
+    let mut present = std::collections::HashSet::<(u32, u32)>::new();
+    // Spine through a shuffled middle section.
+    let mut mid: Vec<u32> = (1..(n as u32 - 1)).collect();
+    mid.shuffle(rng);
+    let spine: Vec<u32> = std::iter::once(0)
+        .chain(mid)
+        .chain(std::iter::once(n as u32 - 1))
+        .collect();
+    for w in spine.windows(2) {
+        let (c, d) = regime.sample(params, rng);
+        g.add_edge(NodeId(w[0]), NodeId(w[1]), c, d);
+        present.insert((w[0], w[1]));
+    }
+    let mut attempts = 0;
+    while g.edge_count() < m && attempts < 20 * m {
+        attempts += 1;
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v || present.contains(&(u, v)) {
+            continue;
+        }
+        let (c, d) = regime.sample(params, rng);
+        g.add_edge(NodeId(u), NodeId(v), c, d);
+        present.insert((u, v));
+    }
+    g
+}
+
+/// `side × side` directed grid: east/south edges everywhere plus sparse
+/// diagonal shortcuts; source top-left, sink bottom-right.
+pub fn grid(side: usize, regime: Regime, params: WeightParams, rng: &mut impl Rng) -> DiGraph {
+    assert!(side >= 2);
+    let n = side * side;
+    let mut g = DiGraph::new(n);
+    let id = |r: usize, c: usize| NodeId((r * side + c) as u32);
+    for r in 0..side {
+        for c in 0..side {
+            if c + 1 < side {
+                let (w, d) = regime.sample(params, rng);
+                g.add_edge(id(r, c), id(r, c + 1), w, d);
+            }
+            if r + 1 < side {
+                let (w, d) = regime.sample(params, rng);
+                g.add_edge(id(r, c), id(r + 1, c), w, d);
+            }
+            if r + 1 < side && c + 1 < side && rng.gen_bool(0.3) {
+                let (w, d) = regime.sample(params, rng);
+                g.add_edge(id(r, c), id(r + 1, c + 1), w, d);
+            }
+        }
+    }
+    g
+}
+
+/// Layered fabric: `depth` layers of `width` nodes, source fanning into the
+/// first layer, all-to-all between consecutive layers, last layer fanning
+/// into the sink. Plus sparse skip edges.
+pub fn layered(
+    depth: usize,
+    width: usize,
+    regime: Regime,
+    params: WeightParams,
+    rng: &mut impl Rng,
+) -> DiGraph {
+    assert!(depth >= 1 && width >= 1);
+    let n = depth * width + 2;
+    let mut g = DiGraph::new(n);
+    let s = NodeId(0);
+    let t = NodeId((n - 1) as u32);
+    let id = |l: usize, j: usize| NodeId((1 + l * width + j) as u32);
+    for j in 0..width {
+        let (c, d) = regime.sample(params, rng);
+        g.add_edge(s, id(0, j), c, d);
+        let (c, d) = regime.sample(params, rng);
+        g.add_edge(id(depth - 1, j), t, c, d);
+    }
+    for l in 0..depth - 1 {
+        for a in 0..width {
+            for b in 0..width {
+                let (c, d) = regime.sample(params, rng);
+                g.add_edge(id(l, a), id(l + 1, b), c, d);
+            }
+        }
+    }
+    // Sparse skip edges two layers ahead.
+    for l in 0..depth.saturating_sub(2) {
+        for a in 0..width {
+            if rng.gen_bool(0.2) {
+                let b = rng.gen_range(0..width);
+                let (c, d) = regime.sample(params, rng);
+                g.add_edge(id(l, a), id(l + 2, b), c, d);
+            }
+        }
+    }
+    // NOTE: terminals for this family are 0 and n−1 as usual.
+    g
+}
+
+/// Scale-free digraph via preferential attachment (Barabási–Albert
+/// flavour): node `v` attaches `deg` out-edges to earlier nodes with
+/// probability proportional to their current degree, then the edges are
+/// doubled in the forward direction `small → large` index so `0 → n−1`
+/// routes exist. Internet-AS-like degree skew.
+pub fn scale_free(
+    n: usize,
+    deg: usize,
+    regime: Regime,
+    params: WeightParams,
+    rng: &mut impl Rng,
+) -> DiGraph {
+    assert!(n >= 2 && deg >= 1);
+    let mut g = DiGraph::new(n);
+    // Repeated-endpoint list ("urn") for preferential attachment.
+    let mut urn: Vec<u32> = vec![0, 1];
+    let (c, d) = regime.sample(params, rng);
+    g.add_edge(NodeId(0), NodeId(1), c, d);
+    for v in 2..n as u32 {
+        let mut chosen = std::collections::HashSet::new();
+        for _ in 0..deg.min(v as usize) {
+            let pick = urn[rng.gen_range(0..urn.len())];
+            if pick != v && chosen.insert(pick) {
+                // Forward edge from the smaller index to the larger keeps
+                // the graph s→t routable for s=0, t=n−1.
+                let (a, b) = if pick < v { (pick, v) } else { (v, pick) };
+                let (c, d) = regime.sample(params, rng);
+                g.add_edge(NodeId(a), NodeId(b), c, d);
+                urn.push(pick);
+            }
+        }
+        urn.push(v);
+    }
+    g
+}
+
+/// Random geometric digraph on the unit square: nodes at random points,
+/// edges between near pairs (both directions with independent weights);
+/// delay is the quantized Euclidean distance, cost is inverse-distance-like
+/// (long links are fast per hop but expensive — a WAN flavour).
+pub fn geometric(n: usize, m_target: usize, params: WeightParams, rng: &mut impl Rng) -> DiGraph {
+    assert!(n >= 2);
+    let mut pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    // Pin the terminals to opposite corners for long routes.
+    pts[0] = (0.02, 0.02);
+    pts[n - 1] = (0.98, 0.98);
+    // Choose a radius that roughly yields m_target directed edges.
+    let density = (m_target as f64) / (n as f64 * (n - 1) as f64);
+    let radius = (density / std::f64::consts::PI).sqrt().clamp(0.08, 1.5) * 2.0;
+    let mut g = DiGraph::new(n);
+    let maxw = params.max.max(2) as f64;
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let dx = pts[a].0 - pts[b].0;
+            let dy = pts[a].1 - pts[b].1;
+            let dist = (dx * dx + dy * dy).sqrt();
+            if dist <= radius {
+                let delay = ((dist / radius) * (maxw - 1.0)).round() as i64 + 1;
+                let cost = ((1.0 - dist / radius) * (maxw - 1.0)).round() as i64 + 1;
+                g.add_edge(NodeId(a as u32), NodeId(b as u32), cost, delay);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn rng() -> ChaCha20Rng {
+        ChaCha20Rng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn gnm_has_spine_and_size() {
+        let g = gnm(20, 60, Regime::Uniform, WeightParams::default(), &mut rng());
+        assert_eq!(g.node_count(), 20);
+        assert!(g.edge_count() >= 19); // at least the spine
+        assert!(g.edge_count() <= 60);
+        // Terminals connected via the spine.
+        assert!(krsp_flow::max_edge_disjoint_paths(&g, NodeId(0), NodeId(19)) >= 1);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(4, Regime::Correlated, WeightParams::default(), &mut rng());
+        assert_eq!(g.node_count(), 16);
+        // 2·side·(side−1) mandatory edges plus optional diagonals.
+        assert!(g.edge_count() >= 24);
+        assert!(krsp_flow::max_edge_disjoint_paths(&g, NodeId(0), NodeId(15)) >= 2);
+    }
+
+    #[test]
+    fn layered_supports_many_disjoint_paths() {
+        let g = layered(4, 3, Regime::Uniform, WeightParams::default(), &mut rng());
+        let t = NodeId((g.node_count() - 1) as u32);
+        assert_eq!(
+            krsp_flow::max_edge_disjoint_paths(&g, NodeId(0), t),
+            3 // limited by the width fan-in/out
+        );
+    }
+
+    #[test]
+    fn scale_free_has_degree_skew() {
+        let g = scale_free(120, 3, Regime::Uniform, WeightParams::default(), &mut rng());
+        assert_eq!(g.node_count(), 120);
+        assert!(g.edge_count() >= 119);
+        // Degree skew: the max total degree should far exceed the mean.
+        let mut deg = vec![0usize; 120];
+        for e in g.edges() {
+            deg[e.src.index()] += 1;
+            deg[e.dst.index()] += 1;
+        }
+        let mean = deg.iter().sum::<usize>() as f64 / 120.0;
+        let max = *deg.iter().max().unwrap() as f64;
+        assert!(max > 3.0 * mean, "max {max} vs mean {mean}");
+        // Edges all run small→large index: the graph is a DAG and 0 can
+        // reach high-index nodes.
+        assert!(g.edges().iter().all(|e| e.src.0 < e.dst.0));
+    }
+
+    #[test]
+    fn geometric_connects_corners() {
+        let g = geometric(40, 400, WeightParams::default(), &mut rng());
+        assert_eq!(g.node_count(), 40);
+        assert!(g.edge_count() > 0);
+        // All weights positive.
+        for e in g.edges() {
+            assert!(e.cost >= 1 && e.delay >= 1);
+        }
+    }
+
+    #[test]
+    fn family_sample_dispatch() {
+        for fam in [
+            Family::Gnm,
+            Family::Grid,
+            Family::Layered,
+            Family::Geometric,
+            Family::ScaleFree,
+        ] {
+            let g = fam.sample(25, 80, Regime::Anticorrelated, &mut rng());
+            assert!(g.node_count() >= 2, "{fam:?}");
+            let (s, t) = fam.terminals(g.node_count());
+            assert!(s.index() < g.node_count() && t.index() < g.node_count());
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! The parametric hard family of the paper's Figure 1.
+//!
+//! Figure 1 justifies the cost cap `|c(O)| ≤ C_OPT` in Definition 10: there
+//! are instances where ratio-admissible cycle cancellation *without* the
+//! cap walks the solution to cost `≈ C_OPT·(D+1)` while the optimum costs
+//! `C_OPT` ("the cost of the solution resulting from the algorithm could be
+//! very large when α is a small number, say α = 1/D").
+//!
+//! Construction (`k = 2`, budget `D`): a zero-cost express edge `s→t`
+//! carries the second path; the first path runs `s→a→t` where `a→t` has
+//! three parallel options:
+//!
+//! * **slow** — cost 0, delay `D+1` (the phase-1 rounding picks it: its
+//!   Lemma-5 score `α + β = (D+1)/D` beats every alternative);
+//! * **good** — cost `q`, delay `D` (the optimum: `C_OPT = q`);
+//! * **trap** — cost `q·D`, delay 0.
+//!
+//! In the residual graph the two candidate cycles are `slow→good`
+//! (ratio `−1/q`) and `slow→trap` (ratio `−(D+1)/(q·D)` — *steeper*, so a
+//! ratio-driven engine prefers it). Both pass Definition 10's ratio test;
+//! only the cost cap rejects the trap. Without the cap the output costs
+//! `q·D = D·C_OPT`; with it, `q = C_OPT`.
+
+use krsp::Instance;
+use krsp_graph::{DiGraph, NodeId};
+
+/// Builds the Figure-1-style instance for delay bound `d_bound ≥ 2` and
+/// cost unit `q ≥ 1`. `C_OPT = q`; the uncapped trap costs `q·d_bound`.
+#[must_use]
+pub fn fig1_instance(d_bound: i64, q: i64) -> Instance {
+    assert!(d_bound >= 2 && q >= 1);
+    let g = DiGraph::from_edges(
+        3,
+        &[
+            (0, 1, 0, 0),               // e0: s→a
+            (1, 2, 0, d_bound + 1),     // e1: slow
+            (1, 2, q, d_bound),         // e2: good (optimal)
+            (1, 2, q * d_bound, 0),     // e3: trap
+            (0, 2, 0, 0),               // e4: express (second path)
+        ],
+    );
+    Instance::new(g, NodeId(0), NodeId(2), 2, d_bound).expect("valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimum_is_the_good_edge() {
+        for d in [2i64, 5, 10, 40] {
+            let inst = fig1_instance(d, 3);
+            let opt = krsp::exact::brute_force(&inst).expect("feasible");
+            assert_eq!(opt.cost, 3, "D={d}");
+            assert_eq!(opt.delay, d, "D={d}");
+        }
+    }
+
+    #[test]
+    fn phase1_starts_on_the_slow_edge() {
+        let inst = fig1_instance(10, 3);
+        let p1 = krsp::phase1::run(&inst, krsp::Phase1Backend::Lagrangian).unwrap();
+        // The rounded pick is the (cost 0, delay D+1) solution: delay-
+        // infeasible, so phase 2 must run.
+        assert_eq!(p1.cost, 0);
+        assert_eq!(p1.delay, 11);
+    }
+
+    #[test]
+    fn capped_solver_finds_the_optimum() {
+        for d in [4i64, 16, 64] {
+            let inst = fig1_instance(d, 3);
+            let out = krsp::solve(&inst, &krsp::Config::default()).unwrap();
+            assert!(out.solution.delay <= d);
+            assert!(
+                out.solution.cost <= 2 * 3,
+                "D={d}: cost {} escaped the cap guarantee",
+                out.solution.cost
+            );
+        }
+    }
+
+    #[test]
+    fn trap_cycle_is_ratio_steeper() {
+        // Documented mechanism: ratio(slow→trap) < ratio(slow→good) < 0.
+        let (d, q) = (10i64, 3i64);
+        let good = (-1.0, q as f64); // Δdelay=-1, Δcost=+q
+        let trap = (-(d as f64 + 1.0), (q * d) as f64);
+        assert!(trap.0 / trap.1 < good.0 / good.1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Instance (de)serialization — JSON on disk, schema-validated on load.
+
+use krsp::Instance;
+use std::io;
+use std::path::Path;
+
+/// Writes an instance as pretty JSON.
+pub fn write_instance(path: &Path, inst: &Instance) -> io::Result<()> {
+    let data = serde_json::to_string_pretty(inst).map_err(io::Error::other)?;
+    std::fs::write(path, data)
+}
+
+/// Reads and validates an instance from JSON.
+pub fn read_instance(path: &Path) -> io::Result<Instance> {
+    let data = std::fs::read_to_string(path)?;
+    let inst: Instance = serde_json::from_str(&data).map_err(io::Error::other)?;
+    inst.validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krsp_graph::{DiGraph, NodeId};
+
+    #[test]
+    fn round_trip() {
+        let g = DiGraph::from_edges(3, &[(0, 1, 1, 2), (1, 2, 3, 4), (0, 2, 5, 6)]);
+        let inst = Instance::new(g, NodeId(0), NodeId(2), 1, 10).unwrap();
+        let dir = std::env::temp_dir().join("krsp-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.json");
+        write_instance(&path, &inst).unwrap();
+        let back = read_instance(&path).unwrap();
+        assert_eq!(back.k, 1);
+        assert_eq!(back.delay_bound, 10);
+        assert_eq!(back.graph.edges(), inst.graph.edges());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_json_rejected() {
+        let dir = std::env::temp_dir().join("krsp-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(read_instance(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,127 @@
+//! Workload generators and instance I/O for the `krsp` suite.
+//!
+//! The paper has no experimental section, so the evaluation workloads are
+//! designed here (see DESIGN.md §6): five topology families crossed with
+//! three cost/delay regimes, all seeded and deterministic, plus the
+//! parametric hard family of the paper's Figure 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod families;
+pub mod fig1;
+pub mod hardness;
+pub mod io;
+pub mod regimes;
+
+pub use families::{geometric, gnm, grid, layered, scale_free, Family};
+pub use fig1::fig1_instance;
+pub use hardness::{has_even_split, partition_chain};
+pub use io::{read_instance, write_instance};
+pub use regimes::{Regime, WeightParams};
+
+use krsp::Instance;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+/// A fully specified workload point: topology family × size × regime ×
+/// seed, plus kRSP parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    /// Topology family.
+    pub family: Family,
+    /// Target node count.
+    pub n: usize,
+    /// Target edge count (families may round).
+    pub m: usize,
+    /// Cost/delay regime.
+    pub regime: Regime,
+    /// Number of disjoint paths.
+    pub k: usize,
+    /// Delay-budget tightness ∈ (0, 1]: `D = D_min + t·(D_relax − D_min)`
+    /// where `D_min` is the minimum achievable total delay and `D_relax`
+    /// the delay of the min-cost solution.
+    pub tightness: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Instantiates the workload deterministically; returns `None` when the
+    /// sampled topology cannot host `k` disjoint paths (caller retries with
+    /// another seed) or the tightness interval is degenerate.
+    #[must_use]
+    pub fn instantiate(&self) -> Option<Instance> {
+        let mut rng = ChaCha20Rng::seed_from_u64(self.seed);
+        let graph = self.family.sample(self.n, self.m, self.regime, &mut rng);
+        // Families may round the node count (grids, layers); terminals are
+        // defined on the actual graph.
+        let (s, t) = self.family.terminals(graph.node_count());
+        // Budget selection needs the two delay extremes.
+        let probe = Instance::new(graph, s, t, self.k, i64::MAX / 4).ok()?;
+        let dmin = krsp::baselines::min_delay(&probe)?.delay;
+        let drelax = krsp::baselines::min_sum(&probe)?.delay;
+        let hi = drelax.max(dmin);
+        let d = dmin + ((hi - dmin) as f64 * self.tightness).round() as i64;
+        Instance::new(probe.graph, s, t, self.k, d.max(dmin)).ok()
+    }
+}
+
+/// Convenience: sample until a feasible instance appears (bounded retries).
+#[must_use]
+pub fn instantiate_with_retries(mut w: Workload, max_retries: u64) -> Option<Instance> {
+    for bump in 0..max_retries {
+        w.seed = w.seed.wrapping_add(bump);
+        if let Some(inst) = w.instantiate() {
+            return Some(inst);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic() {
+        let w = Workload {
+            family: Family::Gnm,
+            n: 24,
+            m: 96,
+            regime: Regime::Anticorrelated,
+            k: 2,
+            tightness: 0.5,
+            seed: 7,
+        };
+        let a = w.instantiate();
+        let b = w.instantiate();
+        match (a, b) {
+            (Some(x), Some(y)) => {
+                assert_eq!(x.delay_bound, y.delay_bound);
+                assert_eq!(x.graph.edge_count(), y.graph.edge_count());
+                assert_eq!(x.graph.edges(), y.graph.edges());
+            }
+            (None, None) => {}
+            _ => panic!("nondeterministic instantiation"),
+        }
+    }
+
+    #[test]
+    fn retries_find_a_feasible_instance() {
+        let w = Workload {
+            family: Family::Gnm,
+            n: 20,
+            m: 80,
+            regime: Regime::Uniform,
+            k: 2,
+            tightness: 0.4,
+            seed: 1,
+        };
+        let inst = instantiate_with_retries(w, 20).expect("some seed works");
+        assert!(inst.is_structurally_feasible());
+        // Budget is sandwiched between the extremes by construction.
+        let dmin = krsp::baselines::min_delay(&inst).unwrap().delay;
+        assert!(inst.delay_bound >= dmin);
+    }
+}

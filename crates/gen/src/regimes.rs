@@ -1,0 +1,109 @@
+//! Cost/delay weight regimes.
+//!
+//! QoS-routing evaluations classically distinguish how cost and delay
+//! co-vary: independent weights are easy; *anticorrelated* weights (fast
+//! links are expensive) concentrate the hard trade-offs and are the
+//! adversarial regime for RSP-style algorithms.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Joint distribution of `(cost, delay)` per edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Regime {
+    /// Independent uniform draws.
+    Uniform,
+    /// `delay ≈ cost + noise` — cheap links are also fast.
+    Correlated,
+    /// `delay ≈ max − cost + noise` — cheap links are slow (adversarial).
+    Anticorrelated,
+}
+
+/// Weight ranges for the regimes.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WeightParams {
+    /// Inclusive maximum weight (minimum is 1).
+    pub max: i64,
+    /// Half-width of the additive noise for the (anti)correlated regimes.
+    pub noise: i64,
+}
+
+impl Default for WeightParams {
+    fn default() -> Self {
+        WeightParams { max: 20, noise: 3 }
+    }
+}
+
+impl Regime {
+    /// Samples one `(cost, delay)` pair.
+    pub fn sample(self, params: WeightParams, rng: &mut impl Rng) -> (i64, i64) {
+        let max = params.max.max(1);
+        let cost = rng.gen_range(1..=max);
+        let jitter = |rng: &mut dyn rand::RngCore| -> i64 {
+            if params.noise == 0 {
+                0
+            } else {
+                rand::Rng::gen_range(rng, -params.noise..=params.noise)
+            }
+        };
+        let delay = match self {
+            Regime::Uniform => rng.gen_range(1..=max),
+            Regime::Correlated => (cost + jitter(rng)).clamp(1, max),
+            Regime::Anticorrelated => (max + 1 - cost + jitter(rng)).clamp(1, max),
+        };
+        (cost, delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn corr(regime: Regime) -> f64 {
+        let mut rng = ChaCha20Rng::seed_from_u64(42);
+        let p = WeightParams { max: 50, noise: 2 };
+        let samples: Vec<(f64, f64)> = (0..4000)
+            .map(|_| {
+                let (c, d) = regime.sample(p, &mut rng);
+                (c as f64, d as f64)
+            })
+            .collect();
+        let n = samples.len() as f64;
+        let (mc, md) = (
+            samples.iter().map(|s| s.0).sum::<f64>() / n,
+            samples.iter().map(|s| s.1).sum::<f64>() / n,
+        );
+        let cov = samples
+            .iter()
+            .map(|s| (s.0 - mc) * (s.1 - md))
+            .sum::<f64>()
+            / n;
+        let (vc, vd) = (
+            samples.iter().map(|s| (s.0 - mc).powi(2)).sum::<f64>() / n,
+            samples.iter().map(|s| (s.1 - md).powi(2)).sum::<f64>() / n,
+        );
+        cov / (vc.sqrt() * vd.sqrt())
+    }
+
+    #[test]
+    fn regimes_have_expected_correlation_signs() {
+        assert!(corr(Regime::Uniform).abs() < 0.1);
+        assert!(corr(Regime::Correlated) > 0.9);
+        assert!(corr(Regime::Anticorrelated) < -0.9);
+    }
+
+    #[test]
+    fn weights_stay_in_range() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let p = WeightParams { max: 10, noise: 5 };
+        for regime in [Regime::Uniform, Regime::Correlated, Regime::Anticorrelated] {
+            for _ in 0..500 {
+                let (c, d) = regime.sample(p, &mut rng);
+                assert!((1..=10).contains(&c));
+                assert!((1..=10).contains(&d));
+            }
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Compact adjacency-list digraph with parallel-edge support.
+
+use crate::{Cost, Delay};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node, dense in `0..graph.node_count()`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an edge, dense in `0..graph.edge_count()`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The node index as a `usize` (for direct array indexing).
+    #[inline]
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The edge index as a `usize` (for direct array indexing).
+    #[inline]
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One stored edge: endpoints plus the two QoS attributes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeRef {
+    /// Tail (source endpoint).
+    pub src: NodeId,
+    /// Head (target endpoint).
+    pub dst: NodeId,
+    /// Edge cost `c(e)`.
+    pub cost: Cost,
+    /// Edge delay `d(e)`.
+    pub delay: Delay,
+}
+
+/// A directed multigraph with per-edge cost and delay.
+///
+/// Nodes are dense integers; edges keep insertion order and may be parallel
+/// (same endpoints) or self-loops — both arise in residual constructions.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DiGraph {
+    edges: Vec<EdgeRef>,
+    out: Vec<Vec<EdgeId>>,
+    inn: Vec<Vec<EdgeId>>,
+}
+
+impl DiGraph {
+    /// Creates an empty graph with `n` nodes and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            edges: Vec::new(),
+            out: vec![Vec::new(); n],
+            inn: vec![Vec::new(); n],
+        }
+    }
+
+    /// Builds a graph from `(src, dst, cost, delay)` tuples over `n` nodes.
+    #[must_use]
+    pub fn from_edges(n: usize, list: &[(u32, u32, Cost, Delay)]) -> Self {
+        let mut g = DiGraph::new(n);
+        for &(u, v, c, d) in list {
+            g.add_edge(NodeId(u), NodeId(v), c, d);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Appends a fresh node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.out.push(Vec::new());
+        self.inn.push(Vec::new());
+        NodeId((self.out.len() - 1) as u32)
+    }
+
+    /// Appends a directed edge `src → dst` and returns its id.
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, cost: Cost, delay: Delay) -> EdgeId {
+        assert!(
+            src.index() < self.node_count() && dst.index() < self.node_count(),
+            "edge endpoint out of range"
+        );
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeRef {
+            src,
+            dst,
+            cost,
+            delay,
+        });
+        self.out[src.index()].push(id);
+        self.inn[dst.index()].push(id);
+        id
+    }
+
+    /// The stored record of edge `e`.
+    #[inline]
+    #[must_use]
+    pub fn edge(&self, e: EdgeId) -> EdgeRef {
+        self.edges[e.index()]
+    }
+
+    /// All edges in id order.
+    #[inline]
+    #[must_use]
+    pub fn edges(&self) -> &[EdgeRef] {
+        &self.edges
+    }
+
+    /// Outgoing edge ids of `v` (insertion order).
+    #[inline]
+    #[must_use]
+    pub fn out_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.out[v.index()]
+    }
+
+    /// Incoming edge ids of `v` (insertion order).
+    #[inline]
+    #[must_use]
+    pub fn in_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.inn[v.index()]
+    }
+
+    /// Iterator over `(EdgeId, EdgeRef)` pairs.
+    pub fn edge_iter(&self) -> impl Iterator<Item = (EdgeId, EdgeRef)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (EdgeId(i as u32), e))
+    }
+
+    /// Iterator over node ids.
+    pub fn node_iter(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Sum of all edge costs (`Σ c(e)` in the paper's complexity bounds).
+    #[must_use]
+    pub fn total_cost(&self) -> Cost {
+        self.edges.iter().map(|e| e.cost).sum()
+    }
+
+    /// Sum of all edge delays (`Σ d(e)`).
+    #[must_use]
+    pub fn total_delay(&self) -> Delay {
+        self.edges.iter().map(|e| e.delay).sum()
+    }
+
+    /// The graph with every edge reversed (attributes unchanged).
+    #[must_use]
+    pub fn reversed(&self) -> DiGraph {
+        let mut g = DiGraph::new(self.node_count());
+        for e in &self.edges {
+            g.add_edge(e.dst, e.src, e.cost, e.delay);
+        }
+        g
+    }
+
+    /// A copy with weights transformed by `f(cost, delay) -> (cost, delay)`.
+    #[must_use]
+    pub fn map_weights(&self, mut f: impl FnMut(Cost, Delay) -> (Cost, Delay)) -> DiGraph {
+        let mut g = DiGraph::new(self.node_count());
+        for e in &self.edges {
+            let (c, d) = f(e.cost, e.delay);
+            g.add_edge(e.src, e.dst, c, d);
+        }
+        g
+    }
+
+    /// Graphviz DOT rendering (costs/delays as `c,d` labels), for debugging
+    /// and for the examples' output.
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::from("digraph G {\n");
+        for (id, e) in self.edge_iter() {
+            let _ = writeln!(
+                s,
+                "  {} -> {} [label=\"e{}: c={},d={}\"];",
+                e.src.0, e.dst.0, id.0, e.cost, e.delay
+            );
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, plus a parallel 0 -> 1.
+        DiGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1, 2),
+                (1, 3, 3, 4),
+                (0, 2, 5, 6),
+                (2, 3, 7, 8),
+                (0, 1, 9, 10),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 5);
+        let e = g.edge(EdgeId(1));
+        assert_eq!((e.src, e.dst, e.cost, e.delay), (NodeId(1), NodeId(3), 3, 4));
+    }
+
+    #[test]
+    fn adjacency_includes_parallel_edges() {
+        let g = diamond();
+        assert_eq!(g.out_edges(NodeId(0)), &[EdgeId(0), EdgeId(2), EdgeId(4)]);
+        assert_eq!(g.in_edges(NodeId(1)), &[EdgeId(0), EdgeId(4)]);
+        assert_eq!(g.in_edges(NodeId(3)), &[EdgeId(1), EdgeId(3)]);
+        assert!(g.out_edges(NodeId(3)).is_empty());
+    }
+
+    #[test]
+    fn add_node_grows() {
+        let mut g = diamond();
+        let v = g.add_node();
+        assert_eq!(v, NodeId(4));
+        assert_eq!(g.node_count(), 5);
+        g.add_edge(v, NodeId(0), 1, 1);
+        assert_eq!(g.out_edges(v), &[EdgeId(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_endpoint_panics() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(NodeId(0), NodeId(2), 1, 1);
+    }
+
+    #[test]
+    fn totals() {
+        let g = diamond();
+        assert_eq!(g.total_cost(), 25);
+        assert_eq!(g.total_delay(), 30);
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let g = diamond().reversed();
+        let e = g.edge(EdgeId(0));
+        assert_eq!((e.src, e.dst), (NodeId(1), NodeId(0)));
+        assert_eq!(g.out_edges(NodeId(3)), &[EdgeId(1), EdgeId(3)]);
+    }
+
+    #[test]
+    fn map_weights_transforms() {
+        let g = diamond().map_weights(|c, d| (c * 2, d + 1));
+        assert_eq!(g.edge(EdgeId(0)).cost, 2);
+        assert_eq!(g.edge(EdgeId(0)).delay, 3);
+        assert_eq!(g.total_cost(), 50);
+    }
+
+    #[test]
+    fn dot_contains_edges() {
+        let dot = diamond().to_dot();
+        assert!(dot.contains("0 -> 1"));
+        assert!(dot.contains("c=7,d=8"));
+    }
+
+    #[test]
+    fn self_loop_allowed() {
+        let mut g = DiGraph::new(1);
+        let e = g.add_edge(NodeId(0), NodeId(0), 1, 1);
+        assert_eq!(g.out_edges(NodeId(0)), &[e]);
+        assert_eq!(g.in_edges(NodeId(0)), &[e]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Dense edge-membership sets.
+//!
+//! A kRSP solution is a set of edges forming `k` edge-disjoint `st`-paths —
+//! equivalently a unit-capacity integral `st`-flow of value `k`
+//! (Proposition 7). [`EdgeSet`] is the canonical representation used across
+//! the suite; paths are recovered on demand via flow decomposition.
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+use crate::{Cost, Delay};
+use serde::{Deserialize, Serialize};
+
+/// A subset of a graph's edges, stored densely as a bit vector.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeSet {
+    bits: Vec<u64>,
+    len: usize,
+    count: usize,
+}
+
+impl EdgeSet {
+    /// Empty set sized for `graph` (capacity = current edge count).
+    #[must_use]
+    pub fn new(graph: &DiGraph) -> Self {
+        Self::with_capacity(graph.edge_count())
+    }
+
+    /// Empty set with room for `len` edges.
+    #[must_use]
+    pub fn with_capacity(len: usize) -> Self {
+        EdgeSet {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+            count: 0,
+        }
+    }
+
+    /// Builds a set from explicit edge ids.
+    #[must_use]
+    pub fn from_edges(len: usize, edges: &[EdgeId]) -> Self {
+        let mut s = Self::with_capacity(len);
+        for &e in edges {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// Capacity (number of edge slots, = graph edge count at creation).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Number of member edges.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// True iff the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Membership test.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, e: EdgeId) -> bool {
+        let i = e.index();
+        debug_assert!(i < self.len, "edge id out of range for EdgeSet");
+        self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Inserts `e`; returns true if it was absent.
+    pub fn insert(&mut self, e: EdgeId) -> bool {
+        let i = e.index();
+        assert!(i < self.len, "edge id out of range for EdgeSet");
+        let (w, b) = (i / 64, i % 64);
+        let was = self.bits[w] >> b & 1 == 1;
+        if !was {
+            self.bits[w] |= 1 << b;
+            self.count += 1;
+        }
+        !was
+    }
+
+    /// Removes `e`; returns true if it was present.
+    pub fn remove(&mut self, e: EdgeId) -> bool {
+        let i = e.index();
+        assert!(i < self.len, "edge id out of range for EdgeSet");
+        let (w, b) = (i / 64, i % 64);
+        let was = self.bits[w] >> b & 1 == 1;
+        if was {
+            self.bits[w] &= !(1 << b);
+            self.count -= 1;
+        }
+        was
+    }
+
+    /// Flips membership of `e` (the elementary `⊕` step).
+    pub fn toggle(&mut self, e: EdgeId) {
+        if !self.insert(e) {
+            self.remove(e);
+        }
+    }
+
+    /// Iterator over member edge ids in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &word)| {
+            let mut word = word;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    None
+                } else {
+                    let b = word.trailing_zeros();
+                    word &= word - 1;
+                    Some(EdgeId((w * 64) as u32 + b))
+                }
+            })
+        })
+    }
+
+    /// Total cost of the member edges in `graph`.
+    #[must_use]
+    pub fn total_cost(&self, graph: &DiGraph) -> Cost {
+        self.iter().map(|e| graph.edge(e).cost).sum()
+    }
+
+    /// Total delay of the member edges in `graph`.
+    #[must_use]
+    pub fn total_delay(&self, graph: &DiGraph) -> Delay {
+        self.iter().map(|e| graph.edge(e).delay).sum()
+    }
+
+    /// Net out-degree (out − in) of `v` within the set — the flow-excess
+    /// check behind Propositions 7/8.
+    #[must_use]
+    pub fn excess(&self, graph: &DiGraph, v: NodeId) -> i64 {
+        let outd = graph
+            .out_edges(v)
+            .iter()
+            .filter(|&&e| self.contains(e))
+            .count() as i64;
+        let ind = graph
+            .in_edges(v)
+            .iter()
+            .filter(|&&e| self.contains(e))
+            .count() as i64;
+        outd - ind
+    }
+
+    /// Verifies that the set is a unit-capacity integral `st`-flow of value
+    /// `k`: excess `+k` at `s`, `−k` at `t`, `0` elsewhere.
+    #[must_use]
+    pub fn is_k_flow(&self, graph: &DiGraph, s: NodeId, t: NodeId, k: usize) -> bool {
+        graph.node_iter().all(|v| {
+            let want = if v == s {
+                k as i64
+            } else if v == t {
+                -(k as i64)
+            } else {
+                0
+            };
+            self.excess(graph, v) == want
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn g() -> DiGraph {
+        DiGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1, 1),
+                (1, 3, 1, 1),
+                (0, 2, 1, 1),
+                (2, 3, 1, 1),
+                (0, 3, 1, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn insert_remove_toggle() {
+        let graph = g();
+        let mut s = EdgeSet::new(&graph);
+        assert!(s.insert(EdgeId(0)));
+        assert!(!s.insert(EdgeId(0)));
+        assert!(s.contains(EdgeId(0)));
+        assert_eq!(s.count(), 1);
+        assert!(s.remove(EdgeId(0)));
+        assert!(!s.remove(EdgeId(0)));
+        assert!(s.is_empty());
+        s.toggle(EdgeId(3));
+        assert!(s.contains(EdgeId(3)));
+        s.toggle(EdgeId(3));
+        assert!(!s.contains(EdgeId(3)));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let graph = g();
+        let s = EdgeSet::from_edges(graph.edge_count(), &[EdgeId(4), EdgeId(1), EdgeId(0)]);
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(got, vec![EdgeId(0), EdgeId(1), EdgeId(4)]);
+    }
+
+    #[test]
+    fn totals() {
+        let graph = g();
+        let s = EdgeSet::from_edges(graph.edge_count(), &[EdgeId(0), EdgeId(1)]);
+        assert_eq!(s.total_cost(&graph), 2);
+        assert_eq!(s.total_delay(&graph), 2);
+    }
+
+    #[test]
+    fn k_flow_check() {
+        let graph = g();
+        // Two disjoint paths 0-1-3 and 0-2-3.
+        let s = EdgeSet::from_edges(
+            graph.edge_count(),
+            &[EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)],
+        );
+        assert!(s.is_k_flow(&graph, NodeId(0), NodeId(3), 2));
+        assert!(!s.is_k_flow(&graph, NodeId(0), NodeId(3), 1));
+        // Drop one edge: conservation broken.
+        let s = EdgeSet::from_edges(graph.edge_count(), &[EdgeId(0), EdgeId(1), EdgeId(2)]);
+        assert!(!s.is_k_flow(&graph, NodeId(0), NodeId(3), 2));
+    }
+
+    #[test]
+    fn excess() {
+        let graph = g();
+        let s = EdgeSet::from_edges(graph.edge_count(), &[EdgeId(0)]);
+        assert_eq!(s.excess(&graph, NodeId(0)), 1);
+        assert_eq!(s.excess(&graph, NodeId(1)), -1);
+        assert_eq!(s.excess(&graph, NodeId(2)), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_count_matches_iter(ids in proptest::collection::vec(0u32..200, 0..100)) {
+            let mut s = EdgeSet::with_capacity(200);
+            for &i in &ids { s.insert(EdgeId(i)); }
+            prop_assert_eq!(s.count(), s.iter().count());
+            let mut sorted: Vec<u32> = ids.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let got: Vec<u32> = s.iter().map(|e| e.0).collect();
+            prop_assert_eq!(got, sorted);
+        }
+
+        #[test]
+        fn prop_toggle_twice_identity(ids in proptest::collection::vec(0u32..64, 0..20)) {
+            let mut s = EdgeSet::with_capacity(64);
+            for &i in &ids { s.insert(EdgeId(i)); }
+            let before = s.clone();
+            s.toggle(EdgeId(5));
+            s.toggle(EdgeId(5));
+            prop_assert_eq!(before, s);
+        }
+    }
+}

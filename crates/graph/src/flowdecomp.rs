@@ -1,0 +1,274 @@
+//! Flow decomposition: an [`EdgeSet`] that is a unit `st`-flow of value `k`
+//! decomposes into `k` edge-disjoint simple `st`-paths plus a set of simple
+//! cycles (the classical result behind Propositions 7/8).
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+use crate::edgeset::EdgeSet;
+use crate::path::{Cycle, Path};
+use std::fmt;
+
+/// Result of decomposing a flow edge set.
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    /// `k` edge-disjoint simple `st`-paths.
+    pub paths: Vec<Path>,
+    /// Remaining flow mass: edge-disjoint simple cycles.
+    pub cycles: Vec<Cycle>,
+}
+
+impl Decomposition {
+    /// Total cost over paths only.
+    #[must_use]
+    pub fn path_cost(&self) -> i64 {
+        self.paths.iter().map(Path::cost).sum()
+    }
+
+    /// Total delay over paths only.
+    #[must_use]
+    pub fn path_delay(&self) -> i64 {
+        self.paths.iter().map(Path::delay).sum()
+    }
+}
+
+/// Why a set failed to decompose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowError {
+    /// Some node's excess does not match a `k`-flow from `s` to `t`.
+    NotAFlow,
+    /// Walk extraction got stuck (impossible for valid flows; indicates
+    /// corrupted inputs).
+    Stuck,
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::NotAFlow => write!(f, "edge set is not an st-flow of value k"),
+            FlowError::Stuck => write!(f, "flow walk extraction stuck"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Decomposes `set` (a `k`-unit `st`-flow in `graph`) into `k` simple paths
+/// and simple cycles. The returned edge lists partition `set` exactly.
+pub fn decompose(
+    graph: &DiGraph,
+    set: &EdgeSet,
+    s: NodeId,
+    t: NodeId,
+    k: usize,
+) -> Result<Decomposition, FlowError> {
+    if !set.is_k_flow(graph, s, t, k) {
+        return Err(FlowError::NotAFlow);
+    }
+    // Per-node stack of unused member out-edges.
+    let mut avail: Vec<Vec<EdgeId>> = vec![Vec::new(); graph.node_count()];
+    for e in set.iter() {
+        avail[graph.edge(e).src.index()].push(e);
+    }
+
+    let mut paths = Vec::with_capacity(k);
+    let mut cycles = Vec::new();
+    for _ in 0..k {
+        let walk = extract_walk(graph, &mut avail, s, t)?;
+        let (path_edges, loop_cycles) = simplify_walk(graph, &walk);
+        for c in loop_cycles {
+            cycles.push(Cycle::new(graph, c).expect("peeled loop is a cycle"));
+        }
+        paths.push(Path::new(graph, path_edges).expect("simplified walk is a path"));
+    }
+
+    // Remaining edges form circulations; peel simple cycles.
+    for v in graph.node_iter() {
+        while !avail[v.index()].is_empty() {
+            let walk = extract_walk(graph, &mut avail, v, v)?;
+            for c in crate::walk::split_closed_walk(graph, &walk) {
+                cycles.push(Cycle::new(graph, c).expect("split produced a cycle"));
+            }
+        }
+    }
+    Ok(Decomposition { paths, cycles })
+}
+
+/// Follows unused member edges from `from` until reaching `to`, consuming
+/// them. For `from == to` this returns the first closed walk back to `from`.
+/// Conservation guarantees the walk can only terminate at `to`.
+fn extract_walk(
+    graph: &DiGraph,
+    avail: &mut [Vec<EdgeId>],
+    from: NodeId,
+    to: NodeId,
+) -> Result<Vec<EdgeId>, FlowError> {
+    let mut walk = Vec::new();
+    let mut cur = from;
+    loop {
+        let Some(e) = avail[cur.index()].pop() else {
+            return Err(FlowError::Stuck);
+        };
+        walk.push(e);
+        cur = graph.edge(e).dst;
+        if cur == to {
+            return Ok(walk);
+        }
+    }
+}
+
+/// Splits an `s→t` walk into a *simple* path plus the simple cycles that
+/// were embedded in it (loops are peeled where a node repeats).
+fn simplify_walk(graph: &DiGraph, walk: &[EdgeId]) -> (Vec<EdgeId>, Vec<Vec<EdgeId>>) {
+    let start = graph.edge(walk[0]).src;
+    let mut cycles = Vec::new();
+    let mut stack_nodes: Vec<NodeId> = vec![start];
+    let mut stack_edges: Vec<EdgeId> = Vec::new();
+    let mut pos = vec![usize::MAX; graph.node_count()];
+    pos[start.index()] = 0;
+
+    for &e in walk {
+        let rec = graph.edge(e);
+        debug_assert_eq!(rec.src, *stack_nodes.last().unwrap(), "walk not contiguous");
+        stack_edges.push(e);
+        let v = rec.dst;
+        if pos[v.index()] != usize::MAX {
+            let at = pos[v.index()];
+            let cycle: Vec<EdgeId> = stack_edges.drain(at..).collect();
+            for popped in stack_nodes.drain(at + 1..) {
+                pos[popped.index()] = usize::MAX;
+            }
+            cycles.push(cycle);
+        } else {
+            pos[v.index()] = stack_nodes.len();
+            stack_nodes.push(v);
+        }
+    }
+    (stack_edges, cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn two_disjoint_paths() {
+        let g = DiGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1, 1),
+                (1, 3, 1, 1),
+                (0, 2, 2, 2),
+                (2, 3, 2, 2),
+            ],
+        );
+        let set = EdgeSet::from_edges(4, &[EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)]);
+        let d = decompose(&g, &set, NodeId(0), NodeId(3), 2).unwrap();
+        assert_eq!(d.paths.len(), 2);
+        assert!(d.cycles.is_empty());
+        assert_eq!(d.path_cost(), 6);
+        assert_eq!(d.path_delay(), 6);
+        for p in &d.paths {
+            assert!(p.is_simple(&g));
+            assert_eq!(p.source(), NodeId(0));
+            assert_eq!(p.target(), NodeId(3));
+        }
+    }
+
+    #[test]
+    fn path_plus_disjoint_cycle() {
+        // Path 0→3 plus a circulation 1→2→1 not touching it.
+        let g = DiGraph::from_edges(
+            4,
+            &[(0, 3, 1, 1), (1, 2, 1, 1), (2, 1, 1, 1)],
+        );
+        let set = EdgeSet::from_edges(3, &[EdgeId(0), EdgeId(1), EdgeId(2)]);
+        let d = decompose(&g, &set, NodeId(0), NodeId(3), 1).unwrap();
+        assert_eq!(d.paths.len(), 1);
+        assert_eq!(d.cycles.len(), 1);
+        assert_eq!(d.cycles[0].len(), 2);
+    }
+
+    #[test]
+    fn walk_with_embedded_loop_is_simplified() {
+        // Only flow: 0→1→2→1→3 ... realized as edges (0,1),(1,2),(2,1),(1,3).
+        let g = DiGraph::from_edges(
+            4,
+            &[(0, 1, 1, 1), (1, 2, 1, 1), (2, 1, 1, 1), (1, 3, 1, 1)],
+        );
+        let set = EdgeSet::from_edges(4, &[EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)]);
+        let d = decompose(&g, &set, NodeId(0), NodeId(3), 1).unwrap();
+        assert_eq!(d.paths.len(), 1);
+        assert!(d.paths[0].is_simple(&g));
+        // The 1→2→1 loop ends up as a cycle (either peeled from the walk or
+        // extracted as leftover circulation).
+        assert_eq!(d.cycles.len(), 1);
+        let total_edges = d.paths[0].len() + d.cycles.iter().map(Cycle::len).sum::<usize>();
+        assert_eq!(total_edges, 4);
+    }
+
+    #[test]
+    fn rejects_non_flows() {
+        let g = DiGraph::from_edges(3, &[(0, 1, 1, 1), (1, 2, 1, 1)]);
+        let set = EdgeSet::from_edges(2, &[EdgeId(0)]);
+        assert_eq!(
+            decompose(&g, &set, NodeId(0), NodeId(2), 1).unwrap_err(),
+            FlowError::NotAFlow
+        );
+    }
+
+    #[test]
+    fn parallel_edges_decompose() {
+        let g = DiGraph::from_edges(2, &[(0, 1, 1, 1), (0, 1, 2, 2)]);
+        let set = EdgeSet::from_edges(2, &[EdgeId(0), EdgeId(1)]);
+        let d = decompose(&g, &set, NodeId(0), NodeId(1), 2).unwrap();
+        assert_eq!(d.paths.len(), 2);
+        assert_eq!(d.path_cost(), 3);
+    }
+
+    /// Builds a random layered graph, installs k disjoint paths by
+    /// construction, and checks decomposition recovers a valid partition.
+    fn layered_k_flow(k: usize, layers: usize) -> (DiGraph, EdgeSet, NodeId, NodeId) {
+        // Nodes: s=0, t=1, then layers×k inner nodes.
+        let n = 2 + layers * k;
+        let mut g = DiGraph::new(n);
+        let id = |l: usize, j: usize| NodeId((2 + l * k + j) as u32);
+        let mut member = Vec::new();
+        for j in 0..k {
+            member.push(g.add_edge(NodeId(0), id(0, j), 1, 1));
+            for l in 0..layers - 1 {
+                member.push(g.add_edge(id(l, j), id(l + 1, j), 1, 1));
+            }
+            member.push(g.add_edge(id(layers - 1, j), NodeId(1), 1, 1));
+        }
+        // Distracting extra edges not in the set.
+        for l in 0..layers - 1 {
+            for j in 0..k {
+                g.add_edge(id(l, j), id(l + 1, (j + 1) % k), 9, 9);
+            }
+        }
+        let set = EdgeSet::from_edges(g.edge_count(), &member);
+        (g, set, NodeId(0), NodeId(1))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_layered_flows_decompose(k in 1usize..5, layers in 1usize..5) {
+            let (g, set, s, t) = layered_k_flow(k, layers);
+            let d = decompose(&g, &set, s, t, k).unwrap();
+            prop_assert_eq!(d.paths.len(), k);
+            prop_assert!(d.cycles.is_empty());
+            // Edge partition is exact.
+            let mut got: Vec<EdgeId> = d.paths.iter().flat_map(|p| p.edges().to_vec()).collect();
+            got.sort_unstable();
+            let mut want: Vec<EdgeId> = set.iter().collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+            // Paths are edge-disjoint and simple s→t paths.
+            for p in &d.paths {
+                prop_assert!(p.is_simple(&g));
+                prop_assert_eq!(p.source(), s);
+                prop_assert_eq!(p.target(), t);
+            }
+        }
+    }
+}

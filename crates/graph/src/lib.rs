@@ -1,0 +1,43 @@
+//! Directed multigraph substrate for the `krsp` suite.
+//!
+//! The paper works with digraphs carrying two nonnegative integral edge
+//! attributes (cost `c`, delay `d`), with *residual* graphs (Definition 6)
+//! that reverse solution edges and negate both attributes — producing
+//! multigraphs with negative weights — and with the symmetric-difference
+//! operation `⊕` (Section 2.1) used by cycle cancellation.
+//!
+//! Everything here is built from scratch (no external graph crate):
+//!
+//! * [`DiGraph`] — compact adjacency-list digraph with parallel-edge support.
+//! * [`Path`] / [`Cycle`] — validated edge sequences with cost/delay sums.
+//! * [`EdgeSet`] — dense edge membership sets representing solutions (unit
+//!   `st`-flows of value `k`).
+//! * [`residual::ResidualGraph`] — Definition 6, plus `⊕` application.
+//! * [`decompose`] — flow decomposition of an [`EdgeSet`] into `k` disjoint
+//!   `st`-paths plus cycles (Propositions 7/8 machinery).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digraph;
+pub mod edgeset;
+pub mod flowdecomp;
+pub mod path;
+pub mod residual;
+pub mod scc;
+pub mod walk;
+
+pub use digraph::{DiGraph, EdgeId, EdgeRef, NodeId};
+pub use edgeset::EdgeSet;
+pub use flowdecomp::{decompose, Decomposition, FlowError};
+pub use path::{Cycle, Path};
+pub use residual::{ResEdge, ResidualGraph};
+pub use scc::{tarjan_scc, SccPartition};
+pub use walk::split_closed_walk;
+
+/// Edge cost type. Costs in instances are nonnegative; residual graphs and
+/// intermediate sums may be negative, hence signed.
+pub type Cost = i64;
+
+/// Edge delay type (same signedness rationale as [`Cost`]).
+pub type Delay = i64;

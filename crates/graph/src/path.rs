@@ -1,0 +1,233 @@
+//! Validated paths and cycles over a [`DiGraph`].
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+use crate::{Cost, Delay};
+use serde::{Deserialize, Serialize};
+
+/// A directed path: a nonempty sequence of edges where consecutive edges
+/// share endpoints (`dst` of one = `src` of the next).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    edges: Vec<EdgeId>,
+    src: NodeId,
+    dst: NodeId,
+    cost: Cost,
+    delay: Delay,
+}
+
+impl Path {
+    /// Builds a path from an edge sequence, validating connectivity.
+    ///
+    /// Returns `None` if the sequence is empty or not contiguous.
+    #[must_use]
+    pub fn new(graph: &DiGraph, edges: Vec<EdgeId>) -> Option<Self> {
+        let first = *edges.first()?;
+        let mut cur = graph.edge(first).src;
+        let mut cost = 0;
+        let mut delay = 0;
+        for &e in &edges {
+            let r = graph.edge(e);
+            if r.src != cur {
+                return None;
+            }
+            cur = r.dst;
+            cost += r.cost;
+            delay += r.delay;
+        }
+        Some(Path {
+            src: graph.edge(first).src,
+            dst: cur,
+            edges,
+            cost,
+            delay,
+        })
+    }
+
+    /// The edge ids, in order.
+    #[must_use]
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// First node on the path.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.src
+    }
+
+    /// Last node on the path.
+    #[must_use]
+    pub fn target(&self) -> NodeId {
+        self.dst
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Always false (paths are nonempty by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total cost `c(P)`.
+    #[must_use]
+    pub fn cost(&self) -> Cost {
+        self.cost
+    }
+
+    /// Total delay `d(P)`.
+    #[must_use]
+    pub fn delay(&self) -> Delay {
+        self.delay
+    }
+
+    /// The node sequence `src, …, dst` (length `len()+1`).
+    #[must_use]
+    pub fn nodes(&self, graph: &DiGraph) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(self.edges.len() + 1);
+        v.push(self.src);
+        for &e in &self.edges {
+            v.push(graph.edge(e).dst);
+        }
+        v
+    }
+
+    /// True iff no edge repeats and no intermediate node repeats.
+    #[must_use]
+    pub fn is_simple(&self, graph: &DiGraph) -> bool {
+        let nodes = self.nodes(graph);
+        let mut seen = vec![false; graph.node_count()];
+        for &v in &nodes {
+            if seen[v.index()] {
+                return false;
+            }
+            seen[v.index()] = true;
+        }
+        true
+    }
+}
+
+/// A directed cycle: a contiguous edge sequence returning to its start node.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cycle {
+    edges: Vec<EdgeId>,
+    cost: Cost,
+    delay: Delay,
+}
+
+impl Cycle {
+    /// Builds a cycle from an edge sequence, validating closure.
+    #[must_use]
+    pub fn new(graph: &DiGraph, edges: Vec<EdgeId>) -> Option<Self> {
+        let p = Path::new(graph, edges)?;
+        if p.source() != p.target() {
+            return None;
+        }
+        Some(Cycle {
+            cost: p.cost(),
+            delay: p.delay(),
+            edges: p.edges,
+        })
+    }
+
+    /// The edge ids, in cyclic order.
+    #[must_use]
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Always false (cycles are nonempty by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total cost `c(O)`.
+    #[must_use]
+    pub fn cost(&self) -> Cost {
+        self.cost
+    }
+
+    /// Total delay `d(O)`.
+    #[must_use]
+    pub fn delay(&self) -> Delay {
+        self.delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> DiGraph {
+        DiGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1, 10),
+                (1, 2, 2, 20),
+                (2, 3, 3, 30),
+                (3, 0, 4, 40),
+                (2, 0, 5, 50),
+            ],
+        )
+    }
+
+    #[test]
+    fn valid_path() {
+        let graph = g();
+        let p = Path::new(&graph, vec![EdgeId(0), EdgeId(1), EdgeId(2)]).unwrap();
+        assert_eq!(p.source(), NodeId(0));
+        assert_eq!(p.target(), NodeId(3));
+        assert_eq!(p.cost(), 6);
+        assert_eq!(p.delay(), 60);
+        assert_eq!(p.len(), 3);
+        assert_eq!(
+            p.nodes(&graph),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert!(p.is_simple(&graph));
+    }
+
+    #[test]
+    fn broken_path_rejected() {
+        let graph = g();
+        assert!(Path::new(&graph, vec![EdgeId(0), EdgeId(2)]).is_none());
+        assert!(Path::new(&graph, vec![]).is_none());
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let graph = g();
+        let c = Cycle::new(
+            &graph,
+            vec![EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)],
+        )
+        .unwrap();
+        assert_eq!(c.cost(), 10);
+        assert_eq!(c.delay(), 100);
+        assert_eq!(c.len(), 4);
+        // Open path is not a cycle.
+        assert!(Cycle::new(&graph, vec![EdgeId(0), EdgeId(1)]).is_none());
+        // Shorter cycle via edge 4.
+        let c2 = Cycle::new(&graph, vec![EdgeId(0), EdgeId(1), EdgeId(4)]).unwrap();
+        assert_eq!(c2.cost(), 8);
+    }
+
+    #[test]
+    fn non_simple_path() {
+        let graph = g();
+        // 0-1-2-0-1 revisits nodes.
+        let p = Path::new(&graph, vec![EdgeId(0), EdgeId(1), EdgeId(4), EdgeId(0)]).unwrap();
+        assert!(!p.is_simple(&graph));
+    }
+}

@@ -1,0 +1,207 @@
+//! Residual graphs (Definition 6) and the `⊕` cycle-cancellation step.
+//!
+//! Given the current solution `P_1..P_k` (as an [`EdgeSet`] `S`), the
+//! residual graph `G̃ = G_res(P_1..P_k)` contains
+//!
+//! * a **forward** copy of every edge `e ∉ S` with its original `(c, d)`, and
+//! * a **reverse** copy `e'(v,u)` of every edge `e(u,v) ∈ S` with *negated*
+//!   cost and delay: `c(e') = −c(e)`, `d(e') = −d(e)`.
+//!
+//! `G̃` may be a multigraph (footnote 1 of the paper). Cancelling a residual
+//! cycle `O` replaces `S` by `S ⊕ O`: forward members of `O` are added to the
+//! solution, reverse members remove their originals.
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+use crate::edgeset::EdgeSet;
+use serde::{Deserialize, Serialize};
+
+/// Origin of a residual edge in the base graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResEdge {
+    /// Original edge, not in the solution; traversing it adds the edge.
+    Forward(EdgeId),
+    /// Reversed solution edge; traversing it removes the original edge.
+    Reverse(EdgeId),
+}
+
+impl ResEdge {
+    /// The underlying base-graph edge id.
+    #[must_use]
+    pub fn base(self) -> EdgeId {
+        match self {
+            ResEdge::Forward(e) | ResEdge::Reverse(e) => e,
+        }
+    }
+
+    /// True for [`ResEdge::Reverse`].
+    #[must_use]
+    pub fn is_reverse(self) -> bool {
+        matches!(self, ResEdge::Reverse(_))
+    }
+}
+
+/// The residual graph of Definition 6.
+///
+/// Internally materialized as a fresh [`DiGraph`] (so every algorithm in the
+/// suite runs on it unchanged) plus a map from residual edge ids back to
+/// their [`ResEdge`] origin.
+#[derive(Clone, Debug)]
+pub struct ResidualGraph {
+    graph: DiGraph,
+    origin: Vec<ResEdge>,
+}
+
+impl ResidualGraph {
+    /// Builds `G_res(solution)` from the base graph and the solution set.
+    #[must_use]
+    pub fn build(base: &DiGraph, solution: &EdgeSet) -> Self {
+        let mut graph = DiGraph::new(base.node_count());
+        let mut origin = Vec::with_capacity(base.edge_count());
+        for (id, e) in base.edge_iter() {
+            if solution.contains(id) {
+                graph.add_edge(e.dst, e.src, -e.cost, -e.delay);
+                origin.push(ResEdge::Reverse(id));
+            } else {
+                graph.add_edge(e.src, e.dst, e.cost, e.delay);
+                origin.push(ResEdge::Forward(id));
+            }
+        }
+        ResidualGraph { graph, origin }
+    }
+
+    /// The materialized residual digraph (negative weights possible).
+    #[must_use]
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Origin of residual edge `e`.
+    #[must_use]
+    pub fn origin(&self, e: EdgeId) -> ResEdge {
+        self.origin[e.index()]
+    }
+
+    /// Applies `solution ← solution ⊕ O` for a residual cycle (or a set of
+    /// edge-disjoint residual cycles given as one edge list).
+    ///
+    /// Panics (debug) if a forward edge is already in the solution or a
+    /// reverse edge is missing — which would indicate the cycle is stale.
+    pub fn apply(&self, solution: &mut EdgeSet, cycle_edges: &[EdgeId]) {
+        for &re in cycle_edges {
+            match self.origin(re) {
+                ResEdge::Forward(e) => {
+                    let fresh = solution.insert(e);
+                    debug_assert!(fresh, "forward residual edge already in solution");
+                }
+                ResEdge::Reverse(e) => {
+                    let was = solution.remove(e);
+                    debug_assert!(was, "reverse residual edge not in solution");
+                }
+            }
+        }
+    }
+
+    /// Cost of a residual edge list (signed).
+    #[must_use]
+    pub fn cost_of(&self, edges: &[EdgeId]) -> i64 {
+        edges.iter().map(|&e| self.graph.edge(e).cost).sum()
+    }
+
+    /// Delay of a residual edge list (signed).
+    #[must_use]
+    pub fn delay_of(&self, edges: &[EdgeId]) -> i64 {
+        edges.iter().map(|&e| self.graph.edge(e).delay).sum()
+    }
+
+    /// Checks that an edge list is a (not necessarily simple) closed walk in
+    /// the residual graph with every edge used at most once.
+    #[must_use]
+    pub fn is_valid_cycle_set(&self, edges: &[EdgeId]) -> bool {
+        if edges.is_empty() {
+            return false;
+        }
+        let mut seen = vec![false; self.graph.edge_count()];
+        let mut excess = std::collections::HashMap::<NodeId, i64>::new();
+        for &e in edges {
+            if seen[e.index()] {
+                return false;
+            }
+            seen[e.index()] = true;
+            let r = self.graph.edge(e);
+            *excess.entry(r.src).or_insert(0) += 1;
+            *excess.entry(r.dst).or_insert(0) -= 1;
+        }
+        excess.values().all(|&x| x == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::NodeId;
+
+    /// 0→1→3 (in solution), 0→2→3 alternative, 2→1 chord.
+    fn setup() -> (DiGraph, EdgeSet) {
+        let g = DiGraph::from_edges(
+            4,
+            &[
+                (0, 1, 5, 9), // e0 in solution
+                (1, 3, 5, 9), // e1 in solution
+                (0, 2, 1, 1), // e2
+                (2, 3, 1, 1), // e3
+                (2, 1, 1, 1), // e4
+            ],
+        );
+        let s = EdgeSet::from_edges(g.edge_count(), &[EdgeId(0), EdgeId(1)]);
+        (g, s)
+    }
+
+    #[test]
+    fn residual_negates_solution_edges() {
+        let (g, s) = setup();
+        let res = ResidualGraph::build(&g, &s);
+        let rg = res.graph();
+        assert_eq!(rg.edge_count(), 5);
+        // e0 reversed: 1→0 with negated weights.
+        let r0 = rg.edge(EdgeId(0));
+        assert_eq!((r0.src, r0.dst, r0.cost, r0.delay), (NodeId(1), NodeId(0), -5, -9));
+        assert_eq!(res.origin(EdgeId(0)), ResEdge::Reverse(EdgeId(0)));
+        // e2 forward unchanged.
+        let r2 = rg.edge(EdgeId(2));
+        assert_eq!((r2.src, r2.dst, r2.cost, r2.delay), (NodeId(0), NodeId(2), 1, 1));
+        assert_eq!(res.origin(EdgeId(2)), ResEdge::Forward(EdgeId(2)));
+    }
+
+    #[test]
+    fn apply_cycle_swaps_path() {
+        let (g, mut s) = setup();
+        let res = ResidualGraph::build(&g, &s);
+        // Residual cycle: 0→2 (e2), 2→1 (e4), 1→0 (reverse e0).
+        let cyc = vec![EdgeId(2), EdgeId(4), EdgeId(0)];
+        assert!(res.is_valid_cycle_set(&cyc));
+        assert_eq!(res.cost_of(&cyc), 1 + 1 - 5);
+        assert_eq!(res.delay_of(&cyc), 1 + 1 - 9);
+        res.apply(&mut s, &cyc);
+        // Now the solution is 0→2→1→3.
+        let members: Vec<_> = s.iter().collect();
+        assert_eq!(members, vec![EdgeId(1), EdgeId(2), EdgeId(4)]);
+        assert!(s.is_k_flow(&g, NodeId(0), NodeId(3), 1));
+    }
+
+    #[test]
+    fn invalid_cycle_sets_rejected() {
+        let (g, s) = setup();
+        let res = ResidualGraph::build(&g, &s);
+        assert!(!res.is_valid_cycle_set(&[])); // empty
+        assert!(!res.is_valid_cycle_set(&[EdgeId(2)])); // open
+        assert!(!res.is_valid_cycle_set(&[EdgeId(2), EdgeId(2)])); // repeated edge
+    }
+
+    #[test]
+    fn resedge_base_and_direction() {
+        assert_eq!(ResEdge::Forward(EdgeId(3)).base(), EdgeId(3));
+        assert_eq!(ResEdge::Reverse(EdgeId(3)).base(), EdgeId(3));
+        assert!(ResEdge::Reverse(EdgeId(0)).is_reverse());
+        assert!(!ResEdge::Forward(EdgeId(0)).is_reverse());
+    }
+}

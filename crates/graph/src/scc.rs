@@ -1,0 +1,220 @@
+//! Strongly connected components (Tarjan, iterative).
+//!
+//! Cycle-cancellation searches only ever find cycles *inside* a strongly
+//! connected component of the residual graph, so the bicameral engines
+//! restrict their layered constructions to nontrivial SCCs — often a small
+//! fraction of the graph once most solution edges have no useful reversal.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// The SCC partition of a digraph.
+#[derive(Clone, Debug)]
+pub struct SccPartition {
+    /// `component[v]` = component id of node `v` (ids are dense, in
+    /// reverse topological order of the condensation).
+    pub component: Vec<usize>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl SccPartition {
+    /// Nodes grouped by component.
+    #[must_use]
+    pub fn groups(&self) -> Vec<Vec<NodeId>> {
+        let mut g = vec![Vec::new(); self.count];
+        for (v, &c) in self.component.iter().enumerate() {
+            g[c].push(NodeId(v as u32));
+        }
+        g
+    }
+
+    /// True iff `u` and `v` are in the same component.
+    #[must_use]
+    pub fn same(&self, u: NodeId, v: NodeId) -> bool {
+        self.component[u.index()] == self.component[v.index()]
+    }
+
+    /// Component ids whose member count is ≥ 2, or which contain a
+    /// self-loop — the only components that can host cycles.
+    #[must_use]
+    pub fn cyclic_components(&self, graph: &DiGraph) -> Vec<usize> {
+        let mut size = vec![0usize; self.count];
+        for &c in &self.component {
+            size[c] += 1;
+        }
+        let mut has_loop = vec![false; self.count];
+        for (_, e) in graph.edge_iter() {
+            if e.src == e.dst {
+                has_loop[self.component[e.src.index()]] = true;
+            }
+        }
+        (0..self.count)
+            .filter(|&c| size[c] >= 2 || has_loop[c])
+            .collect()
+    }
+}
+
+/// Computes the strongly connected components of `graph` with an iterative
+/// Tarjan traversal (no recursion — safe for deep graphs).
+#[must_use]
+pub fn tarjan_scc(graph: &DiGraph) -> SccPartition {
+    let n = graph.node_count();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![UNSET; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![UNSET; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut count = 0usize;
+
+    // Explicit DFS frames: (node, out-edge cursor).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+            let out = graph.out_edges(NodeId(v as u32));
+            if *cursor < out.len() {
+                let e = out[*cursor];
+                *cursor += 1;
+                let w = graph.edge(e).dst.index();
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    // v roots a component: pop the stack down to v.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component[w] = count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    count += 1;
+                }
+            }
+        }
+    }
+    debug_assert!(component.iter().all(|&c| c != UNSET));
+    SccPartition { component, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn two_cycles_and_a_bridge() {
+        // 0↔1 and 2↔3 with a one-way bridge 1→2; node 4 isolated.
+        let g = DiGraph::from_edges(
+            5,
+            &[
+                (0, 1, 0, 0),
+                (1, 0, 0, 0),
+                (2, 3, 0, 0),
+                (3, 2, 0, 0),
+                (1, 2, 0, 0),
+            ],
+        );
+        let p = tarjan_scc(&g);
+        assert_eq!(p.count, 3);
+        assert!(p.same(NodeId(0), NodeId(1)));
+        assert!(p.same(NodeId(2), NodeId(3)));
+        assert!(!p.same(NodeId(1), NodeId(2)));
+        assert!(!p.same(NodeId(0), NodeId(4)));
+        let cyclic = p.cyclic_components(&g);
+        assert_eq!(cyclic.len(), 2);
+    }
+
+    #[test]
+    fn dag_is_all_singletons() {
+        let g = DiGraph::from_edges(4, &[(0, 1, 0, 0), (1, 2, 0, 0), (0, 3, 0, 0)]);
+        let p = tarjan_scc(&g);
+        assert_eq!(p.count, 4);
+        assert!(p.cyclic_components(&g).is_empty());
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        let g = DiGraph::from_edges(2, &[(0, 0, 0, 0), (0, 1, 0, 0)]);
+        let p = tarjan_scc(&g);
+        assert_eq!(p.count, 2);
+        assert_eq!(p.cyclic_components(&g), vec![p.component[0]]);
+    }
+
+    #[test]
+    fn full_cycle_single_component() {
+        let edges: Vec<(u32, u32, i64, i64)> =
+            (0..6).map(|i| (i, (i + 1) % 6, 0, 0)).collect();
+        let g = DiGraph::from_edges(6, &edges);
+        let p = tarjan_scc(&g);
+        assert_eq!(p.count, 1);
+        assert_eq!(p.groups()[0].len(), 6);
+    }
+
+    /// Oracle: u,v strongly connected iff v reachable from u AND u from v.
+    fn reachable(g: &DiGraph, from: NodeId) -> Vec<bool> {
+        let mut seen = vec![false; g.node_count()];
+        let mut stack = vec![from];
+        seen[from.index()] = true;
+        while let Some(v) = stack.pop() {
+            for &e in g.out_edges(v) {
+                let w = g.edge(e).dst;
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        seen
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_matches_mutual_reachability(
+            edges in proptest::collection::vec((0u32..10, 0u32..10), 0..40),
+        ) {
+            let list: Vec<(u32, u32, i64, i64)> =
+                edges.iter().map(|&(u, v)| (u, v, 0, 0)).collect();
+            let g = DiGraph::from_edges(10, &list);
+            let p = tarjan_scc(&g);
+            let reach: Vec<Vec<bool>> =
+                (0..10).map(|v| reachable(&g, NodeId(v))).collect();
+            for u in 0..10usize {
+                for v in 0..10usize {
+                    let mutual = reach[u][v as usize] && reach[v][u as usize];
+                    prop_assert_eq!(
+                        p.same(NodeId(u as u32), NodeId(v as u32)),
+                        mutual,
+                        "nodes {} and {}", u, v
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Exact rational linear programming for the `krsp` suite.
+//!
+//! The paper assumes a polynomial-time LP solver as a black box (it cites
+//! interior-point complexity `O(n^{3.5} L)` from Korte–Vygen for LP (6) and
+//! the phase-1 flow LP). We implement the solver from scratch:
+//!
+//! * [`Model`] — a small modelling layer (variables with bounds, linear
+//!   constraints, minimization objective) over exact rationals [`Rat`].
+//! * [`solve`] — dense two-phase primal simplex with **Bland's rule**
+//!   (guaranteed termination, no cycling) over exact rationals (no floating
+//!   point anywhere, so "optimal" means optimal).
+//!
+//! Simplex returns an optimal *basic* solution — a vertex of the feasible
+//! polytope — which is exactly what the rounding arguments of the paper
+//! (Lemma 5, Lemma 14) require.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod simplex;
+
+pub use krsp_numeric::Rat;
+pub use model::{Constraint, Model, Relation, VarId};
+pub use simplex::{solve, LpOutcome, LpSolution};

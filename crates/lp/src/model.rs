@@ -1,0 +1,202 @@
+//! LP modelling layer.
+
+use krsp_numeric::Rat;
+
+/// Identifier of an LP variable, dense in `0..model.num_vars()`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// Relation of a linear constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relation {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr = rhs`
+    Eq,
+    /// `expr ≥ rhs`
+    Ge,
+}
+
+/// One linear constraint `Σ coeff·var  rel  rhs`.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// Sparse left-hand side.
+    pub terms: Vec<(VarId, Rat)>,
+    /// Relation.
+    pub rel: Relation,
+    /// Right-hand side.
+    pub rhs: Rat,
+}
+
+/// A minimization LP over nonnegative-by-default variables.
+///
+/// Variables carry a lower bound (default `0`) and an optional upper bound.
+/// Upper bounds are lowered into explicit `≤` rows by the solver; lower
+/// bounds are handled by shifting.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    objective: Vec<Rat>,
+    lower: Vec<Rat>,
+    upper: Vec<Option<Rat>>,
+    constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// A fresh empty model.
+    #[must_use]
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Adds a variable with objective coefficient `obj`, bounds `[0, ∞)`.
+    pub fn add_var(&mut self, obj: Rat) -> VarId {
+        self.objective.push(obj);
+        self.lower.push(Rat::ZERO);
+        self.upper.push(None);
+        VarId(self.objective.len() - 1)
+    }
+
+    /// Adds a variable with explicit bounds `[lo, hi]` (`hi = None` = +∞).
+    pub fn add_var_bounded(&mut self, obj: Rat, lo: Rat, hi: Option<Rat>) -> VarId {
+        if let Some(h) = hi {
+            assert!(lo <= h, "variable bounds crossed");
+        }
+        self.objective.push(obj);
+        self.lower.push(lo);
+        self.upper.push(hi);
+        VarId(self.objective.len() - 1)
+    }
+
+    /// Adds constraint `Σ terms rel rhs`. Terms may repeat a variable; they
+    /// are summed.
+    pub fn add_constraint(&mut self, terms: Vec<(VarId, Rat)>, rel: Relation, rhs: Rat) {
+        for &(v, _) in &terms {
+            assert!(v.0 < self.objective.len(), "constraint uses unknown var");
+        }
+        self.constraints.push(Constraint { terms, rel, rhs });
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of explicit constraints.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Objective coefficient of `v`.
+    #[must_use]
+    pub fn objective_of(&self, v: VarId) -> Rat {
+        self.objective[v.0]
+    }
+
+    /// Lower bound of `v`.
+    #[must_use]
+    pub fn lower_of(&self, v: VarId) -> Rat {
+        self.lower[v.0]
+    }
+
+    /// Upper bound of `v` (`None` = +∞).
+    #[must_use]
+    pub fn upper_of(&self, v: VarId) -> Option<Rat> {
+        self.upper[v.0]
+    }
+
+    /// The constraint rows.
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Evaluates the objective at a point.
+    #[must_use]
+    pub fn objective_value(&self, x: &[Rat]) -> Rat {
+        self.objective
+            .iter()
+            .zip(x)
+            .fold(Rat::ZERO, |acc, (&c, &v)| acc + c * v)
+    }
+
+    /// True iff `x` satisfies all bounds and constraints exactly.
+    #[must_use]
+    pub fn is_feasible(&self, x: &[Rat]) -> bool {
+        if x.len() != self.num_vars() {
+            return false;
+        }
+        for (i, &xi) in x.iter().enumerate() {
+            if xi < self.lower[i] {
+                return false;
+            }
+            if let Some(hi) = self.upper[i] {
+                if xi > hi {
+                    return false;
+                }
+            }
+        }
+        self.constraints.iter().all(|c| {
+            let lhs = c
+                .terms
+                .iter()
+                .fold(Rat::ZERO, |acc, &(v, coef)| acc + coef * x[v.0]);
+            match c.rel {
+                Relation::Le => lhs <= c.rhs,
+                Relation::Eq => lhs == c.rhs,
+                Relation::Ge => lhs >= c.rhs,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut m = Model::new();
+        let x = m.add_var(Rat::int(3));
+        let y = m.add_var_bounded(Rat::int(-1), Rat::int(1), Some(Rat::int(4)));
+        m.add_constraint(
+            vec![(x, Rat::ONE), (y, Rat::int(2))],
+            Relation::Le,
+            Rat::int(10),
+        );
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.objective_of(y), Rat::int(-1));
+        assert_eq!(m.lower_of(y), Rat::int(1));
+        assert_eq!(m.upper_of(x), None);
+    }
+
+    #[test]
+    fn feasibility_checks() {
+        let mut m = Model::new();
+        let x = m.add_var(Rat::ONE);
+        let y = m.add_var_bounded(Rat::ONE, Rat::ZERO, Some(Rat::int(2)));
+        m.add_constraint(
+            vec![(x, Rat::ONE), (y, Rat::ONE)],
+            Relation::Ge,
+            Rat::int(1),
+        );
+        assert!(m.is_feasible(&[Rat::ONE, Rat::ZERO]));
+        assert!(!m.is_feasible(&[Rat::ZERO, Rat::ZERO])); // violates Ge
+        assert!(!m.is_feasible(&[Rat::ZERO, Rat::int(3)])); // violates upper
+        assert!(!m.is_feasible(&[Rat::int(-1), Rat::int(2)])); // violates lower
+        assert!(!m.is_feasible(&[Rat::ONE])); // wrong arity
+        assert_eq!(
+            m.objective_value(&[Rat::int(2), Rat::int(5)]),
+            Rat::int(7)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown var")]
+    fn unknown_var_panics() {
+        let mut m = Model::new();
+        m.add_constraint(vec![(VarId(0), Rat::ONE)], Relation::Eq, Rat::ZERO);
+    }
+}

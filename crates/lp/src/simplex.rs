@@ -1,0 +1,572 @@
+//! Two-phase primal simplex over exact rationals.
+//!
+//! Dense tableau implementation with **Bland's anti-cycling rule**: entering
+//! variable = lowest-index negative reduced cost; leaving variable =
+//! lowest-index among minimum-ratio rows. With exact arithmetic this
+//! guarantees finite termination at a true optimal vertex.
+
+use crate::model::{Model, Relation};
+use krsp_numeric::Rat;
+
+/// An optimal LP solution.
+#[derive(Clone, Debug)]
+pub struct LpSolution {
+    /// Optimal objective value.
+    pub objective: Rat,
+    /// Value of every model variable (original, unshifted space).
+    pub values: Vec<Rat>,
+}
+
+/// Result of solving a model.
+#[derive(Clone, Debug)]
+pub enum LpOutcome {
+    /// An optimal basic solution was found.
+    Optimal(LpSolution),
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// Unwraps the optimal solution; panics otherwise.
+    #[must_use]
+    pub fn expect_optimal(self, msg: &str) -> LpSolution {
+        match self {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("{msg}: {other:?}"),
+        }
+    }
+
+    /// The optimal solution, if any.
+    #[must_use]
+    pub fn optimal(self) -> Option<LpSolution> {
+        match self {
+            LpOutcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Internal standard-form tableau.
+struct Tableau {
+    /// `rows × (cols + 1)`; last column is the RHS.
+    a: Vec<Vec<Rat>>,
+    /// Objective row (reduced costs) of length `cols + 1`; last entry is
+    /// `−objective_value`.
+    z: Vec<Rat>,
+    /// Basic column of each row.
+    basis: Vec<usize>,
+    cols: usize,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.a[row][col];
+        debug_assert!(piv.is_positive(), "pivot must be positive");
+        let inv = piv.recip();
+        for x in &mut self.a[row] {
+            *x *= inv;
+        }
+        for r in 0..self.a.len() {
+            if r != row && !self.a[r][col].is_zero() {
+                let factor = self.a[r][col];
+                for c in 0..=self.cols {
+                    let delta = factor * self.a[row][c];
+                    self.a[r][c] -= delta;
+                }
+            }
+        }
+        if !self.z[col].is_zero() {
+            let factor = self.z[col];
+            for c in 0..=self.cols {
+                let delta = factor * self.a[row][c];
+                self.z[c] -= delta;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs Bland-rule simplex on the current objective row.
+    /// Returns `false` if unbounded.
+    fn run(&mut self) -> bool {
+        loop {
+            // Entering: smallest column index with negative reduced cost.
+            let Some(col) = (0..self.cols).find(|&c| self.z[c].is_negative()) else {
+                return true; // optimal
+            };
+            // Leaving: min ratio rhs / a[r][col] over a[r][col] > 0,
+            // ties broken by smallest basic variable index (Bland).
+            let mut best: Option<(usize, Rat)> = None;
+            for r in 0..self.a.len() {
+                let coef = self.a[r][col];
+                if coef.is_positive() {
+                    let ratio = self.a[r][self.cols] / coef;
+                    let better = match &best {
+                        None => true,
+                        Some((br, bratio)) => {
+                            ratio < *bratio
+                                || (ratio == *bratio && self.basis[r] < self.basis[*br])
+                        }
+                    };
+                    if better {
+                        best = Some((r, ratio));
+                    }
+                }
+            }
+            let Some((row, _)) = best else {
+                return false; // unbounded
+            };
+            self.pivot(row, col);
+        }
+    }
+}
+
+/// Solves `model` (minimization) exactly. See [`LpOutcome`].
+#[must_use]
+pub fn solve(model: &Model) -> LpOutcome {
+    let n = model.num_vars();
+
+    // Shift variables to x = lo + x', x' >= 0, and lower upper bounds into
+    // explicit rows.
+    #[derive(Clone)]
+    struct Row {
+        terms: Vec<(usize, Rat)>,
+        rel: Relation,
+        rhs: Rat,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(model.num_constraints());
+    for c in model.constraints() {
+        let mut shift = Rat::ZERO;
+        let mut terms: Vec<(usize, Rat)> = Vec::with_capacity(c.terms.len());
+        for &(v, coef) in &c.terms {
+            shift += coef * model.lower_of(v);
+            // Merge duplicates.
+            if let Some(slot) = terms.iter_mut().find(|(i, _)| *i == v.0) {
+                slot.1 += coef;
+            } else {
+                terms.push((v.0, coef));
+            }
+        }
+        rows.push(Row {
+            terms,
+            rel: c.rel,
+            rhs: c.rhs - shift,
+        });
+    }
+    for v in 0..n {
+        if let Some(hi) = model.upper_of(crate::model::VarId(v)) {
+            rows.push(Row {
+                terms: vec![(v, Rat::ONE)],
+                rel: Relation::Le,
+                rhs: hi - model.lower_of(crate::model::VarId(v)),
+            });
+        }
+    }
+
+    // Normalize RHS >= 0.
+    for r in &mut rows {
+        if r.rhs.is_negative() {
+            for t in &mut r.terms {
+                t.1 = -t.1;
+            }
+            r.rhs = -r.rhs;
+            r.rel = match r.rel {
+                Relation::Le => Relation::Ge,
+                Relation::Eq => Relation::Eq,
+                Relation::Ge => Relation::Le,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: [structural n][slack/surplus S][artificial A][rhs].
+    let num_slack = rows
+        .iter()
+        .filter(|r| !matches!(r.rel, Relation::Eq))
+        .count();
+    let num_art = rows
+        .iter()
+        .filter(|r| !matches!(r.rel, Relation::Le))
+        .count();
+    let cols = n + num_slack + num_art;
+
+    let mut a = vec![vec![Rat::ZERO; cols + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut art_cols: Vec<usize> = Vec::with_capacity(num_art);
+    let mut next_slack = n;
+    let mut next_art = n + num_slack;
+    for (i, r) in rows.iter().enumerate() {
+        for &(v, coef) in &r.terms {
+            a[i][v] += coef;
+        }
+        a[i][cols] = r.rhs;
+        match r.rel {
+            Relation::Le => {
+                a[i][next_slack] = Rat::ONE;
+                basis[i] = next_slack;
+                next_slack += 1;
+            }
+            Relation::Ge => {
+                a[i][next_slack] = -Rat::ONE;
+                next_slack += 1;
+                a[i][next_art] = Rat::ONE;
+                basis[i] = next_art;
+                art_cols.push(next_art);
+                next_art += 1;
+            }
+            Relation::Eq => {
+                a[i][next_art] = Rat::ONE;
+                basis[i] = next_art;
+                art_cols.push(next_art);
+                next_art += 1;
+            }
+        }
+    }
+
+    let mut t = Tableau {
+        a,
+        z: vec![Rat::ZERO; cols + 1],
+        basis,
+        cols,
+    };
+
+    // ---- Phase 1: minimize sum of artificials. ----
+    if num_art > 0 {
+        for &c in &art_cols {
+            t.z[c] = Rat::ONE;
+        }
+        // Price out basic artificials.
+        for r in 0..m {
+            if art_cols.contains(&t.basis[r]) {
+                let row = t.a[r].clone();
+                #[allow(clippy::needless_range_loop)] // z and row indexed in lockstep
+                for c in 0..=t.cols {
+                    t.z[c] -= row[c];
+                }
+            }
+        }
+        let bounded = t.run();
+        debug_assert!(bounded, "phase-1 objective is bounded by construction");
+        let phase1_obj = -t.z[t.cols];
+        if phase1_obj > Rat::ZERO {
+            return LpOutcome::Infeasible;
+        }
+        // Drive remaining artificials out of the basis.
+        for r in 0..m {
+            if art_cols.contains(&t.basis[r]) {
+                if let Some(c) = (0..n + num_slack).find(|&c| !t.a[r][c].is_zero()) {
+                    // Pivot needs positive coefficient; negate row first if
+                    // necessary (RHS is 0 here, so sign flip is safe).
+                    if t.a[r][c].is_negative() {
+                        for x in &mut t.a[r] {
+                            *x = -*x;
+                        }
+                    }
+                    t.pivot(r, c);
+                }
+                // else: redundant row; the artificial stays basic at value 0.
+            }
+        }
+        // Forbid artificials from re-entering.
+        for r in 0..m {
+            if !art_cols.contains(&t.basis[r]) {
+                for &c in &art_cols {
+                    t.a[r][c] = Rat::ZERO;
+                }
+            }
+        }
+    }
+
+    // ---- Phase 2: original objective. ----
+    t.z = vec![Rat::ZERO; cols + 1];
+    for v in 0..n {
+        t.z[v] = model.objective_of(crate::model::VarId(v));
+    }
+    for &c in &art_cols {
+        // Large positive cost keeps artificials out (they are zero and
+        // blocked anyway; this guards the redundant-row case).
+        t.z[c] = Rat::ZERO;
+    }
+    // Price out the basic variables.
+    for r in 0..m {
+        let b = t.basis[r];
+        if !t.z[b].is_zero() {
+            let factor = t.z[b];
+            let row = t.a[r].clone();
+            #[allow(clippy::needless_range_loop)] // z and row indexed in lockstep
+            for c in 0..=t.cols {
+                let delta = factor * row[c];
+                t.z[c] -= delta;
+            }
+        }
+    }
+    // Never let artificial columns enter in phase 2.
+    for &c in &art_cols {
+        if t.z[c].is_negative() {
+            t.z[c] = Rat::ZERO;
+        }
+    }
+    if !t.run() {
+        return LpOutcome::Unbounded;
+    }
+
+    // Extract shifted values, then unshift.
+    let mut xp = vec![Rat::ZERO; cols];
+    for r in 0..m {
+        xp[t.basis[r]] = t.a[r][t.cols];
+    }
+    let values: Vec<Rat> = (0..n)
+        .map(|v| model.lower_of(crate::model::VarId(v)) + xp[v])
+        .collect();
+    let objective = model.objective_value(&values);
+    debug_assert!(
+        model.is_feasible(&values),
+        "simplex returned an infeasible point"
+    );
+    LpOutcome::Optimal(LpSolution { objective, values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Relation, VarId};
+
+    fn r(n: i128) -> Rat {
+        Rat::int(n)
+    }
+
+    #[test]
+    fn simple_2d_optimum() {
+        // min -x - 2y  s.t. x + y <= 4, x <= 2, y <= 3, x,y >= 0.
+        // Optimum at (1, 3): objective -7.
+        let mut m = Model::new();
+        let x = m.add_var(r(-1));
+        let y = m.add_var(r(-2));
+        m.add_constraint(vec![(x, r(1)), (y, r(1))], Relation::Le, r(4));
+        m.add_constraint(vec![(x, r(1))], Relation::Le, r(2));
+        m.add_constraint(vec![(y, r(1))], Relation::Le, r(3));
+        let sol = solve(&m).expect_optimal("solvable");
+        assert_eq!(sol.objective, r(-7));
+        assert_eq!(sol.values, vec![r(1), r(3)]);
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min x + y  s.t. x + y = 10, x >= 3, y >= 2 → multiple optima, obj 10.
+        let mut m = Model::new();
+        let x = m.add_var(r(1));
+        let y = m.add_var(r(1));
+        m.add_constraint(vec![(x, r(1)), (y, r(1))], Relation::Eq, r(10));
+        m.add_constraint(vec![(x, r(1))], Relation::Ge, r(3));
+        m.add_constraint(vec![(y, r(1))], Relation::Ge, r(2));
+        let sol = solve(&m).expect_optimal("solvable");
+        assert_eq!(sol.objective, r(10));
+        assert!(m.is_feasible(&sol.values));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new();
+        let x = m.add_var(r(1));
+        m.add_constraint(vec![(x, r(1))], Relation::Ge, r(5));
+        m.add_constraint(vec![(x, r(1))], Relation::Le, r(3));
+        assert!(matches!(solve(&m), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new();
+        let x = m.add_var(r(-1));
+        let y = m.add_var(r(0));
+        m.add_constraint(vec![(x, r(1)), (y, r(-1))], Relation::Le, r(1));
+        assert!(matches!(solve(&m), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn bounds_shift_and_cap() {
+        // min x  s.t. x in [2, 7], x >= 0 → optimum 2.
+        let mut m = Model::new();
+        let _x = m.add_var_bounded(r(1), r(2), Some(r(7)));
+        let sol = solve(&m).expect_optimal("solvable");
+        assert_eq!(sol.objective, r(2));
+        // max (via min -x) hits the upper bound.
+        let mut m2 = Model::new();
+        let _x = m2.add_var_bounded(r(-1), r(2), Some(r(7)));
+        let sol2 = solve(&m2).expect_optimal("solvable");
+        assert_eq!(sol2.values[0], r(7));
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // min x  s.t. -x <= -4 (i.e. x >= 4).
+        let mut m = Model::new();
+        let x = m.add_var(r(1));
+        m.add_constraint(vec![(x, r(-1))], Relation::Le, r(-4));
+        let sol = solve(&m).expect_optimal("solvable");
+        assert_eq!(sol.objective, r(4));
+    }
+
+    #[test]
+    fn fractional_optimum_exact() {
+        // min -x - y  s.t. 2x + y <= 3, x + 2y <= 3 → optimum (1,1)... use
+        // an asymmetric variant to force a fractional vertex:
+        // min -3x - 2y s.t. 2x + y <= 2, x + 3y <= 3 → vertex x=3/5, y=4/5.
+        let mut m = Model::new();
+        let x = m.add_var(r(-3));
+        let y = m.add_var(r(-2));
+        m.add_constraint(vec![(x, r(2)), (y, r(1))], Relation::Le, r(2));
+        m.add_constraint(vec![(x, r(1)), (y, r(3))], Relation::Le, r(3));
+        let sol = solve(&m).expect_optimal("solvable");
+        assert_eq!(sol.values, vec![Rat::new(3, 5), Rat::new(4, 5)]);
+        assert_eq!(sol.objective, Rat::new(-17, 5));
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 2 stated twice; still solvable.
+        let mut m = Model::new();
+        let x = m.add_var(r(1));
+        let y = m.add_var(r(2));
+        m.add_constraint(vec![(x, r(1)), (y, r(1))], Relation::Eq, r(2));
+        m.add_constraint(vec![(x, r(1)), (y, r(1))], Relation::Eq, r(2));
+        let sol = solve(&m).expect_optimal("solvable");
+        assert_eq!(sol.objective, r(2)); // all mass on x
+        assert_eq!(sol.values, vec![r(2), r(0)]);
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // Classic degenerate LP (Beale-like); Bland must terminate.
+        let mut m = Model::new();
+        let x1 = m.add_var(Rat::new(-3, 4));
+        let x2 = m.add_var(r(150));
+        let x3 = m.add_var(Rat::new(-1, 50));
+        let x4 = m.add_var(r(6));
+        m.add_constraint(
+            vec![
+                (x1, Rat::new(1, 4)),
+                (x2, r(-60)),
+                (x3, Rat::new(-1, 25)),
+                (x4, r(9)),
+            ],
+            Relation::Le,
+            r(0),
+        );
+        m.add_constraint(
+            vec![
+                (x1, Rat::new(1, 2)),
+                (x2, r(-90)),
+                (x3, Rat::new(-1, 50)),
+                (x4, r(3)),
+            ],
+            Relation::Le,
+            r(0),
+        );
+        m.add_constraint(vec![(x3, r(1))], Relation::Le, r(1));
+        let sol = solve(&m).expect_optimal("solvable");
+        assert_eq!(sol.objective, Rat::new(-1, 20));
+    }
+
+    #[test]
+    fn flow_lp_shortest_path() {
+        // Min-cost unit flow on a diamond: s=0, t=3; edges (0,1,c1),(1,3,c1),
+        // (0,2,c4),(2,3,c4). LP optimum = cheaper path, integral vertex.
+        let mut m = Model::new();
+        let e: Vec<VarId> = [1, 1, 4, 4]
+            .iter()
+            .map(|&c| m.add_var_bounded(r(c), r(0), Some(r(1))))
+            .collect();
+        // Conservation: node0 out - in = 1; node1 = 0; node2 = 0; node3 = -1.
+        m.add_constraint(vec![(e[0], r(1)), (e[2], r(1))], Relation::Eq, r(1));
+        m.add_constraint(vec![(e[0], r(-1)), (e[1], r(1))], Relation::Eq, r(0));
+        m.add_constraint(vec![(e[2], r(-1)), (e[3], r(1))], Relation::Eq, r(0));
+        m.add_constraint(vec![(e[1], r(-1)), (e[3], r(-1))], Relation::Eq, r(-1));
+        let sol = solve(&m).expect_optimal("solvable");
+        assert_eq!(sol.objective, r(2));
+        assert_eq!(sol.values, vec![r(1), r(1), r(0), r(0)]);
+    }
+
+    /// Oracle for 2-variable LPs: enumerate all candidate vertices
+    /// (pairwise constraint intersections, including the axes), keep the
+    /// feasible ones, take the best objective.
+    fn two_var_oracle(m: &Model) -> Option<Rat> {
+        // Collect constraint lines a·x + b·y = c (axes included).
+        let mut lines: Vec<(Rat, Rat, Rat)> = vec![
+            (Rat::ONE, Rat::ZERO, Rat::ZERO), // x = 0
+            (Rat::ZERO, Rat::ONE, Rat::ZERO), // y = 0
+        ];
+        for c in m.constraints() {
+            let mut a = Rat::ZERO;
+            let mut b = Rat::ZERO;
+            for &(v, coef) in &c.terms {
+                if v.0 == 0 {
+                    a += coef;
+                } else {
+                    b += coef;
+                }
+            }
+            lines.push((a, b, c.rhs));
+        }
+        let mut best: Option<Rat> = None;
+        for i in 0..lines.len() {
+            for j in i + 1..lines.len() {
+                let (a1, b1, c1) = lines[i];
+                let (a2, b2, c2) = lines[j];
+                let det = a1 * b2 - a2 * b1;
+                if det.is_zero() {
+                    continue;
+                }
+                let x = (c1 * b2 - c2 * b1) / det;
+                let y = (a1 * c2 - a2 * c1) / det;
+                let point = [x, y];
+                if m.is_feasible(&point) {
+                    let obj = m.objective_value(&point);
+                    best = Some(best.map_or(obj, |b: Rat| b.min(obj)));
+                }
+            }
+        }
+        best
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+        /// Simplex matches brute-force vertex enumeration on random bounded
+        /// 2-variable LPs.
+        #[test]
+        fn prop_matches_vertex_enumeration(
+            obj in (-5i128..=5, -5i128..=5),
+            rows in proptest::collection::vec((0i128..=4, 0i128..=4, 1i128..=12), 1..5),
+        ) {
+            let mut m = Model::new();
+            let x = m.add_var(Rat::int(obj.0));
+            let y = m.add_var(Rat::int(obj.1));
+            // All ≤-rows with nonnegative coefficients and positive rhs,
+            // plus a box, keep the LP feasible (origin) and bounded.
+            for &(a, b, c) in &rows {
+                m.add_constraint(
+                    vec![(x, Rat::int(a)), (y, Rat::int(b))],
+                    Relation::Le,
+                    Rat::int(c),
+                );
+            }
+            m.add_constraint(vec![(x, Rat::ONE)], Relation::Le, Rat::int(10));
+            m.add_constraint(vec![(y, Rat::ONE)], Relation::Le, Rat::int(10));
+            let sol = solve(&m).expect_optimal("feasible and bounded");
+            let oracle = two_var_oracle(&m).expect("origin is feasible");
+            proptest::prop_assert_eq!(sol.objective, oracle);
+        }
+    }
+
+    #[test]
+    fn free_direction_with_equalities_bounded() {
+        // Equalities pin everything; ensure artificial handling is clean.
+        let mut m = Model::new();
+        let x = m.add_var(r(0));
+        let y = m.add_var(r(1));
+        m.add_constraint(vec![(x, r(1)), (y, r(-1))], Relation::Eq, r(0));
+        m.add_constraint(vec![(x, r(1)), (y, r(1))], Relation::Eq, r(4));
+        let sol = solve(&m).expect_optimal("solvable");
+        assert_eq!(sol.values, vec![r(2), r(2)]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Exact arithmetic substrate for the `krsp` suite.
+//!
+//! Everything in the paper's analysis is stated over integers and rationals
+//! (edge weights are integral; Lagrange multipliers, ratio thresholds
+//! `ΔD/ΔC`, and simplex tableaux are rationals). This crate provides:
+//!
+//! * [`Rat`] — an exact, always-reduced rational over `i128` with
+//!   overflow-checked arithmetic (panics with a descriptive message rather
+//!   than silently wrapping; the magnitudes arising from the paper's
+//!   algorithms on the workloads in this repository stay far below the
+//!   `i128` range, and the checks make any violation loud).
+//! * [`Lex2`] — a lexicographic two-component weight used to break ties in
+//!   min-cost-flow computations exactly (primary scalarized weight, then
+//!   delay), which is how the parametric phase-1 backend extracts *both*
+//!   extreme optimal flows at a Lagrangian breakpoint without floats.
+//! * [`gcd`]/[`lcm`] helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lex;
+pub mod rat;
+
+pub use lex::Lex2;
+pub use rat::Rat;
+
+/// Greatest common divisor of two non-negative `i128`s.
+///
+/// `gcd(0, 0) == 0` by convention.
+#[must_use]
+pub fn gcd(mut a: i128, mut b: i128) -> i128 {
+    debug_assert!(a >= 0 && b >= 0, "gcd expects non-negative inputs");
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple; panics on overflow.
+#[must_use]
+pub fn lcm(a: i128, b: i128) -> i128 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let g = gcd(a.abs(), b.abs());
+    (a / g).checked_mul(b).expect("lcm overflow").abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 13), 1);
+        assert_eq!(gcd(100, 100), 100);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(0, 5), 0);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(-4, 6), 12);
+        assert_eq!(lcm(7, 13), 91);
+    }
+}

@@ -1,0 +1,421 @@
+//! Exact reduced rationals over `i128`.
+
+use crate::gcd;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `num/den` with `den > 0` and `gcd(|num|, den) == 1`.
+///
+/// All arithmetic is overflow-checked; the suite's instances keep magnitudes
+/// tiny relative to `i128`, so a panic here indicates a logic error rather
+/// than an expected runtime condition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Builds `num/den`, reducing to canonical form. Panics if `den == 0`.
+    #[must_use]
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "Rat denominator must be nonzero");
+        let sign = if den < 0 { -1 } else { 1 };
+        let (mut num, mut den) = (num * sign, den * sign);
+        let g = gcd(num.abs(), den);
+        if g > 1 {
+            num /= g;
+            den /= g;
+        }
+        Rat { num, den }
+    }
+
+    /// An integer as a rational.
+    #[must_use]
+    pub const fn int(n: i128) -> Self {
+        Rat { num: n, den: 1 }
+    }
+
+    /// Numerator of the canonical form (sign-carrying).
+    #[must_use]
+    pub const fn num(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator of the canonical form (always positive).
+    #[must_use]
+    pub const fn den(self) -> i128 {
+        self.den
+    }
+
+    /// True iff the value is an integer.
+    #[must_use]
+    pub const fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// True iff the value is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// True iff the value is strictly negative.
+    #[must_use]
+    pub const fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// True iff the value is strictly positive.
+    #[must_use]
+    pub const fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// Sign as -1 / 0 / +1.
+    #[must_use]
+    pub const fn signum(self) -> i32 {
+        if self.num < 0 {
+            -1
+        } else if self.num > 0 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub const fn abs(self) -> Self {
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse; panics on zero.
+    #[must_use]
+    pub fn recip(self) -> Self {
+        assert!(self.num != 0, "Rat::recip of zero");
+        Rat::new(self.den, self.num)
+    }
+
+    /// Largest integer `<= self`.
+    #[must_use]
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer `>= self`.
+    #[must_use]
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Lossy conversion for reporting only (never used in algorithm logic).
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Checked addition used by all operator impls.
+    fn checked_add(self, rhs: Self) -> Self {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g = gcd(self.den, rhs.den);
+        let (da, db) = (self.den / g, rhs.den / g);
+        let num = self
+            .num
+            .checked_mul(db)
+            .and_then(|a| rhs.num.checked_mul(da).and_then(|b| a.checked_add(b)))
+            .expect("Rat add overflow");
+        let den = self.den.checked_mul(db).expect("Rat add overflow");
+        Rat::new(num, den)
+    }
+
+    fn checked_mul(self, rhs: Self) -> Self {
+        // Cross-cancel to keep intermediates small.
+        let g1 = gcd(self.num.abs(), rhs.den);
+        let g2 = gcd(rhs.num.abs(), self.den);
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .expect("Rat mul overflow");
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .expect("Rat mul overflow");
+        Rat::new(num, den)
+    }
+
+    /// The mediant `(a+c)/(b+d)`, useful for Stern–Brocot style searches.
+    #[must_use]
+    pub fn mediant(self, rhs: Self) -> Self {
+        Rat::new(
+            self.num.checked_add(rhs.num).expect("mediant overflow"),
+            self.den.checked_add(rhs.den).expect("mediant overflow"),
+        )
+    }
+
+    /// Minimum of two rationals.
+    #[must_use]
+    pub fn min(self, rhs: Self) -> Self {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Maximum of two rationals.
+    #[must_use]
+    pub fn max(self, rhs: Self) -> Self {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::ZERO
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(n: i64) -> Self {
+        Rat::int(i128::from(n))
+    }
+}
+
+impl From<i128> for Rat {
+    fn from(n: i128) -> Self {
+        Rat::int(n)
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        self.checked_add(rhs)
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self.checked_add(-rhs)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        self.checked_mul(rhs)
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, rhs: Rat) -> Rat {
+        self.checked_mul(rhs.recip())
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rat {
+    fn add_assign(&mut self, rhs: Rat) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rat {
+    fn sub_assign(&mut self, rhs: Rat) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rat {
+    fn mul_assign(&mut self, rhs: Rat) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rat {
+    fn div_assign(&mut self, rhs: Rat) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d with b,d > 0  <=>  a*d vs c*b. Cross-reduce first.
+        let g = gcd(self.den, other.den);
+        let (da, db) = (self.den / g, other.den / g);
+        let lhs = self.num.checked_mul(db).expect("Rat cmp overflow");
+        let rhs = other.num.checked_mul(da).expect("Rat cmp overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, -5), Rat::ZERO);
+        assert_eq!(Rat::new(6, 3), Rat::int(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 2);
+        let b = Rat::new(1, 3);
+        assert_eq!(a + b, Rat::new(5, 6));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 6));
+        assert_eq!(a / b, Rat::new(3, 2));
+        assert_eq!(-a, Rat::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::new(-1, 3));
+        assert!(Rat::new(7, 7) == Rat::ONE);
+        assert!(Rat::new(-5, 3) < Rat::ZERO);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::int(5).floor(), 5);
+        assert_eq!(Rat::int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn recip_and_signum() {
+        assert_eq!(Rat::new(3, 4).recip(), Rat::new(4, 3));
+        assert_eq!(Rat::new(-3, 4).recip(), Rat::new(-4, 3));
+        assert_eq!(Rat::new(-3, 4).signum(), -1);
+        assert_eq!(Rat::ZERO.signum(), 0);
+        assert_eq!(Rat::ONE.signum(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rat::new(3, 6).to_string(), "1/2");
+        assert_eq!(Rat::int(-4).to_string(), "-4");
+    }
+
+    #[test]
+    fn mediant_lies_between() {
+        let a = Rat::new(1, 3);
+        let b = Rat::new(1, 2);
+        let m = a.mediant(b);
+        assert!(a < m && m < b);
+    }
+
+    fn small_rat() -> impl Strategy<Value = Rat> {
+        (-1000i128..=1000, 1i128..=1000).prop_map(|(n, d)| Rat::new(n, d))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutative(a in small_rat(), b in small_rat()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn prop_add_associative(a in small_rat(), b in small_rat(), c in small_rat()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn prop_mul_distributes(a in small_rat(), b in small_rat(), c in small_rat()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn prop_sub_inverse(a in small_rat(), b in small_rat()) {
+            prop_assert_eq!(a + b - b, a);
+        }
+
+        #[test]
+        fn prop_div_inverse(a in small_rat(), b in small_rat()) {
+            prop_assume!(!b.is_zero());
+            prop_assert_eq!(a * b / b, a);
+        }
+
+        #[test]
+        fn prop_always_reduced(a in small_rat()) {
+            prop_assert!(a.den() > 0);
+            prop_assert_eq!(crate::gcd(a.num().abs(), a.den()), if a.is_zero() { a.den() } else { 1 });
+        }
+
+        #[test]
+        fn prop_ordering_matches_f64(a in small_rat(), b in small_rat()) {
+            // f64 is exact for these small magnitudes.
+            let (fa, fb) = (a.to_f64(), b.to_f64());
+            prop_assert_eq!(a.cmp(&b), fa.partial_cmp(&fb).unwrap());
+        }
+
+        #[test]
+        fn prop_floor_ceil_bracket(a in small_rat()) {
+            prop_assert!(Rat::int(a.floor()) <= a);
+            prop_assert!(a <= Rat::int(a.ceil()));
+            prop_assert!(a.ceil() - a.floor() <= 1);
+        }
+    }
+}

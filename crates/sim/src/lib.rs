@@ -1,0 +1,33 @@
+//! Tick-level multipath packet simulator.
+//!
+//! The paper motivates kRSP with multimedia QoS: "route the packages via
+//! the k paths according to their urgency priority, i.e., routing urgent
+//! packages via paths of low delay whilst deferrable ones via paths of
+//! high delay" (§1). This crate closes the loop: it takes a provisioned
+//! path system and *replays traffic over it*, measuring what the
+//! application actually experiences — per-packet latency, deadline hit
+//! rates, and queueing under load.
+//!
+//! The model is a synchronous tick simulation:
+//!
+//! * an edge with delay `d(e)` is a pipeline of `d(e)` stages;
+//! * each edge admits at most `capacity` packets per tick (FIFO queue at
+//!   its tail), so congestion produces honest queueing delay;
+//! * packets belong to urgency classes; the routing policy maps classes to
+//!   paths (the paper's urgency-priority policy, plus round-robin and
+//!   random baselines for comparison).
+//!
+//! Used by experiment T5 (EXPERIMENTS.md) to show that kRSP provisioning
+//! dominates delay-oblivious min-sum provisioning on deadline hit rate at
+//! equal or lower cost than min-delay provisioning.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod policy;
+pub mod sim;
+pub mod traffic;
+
+pub use policy::Policy;
+pub use sim::{ProvisionedPath, SimReport, Simulation};
+pub use traffic::{Packet, TrafficSpec};

@@ -1,0 +1,57 @@
+//! Packet-to-path assignment policies.
+
+use serde::{Deserialize, Serialize};
+
+/// How the ingress router assigns an arriving packet to one of the `k`
+/// provisioned paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// The paper's policy (§1): paths sorted by delay; class `c` uses path
+    /// `min(c, k−1)` — urgent traffic takes the fastest path.
+    UrgencyPriority,
+    /// Round-robin across paths, ignoring urgency.
+    RoundRobin,
+    /// Everything on the single fastest path (no multipath).
+    FastestOnly,
+}
+
+impl Policy {
+    /// Chooses a path index for the `n`-th packet of class `class` among
+    /// `k` paths (paths are pre-sorted fastest-first).
+    #[must_use]
+    pub fn assign(&self, class: usize, n: u64, k: usize) -> usize {
+        assert!(k >= 1);
+        match self {
+            Policy::UrgencyPriority => class.min(k - 1),
+            Policy::RoundRobin => (n % k as u64) as usize,
+            Policy::FastestOnly => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn urgency_maps_class_to_path() {
+        let p = Policy::UrgencyPriority;
+        assert_eq!(p.assign(0, 9, 3), 0);
+        assert_eq!(p.assign(1, 9, 3), 1);
+        assert_eq!(p.assign(2, 9, 3), 2);
+        assert_eq!(p.assign(5, 9, 3), 2); // clamped
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let p = Policy::RoundRobin;
+        let seq: Vec<usize> = (0..6).map(|n| p.assign(0, n, 3)).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn fastest_only_is_constant() {
+        let p = Policy::FastestOnly;
+        assert!((0..10).all(|n| p.assign(n as usize % 3, n, 4) == 0));
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: build a small network, ask for two disjoint delay-bounded
+//! paths, inspect the result.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use krsp::{solve, Config, Instance};
+use krsp_graph::{DiGraph, NodeId};
+
+fn main() {
+    // A 6-node network with a cost/delay trade-off:
+    //   - the upper route is cheap but slow,
+    //   - the lower route is fast but expensive,
+    //   - a middle route balances the two.
+    let graph = DiGraph::from_edges(
+        6,
+        &[
+            (0, 1, 1, 10), // s → a   cheap, slow
+            (1, 5, 1, 10), // a → t
+            (0, 2, 8, 1),  // s → b   pricey, fast
+            (2, 5, 8, 1),  // b → t
+            (0, 3, 2, 6),  // s → c   balanced
+            (3, 5, 2, 6),  // c → t
+            (0, 4, 9, 2),  // s → d   spare fast route
+            (4, 5, 9, 2),  // d → t
+        ],
+    );
+    let s = NodeId(0);
+    let t = NodeId(5);
+
+    // Two edge-disjoint paths, total delay at most 22.
+    let instance = Instance::new(graph, s, t, 2, 22).expect("valid instance");
+    let solved = solve(&instance, &Config::default()).expect("feasible instance");
+
+    println!("kRSP quickstart");
+    println!("===============");
+    println!(
+        "budget D = {}, achieved delay = {}, total cost = {}",
+        instance.delay_bound, solved.solution.delay, solved.solution.cost
+    );
+    if let Some(lb) = solved.solution.lower_bound {
+        println!(
+            "LP lower bound on C_OPT: {lb}  (cost factor <= {:.3})",
+            solved.solution.cost as f64 / lb.to_f64()
+        );
+    }
+    for (i, path) in solved.solution.paths(&instance).iter().enumerate() {
+        let nodes: Vec<String> = path
+            .nodes(&instance.graph)
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        println!(
+            "path {}: {}  (cost {}, delay {})",
+            i + 1,
+            nodes.join(" → "),
+            path.cost(),
+            path.delay()
+        );
+    }
+    println!(
+        "phase 1 gave (cost {}, delay {}); {} cancellation iteration(s) refined it",
+        solved.stats.phase1_cost,
+        solved.stats.phase1_delay,
+        solved.stats.iterations.len()
+    );
+}

@@ -1,0 +1,156 @@
+//! `krsp-cli` — solve kRSP instances from JSON files.
+//!
+//! Usage:
+//!   krsp-cli solve <instance.json> [--single-probe] [--lp-engine] [--eps N/D]
+//!   krsp-cli gen <family> <n> <k> <tightness> <seed> <out.json>
+//!   krsp-cli info <instance.json>
+//!
+//! Families: gnm | grid | layered | geometric.
+
+use krsp_suite::krsp::{self, solve, solve_scaled, Config, Engine, Eps};
+use krsp_suite::krsp_gen::{self, Family, Regime, Workload};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        _ => {
+            eprintln!("usage: krsp-cli solve|gen|info ... (see source header)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_solve(args: &[String]) {
+    let Some(path) = args.first() else {
+        fail("solve needs an instance path")
+    };
+    let inst = krsp_gen::read_instance(std::path::Path::new(path))
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let mut cfg = Config::default();
+    let mut eps: Option<Eps> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--single-probe" => cfg.single_probe = true,
+            "--lp-engine" => cfg.engine = Engine::LpRounding,
+            "--eps" => {
+                let spec = it.next().unwrap_or_else(|| fail("--eps needs N/D"));
+                let (n, d) = spec
+                    .split_once('/')
+                    .unwrap_or_else(|| fail("--eps format is N/D"));
+                eps = Some(Eps::new(
+                    n.parse().unwrap_or_else(|_| fail("bad eps numerator")),
+                    d.parse().unwrap_or_else(|_| fail("bad eps denominator")),
+                ));
+            }
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+
+    let (solution, iters) = match eps {
+        Some(e) => match solve_scaled(&inst, e, e, &cfg) {
+            Ok(s) => (s.solution, s.stats.iterations.len()),
+            Err(e) => fail(&format!("unsolvable: {e}")),
+        },
+        None => match solve(&inst, &cfg) {
+            Ok(s) => (s.solution, s.stats.iterations.len()),
+            Err(e) => fail(&format!("unsolvable: {e}")),
+        },
+    };
+    println!(
+        "cost {}  delay {} / {}  (cycle cancellations: {iters})",
+        solution.cost, solution.delay, inst.delay_bound
+    );
+    if let Some(lb) = solution.lower_bound {
+        println!(
+            "LP lower bound {lb} → certified cost factor ≤ {:.4}",
+            solution.cost as f64 / lb.to_f64().max(1e-12)
+        );
+    }
+    for (i, p) in solution.paths(&inst).iter().enumerate() {
+        let nodes: Vec<String> = p.nodes(&inst.graph).iter().map(|n| n.to_string()).collect();
+        println!(
+            "  path {}: cost {:>6} delay {:>6}  {}",
+            i + 1,
+            p.cost(),
+            p.delay(),
+            nodes.join("→")
+        );
+    }
+}
+
+fn cmd_gen(args: &[String]) {
+    if args.len() != 6 {
+        fail("gen <family> <n> <k> <tightness> <seed> <out.json>");
+    }
+    let family = match args[0].as_str() {
+        "gnm" => Family::Gnm,
+        "grid" => Family::Grid,
+        "layered" => Family::Layered,
+        "geometric" => Family::Geometric,
+        other => fail(&format!("unknown family {other}")),
+    };
+    let n: usize = args[1].parse().unwrap_or_else(|_| fail("bad n"));
+    let k: usize = args[2].parse().unwrap_or_else(|_| fail("bad k"));
+    let tightness: f64 = args[3].parse().unwrap_or_else(|_| fail("bad tightness"));
+    let seed: u64 = args[4].parse().unwrap_or_else(|_| fail("bad seed"));
+    let w = Workload {
+        family,
+        n,
+        m: n * 4,
+        regime: Regime::Anticorrelated,
+        k,
+        tightness,
+        seed,
+    };
+    let inst = krsp_gen::instantiate_with_retries(w, 50)
+        .unwrap_or_else(|| fail("could not sample a feasible instance"));
+    krsp_gen::write_instance(std::path::Path::new(&args[5]), &inst)
+        .unwrap_or_else(|e| fail(&format!("cannot write: {e}")));
+    println!(
+        "wrote {}: n={} m={} k={} D={}",
+        args[5],
+        inst.n(),
+        inst.m(),
+        inst.k,
+        inst.delay_bound
+    );
+}
+
+fn cmd_info(args: &[String]) {
+    let Some(path) = args.first() else {
+        fail("info needs an instance path")
+    };
+    let inst = krsp_gen::read_instance(std::path::Path::new(path))
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    println!(
+        "n={} m={} s={} t={} k={} D={}",
+        inst.n(),
+        inst.m(),
+        inst.s,
+        inst.t,
+        inst.k,
+        inst.delay_bound
+    );
+    println!(
+        "structurally feasible (≥k disjoint paths): {}",
+        inst.is_structurally_feasible()
+    );
+    if let Some(fast) = krsp::baselines::min_delay(&inst) {
+        println!("min achievable total delay: {}", fast.delay);
+    }
+    if let Some(cheap) = krsp::baselines::min_sum(&inst) {
+        println!(
+            "min-cost (delay-oblivious): cost {} delay {}",
+            cheap.cost, cheap.delay
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate for the kRSP reproduction suite.
+//!
+//! Re-exports the public crates so the repository-level examples and
+//! integration tests exercise exactly what a downstream user would import.
+
+pub use krsp;
+pub use krsp_gen;
+pub use krsp_graph;
+pub use krsp_sim;

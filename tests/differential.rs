@@ -1,0 +1,159 @@
+//! Differential testing: every solver configuration must uphold the same
+//! contract (delay-feasible output, cost within 2× of the exact optimum)
+//! on the same instances, and the engines must agree on feasibility.
+
+use krsp_suite::krsp::{exact, solve, BSearch, Config, Engine, Instance};
+use krsp_suite::krsp_gen::{instantiate_with_retries, partition_chain, Family, Regime, Workload};
+
+fn configs() -> Vec<(&'static str, Config)> {
+    vec![
+        ("default", Config::default()),
+        (
+            "single-probe",
+            Config {
+                single_probe: true,
+                ..Config::default()
+            },
+        ),
+        (
+            "full-sweep",
+            Config {
+                b_search: BSearch::FullSweep,
+                single_probe: true,
+                ..Config::default()
+            },
+        ),
+        (
+            "no-scc-prune",
+            Config {
+                scc_pruning: false,
+                ..Config::default()
+            },
+        ),
+        (
+            "simplex-phase1",
+            Config {
+                phase1_backend: krsp_suite::krsp::Phase1Backend::Simplex,
+                ..Config::default()
+            },
+        ),
+    ]
+}
+
+fn small_instances() -> Vec<Instance> {
+    let mut out = Vec::new();
+    for seed in [11u64, 13, 17, 19] {
+        if let Some(inst) = instantiate_with_retries(
+            Workload {
+                family: Family::Gnm,
+                n: 11,
+                m: 24,
+                regime: Regime::Anticorrelated,
+                k: 2,
+                tightness: 0.35,
+                seed,
+            },
+            30,
+        ) {
+            if inst.m() <= 30 {
+                out.push(inst);
+            }
+        }
+    }
+    if let Some(g) = partition_chain(&[1, 2, 3, 4], 2) {
+        out.push(g);
+    }
+    out
+}
+
+#[test]
+fn all_configurations_uphold_the_contract() {
+    let insts = small_instances();
+    assert!(insts.len() >= 2, "need instances to differentiate");
+    for inst in &insts {
+        let opt = exact::brute_force(inst);
+        for (name, cfg) in configs() {
+            match solve(inst, &cfg) {
+                Ok(out) => {
+                    let opt = opt
+                        .as_ref()
+                        .unwrap_or_else(|| panic!("{name}: solver invented feasibility"));
+                    assert!(
+                        out.solution.delay <= inst.delay_bound,
+                        "{name}: delay violated"
+                    );
+                    assert!(
+                        out.solution.edges.is_k_flow(&inst.graph, inst.s, inst.t, inst.k),
+                        "{name}: structure violated"
+                    );
+                    // The Ĉ-bisected default gets the full (1,2); the
+                    // single-probe variants still must stay within 2× of
+                    // the feasible-extreme upper bound, which is itself ≤
+                    // 2·C_LP ≤ 2·OPT... use the weakest common contract:
+                    // 4× OPT for probes, 2× for the default.
+                    let factor = if cfg.single_probe { 4 } else { 2 };
+                    assert!(
+                        out.solution.cost <= factor * opt.cost,
+                        "{name}: cost {} > {factor}·{}",
+                        out.solution.cost,
+                        opt.cost
+                    );
+                }
+                Err(_) => {
+                    assert!(
+                        opt.is_none(),
+                        "{name}: declined a feasible instance"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lp_engine_agrees_with_fast_engine_on_feasibility() {
+    // Tiny weights keep the LP oracle tractable.
+    use krsp_suite::krsp_gen::{gnm, WeightParams};
+    use rand::SeedableRng;
+    let mut found = 0;
+    for seed in 0..12u64 {
+        let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(seed);
+        let g = gnm(
+            8,
+            20,
+            Regime::Anticorrelated,
+            WeightParams { max: 3, noise: 1 },
+            &mut rng,
+        );
+        let Ok(probe) = Instance::new(
+            g,
+            krsp_suite::krsp_graph::NodeId(0),
+            krsp_suite::krsp_graph::NodeId(7),
+            2,
+            i64::MAX / 4,
+        ) else {
+            continue;
+        };
+        let Some(dmin) = krsp_suite::krsp::baselines::min_delay(&probe).map(|s| s.delay)
+        else {
+            continue;
+        };
+        let inst = Instance {
+            delay_bound: dmin + 1,
+            ..probe
+        };
+        let fast = solve(&inst, &Config::default()).is_ok();
+        let lp = solve(
+            &inst,
+            &Config {
+                engine: Engine::LpRounding,
+                single_probe: true,
+                ..Config::default()
+            },
+        )
+        .is_ok();
+        assert_eq!(fast, lp, "seed {seed}: engines disagree on feasibility");
+        found += 1;
+    }
+    assert!(found >= 3, "too few instances exercised");
+}

@@ -1,0 +1,86 @@
+//! Integration tests for the extension APIs (vertex-disjoint kRSP and the
+//! Definition-1 QoS reduction) through the public facade.
+
+use krsp_suite::krsp::extensions::{solve_qos, solve_vertex_disjoint, vertex_disjoint_ok};
+use krsp_suite::krsp::{solve, Config, Instance};
+use krsp_suite::krsp_gen::{instantiate_with_retries, Family, Regime, Workload};
+use krsp_suite::krsp_graph::NodeId;
+
+fn sample(seed: u64) -> Option<Instance> {
+    instantiate_with_retries(
+        Workload {
+            family: Family::Layered,
+            n: 26,
+            m: 100,
+            regime: Regime::Anticorrelated,
+            k: 2,
+            tightness: 0.5,
+            seed,
+        },
+        30,
+    )
+}
+
+#[test]
+fn vertex_disjoint_solutions_share_no_internal_vertex() {
+    let mut tried = 0;
+    for seed in 40..52 {
+        let Some(inst) = sample(seed) else { continue };
+        let Ok(v) = solve_vertex_disjoint(&inst, &Config::default()) else {
+            continue;
+        };
+        assert!(vertex_disjoint_ok(&inst, &v.solution), "seed {seed}");
+        assert!(v.solution.delay <= inst.delay_bound, "seed {seed}");
+        // Vertex-disjointness is stricter, so the vertex-disjoint cost is
+        // at least the *edge*-disjoint LP lower bound. (Comparing the two
+        // approximate solutions directly would be unsound — both are only
+        // 2-approximations of their respective optima.)
+        if let Ok(e) = solve(&inst, &Config::default()) {
+            if let Some(lb) = e.solution.lower_bound {
+                assert!(
+                    lb.to_f64() <= v.solution.cost as f64 + 1e-9,
+                    "seed {seed}: vertex-disjoint cost below the edge LP bound"
+                );
+            }
+        }
+        tried += 1;
+    }
+    assert!(tried >= 2, "too few vertex-disjoint instances exercised");
+}
+
+#[test]
+fn qos_reduction_sorts_and_bounds() {
+    for seed in 60..66 {
+        let Some(inst) = sample(seed) else { continue };
+        let per_path = inst.delay_bound; // generous per-path target
+        let Ok(out) = solve_qos(
+            &inst.graph,
+            inst.s,
+            inst.t,
+            inst.k,
+            per_path,
+            &Config::default(),
+        ) else {
+            continue;
+        };
+        assert_eq!(out.paths.len(), inst.k);
+        assert!(out.total_delay <= per_path * inst.k as i64);
+        for w in out.paths.windows(2) {
+            assert!(w[0].delay() <= w[1].delay(), "paths not urgency-sorted");
+        }
+        assert!(out.paths_meeting_bound >= 1, "fastest path over the bound");
+    }
+}
+
+#[test]
+fn vertex_disjoint_on_tiny_hand_instance() {
+    use krsp_suite::krsp_graph::DiGraph;
+    // Two routes forced through vertex 1 → vertex-disjoint k=2 infeasible.
+    let g = DiGraph::from_edges(
+        3,
+        &[(0, 1, 1, 1), (0, 1, 1, 1), (1, 2, 1, 1), (1, 2, 1, 1)],
+    );
+    let inst = Instance::new(g, NodeId(0), NodeId(2), 2, 10).unwrap();
+    assert!(solve(&inst, &Config::default()).is_ok());
+    assert!(solve_vertex_disjoint(&inst, &Config::default()).is_err());
+}

@@ -1,0 +1,80 @@
+//! Repository-level property tests: the paper's structural invariants on
+//! randomly generated instances, exercised through the public API.
+
+use krsp_suite::krsp::{baselines, exact, solve, Config, Instance};
+use krsp_suite::krsp_graph::{DiGraph, NodeId};
+use proptest::prelude::*;
+
+/// Random small instances with guaranteed 2-connectivity between the
+/// terminals (two vertex-disjoint backbones are wired in explicitly).
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        proptest::collection::vec((0u32..8, 0u32..8, 1i64..12, 1i64..12), 0..14),
+        1i64..60,
+        proptest::sample::select(vec![1usize, 2]),
+    )
+        .prop_map(|(extra, d, k)| {
+            let mut edges = vec![
+                // Backbone A: 0→1→7, backbone B: 0→2→7 (distinct middles).
+                (0, 1, 3, 6),
+                (1, 7, 3, 6),
+                (0, 2, 6, 3),
+                (2, 7, 6, 3),
+            ];
+            edges.extend(extra.into_iter().filter(|&(u, v, _, _)| u != v));
+            let g = DiGraph::from_edges(8, &edges);
+            Instance::new(g, NodeId(0), NodeId(7), k, d).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whenever the solver answers, the answer is a genuine delay-feasible
+    /// k-path system within 2× of the exact optimum; whenever it declines,
+    /// the instance is genuinely infeasible.
+    #[test]
+    fn solve_is_sound_and_2_approximate(inst in arb_instance()) {
+        match solve(&inst, &Config::default()) {
+            Ok(out) => {
+                prop_assert!(out.solution.delay <= inst.delay_bound);
+                prop_assert!(out.solution.edges.is_k_flow(
+                    &inst.graph, inst.s, inst.t, inst.k));
+                let opt = exact::brute_force(&inst).expect("solver said feasible");
+                prop_assert!(out.solution.cost <= 2 * opt.cost,
+                    "cost {} > 2·C_OPT {}", out.solution.cost, opt.cost);
+                if let Some(lb) = out.solution.lower_bound {
+                    // The LP bound must lower-bound the true optimum.
+                    prop_assert!(lb.to_f64() <= opt.cost as f64 + 1e-9,
+                        "LP bound {} above C_OPT {}", lb, opt.cost);
+                }
+            }
+            Err(_) => {
+                prop_assert!(exact::brute_force(&inst).is_none(),
+                    "solver declined a feasible instance");
+            }
+        }
+    }
+
+    /// The exact solvers agree with each other.
+    #[test]
+    fn exact_solvers_agree(inst in arb_instance()) {
+        let bf = exact::brute_force(&inst).map(|e| e.cost);
+        let bb = exact::branch_and_bound(&inst).map(|e| e.cost);
+        prop_assert_eq!(bf, bb);
+    }
+
+    /// Baselines bracket the solution: min_delay.delay ≤ solution.delay and
+    /// min_sum.cost ≤ solution.cost.
+    #[test]
+    fn baselines_bracket(inst in arb_instance()) {
+        if let Ok(out) = solve(&inst, &Config::default()) {
+            if let Some(fast) = baselines::min_delay(&inst) {
+                prop_assert!(fast.delay <= out.solution.delay);
+            }
+            if let Some(cheap) = baselines::min_sum(&inst) {
+                prop_assert!(cheap.cost <= out.solution.cost);
+            }
+        }
+    }
+}
