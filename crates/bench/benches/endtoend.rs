@@ -9,7 +9,14 @@ use krsp_gen::{Family, Regime};
 fn instances(n: usize) -> Vec<Instance> {
     (0..3u64)
         .filter_map(|seed| {
-            standard_workload(Family::Layered, n, 2, Regime::Anticorrelated, 0.4, 777 + seed)
+            standard_workload(
+                Family::Layered,
+                n,
+                2,
+                Regime::Anticorrelated,
+                0.4,
+                777 + seed,
+            )
         })
         .collect()
 }
@@ -29,17 +36,21 @@ fn bench_full_solver(c: &mut Criterion) {
                 }
             })
         });
-        group.bench_with_input(BenchmarkId::new("krsp_single_probe", n), &insts, |b, insts| {
-            let cfg = Config {
-                single_probe: true,
-                ..Config::default()
-            };
-            b.iter(|| {
-                for inst in insts {
-                    let _ = solve(inst, &cfg);
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("krsp_single_probe", n),
+            &insts,
+            |b, insts| {
+                let cfg = Config {
+                    single_probe: true,
+                    ..Config::default()
+                };
+                b.iter(|| {
+                    for inst in insts {
+                        let _ = solve(inst, &cfg);
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -108,7 +119,14 @@ fn bench_batch(c: &mut Criterion) {
     group.sample_size(10);
     let insts: Vec<Instance> = (0..16u64)
         .filter_map(|seed| {
-            standard_workload(Family::Layered, 30, 2, Regime::Anticorrelated, 0.4, 555 + seed)
+            standard_workload(
+                Family::Layered,
+                30,
+                2,
+                Regime::Anticorrelated,
+                0.4,
+                555 + seed,
+            )
         })
         .collect();
     if insts.len() < 4 {
@@ -134,5 +152,11 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_solver, bench_phase1, bench_baselines, bench_batch);
+criterion_group!(
+    benches,
+    bench_full_solver,
+    bench_phase1,
+    bench_baselines,
+    bench_batch
+);
 criterion_main!(benches);

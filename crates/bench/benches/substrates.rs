@@ -106,7 +106,9 @@ fn bench_simplex(c: &mut Criterion) {
                         .iter()
                         .enumerate()
                         .map(|(j, &v)| {
-                            let w = g.edge(krsp_graph::EdgeId(((i * 7 + j) % g.edge_count()) as u32)).cost;
+                            let w = g
+                                .edge(krsp_graph::EdgeId(((i * 7 + j) % g.edge_count()) as u32))
+                                .cost;
                             (v, Rat::int(w as i128 % 5 + 1))
                         })
                         .collect();

@@ -30,11 +30,7 @@ fn main() {
                 if let Err(e) = table.save(&out_dir) {
                     eprintln!("(could not save {id}: {e})");
                 }
-                if table
-                    .rows
-                    .iter()
-                    .any(|r| r.iter().any(|c| c == "FAIL"))
-                {
+                if table.rows.iter().any(|r| r.iter().any(|c| c == "FAIL")) {
                     failed = true;
                     eprintln!("!! {id} contains FAIL rows");
                 }

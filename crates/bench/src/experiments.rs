@@ -66,8 +66,15 @@ pub fn t1_ratio_validation() -> Table {
         "t1",
         "bifactor (1,2) validation vs exact C_OPT (small instances)",
         &[
-            "family", "regime", "k", "instances", "mean cost/OPT", "max cost/OPT",
-            "max delay/D", "claim(≤2)", "claim(≤1)",
+            "family",
+            "regime",
+            "k",
+            "instances",
+            "mean cost/OPT",
+            "max cost/OPT",
+            "max delay/D",
+            "claim(≤2)",
+            "claim(≤1)",
         ],
     );
     for family in FAMILIES {
@@ -144,8 +151,14 @@ pub fn t2_phase1_pairing() -> Table {
         "t2",
         "phase-1 LP rounding: Lemma 5 pairing (α, 2−α)",
         &[
-            "family", "regime", "instances", "mean α", "max α", "max cost/C_LP",
-            "max α+cost/C_LP", "claim(≤2)",
+            "family",
+            "regime",
+            "instances",
+            "mean α",
+            "max α",
+            "max cost/C_LP",
+            "max α+cost/C_LP",
+            "claim(≤2)",
         ],
     );
     for family in FAMILIES {
@@ -174,7 +187,12 @@ pub fn t2_phase1_pairing() -> Table {
                 format!("{:.3}", max(&alphas)),
                 format!("{:.3}", max(&betas)),
                 format!("{:.3}", max(&sums)),
-                if max(&sums) <= 2.0 + 1e-9 { "PASS" } else { "FAIL" }.to_string(),
+                if max(&sums) <= 2.0 + 1e-9 {
+                    "PASS"
+                } else {
+                    "FAIL"
+                }
+                .to_string(),
             ]);
         }
     }
@@ -189,7 +207,12 @@ pub fn t3_baseline_comparison() -> Table {
         "t3",
         "algorithm comparison (medium instances, cost vs LP bound, delay feasibility)",
         &[
-            "algorithm", "solved", "mean cost/LP", "mean delay/D", "max delay/D", "mean ms",
+            "algorithm",
+            "solved",
+            "mean cost/LP",
+            "mean delay/D",
+            "max delay/D",
+            "mean ms",
         ],
     );
     struct Acc {
@@ -266,7 +289,9 @@ pub fn t3_baseline_comparison() -> Table {
         ]);
     }
     t.note("Claim: only kRSP both respects the budget (delay/D ≤ 1) and stays near the LP bound;");
-    t.note("min-sum violates delay, greedy under-solves, LP-rounding-only overshoots delay up to 2×.");
+    t.note(
+        "min-sum violates delay, greedy under-solves, LP-rounding-only overshoots delay up to 2×.",
+    );
     t
 }
 
@@ -276,7 +301,14 @@ pub fn t4_k_sweep() -> Table {
     let mut t = Table::new(
         "t4",
         "k sweep on layered fabrics (n≈50)",
-        &["k", "solved", "mean cost/LP", "max delay/D", "mean ms", "mean iters"],
+        &[
+            "k",
+            "solved",
+            "mean cost/LP",
+            "max delay/D",
+            "mean ms",
+            "mean iters",
+        ],
     );
     for k in 1..=6usize {
         let rows: Vec<(f64, f64, f64, f64)> = (0..5u64)
@@ -325,8 +357,7 @@ pub fn f1_tradeoff_curve() -> Table {
         "trade-off curve: cost vs delay budget (geometric WAN, k=2)",
         &["D/Dmin", "cost", "delay", "cost/LP", "min-sum feasible"],
     );
-    let Some(base) = standard_workload(Family::Geometric, 50, 2, Regime::Uniform, 1.0, 5001)
-    else {
+    let Some(base) = standard_workload(Family::Geometric, 50, 2, Regime::Uniform, 1.0, 5001) else {
         t.note("workload unavailable");
         return t;
     };
@@ -382,9 +413,14 @@ pub fn f2_runtime_scaling() -> Table {
         let mut m_seen = 0;
         let mut solved = 0;
         for seed in 0..3u64 {
-            if let Some(inst) =
-                standard_workload(Family::Layered, n, 2, Regime::Anticorrelated, 0.4, 6000 + seed)
-            {
+            if let Some(inst) = standard_workload(
+                Family::Layered,
+                n,
+                2,
+                Regime::Anticorrelated,
+                0.4,
+                6000 + seed,
+            ) {
                 m_seen = inst.m();
                 let (out, ms) = timed(|| solve(&inst, &Config::default()).ok());
                 if out.is_some() {
@@ -447,7 +483,13 @@ pub fn f3_iteration_behaviour() -> Table {
         "f3",
         "cycle-cancellation behaviour per instance (layered, k=2)",
         &[
-            "seed", "phase1 delay/D", "iters", "type0", "type1", "type2", "fast-pass %",
+            "seed",
+            "phase1 delay/D",
+            "iters",
+            "type0",
+            "type1",
+            "type2",
+            "fast-pass %",
             "final delay/D",
         ],
     );
@@ -459,9 +501,14 @@ pub fn f3_iteration_behaviour() -> Table {
         // Tight budgets (tightness 0.1) make the phase-1 rounding land on
         // the delay-infeasible extreme often; keep only instances where
         // phase 2 actually has work to do.
-        let Some(inst) =
-            standard_workload(Family::Layered, 40, 2, Regime::Anticorrelated, 0.1, 7000 + seed)
-        else {
+        let Some(inst) = standard_workload(
+            Family::Layered,
+            40,
+            2,
+            Regime::Anticorrelated,
+            0.1,
+            7000 + seed,
+        ) else {
             continue;
         };
         let Ok(out) = solve(&inst, &Config::default()) else {
@@ -490,7 +537,9 @@ pub fn f3_iteration_behaviour() -> Table {
             format!("{:.3}", out.solution.delay as f64 / d),
         ]);
     }
-    t.note("Claim (Lemma 12/13): finitely many cancellations, each delay-reducing or ratio-improving;");
+    t.note(
+        "Claim (Lemma 12/13): finitely many cancellations, each delay-reducing or ratio-improving;",
+    );
     t.note("in practice a handful of fast-pass cycles suffice.");
     t
 }
@@ -501,7 +550,13 @@ pub fn f4_epsilon_sweep() -> Table {
     let mut t = Table::new(
         "f4",
         "Theorem-4 scaling: ε vs solution quality and runtime (fixed instances)",
-        &["ε", "instances", "mean cost/OPT", "max delay/(1+ε)D", "mean ms"],
+        &[
+            "ε",
+            "instances",
+            "mean cost/OPT",
+            "max delay/(1+ε)D",
+            "mean ms",
+        ],
     );
     let insts: Vec<Instance> = (0..4u64)
         .filter_map(|seed| {
@@ -558,7 +613,13 @@ pub fn f5_fig1_cost_cap() -> Table {
     let mut t = Table::new(
         "f5",
         "Figure-1 family: effect of the |c(O)| ≤ C_OPT cap (k=2)",
-        &["D", "C_OPT", "cost (cap on)", "cost (cap off)", "capped ≤ 2·OPT"],
+        &[
+            "D",
+            "C_OPT",
+            "cost (cap on)",
+            "cost (cap off)",
+            "capped ≤ 2·OPT",
+        ],
     );
     for d in [4i64, 8, 16, 32, 64] {
         let inst = fig1_instance(d, 3);
@@ -592,7 +653,14 @@ pub fn a1_engine_ablation() -> Table {
     let mut t = Table::new(
         "a1",
         "ablation: bicameral engine (LP Algorithm 3 vs layered Bellman–Ford)",
-        &["seed", "layered cost", "LP cost", "both ≤ 2·OPT", "layered ms", "LP ms"],
+        &[
+            "seed",
+            "layered cost",
+            "LP cost",
+            "both ≤ 2·OPT",
+            "layered ms",
+            "LP ms",
+        ],
     );
     for seed in 0..5u64 {
         let Some(inst) = tiny_lp_workload(10, 2, 9000 + seed) else {
@@ -638,9 +706,14 @@ pub fn a2_bsearch_ablation() -> Table {
         &["seed", "doubling ms", "sweep ms", "same cost"],
     );
     for seed in 0..5u64 {
-        let Some(inst) =
-            standard_workload(Family::Grid, 25, 2, Regime::Anticorrelated, 0.3, 9500 + seed)
-        else {
+        let Some(inst) = standard_workload(
+            Family::Grid,
+            25,
+            2,
+            Regime::Anticorrelated,
+            0.3,
+            9500 + seed,
+        ) else {
             continue;
         };
         let dbl_cfg = Config {
@@ -672,7 +745,14 @@ pub fn a3_phase1_ablation() -> Table {
     let mut t = Table::new(
         "a3",
         "ablation: phase-1 backend (parametric Lagrangian vs exact simplex)",
-        &["seed", "n", "m", "C_LP agree", "lagrangian ms", "simplex ms"],
+        &[
+            "seed",
+            "n",
+            "m",
+            "C_LP agree",
+            "lagrangian ms",
+            "simplex ms",
+        ],
     );
     for seed in 0..6u64 {
         let Some(inst) =
@@ -710,11 +790,15 @@ pub fn t5_application_replay() -> Table {
         "t5",
         "application replay: deadline hit rate by provisioning method (k=3)",
         &[
-            "provisioning", "policy", "cost", "base delay", "on-time %", "p95 latency",
+            "provisioning",
+            "policy",
+            "cost",
+            "base delay",
+            "on-time %",
+            "p95 latency",
         ],
     );
-    let Some(inst) =
-        standard_workload(Family::Layered, 40, 3, Regime::Anticorrelated, 0.5, 12_000)
+    let Some(inst) = standard_workload(Family::Layered, 40, 3, Regime::Anticorrelated, 0.5, 12_000)
     else {
         t.note("workload unavailable");
         return t;
@@ -807,9 +891,14 @@ pub fn a4_scc_ablation() -> Table {
             break;
         }
         // Tight budgets so phase 2 (where pruning matters) actually runs.
-        let Some(inst) =
-            standard_workload(Family::Grid, 49, 2, Regime::Anticorrelated, 0.1, 9900 + seed)
-        else {
+        let Some(inst) = standard_workload(
+            Family::Grid,
+            49,
+            2,
+            Regime::Anticorrelated,
+            0.1,
+            9900 + seed,
+        ) else {
             continue;
         };
         let on_cfg = Config {

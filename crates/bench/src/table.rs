@@ -52,7 +52,11 @@ impl Table {
             }
         }
         let mut out = String::new();
-        out.push_str(&format!("## {} — {}\n\n", self.id.to_uppercase(), self.title));
+        out.push_str(&format!(
+            "## {} — {}\n\n",
+            self.id.to_uppercase(),
+            self.title
+        ));
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
             cells
                 .iter()

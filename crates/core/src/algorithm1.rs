@@ -228,8 +228,8 @@ pub fn solve(inst: &Instance, cfg: &Config) -> Result<Solved, SolveError> {
 
     // Already feasible after rounding? Done — cost ≤ 2·C_LP by Lemma 5.
     if p1.delay <= inst.delay_bound {
-        let solution = Solution::from_edge_set(inst, p1.flow.clone())
-            .expect("phase-1 flow is a valid k-flow");
+        let solution =
+            Solution::from_edge_set(inst, p1.flow.clone()).expect("phase-1 flow is a valid k-flow");
         return Ok(finish(solution, stats, start));
     }
 
@@ -386,7 +386,10 @@ mod tests {
         let inst = tradeoff(14);
         let solved = solve(&inst, &Config::default()).unwrap();
         assert!(solved.stats.lp_bound > 0.0);
-        assert!(solved.stats.probes >= 1 || !solved.stats.iterations.is_empty()
-            || solved.stats.phase1_delay <= 14);
+        assert!(
+            solved.stats.probes >= 1
+                || !solved.stats.iterations.is_empty()
+                || solved.stats.phase1_delay <= 14
+        );
     }
 }

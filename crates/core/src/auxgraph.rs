@@ -214,10 +214,7 @@ mod tests {
         ];
         let projected = aux.project(&h_cycle);
         assert_eq!(projected.len(), 3);
-        let cost: i64 = projected
-            .iter()
-            .map(|&e| res.graph().edge(e).cost)
-            .sum();
+        let cost: i64 = projected.iter().map(|&e| res.graph().edge(e).cost).sum();
         assert_eq!(cost, 2);
         // Projection is a contiguous closed walk.
         let rg = res.graph();

@@ -120,9 +120,7 @@ pub fn orda_sprintson(inst: &Instance) -> Option<Solution> {
         }
         // Split into simple cycles, apply the most delay-reducing one.
         let pieces = krsp_graph::split_closed_walk(rg, &rc.edges);
-        let best = pieces
-            .into_iter()
-            .min_by_key(|p| residual.delay_of(p))?;
+        let best = pieces.into_iter().min_by_key(|p| residual.delay_of(p))?;
         if residual.delay_of(&best) >= 0 {
             break;
         }

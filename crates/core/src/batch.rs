@@ -1,14 +1,191 @@
-//! Batch solving — the SDN-controller shape of the workload.
+//! Batch solving and the suite's shared scheduling primitive.
 //!
 //! A controller re-provisions many flows at once (nightly re-optimization,
-//! failure storms); the instances are independent, so the batch API simply
-//! fans out over rayon's thread pool. This is the suite's primary
-//! data-parallel surface (cf. the per-seed parallelism inside the
-//! bicameral engines).
+//! failure storms); the instances are independent, so the batch API fans
+//! out over an [`Executor`]. The same executor type backs the long-running
+//! `krsp-service` provisioning daemon, so all thread scheduling in the
+//! suite lives in one place:
+//!
+//! * [`Executor::map`] — scoped fan-out over borrowed slices (what
+//!   [`solve_batch`] uses); threads live only for the call.
+//! * [`Executor::submit`] — FIFO dispatch of `'static` jobs onto a
+//!   lazily-started resident worker pool (what the service uses).
 
-use crate::algorithm1::{solve, Config, Solved, SolveError};
+use crate::algorithm1::{solve, Config, SolveError, Solved};
 use crate::instance::Instance;
-use rayon::prelude::*;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// A boxed unit of work for the resident pool.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    not_empty: Condvar,
+}
+
+struct ResidentPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+/// The suite's scheduling primitive: a fixed worker width shared by scoped
+/// batch fan-out ([`Executor::map`]) and a resident FIFO worker pool
+/// ([`Executor::submit`]). The resident threads are started lazily on the
+/// first `submit`, so batch-only users never spawn long-lived threads.
+pub struct Executor {
+    workers: usize,
+    pool: Mutex<Option<ResidentPool>>,
+}
+
+impl Executor {
+    /// An executor `workers` wide (clamped to at least 1).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Executor {
+            workers: workers.max(1),
+            pool: Mutex::new(None),
+        }
+    }
+
+    /// Worker width.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f` to every item, preserving order, using up to
+    /// [`Executor::workers`] scoped threads. Panics in `f` propagate.
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        let width = self.workers.min(items.len());
+        if width <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        thread::scope(|s| {
+            for _ in 0..width {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let out = f(&items[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every index visited")
+            })
+            .collect()
+    }
+
+    /// Enqueues a job on the resident FIFO pool, starting the pool's
+    /// threads on first use. Jobs run in submission order across
+    /// [`Executor::workers`] threads.
+    pub fn submit(&self, job: Job) {
+        let mut pool = self.pool.lock().expect("executor pool poisoned");
+        let resident = pool.get_or_insert_with(|| self.start_resident());
+        {
+            let mut st = resident.shared.state.lock().expect("pool state poisoned");
+            st.queue.push_back(job);
+        }
+        resident.shared.not_empty.notify_one();
+    }
+
+    /// Number of jobs submitted but not yet started (0 if the resident pool
+    /// was never started).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        let pool = self.pool.lock().expect("executor pool poisoned");
+        pool.as_ref().map_or(0, |r| {
+            r.shared
+                .state
+                .lock()
+                .expect("pool state poisoned")
+                .queue
+                .len()
+        })
+    }
+
+    fn start_resident(&self) -> ResidentPool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+        });
+        let handles = (0..self.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || loop {
+                    let job = {
+                        let mut st = shared.state.lock().expect("pool state poisoned");
+                        loop {
+                            if let Some(j) = st.queue.pop_front() {
+                                break j;
+                            }
+                            if st.shutdown {
+                                return;
+                            }
+                            st = shared.not_empty.wait(st).expect("pool state poisoned");
+                        }
+                    };
+                    job();
+                })
+            })
+            .collect();
+        ResidentPool { shared, handles }
+    }
+}
+
+impl Drop for Executor {
+    /// Drains the resident queue (pending jobs still run) and joins the
+    /// workers.
+    fn drop(&mut self) {
+        let resident = self.pool.lock().expect("executor pool poisoned").take();
+        if let Some(resident) = resident {
+            resident
+                .shared
+                .state
+                .lock()
+                .expect("pool state poisoned")
+                .shutdown = true;
+            resident.shared.not_empty.notify_all();
+            for h in resident.handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// The process-wide executor used by [`solve_batch`]: one worker per
+/// available CPU.
+pub fn shared_executor() -> &'static Executor {
+    static SHARED: OnceLock<Executor> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let width = thread::available_parallelism().map_or(4, std::num::NonZero::get);
+        Executor::new(width)
+    })
+}
 
 /// Solves every instance in parallel, preserving order.
 ///
@@ -29,7 +206,7 @@ use rayon::prelude::*;
 /// ```
 #[must_use]
 pub fn solve_batch(instances: &[Instance], cfg: &Config) -> Vec<Result<Solved, SolveError>> {
-    instances.par_iter().map(|i| solve(i, cfg)).collect()
+    shared_executor().map(instances, |i| solve(i, cfg))
 }
 
 /// Aggregate statistics over a batch result.
@@ -69,10 +246,7 @@ mod tests {
     use krsp_graph::{DiGraph, NodeId};
 
     fn inst(d: i64) -> Instance {
-        let g = DiGraph::from_edges(
-            4,
-            &[(0, 1, 1, 5), (1, 3, 1, 5), (0, 2, 4, 1), (2, 3, 4, 1)],
-        );
+        let g = DiGraph::from_edges(4, &[(0, 1, 1, 5), (1, 3, 1, 5), (0, 2, 4, 1), (2, 3, 4, 1)]);
         Instance::new(g, NodeId(0), NodeId(3), 2, d).unwrap()
     }
 
@@ -92,6 +266,31 @@ mod tests {
                 other => panic!("batch/sequential disagree: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn executor_map_preserves_order() {
+        let ex = Executor::new(4);
+        let items: Vec<u64> = (0..100).collect();
+        let out = ex.map(&items, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn executor_submit_runs_all_jobs() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let ex = Executor::new(3);
+        let sum = Arc::new(AtomicU64::new(0));
+        for i in 1..=50u64 {
+            let sum = Arc::clone(&sum);
+            ex.submit(Box::new(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+            }));
+        }
+        drop(ex); // drains the queue and joins the workers
+        assert_eq!(sum.load(Ordering::Relaxed), 50 * 51 / 2);
     }
 
     #[test]

@@ -227,8 +227,7 @@ fn search_subgraphs(residual: &ResidualGraph, prune: bool) -> Vec<SubResidual> {
         }];
     }
     let part = krsp_graph::tarjan_scc(rg);
-    let cyclic: std::collections::HashSet<usize> =
-        part.cyclic_components(rg).into_iter().collect();
+    let cyclic: std::collections::HashSet<usize> = part.cyclic_components(rg).into_iter().collect();
     let mut subs: Vec<SubResidual> = Vec::new();
     // Component id → (subgraph index, node remap).
     let mut sub_of: Vec<Option<usize>> = vec![None; part.count];
@@ -337,9 +336,13 @@ fn layered(residual: &ResidualGraph, ctx: &Ctx, b_search: BSearch) -> Option<Bic
                 if projected.is_empty() {
                     continue; // pure closing-edge artifact (cannot happen: w=0)
                 }
-                if let Some((edges, cost, delay, kind)) =
-                    harvest(residual, &sub.graph, &projected, |e| sub.edge_map[e.index()], ctx)
-                {
+                if let Some((edges, cost, delay, kind)) = harvest(
+                    residual,
+                    &sub.graph,
+                    &projected,
+                    |e| sub.edge_map[e.index()],
+                    ctx,
+                ) {
                     return Some(BicameralCycle {
                         edges,
                         cost,
@@ -383,8 +386,13 @@ fn layered(residual: &ResidualGraph, ctx: &Ctx, b_search: BSearch) -> Option<Bic
             if projected.is_empty() {
                 return None;
             }
-            let (edges, cost, delay, kind) =
-                harvest(residual, &sub.graph, &projected, |e| sub.edge_map[e.index()], ctx)?;
+            let (edges, cost, delay, kind) = harvest(
+                residual,
+                &sub.graph,
+                &projected,
+                |e| sub.edge_map[e.index()],
+                ctx,
+            )?;
             Some(BicameralCycle {
                 edges,
                 cost,
@@ -581,11 +589,11 @@ mod tests {
         assert_eq!(c.classify(1, -3), Some(CycleKind::Type1)); // ratio -3 ✓
         assert_eq!(c.classify(1, -1), None); // ratio -1 ✗
         assert_eq!(c.classify(2, -3), None); // ratio -1.5 ✗
-        // type-2: d/c ≥ -2 with c < 0.
+                                             // type-2: d/c ≥ -2 with c < 0.
         assert_eq!(c.classify(-1, 1), Some(CycleKind::Type2)); // ratio -1 ✓
         assert_eq!(c.classify(-1, 2), Some(CycleKind::Type2)); // ratio -2 ✓
         assert_eq!(c.classify(-1, 3), None); // ratio -3 ✗
-        // cost cap.
+                                             // cost cap.
         assert_eq!(c.classify(101, -1000), None);
         assert_eq!(c.classify(-101, 0), None);
         // degenerate zero cycle.
@@ -600,11 +608,11 @@ mod tests {
         let g = krsp_graph::DiGraph::from_edges(
             4,
             &[
-                (0, 1, 1, 9),  // e0 cheap slow (in solution)
-                (1, 3, 1, 9),  // e1 cheap slow (in solution)
-                (0, 2, 4, 1),  // e2 pricey fast
-                (2, 3, 4, 1),  // e3 pricey fast
-                (2, 1, 0, 0),  // e4 bridge
+                (0, 1, 1, 9), // e0 cheap slow (in solution)
+                (1, 3, 1, 9), // e1 cheap slow (in solution)
+                (0, 2, 4, 1), // e2 pricey fast
+                (2, 3, 4, 1), // e3 pricey fast
+                (2, 1, 0, 0), // e4 bridge
             ],
         );
         let sol = EdgeSet::from_edges(g.edge_count(), &[EdgeId(0), EdgeId(1)]);

@@ -196,9 +196,9 @@ fn bb(
         return;
     }
     // Branch on an undecided edge of the candidate flow.
-    let branch_edge = (0..inst.m()).map(|i| EdgeId(i as u32)).find(|&e| {
-        !removed[e.index()] && !committed[e.index()] && p1.feasible_flow.contains(e)
-    });
+    let branch_edge = (0..inst.m())
+        .map(|i| EdgeId(i as u32))
+        .find(|&e| !removed[e.index()] && !committed[e.index()] && p1.feasible_flow.contains(e));
     let Some(e) = branch_edge else {
         return; // candidate fully committed: it is the subtree optimum
     };

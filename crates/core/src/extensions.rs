@@ -233,10 +233,7 @@ mod tests {
     fn vertex_disjoint_infeasibility() {
         // Only route to t goes through the hub: k=2 vertex-disjoint
         // impossible.
-        let g = DiGraph::from_edges(
-            4,
-            &[(0, 1, 1, 1), (0, 1, 1, 1), (1, 3, 1, 1), (1, 3, 1, 1)],
-        );
+        let g = DiGraph::from_edges(4, &[(0, 1, 1, 1), (0, 1, 1, 1), (1, 3, 1, 1), (1, 3, 1, 1)]);
         let inst = Instance::new(g, NodeId(0), NodeId(3), 2, 100).unwrap();
         assert!(solve(&inst, &Config::default()).is_ok()); // edge-disjoint OK
         assert!(solve_vertex_disjoint(&inst, &Config::default()).is_err());
@@ -307,8 +304,7 @@ mod tests {
                 }
                 KbcpOutcome::Infeasible => {
                     // Must genuinely be infeasible at (c_bound, 14).
-                    let inst =
-                        Instance::new(g.clone(), NodeId(0), NodeId(5), 2, 14).unwrap();
+                    let inst = Instance::new(g.clone(), NodeId(0), NodeId(5), 2, 14).unwrap();
                     let opt = crate::exact::brute_force(&inst).unwrap();
                     assert!(opt.cost > c_bound, "false infeasibility at C={c_bound}");
                 }

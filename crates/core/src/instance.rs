@@ -75,8 +75,7 @@ impl Instance {
         if self.s == self.t {
             return Err(InstanceError::SourceEqualsSink);
         }
-        if self.s.index() >= self.graph.node_count() || self.t.index() >= self.graph.node_count()
-        {
+        if self.s.index() >= self.graph.node_count() || self.t.index() >= self.graph.node_count() {
             return Err(InstanceError::TerminalOutOfRange);
         }
         if self.k == 0 {
@@ -85,12 +84,7 @@ impl Instance {
         if self.delay_bound < 0 {
             return Err(InstanceError::NegativeDelayBound);
         }
-        if self
-            .graph
-            .edges()
-            .iter()
-            .any(|e| e.cost < 0 || e.delay < 0)
-        {
+        if self.graph.edges().iter().any(|e| e.cost < 0 || e.delay < 0) {
             return Err(InstanceError::NegativeWeight);
         }
         Ok(())

@@ -46,8 +46,8 @@
 
 pub mod algorithm1;
 pub mod auxgraph;
-pub mod batch;
 pub mod baselines;
+pub mod batch;
 pub mod bicameral;
 pub mod exact;
 pub mod extensions;
@@ -58,7 +58,7 @@ pub mod solution;
 pub mod verify;
 
 pub use algorithm1::{solve, Config, RunStats, SolveError, Solved};
-pub use batch::{solve_batch, summarize, BatchSummary};
+pub use batch::{shared_executor, solve_batch, summarize, BatchSummary, Executor};
 pub use bicameral::{BSearch, CycleKind, Engine};
 pub use instance::{Instance, InstanceError};
 pub use phase1::Phase1Backend;

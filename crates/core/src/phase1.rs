@@ -69,8 +69,7 @@ impl Phase1 {
     /// Lemma 5's `α`: `delay/D` of the rounded solution (`None` if `D = 0`).
     #[must_use]
     pub fn alpha(&self, inst: &Instance) -> Option<Rat> {
-        (inst.delay_bound != 0)
-            .then(|| Rat::new(self.delay as i128, inst.delay_bound as i128))
+        (inst.delay_bound != 0).then(|| Rat::new(self.delay as i128, inst.delay_bound as i128))
     }
 }
 
@@ -156,11 +155,7 @@ fn assemble(
             score(c_hi, d_hi) < score(c_lo, d_lo)
         }
     };
-    let flow = if pick_hi {
-        f_hi.unwrap()
-    } else {
-        f_lo.clone()
-    };
+    let flow = if pick_hi { f_hi.unwrap() } else { f_lo.clone() };
     let (cost, delay) = flow_totals(inst, &flow);
     Phase1 {
         flow,

@@ -92,8 +92,8 @@ pub fn solve_scaled(
     let p1 = phase1::run(inst, Phase1Backend::Lagrangian)?;
     if p1.delay <= inst.delay_bound {
         // Rounded solution already feasible: no scaling needed.
-        let mut solution = Solution::from_edge_set(inst, p1.flow.clone())
-            .expect("phase-1 flow is valid");
+        let mut solution =
+            Solution::from_edge_set(inst, p1.flow.clone()).expect("phase-1 flow is valid");
         solution.lower_bound = Some(p1.lp_bound);
         return Ok(ScaledSolved {
             solution,
@@ -132,8 +132,7 @@ pub fn solve_scaled(
                 // (2+ε₂)·guess.
                 let delay_ok = (solution.delay as f64)
                     <= (1.0 + eps1.as_f64()) * inst.delay_bound as f64 + 1e-9;
-                let cost_ok =
-                    (solution.cost as f64) <= (2.0 + eps2.as_f64()) * guess as f64 + 1e-9;
+                let cost_ok = (solution.cost as f64) <= (2.0 + eps2.as_f64()) * guess as f64 + 1e-9;
                 if delay_ok {
                     let cand = ScaledSolved {
                         solution,

@@ -53,8 +53,7 @@ impl Solution {
     /// `delay / D` — the delay bifactor component `α` (`None` if `D = 0`).
     #[must_use]
     pub fn delay_factor(&self, inst: &Instance) -> Option<Rat> {
-        (inst.delay_bound != 0)
-            .then(|| Rat::new(self.delay as i128, inst.delay_bound as i128))
+        (inst.delay_bound != 0).then(|| Rat::new(self.delay as i128, inst.delay_bound as i128))
     }
 
     /// True iff the delay budget is respected.
@@ -78,15 +77,7 @@ mod tests {
     use krsp_graph::{DiGraph, EdgeId, NodeId};
 
     fn inst() -> Instance {
-        let g = DiGraph::from_edges(
-            4,
-            &[
-                (0, 1, 1, 2),
-                (1, 3, 1, 2),
-                (0, 2, 3, 4),
-                (2, 3, 3, 4),
-            ],
-        );
+        let g = DiGraph::from_edges(4, &[(0, 1, 1, 2), (1, 3, 1, 2), (0, 2, 3, 4), (2, 3, 3, 4)]);
         Instance::new(g, NodeId(0), NodeId(3), 2, 12).unwrap()
     }
 

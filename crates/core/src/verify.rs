@@ -121,10 +121,7 @@ mod tests {
     use krsp_graph::{DiGraph, EdgeId, EdgeSet, NodeId};
 
     fn inst() -> Instance {
-        let g = DiGraph::from_edges(
-            4,
-            &[(0, 1, 1, 2), (1, 3, 1, 2), (0, 2, 3, 4), (2, 3, 3, 4)],
-        );
+        let g = DiGraph::from_edges(4, &[(0, 1, 1, 2), (1, 3, 1, 2), (0, 2, 3, 4), (2, 3, 3, 4)]);
         Instance::new(g, NodeId(0), NodeId(3), 2, 12).unwrap()
     }
 

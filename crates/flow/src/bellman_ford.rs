@@ -108,8 +108,8 @@ fn run<W: Weight>(
         let mut cur = start;
         order[cur.index()] = 0;
         loop {
-            let e = pred[cur.index()]
-                .expect("pred chain from a round-n relaxation cannot terminate");
+            let e =
+                pred[cur.index()].expect("pred chain from a round-n relaxation cannot terminate");
             back_edges.push(e);
             cur = graph.edge(e).src;
             if order[cur.index()] != usize::MAX {
@@ -145,10 +145,7 @@ mod tests {
 
     #[test]
     fn shortest_paths_positive() {
-        let g = DiGraph::from_edges(
-            4,
-            &[(0, 1, 1, 0), (1, 2, 2, 0), (0, 2, 5, 0), (2, 3, 1, 0)],
-        );
+        let g = DiGraph::from_edges(4, &[(0, 1, 1, 0), (1, 2, 2, 0), (0, 2, 5, 0), (2, 3, 1, 0)]);
         let r = bellman_ford(&g, NodeId(0), w(&g));
         assert!(r.negative_cycle.is_none());
         assert_eq!(r.dist[3], Some(4));

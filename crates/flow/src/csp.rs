@@ -182,10 +182,7 @@ pub fn rsp_fptas(
     // "Removed" edges get a finite sentinel weight strictly larger than any
     // real path delay *and* the budget, so they cannot appear on a path
     // that passes the budget check and sums cannot overflow.
-    let sentinel = graph
-        .total_delay()
-        .max(delay_bound)
-        .saturating_add(1);
+    let sentinel = graph.total_delay().max(delay_bound).saturating_add(1);
     let min_delay_using = |threshold: i64| -> bool {
         let (dist, _) = dijkstra(graph, s, |e| {
             if graph.edge(e).cost <= threshold {
@@ -242,12 +239,14 @@ pub fn rsp_fptas(
         let theta_den = n + 1;
         let scaled = |e: EdgeId| -> i64 { graph.edge(e).cost * theta_den / theta_num };
         let budget = (n + 1) as usize; // floor(c/θ) = n+1
-        let dp = budget_dp(graph, s, budget, &|e| scaled(e).min(budget as i64 + 1), &|e| {
-            graph.edge(e).delay
-        });
-        let b = (0..=budget).find(|&b| {
-            dp.value[b][t.index()].is_some_and(|d| d <= delay_bound)
-        })?;
+        let dp = budget_dp(
+            graph,
+            s,
+            budget,
+            &|e| scaled(e).min(budget as i64 + 1),
+            &|e| graph.edge(e).delay,
+        );
+        let b = (0..=budget).find(|&b| dp.value[b][t.index()].is_some_and(|d| d <= delay_bound))?;
         let edges = recover(&dp, graph, s, t, b);
         Some(CspPath::from_edges(graph, edges))
     };
@@ -281,9 +280,13 @@ pub fn rsp_fptas(
     // Budget: c'(P*) ≤ OPT/θ ≤ ub·(n+1)·eps_den/(lb·eps_num) (+ slack n).
     let budget = ((ub as i128 * (n as i128 + 1) * eps_den as i128) / denom + n as i128 + 1)
         .min(i128::from(u32::MAX)) as usize;
-    let dp = budget_dp(graph, s, budget, &|e| scaled(e).min(budget as i64 + 1), &|e| {
-        graph.edge(e).delay
-    });
+    let dp = budget_dp(
+        graph,
+        s,
+        budget,
+        &|e| scaled(e).min(budget as i64 + 1),
+        &|e| graph.edge(e).delay,
+    );
     let b = (0..=budget).find(|&b| dp.value[b][t.index()].is_some_and(|d| d <= delay_bound))?;
     let edges = recover(&dp, graph, s, t, b);
     let p = CspPath::from_edges(graph, edges);
@@ -341,10 +344,7 @@ mod tests {
 
     #[test]
     fn zero_delay_edges_within_level() {
-        let g = DiGraph::from_edges(
-            4,
-            &[(0, 1, 3, 0), (1, 2, 4, 0), (0, 2, 9, 0), (2, 3, 1, 0)],
-        );
+        let g = DiGraph::from_edges(4, &[(0, 1, 3, 0), (1, 2, 4, 0), (0, 2, 9, 0), (2, 3, 1, 0)]);
         let p = constrained_shortest_path(&g, NodeId(0), NodeId(3), 0).unwrap();
         assert_eq!((p.cost, p.delay), (8, 0));
     }
@@ -380,10 +380,7 @@ mod tests {
             0i64..40,
         )
             .prop_map(|(edges, d)| {
-                let list: Vec<_> = edges
-                    .into_iter()
-                    .filter(|&(u, v, _, _)| u != v)
-                    .collect();
+                let list: Vec<_> = edges.into_iter().filter(|&(u, v, _, _)| u != v).collect();
                 (DiGraph::from_edges(7, &list), d)
             })
     }
@@ -409,6 +406,7 @@ mod tests {
         #[test]
         fn prop_exact_is_minimal_vs_enumeration((g, d) in arb_graph()) {
             // Brute force: DFS all simple paths, track best cost within D.
+            #[allow(clippy::too_many_arguments)]
             fn dfs(g: &DiGraph, cur: NodeId, t: NodeId, visited: &mut Vec<bool>,
                    cost: i64, delay: i64, d: i64, best: &mut Option<i64>) {
                 if delay > d { return; }

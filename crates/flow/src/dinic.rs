@@ -128,10 +128,7 @@ mod tests {
     #[test]
     fn unit_capacity_disjoint_paths() {
         // Diamond: two disjoint 0→3 paths.
-        let g = DiGraph::from_edges(
-            4,
-            &[(0, 1, 0, 0), (1, 3, 0, 0), (0, 2, 0, 0), (2, 3, 0, 0)],
-        );
+        let g = DiGraph::from_edges(4, &[(0, 1, 0, 0), (1, 3, 0, 0), (0, 2, 0, 0), (2, 3, 0, 0)]);
         assert_eq!(max_edge_disjoint_paths(&g, NodeId(0), NodeId(3)), 2);
     }
 
@@ -140,7 +137,13 @@ mod tests {
         // All 0→3 routes share edge 1→2.
         let g = DiGraph::from_edges(
             4,
-            &[(0, 1, 0, 0), (0, 1, 0, 0), (1, 2, 0, 0), (2, 3, 0, 0), (2, 3, 0, 0)],
+            &[
+                (0, 1, 0, 0),
+                (0, 1, 0, 0),
+                (1, 2, 0, 0),
+                (2, 3, 0, 0),
+                (2, 3, 0, 0),
+            ],
         );
         assert_eq!(max_edge_disjoint_paths(&g, NodeId(0), NodeId(3)), 1);
     }
@@ -166,10 +169,7 @@ mod tests {
 
     #[test]
     fn flow_limit_respected() {
-        let g = DiGraph::from_edges(
-            4,
-            &[(0, 1, 0, 0), (1, 3, 0, 0), (0, 2, 0, 0), (2, 3, 0, 0)],
-        );
+        let g = DiGraph::from_edges(4, &[(0, 1, 0, 0), (1, 3, 0, 0), (0, 2, 0, 0), (2, 3, 0, 0)]);
         let mut d = Dinic::new(4);
         let mut arcs = Vec::new();
         for (_, e) in g.edge_iter() {

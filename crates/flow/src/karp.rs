@@ -39,7 +39,10 @@ impl RatioCycle {
 /// Karp's minimum mean cycle. Returns `(mean, cycle_edges)` or `None` for
 /// acyclic graphs.
 #[must_use]
-pub fn min_mean_cycle(graph: &DiGraph, weight: impl Fn(EdgeId) -> i64) -> Option<(Rat, Vec<EdgeId>)> {
+pub fn min_mean_cycle(
+    graph: &DiGraph,
+    weight: impl Fn(EdgeId) -> i64,
+) -> Option<(Rat, Vec<EdgeId>)> {
     let n = graph.node_count();
     if n == 0 || graph.edge_count() == 0 {
         return None;
@@ -184,12 +187,7 @@ mod tests {
         // Cycle B: 2→3→2 weights 1,-3 → mean -1.
         let g = DiGraph::from_edges(
             4,
-            &[
-                (0, 1, 2, 0),
-                (1, 0, 2, 0),
-                (2, 3, 1, 0),
-                (3, 2, -3, 0),
-            ],
+            &[(0, 1, 2, 0), (1, 0, 2, 0), (2, 3, 1, 0), (3, 2, -3, 0)],
         );
         let (mean, cyc) = min_mean_cycle(&g, |e| g.edge(e).cost).unwrap();
         assert_eq!(mean, Rat::int(-1));
@@ -284,7 +282,7 @@ mod tests {
                 let w = weight_sum + rec.cost;
                 if v == start {
                     let mean = Rat::new(w as i128, (len + 1) as i128);
-                    if best.map_or(true, |b| mean < b) {
+                    if best.is_none_or(|b| mean < b) {
                         *best = Some(mean);
                     }
                 } else if !visited[v] {

@@ -42,5 +42,5 @@ pub use edmonds_karp::{max_edge_disjoint_paths_ek, EdmondsKarp};
 pub use karp::min_mean_cycle;
 pub use mcf::{min_cost_k_flow, McfFlow};
 pub use mcf_fast::min_cost_k_flow_fast;
-pub use yen::{k_shortest_paths, WeightedPath};
 pub use weight::Weight;
+pub use yen::{k_shortest_paths, WeightedPath};

@@ -130,10 +130,7 @@ mod tests {
 
     #[test]
     fn single_path_is_shortest() {
-        let g = DiGraph::from_edges(
-            4,
-            &[(0, 1, 1, 0), (1, 3, 1, 0), (0, 2, 5, 0), (2, 3, 5, 0)],
-        );
+        let g = DiGraph::from_edges(4, &[(0, 1, 1, 0), (1, 3, 1, 0), (0, 2, 5, 0), (2, 3, 5, 0)]);
         let f = min_cost_k_flow(&g, NodeId(0), NodeId(3), 1, cost(&g)).unwrap();
         assert_eq!(f.weight, 2);
         let got: Vec<_> = f.edges.iter().collect();
@@ -142,10 +139,7 @@ mod tests {
 
     #[test]
     fn two_units_take_both_paths() {
-        let g = DiGraph::from_edges(
-            4,
-            &[(0, 1, 1, 0), (1, 3, 1, 0), (0, 2, 5, 0), (2, 3, 5, 0)],
-        );
+        let g = DiGraph::from_edges(4, &[(0, 1, 1, 0), (1, 3, 1, 0), (0, 2, 5, 0), (2, 3, 5, 0)]);
         let f = min_cost_k_flow(&g, NodeId(0), NodeId(3), 2, cost(&g)).unwrap();
         assert_eq!(f.weight, 12);
         assert_eq!(f.edges.count(), 4);
@@ -175,12 +169,12 @@ mod tests {
         let trap = DiGraph::from_edges(
             5,
             &[
-                (0, 1, 1, 0),  // e0
-                (1, 2, 1, 0),  // e1
-                (2, 4, 1, 0),  // e2  — shortest path 0-1-2-4 cost 3
-                (0, 2, 4, 0),  // e3
-                (1, 3, 4, 0),  // e4
-                (3, 4, 1, 0),  // e5
+                (0, 1, 1, 0), // e0
+                (1, 2, 1, 0), // e1
+                (2, 4, 1, 0), // e2  — shortest path 0-1-2-4 cost 3
+                (0, 2, 4, 0), // e3
+                (1, 3, 4, 0), // e4
+                (3, 4, 1, 0), // e5
             ],
         );
         let f1 = min_cost_k_flow(&trap, NodeId(0), NodeId(4), 1, cost(&trap)).unwrap();
@@ -227,12 +221,7 @@ mod tests {
     fn max_delay_tiebreak_via_negated_secondary() {
         let g = DiGraph::from_edges(
             4,
-            &[
-                (0, 1, 1, 50),
-                (1, 3, 1, 50),
-                (0, 2, 1, 10),
-                (2, 3, 1, 10),
-            ],
+            &[(0, 1, 1, 50), (1, 3, 1, 50), (0, 2, 1, 10), (2, 3, 1, 10)],
         );
         let f = min_cost_k_flow(&g, NodeId(0), NodeId(3), 1, |e| {
             let r = g.edge(e);

@@ -73,10 +73,7 @@ pub fn min_cost_k_flow_fast<W: Weight>(
                     continue;
                 };
                 let red = weight(e).add_checked(pu).add_checked(-pv);
-                debug_assert!(
-                    !red.is_negative(),
-                    "reduced weight must be nonnegative"
-                );
+                debug_assert!(!red.is_negative(), "reduced weight must be nonnegative");
                 let cand = du.add_checked(red);
                 if dist[v.index()].is_none_or(|dv| cand < dv) {
                     dist[v.index()] = Some(cand);
@@ -183,12 +180,7 @@ mod tests {
     fn lexicographic_weights_supported() {
         let g = DiGraph::from_edges(
             4,
-            &[
-                (0, 1, 1, 50),
-                (1, 3, 1, 50),
-                (0, 2, 1, 10),
-                (2, 3, 1, 10),
-            ],
+            &[(0, 1, 1, 50), (1, 3, 1, 50), (0, 2, 1, 10), (2, 3, 1, 10)],
         );
         let f = min_cost_k_flow_fast(&g, NodeId(0), NodeId(3), 1, |e| {
             let r = g.edge(e);

@@ -111,7 +111,10 @@ pub fn k_shortest_paths(
                     if !candidates.iter().any(|c| c.edges == total)
                         && !result.iter().any(|r| r.edges == total)
                     {
-                        candidates.push(WeightedPath { edges: total, weight: w });
+                        candidates.push(WeightedPath {
+                            edges: total,
+                            weight: w,
+                        });
                     }
                 }
             }
@@ -163,7 +166,7 @@ mod tests {
         assert_eq!(paths[0].weight, 5); // C-E-F-H
         assert_eq!(paths[1].weight, 7); // C-E-G-H
         assert_eq!(paths[2].weight, 8); // C-E-F-G-H (or C-D-F-H, both 8)
-        // Nondecreasing weights.
+                                        // Nondecreasing weights.
         assert!(paths.windows(2).all(|w| w[0].weight <= w[1].weight));
     }
 
@@ -199,7 +202,7 @@ mod tests {
         assert!(paths.len() >= 4);
         for (i, p) in paths.iter().enumerate() {
             // Simple: no repeated nodes.
-            let mut seen = vec![false; 5];
+            let mut seen = [false; 5];
             let mut cur = NodeId(0);
             seen[0] = true;
             for &e in &p.edges {

@@ -32,11 +32,11 @@ pub fn fig1_instance(d_bound: i64, q: i64) -> Instance {
     let g = DiGraph::from_edges(
         3,
         &[
-            (0, 1, 0, 0),               // e0: s→a
-            (1, 2, 0, d_bound + 1),     // e1: slow
-            (1, 2, q, d_bound),         // e2: good (optimal)
-            (1, 2, q * d_bound, 0),     // e3: trap
-            (0, 2, 0, 0),               // e4: express (second path)
+            (0, 1, 0, 0),           // e0: s→a
+            (1, 2, 0, d_bound + 1), // e1: slow
+            (1, 2, q, d_bound),     // e2: good (optimal)
+            (1, 2, q * d_bound, 0), // e3: trap
+            (0, 2, 0, 0),           // e4: express (second path)
         ],
     );
     Instance::new(g, NodeId(0), NodeId(2), 2, d_bound).expect("valid by construction")

@@ -99,7 +99,11 @@ mod tests {
     #[test]
     fn approximation_stays_within_two_on_gadgets() {
         // The guarantee must hold even on the reduction instances.
-        for items in [&[1i64, 1, 2, 2][..], &[2, 4, 6, 4, 2][..], &[3, 5, 2, 4][..]] {
+        for items in [
+            &[1i64, 1, 2, 2][..],
+            &[2, 4, 6, 4, 2][..],
+            &[3, 5, 2, 4][..],
+        ] {
             let Some(inst) = partition_chain(items, 1) else {
                 continue;
             };

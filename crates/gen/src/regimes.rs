@@ -75,11 +75,7 @@ mod tests {
             samples.iter().map(|s| s.0).sum::<f64>() / n,
             samples.iter().map(|s| s.1).sum::<f64>() / n,
         );
-        let cov = samples
-            .iter()
-            .map(|s| (s.0 - mc) * (s.1 - md))
-            .sum::<f64>()
-            / n;
+        let cov = samples.iter().map(|s| (s.0 - mc) * (s.1 - md)).sum::<f64>() / n;
         let (vc, vd) = (
             samples.iter().map(|s| (s.0 - mc).powi(2)).sum::<f64>() / n,
             samples.iter().map(|s| (s.1 - md).powi(2)).sum::<f64>() / n,

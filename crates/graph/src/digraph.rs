@@ -250,7 +250,10 @@ mod tests {
         assert_eq!(g.node_count(), 4);
         assert_eq!(g.edge_count(), 5);
         let e = g.edge(EdgeId(1));
-        assert_eq!((e.src, e.dst, e.cost, e.delay), (NodeId(1), NodeId(3), 3, 4));
+        assert_eq!(
+            (e.src, e.dst, e.cost, e.delay),
+            (NodeId(1), NodeId(3), 3, 4)
+        );
     }
 
     #[test]

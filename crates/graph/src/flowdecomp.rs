@@ -152,15 +152,7 @@ mod tests {
 
     #[test]
     fn two_disjoint_paths() {
-        let g = DiGraph::from_edges(
-            4,
-            &[
-                (0, 1, 1, 1),
-                (1, 3, 1, 1),
-                (0, 2, 2, 2),
-                (2, 3, 2, 2),
-            ],
-        );
+        let g = DiGraph::from_edges(4, &[(0, 1, 1, 1), (1, 3, 1, 1), (0, 2, 2, 2), (2, 3, 2, 2)]);
         let set = EdgeSet::from_edges(4, &[EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)]);
         let d = decompose(&g, &set, NodeId(0), NodeId(3), 2).unwrap();
         assert_eq!(d.paths.len(), 2);
@@ -177,10 +169,7 @@ mod tests {
     #[test]
     fn path_plus_disjoint_cycle() {
         // Path 0→3 plus a circulation 1→2→1 not touching it.
-        let g = DiGraph::from_edges(
-            4,
-            &[(0, 3, 1, 1), (1, 2, 1, 1), (2, 1, 1, 1)],
-        );
+        let g = DiGraph::from_edges(4, &[(0, 3, 1, 1), (1, 2, 1, 1), (2, 1, 1, 1)]);
         let set = EdgeSet::from_edges(3, &[EdgeId(0), EdgeId(1), EdgeId(2)]);
         let d = decompose(&g, &set, NodeId(0), NodeId(3), 1).unwrap();
         assert_eq!(d.paths.len(), 1);
@@ -191,10 +180,7 @@ mod tests {
     #[test]
     fn walk_with_embedded_loop_is_simplified() {
         // Only flow: 0→1→2→1→3 ... realized as edges (0,1),(1,2),(2,1),(1,3).
-        let g = DiGraph::from_edges(
-            4,
-            &[(0, 1, 1, 1), (1, 2, 1, 1), (2, 1, 1, 1), (1, 3, 1, 1)],
-        );
+        let g = DiGraph::from_edges(4, &[(0, 1, 1, 1), (1, 2, 1, 1), (2, 1, 1, 1), (1, 3, 1, 1)]);
         let set = EdgeSet::from_edges(4, &[EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)]);
         let d = decompose(&g, &set, NodeId(0), NodeId(3), 1).unwrap();
         assert_eq!(d.paths.len(), 1);

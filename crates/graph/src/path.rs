@@ -208,11 +208,7 @@ mod tests {
     #[test]
     fn cycle_detection() {
         let graph = g();
-        let c = Cycle::new(
-            &graph,
-            vec![EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)],
-        )
-        .unwrap();
+        let c = Cycle::new(&graph, vec![EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)]).unwrap();
         assert_eq!(c.cost(), 10);
         assert_eq!(c.delay(), 100);
         assert_eq!(c.len(), 4);

@@ -164,11 +164,17 @@ mod tests {
         assert_eq!(rg.edge_count(), 5);
         // e0 reversed: 1→0 with negated weights.
         let r0 = rg.edge(EdgeId(0));
-        assert_eq!((r0.src, r0.dst, r0.cost, r0.delay), (NodeId(1), NodeId(0), -5, -9));
+        assert_eq!(
+            (r0.src, r0.dst, r0.cost, r0.delay),
+            (NodeId(1), NodeId(0), -5, -9)
+        );
         assert_eq!(res.origin(EdgeId(0)), ResEdge::Reverse(EdgeId(0)));
         // e2 forward unchanged.
         let r2 = rg.edge(EdgeId(2));
-        assert_eq!((r2.src, r2.dst, r2.cost, r2.delay), (NodeId(0), NodeId(2), 1, 1));
+        assert_eq!(
+            (r2.src, r2.dst, r2.cost, r2.delay),
+            (NodeId(0), NodeId(2), 1, 1)
+        );
         assert_eq!(res.origin(EdgeId(2)), ResEdge::Forward(EdgeId(2)));
     }
 

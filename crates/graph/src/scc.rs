@@ -168,8 +168,7 @@ mod tests {
 
     #[test]
     fn full_cycle_single_component() {
-        let edges: Vec<(u32, u32, i64, i64)> =
-            (0..6).map(|i| (i, (i + 1) % 6, 0, 0)).collect();
+        let edges: Vec<(u32, u32, i64, i64)> = (0..6).map(|i| (i, (i + 1) % 6, 0, 0)).collect();
         let g = DiGraph::from_edges(6, &edges);
         let p = tarjan_scc(&g);
         assert_eq!(p.count, 1);
@@ -205,9 +204,10 @@ mod tests {
             let p = tarjan_scc(&g);
             let reach: Vec<Vec<bool>> =
                 (0..10).map(|v| reachable(&g, NodeId(v))).collect();
+            #[allow(clippy::needless_range_loop)]
             for u in 0..10usize {
                 for v in 0..10usize {
-                    let mutual = reach[u][v as usize] && reach[v][u as usize];
+                    let mutual = reach[u][v] && reach[v][u];
                     prop_assert_eq!(
                         p.same(NodeId(u as u32), NodeId(v as u32)),
                         mutual,

@@ -187,10 +187,7 @@ mod tests {
         assert!(!m.is_feasible(&[Rat::ZERO, Rat::int(3)])); // violates upper
         assert!(!m.is_feasible(&[Rat::int(-1), Rat::int(2)])); // violates lower
         assert!(!m.is_feasible(&[Rat::ONE])); // wrong arity
-        assert_eq!(
-            m.objective_value(&[Rat::int(2), Rat::int(5)]),
-            Rat::int(7)
-        );
+        assert_eq!(m.objective_value(&[Rat::int(2), Rat::int(5)]), Rat::int(7));
     }
 
     #[test]

@@ -105,8 +105,7 @@ impl Tableau {
                     let better = match &best {
                         None => true,
                         Some((br, bratio)) => {
-                            ratio < *bratio
-                                || (ratio == *bratio && self.basis[r] < self.basis[*br])
+                            ratio < *bratio || (ratio == *bratio && self.basis[r] < self.basis[*br])
                         }
                     };
                     if better {

@@ -1,0 +1,183 @@
+//! LRU solution cache keyed by [`CacheKey`](crate::hash::CacheKey).
+//!
+//! Provisioning traffic is heavily repetitive — failure storms re-request
+//! the same flows, controllers retry idempotently — so the service memoizes
+//! full ladder answers. The canonical key (see [`crate::hash`]) makes the
+//! cache insensitive to edge enumeration order; hit/miss/eviction counters
+//! feed [`MetricsSnapshot`](crate::metrics::MetricsSnapshot).
+
+use crate::degrade::Degraded;
+use crate::hash::CacheKey;
+use std::collections::HashMap;
+
+/// Monotone counters describing cache behavior since construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+}
+
+struct Entry {
+    value: Degraded,
+    last_used: u64,
+}
+
+/// A least-recently-used map from canonical instance keys to ladder
+/// answers. Zero capacity disables caching (every lookup is a miss).
+pub struct SolutionCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<CacheKey, Entry>,
+    stats: CacheStats,
+}
+
+impl SolutionCache {
+    /// A cache holding at most `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        SolutionCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Current entry count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: CacheKey) -> Option<Degraded> {
+        self.tick += 1;
+        match self.map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(entry.value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used
+    /// entry if the cache is full.
+    pub fn put(&mut self, key: CacheKey, value: Degraded) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: self.tick,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degrade::Rung;
+    use krsp_graph::EdgeSet;
+
+    fn dummy(cost: i64) -> Degraded {
+        Degraded {
+            solution: krsp::Solution {
+                edges: EdgeSet::with_capacity(0),
+                cost,
+                delay: 0,
+                lower_bound: None,
+            },
+            rung: Rung::MinDelay,
+            guarantee: Rung::MinDelay.guarantee(),
+        }
+    }
+
+    fn key(v: u128) -> CacheKey {
+        CacheKey(v)
+    }
+
+    #[test]
+    fn hit_miss_and_eviction_counters() {
+        let mut c = SolutionCache::new(2);
+        assert!(c.get(key(1)).is_none());
+        c.put(key(1), dummy(10));
+        c.put(key(2), dummy(20));
+        assert_eq!(c.get(key(1)).unwrap().solution.cost, 10);
+        c.put(key(3), dummy(30)); // evicts key 2 (LRU)
+        assert!(c.get(key(2)).is_none());
+        assert_eq!(c.get(key(1)).unwrap().solution.cost, 10);
+        assert_eq!(c.get(key(3)).unwrap().solution.cost, 30);
+        let s = c.stats();
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn recency_refresh_protects_hot_entries() {
+        let mut c = SolutionCache::new(2);
+        c.put(key(1), dummy(1));
+        c.put(key(2), dummy(2));
+        let _ = c.get(key(1)); // 1 is now hotter than 2
+        c.put(key(3), dummy(3));
+        assert!(c.get(key(1)).is_some());
+        assert!(c.get(key(2)).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = SolutionCache::new(0);
+        c.put(key(1), dummy(1));
+        assert!(c.get(key(1)).is_none());
+        assert!(c.is_empty());
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_evicting() {
+        let mut c = SolutionCache::new(2);
+        c.put(key(1), dummy(1));
+        c.put(key(2), dummy(2));
+        c.put(key(1), dummy(11)); // refresh, not a new entry
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(key(1)).unwrap().solution.cost, 11);
+        assert!(c.get(key(2)).is_some());
+    }
+}

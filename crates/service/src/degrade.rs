@@ -1,0 +1,355 @@
+//! Deadline-aware degradation ladder.
+//!
+//! A provisioning request carries a latency deadline. The full solver (the
+//! `Ĉ`-bisected Algorithm 1) is the best answer but the slowest; when the
+//! remaining budget cannot pay for it, the service walks down a ladder of
+//! progressively cheaper algorithms, each with an explicitly advertised
+//! (cost, delay) guarantee, so a response is *always* produced and its
+//! quality is *always* stated:
+//!
+//! | rung | algorithm | cost factor | delay factor |
+//! |------|-----------|-------------|--------------|
+//! | [`Rung::Full`] | Algorithm 1 + `Ĉ` bisection | 2 | 1 |
+//! | [`Rung::SingleProbe`] | Algorithm 1, one probe at `Ĉ = UB` | — | 1 |
+//! | [`Rung::LpRounding`] | phase-1 LP rounding alone (Lemma 5) | 2 | 2 |
+//! | [`Rung::MinDelay`] | min-delay disjoint paths | — | 1 |
+//!
+//! (Cost factors are relative to `C_OPT`; delay factors to the budget `D`.
+//! "—" means feasibility only.) Rung choice is an admission decision: each
+//! rung has a per-unit time estimate and is attempted only if the remaining
+//! deadline covers it; [`Rung::MinDelay`] is always attempted as the last
+//! resort. A rung that *fails* (stalls, iteration limit) falls through to
+//! the next; genuine infeasibility short-circuits.
+
+use krsp::{baselines, solve, Config, Instance, Solution, SolveError};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The ladder rungs, best first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Rung {
+    /// Algorithm 1 with the full `Ĉ` bisection: the paper's `(1, 2)`.
+    Full,
+    /// Algorithm 1 with a single probe at `Ĉ = UB`: delay-feasible, cost
+    /// factor not certified.
+    SingleProbe,
+    /// Phase-1 LP rounding alone: the `(2, 2)` of Lemma 5.
+    LpRounding,
+    /// Minimum-delay disjoint paths: feasibility fallback.
+    MinDelay,
+}
+
+/// What a rung promises about its answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Guarantee {
+    /// Certified `cost ≤ factor · C_OPT`, when the rung certifies one.
+    pub cost_factor: Option<u32>,
+    /// Certified `delay ≤ factor · D`.
+    pub delay_factor: u32,
+}
+
+impl Rung {
+    /// All rungs, best first.
+    pub const LADDER: [Rung; 4] = [
+        Rung::Full,
+        Rung::SingleProbe,
+        Rung::LpRounding,
+        Rung::MinDelay,
+    ];
+
+    /// Ladder position, 0 = best.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Rung::Full => 0,
+            Rung::SingleProbe => 1,
+            Rung::LpRounding => 2,
+            Rung::MinDelay => 3,
+        }
+    }
+
+    /// The advertised approximation guarantee.
+    #[must_use]
+    pub fn guarantee(self) -> Guarantee {
+        match self {
+            Rung::Full => Guarantee {
+                cost_factor: Some(2),
+                delay_factor: 1,
+            },
+            Rung::SingleProbe => Guarantee {
+                cost_factor: None,
+                delay_factor: 1,
+            },
+            Rung::LpRounding => Guarantee {
+                cost_factor: Some(2),
+                delay_factor: 2,
+            },
+            Rung::MinDelay => Guarantee {
+                cost_factor: None,
+                delay_factor: 1,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Guarantee {
+    /// `(cost, delay)` factor pair, `-` when the cost is uncertified:
+    /// `(2,1)`, `(-,1)`, `(2,2)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.cost_factor {
+            Some(c) => write!(f, "({c},{})", self.delay_factor),
+            None => write!(f, "(-,{})", self.delay_factor),
+        }
+    }
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Rung::Full => "full",
+            Rung::SingleProbe => "single_probe",
+            Rung::LpRounding => "lp_rounding",
+            Rung::MinDelay => "min_delay",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Admission thresholds for the ladder: estimated microseconds per work
+/// unit (`m·k + n`) that a rung must fit inside the remaining deadline to
+/// be attempted. [`Rung::MinDelay`] has no threshold — it always runs.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LadderPolicy {
+    /// Estimate for [`Rung::Full`].
+    pub full_us_per_unit: u64,
+    /// Estimate for [`Rung::SingleProbe`].
+    pub probe_us_per_unit: u64,
+    /// Estimate for [`Rung::LpRounding`].
+    pub lp_us_per_unit: u64,
+}
+
+impl Default for LadderPolicy {
+    fn default() -> Self {
+        // Calibrated loosely against the krsp-gen families on one core;
+        // deliberately pessimistic so a rung that is admitted usually
+        // finishes inside the budget.
+        LadderPolicy {
+            full_us_per_unit: 60,
+            probe_us_per_unit: 20,
+            lp_us_per_unit: 8,
+        }
+    }
+}
+
+impl LadderPolicy {
+    /// Estimated wall time for `rung` on `inst`; `None` means "always
+    /// admitted".
+    #[must_use]
+    pub fn estimate(&self, rung: Rung, inst: &Instance) -> Option<Duration> {
+        let units = (inst.m() * inst.k + inst.n()) as u64;
+        let per_unit = match rung {
+            Rung::Full => self.full_us_per_unit,
+            Rung::SingleProbe => self.probe_us_per_unit,
+            Rung::LpRounding => self.lp_us_per_unit,
+            Rung::MinDelay => return None,
+        };
+        Some(Duration::from_micros(per_unit.saturating_mul(units)))
+    }
+
+    /// Highest rung whose estimate fits in `remaining`.
+    #[must_use]
+    pub fn admit(&self, inst: &Instance, remaining: Duration) -> Rung {
+        for rung in Rung::LADDER {
+            match self.estimate(rung, inst) {
+                None => return rung,
+                Some(est) if est <= remaining => return rung,
+                Some(_) => {}
+            }
+        }
+        Rung::MinDelay
+    }
+}
+
+/// A ladder answer: the solution plus which rung produced it.
+#[derive(Clone, Debug)]
+pub struct Degraded {
+    /// The solution.
+    pub solution: Solution,
+    /// The rung that produced it.
+    pub rung: Rung,
+    /// [`Rung::guarantee`] of that rung, recorded at solve time.
+    pub guarantee: Guarantee,
+}
+
+/// Why the ladder produced no solution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LadderError {
+    /// Fewer than `k` disjoint paths exist, or the delay budget is
+    /// unsatisfiable even by the min-delay routing.
+    Infeasible,
+}
+
+impl std::fmt::Display for LadderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("instance is infeasible at every rung")
+    }
+}
+
+impl std::error::Error for LadderError {}
+
+/// Runs the ladder: starts at the highest rung `policy` admits for
+/// `remaining`, falls through on rung failure, and reports the rung that
+/// answered. `cfg` seeds the solver configuration for the top two rungs.
+pub fn solve_degraded(
+    inst: &Instance,
+    cfg: &Config,
+    remaining: Duration,
+    policy: &LadderPolicy,
+) -> Result<Degraded, LadderError> {
+    let start = policy.admit(inst, remaining);
+    for rung in Rung::LADDER.into_iter().skip(start.index()) {
+        match attempt(inst, cfg, rung) {
+            Attempt::Solved(solution) => {
+                return Ok(Degraded {
+                    solution,
+                    rung,
+                    guarantee: rung.guarantee(),
+                })
+            }
+            Attempt::Infeasible => return Err(LadderError::Infeasible),
+            Attempt::RungFailed => {}
+        }
+    }
+    Err(LadderError::Infeasible)
+}
+
+enum Attempt {
+    Solved(Solution),
+    Infeasible,
+    RungFailed,
+}
+
+fn attempt(inst: &Instance, cfg: &Config, rung: Rung) -> Attempt {
+    match rung {
+        Rung::Full | Rung::SingleProbe => {
+            let cfg = Config {
+                single_probe: rung == Rung::SingleProbe,
+                ..*cfg
+            };
+            match solve(inst, &cfg) {
+                Ok(s) => Attempt::Solved(s.solution),
+                Err(SolveError::IterationLimit) => Attempt::RungFailed,
+                Err(_) => Attempt::Infeasible,
+            }
+        }
+        Rung::LpRounding => match baselines::lp_rounding_only(inst) {
+            Some(sol) => Attempt::Solved(sol),
+            None => Attempt::RungFailed,
+        },
+        Rung::MinDelay => match baselines::min_delay(inst) {
+            Some(sol) if sol.delay <= inst.delay_bound => Attempt::Solved(sol),
+            // The min-delay routing is the feasibility certificate: if even
+            // it busts the budget (or no k disjoint paths exist), the
+            // instance is infeasible outright.
+            _ => Attempt::Infeasible,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krsp_graph::{DiGraph, NodeId};
+
+    fn tradeoff(d: i64) -> Instance {
+        let g = DiGraph::from_edges(
+            6,
+            &[
+                (0, 1, 1, 10),
+                (1, 5, 1, 10),
+                (0, 2, 8, 1),
+                (2, 5, 8, 1),
+                (0, 3, 2, 6),
+                (3, 5, 2, 6),
+                (0, 4, 9, 2),
+                (4, 5, 9, 2),
+            ],
+        );
+        Instance::new(g, NodeId(0), NodeId(5), 2, d).unwrap()
+    }
+
+    #[test]
+    fn ladder_order_is_best_first() {
+        let ranked: Vec<usize> = Rung::LADDER.iter().map(|r| r.index()).collect();
+        assert_eq!(ranked, vec![0, 1, 2, 3]);
+        assert_eq!(Rung::Full.guarantee().delay_factor, 1);
+        assert_eq!(Rung::LpRounding.guarantee().cost_factor, Some(2));
+    }
+
+    #[test]
+    fn generous_deadline_uses_full_rung() {
+        let inst = tradeoff(14);
+        let out = solve_degraded(
+            &inst,
+            &Config::default(),
+            Duration::from_secs(60),
+            &LadderPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(out.rung, Rung::Full);
+        assert_eq!(out.guarantee, Rung::Full.guarantee());
+        assert!(out.solution.delay <= 14);
+    }
+
+    #[test]
+    fn exhausted_deadline_degrades_to_min_delay() {
+        let inst = tradeoff(14);
+        let out = solve_degraded(
+            &inst,
+            &Config::default(),
+            Duration::ZERO,
+            &LadderPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(out.rung, Rung::MinDelay);
+        assert_eq!(
+            out.guarantee,
+            Guarantee {
+                cost_factor: None,
+                delay_factor: 1
+            }
+        );
+        // The degraded answer is still delay-feasible.
+        assert!(out.solution.delay <= 14);
+    }
+
+    #[test]
+    fn admission_respects_rung_order() {
+        let inst = tradeoff(14);
+        let policy = LadderPolicy::default();
+        // Budgets between consecutive estimates land on interior rungs.
+        let full = policy.estimate(Rung::Full, &inst).unwrap();
+        let probe = policy.estimate(Rung::SingleProbe, &inst).unwrap();
+        let lp = policy.estimate(Rung::LpRounding, &inst).unwrap();
+        assert!(lp < probe && probe < full);
+        assert_eq!(policy.admit(&inst, full), Rung::Full);
+        assert_eq!(policy.admit(&inst, probe), Rung::SingleProbe);
+        assert_eq!(policy.admit(&inst, lp), Rung::LpRounding);
+        assert_eq!(policy.admit(&inst, Duration::ZERO), Rung::MinDelay);
+    }
+
+    #[test]
+    fn infeasible_instances_fail_at_every_rung() {
+        let inst = tradeoff(3); // below the minimum achievable delay
+        for remaining in [Duration::from_secs(10), Duration::ZERO] {
+            let err = solve_degraded(
+                &inst,
+                &Config::default(),
+                remaining,
+                &LadderPolicy::default(),
+            )
+            .unwrap_err();
+            assert_eq!(err, LadderError::Infeasible);
+        }
+    }
+}

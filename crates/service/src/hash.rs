@@ -1,0 +1,147 @@
+//! Canonical instance hashing for the solution cache.
+//!
+//! Two requests should share a cache slot exactly when they describe the
+//! same kRSP problem. Structurally that is the multiset of weighted edges
+//! plus `(n, s, t, k, D)` — it must **not** depend on the order edges were
+//! inserted into the [`DiGraph`], because generators, deserializers, and
+//! callers rebuilding a graph all enumerate edges differently. The key is
+//! therefore computed over the *sorted* edge list.
+//!
+//! The digest is a 128-bit FNV-1a pair (two independent offset bases), so
+//! accidental collisions between distinct instances are out of reach for
+//! any realistic cache population; the cache treats key equality as
+//! instance equality and stores no instance copy.
+
+use krsp::Instance;
+
+/// A canonical 128-bit digest of a kRSP instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(pub u128);
+
+struct Fnv2 {
+    a: u64,
+    b: u64,
+}
+
+impl Fnv2 {
+    const PRIME: u64 = 0x100000001b3;
+
+    fn new() -> Self {
+        // Standard FNV-1a offset basis, and the same basis re-hashed once,
+        // giving two independent streams over identical input.
+        Fnv2 {
+            a: 0xcbf29ce484222325,
+            b: 0x84222325cbf29ce4,
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(Self::PRIME);
+            self.b = (self.b ^ u64::from(byte ^ 0x5a)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    fn finish(&self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}
+
+/// Canonical cache key: sorted `(src, dst, cost, delay)` edge tuples plus
+/// `(n, s, t, k, D)`. Stable under edge reordering and graph rebuilds;
+/// distinct in every parameter.
+#[must_use]
+pub fn canonical_key(inst: &Instance) -> CacheKey {
+    let mut edges: Vec<(u32, u32, i64, i64)> = inst
+        .graph
+        .edges()
+        .iter()
+        .map(|e| (e.src.0, e.dst.0, e.cost, e.delay))
+        .collect();
+    edges.sort_unstable();
+
+    let mut h = Fnv2::new();
+    h.write_u64(inst.n() as u64);
+    h.write_u64(edges.len() as u64);
+    for (src, dst, cost, delay) in edges {
+        h.write_u64(u64::from(src));
+        h.write_u64(u64::from(dst));
+        h.write_i64(cost);
+        h.write_i64(delay);
+    }
+    h.write_u64(u64::from(inst.s.0));
+    h.write_u64(u64::from(inst.t.0));
+    h.write_u64(inst.k as u64);
+    h.write_i64(inst.delay_bound);
+    CacheKey(h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krsp_graph::{DiGraph, NodeId};
+
+    fn edges() -> Vec<(u32, u32, i64, i64)> {
+        vec![(0, 1, 1, 5), (1, 3, 1, 5), (0, 2, 4, 1), (2, 3, 4, 1)]
+    }
+
+    fn inst_from(order: &[(u32, u32, i64, i64)]) -> Instance {
+        let g = DiGraph::from_edges(4, order);
+        Instance::new(g, NodeId(0), NodeId(3), 2, 20).unwrap()
+    }
+
+    #[test]
+    fn stable_under_edge_reordering() {
+        let base = inst_from(&edges());
+        let mut reordered = edges();
+        reordered.reverse();
+        let other = inst_from(&reordered);
+        assert_eq!(canonical_key(&base), canonical_key(&other));
+    }
+
+    #[test]
+    fn distinct_parameters_never_collide() {
+        let base = inst_from(&edges());
+        let k0 = canonical_key(&base);
+
+        let mut s_changed = base.clone();
+        s_changed.s = NodeId(1);
+        let mut t_changed = base.clone();
+        t_changed.t = NodeId(2);
+        let mut k_changed = base.clone();
+        k_changed.k = 1;
+        let mut d_changed = base.clone();
+        d_changed.delay_bound = 21;
+
+        let keys = [
+            canonical_key(&s_changed),
+            canonical_key(&t_changed),
+            canonical_key(&k_changed),
+            canonical_key(&d_changed),
+        ];
+        for k in keys {
+            assert_ne!(k, k0);
+        }
+        // All four mutations are pairwise distinct too.
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn weight_changes_change_the_key() {
+        let base = inst_from(&edges());
+        let mut bumped = edges();
+        bumped[2].2 += 1; // cost of one edge
+        assert_ne!(canonical_key(&base), canonical_key(&inst_from(&bumped)));
+        let mut slower = edges();
+        slower[1].3 += 1; // delay of one edge
+        assert_ne!(canonical_key(&base), canonical_key(&inst_from(&slower)));
+    }
+}

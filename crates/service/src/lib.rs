@@ -1,0 +1,58 @@
+//! # krsp-service — production path-provisioning over the kRSP solvers
+//!
+//! The algorithmic crates answer one instance at a time; this crate wraps
+//! them in the shape a network controller actually deploys: a long-running
+//! service with **admission control**, a **solution cache**, and
+//! **deadline-aware degradation**, fronted by an in-process API
+//! ([`Service`]), a newline-delimited-JSON TCP listener ([`proto`]), and a
+//! load generator ([`load`], the `krsp-load` binary).
+//!
+//! * [`service`] — bounded admission queue with backpressure, worker pool
+//!   on the shared [`krsp::Executor`], per-request deadlines, debug-build
+//!   response auditing.
+//! * [`hash`] — canonical 128-bit instance digests (edge-order
+//!   insensitive) keying the cache.
+//! * [`cache`] — LRU memoization of full ladder answers, with
+//!   hit/miss/eviction counters.
+//! * [`degrade`] — the ladder `full → single_probe → lp_rounding →
+//!   min_delay`, each rung with an advertised `(cost, delay)` guarantee
+//!   recorded on every response.
+//! * [`metrics`] — serializable counters and a log-linear latency
+//!   histogram.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use krsp_service::{Request, Service, ServiceConfig};
+//! use krsp::Instance;
+//! use krsp_graph::{DiGraph, NodeId};
+//!
+//! let g = DiGraph::from_edges(4, &[
+//!     (0, 1, 1, 5), (1, 3, 1, 5), (0, 2, 4, 1), (2, 3, 4, 1),
+//! ]);
+//! let inst = Instance::new(g, NodeId(0), NodeId(3), 2, 20).unwrap();
+//! let svc = Service::new(ServiceConfig::default());
+//! let first = svc.provision(Request { instance: inst.clone(), deadline: None }).unwrap();
+//! let second = svc.provision(Request { instance: inst, deadline: None }).unwrap();
+//! assert!(!first.cache_hit && second.cache_hit);
+//! assert_eq!(first.solution.cost, second.solution.cost);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod degrade;
+pub mod hash;
+pub mod load;
+pub mod metrics;
+pub mod proto;
+pub mod service;
+
+pub use cache::{CacheStats, SolutionCache};
+pub use degrade::{solve_degraded, Degraded, Guarantee, LadderError, LadderPolicy, Rung};
+pub use hash::{canonical_key, CacheKey};
+pub use load::{LoadReport, LoadSpec};
+pub use metrics::{LatencyHistogram, MetricsSnapshot};
+pub use proto::{serve, serve_on, SolveRequest, SolvedReply, WireRequest, WireResponse};
+pub use service::{Rejection, Request, Response, Service, ServiceConfig};

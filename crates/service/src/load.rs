@@ -1,0 +1,366 @@
+//! Closed-loop load generator: replays `krsp-gen` workloads against an
+//! in-process [`Service`] at a target arrival rate.
+//!
+//! Each request is assigned a scheduled start time on a fixed-rate arrival
+//! clock (`i / qps`); client threads pick requests off a shared index,
+//! sleep until their slot, and issue them. Latencies are recorded exactly
+//! (client-side, every sample kept), so the reported percentiles are true
+//! order statistics rather than histogram reconstructions. The report is
+//! serializable — `krsp-load` prints it as JSON for committing under
+//! `results/`.
+
+use crate::degrade::Rung;
+use crate::metrics::MetricsSnapshot;
+use crate::service::{Rejection, Request, Service};
+use krsp_gen::{Family, Regime, Workload};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What to replay.
+#[derive(Clone, Debug)]
+pub struct LoadSpec {
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Target arrival rate in requests/second; 0 = open throttle.
+    pub qps: f64,
+    /// Number of distinct instances cycled round-robin (1 = pure cache-hit
+    /// traffic after warmup; `requests` = pure miss traffic).
+    pub unique: usize,
+    /// Client threads issuing requests.
+    pub clients: usize,
+    /// Topology family for the generated instances.
+    pub family: Family,
+    /// Node count per instance.
+    pub n: usize,
+    /// Disjoint paths per request.
+    pub k: usize,
+    /// Delay-budget tightness ∈ (0, 1].
+    pub tightness: f64,
+    /// Base PRNG seed; instance `u` uses `seed + 1000·u`.
+    pub seed: u64,
+    /// Per-request deadline in milliseconds; `None` uses the service
+    /// default.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            requests: 200,
+            qps: 0.0,
+            unique: 20,
+            clients: 4,
+            family: Family::Gnm,
+            n: 60,
+            k: 2,
+            tightness: 0.5,
+            seed: 42,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Exact latency statistics (µs) over one outcome class.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Sample count.
+    pub count: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Mean.
+    pub mean_us: f64,
+    /// Maximum.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let pick = |q: f64| {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            samples[rank - 1]
+        };
+        LatencySummary {
+            count: samples.len() as u64,
+            p50_us: pick(0.50),
+            p95_us: pick(0.95),
+            p99_us: pick(0.99),
+            mean_us: samples.iter().sum::<u64>() as f64 / samples.len() as f64,
+            max_us: *samples.last().expect("nonempty"),
+        }
+    }
+}
+
+/// One ladder rung's advertised guarantee plus its fresh-solve count in a
+/// replay.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RungGuarantee {
+    /// Rung name (`full`, `single_probe`, `lp_rounding`, `min_delay`).
+    pub rung: String,
+    /// Fresh solves served at this rung.
+    pub requests: u64,
+    /// Advertised cost factor vs the LP lower bound; `None` = uncertified.
+    pub cost_factor: Option<u32>,
+    /// Advertised delay-bound relaxation factor.
+    pub delay_factor: u32,
+}
+
+/// The replay outcome, serializable for `results/`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Requests issued.
+    pub issued: u64,
+    /// Requests answered with a solution.
+    pub completed: u64,
+    /// Requests rejected by backpressure.
+    pub rejected_queue_full: u64,
+    /// Requests rejected by strict deadline enforcement.
+    pub rejected_expired: u64,
+    /// Requests that proved infeasible.
+    pub infeasible: u64,
+    /// Answers that arrived past their deadline.
+    pub deadline_missed: u64,
+    /// Answers served from the cache.
+    pub cache_hits: u64,
+    /// Wall-clock duration of the replay in seconds.
+    pub wall_s: f64,
+    /// Achieved throughput (completed / wall).
+    pub achieved_qps: f64,
+    /// Fresh solves per rung (`[full, single_probe, lp_rounding,
+    /// min_delay]`).
+    pub per_rung: [u64; 4],
+    /// The advertised approximation guarantee of every ladder rung,
+    /// alongside how many fresh solves it served — so the report records
+    /// which factor bound each answer carries.
+    pub rung_guarantees: Vec<RungGuarantee>,
+    /// Latency over all answered requests.
+    pub latency: LatencySummary,
+    /// Latency over cache hits only.
+    pub latency_cache_hit: LatencySummary,
+    /// Latency over cache misses only.
+    pub latency_cache_miss: LatencySummary,
+    /// The service's own counters after the run.
+    pub service_metrics: MetricsSnapshot,
+}
+
+#[derive(Default)]
+struct Tally {
+    completed: u64,
+    rejected_queue_full: u64,
+    rejected_expired: u64,
+    infeasible: u64,
+    deadline_missed: u64,
+    cache_hits: u64,
+    per_rung: [u64; 4],
+    hit_latencies: Vec<u64>,
+    miss_latencies: Vec<u64>,
+}
+
+/// Builds the distinct instance pool for `spec`. Public so callers can
+/// pre-validate a spec before replaying it.
+#[must_use]
+pub fn build_pool(spec: &LoadSpec) -> Vec<krsp::Instance> {
+    (0..spec.unique.max(1))
+        .filter_map(|u| {
+            let w = Workload {
+                family: spec.family,
+                n: spec.n,
+                m: spec.n * 4,
+                regime: Regime::Anticorrelated,
+                k: spec.k,
+                tightness: spec.tightness,
+                seed: spec.seed.wrapping_add(1000 * u as u64),
+            };
+            krsp_gen::instantiate_with_retries(w, 50)
+        })
+        .collect()
+}
+
+/// Replays `spec` against `service` and reports.
+///
+/// # Panics
+/// Panics when no feasible instance can be generated from the spec.
+#[must_use]
+pub fn run(service: &Service, spec: &LoadSpec) -> LoadReport {
+    let pool = build_pool(spec);
+    assert!(
+        !pool.is_empty(),
+        "load spec generated no feasible instances"
+    );
+
+    let next = AtomicUsize::new(0);
+    let tally = Mutex::new(Tally::default());
+    let start = Instant::now();
+    let interval = if spec.qps > 0.0 {
+        Some(Duration::from_secs_f64(1.0 / spec.qps))
+    } else {
+        None
+    };
+
+    std::thread::scope(|s| {
+        for _ in 0..spec.clients.max(1) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= spec.requests {
+                    break;
+                }
+                if let Some(step) = interval {
+                    let slot = start + step * i as u32;
+                    let now = Instant::now();
+                    if slot > now {
+                        std::thread::sleep(slot - now);
+                    }
+                }
+                let out = service.provision(Request {
+                    instance: pool[i % pool.len()].clone(),
+                    deadline: spec.deadline_ms.map(Duration::from_millis),
+                });
+                let mut t = tally.lock().expect("tally poisoned");
+                match out {
+                    Ok(r) => {
+                        t.completed += 1;
+                        t.per_rung[r.rung.index()] += u64::from(!r.cache_hit);
+                        t.deadline_missed += u64::from(r.deadline_missed);
+                        t.cache_hits += u64::from(r.cache_hit);
+                        let us = r.latency.as_micros().min(u128::from(u64::MAX)) as u64;
+                        if r.cache_hit {
+                            t.hit_latencies.push(us);
+                        } else {
+                            t.miss_latencies.push(us);
+                        }
+                    }
+                    Err(Rejection::QueueFull) => t.rejected_queue_full += 1,
+                    Err(Rejection::DeadlineExpired) => t.rejected_expired += 1,
+                    Err(Rejection::Infeasible | Rejection::ShuttingDown) => t.infeasible += 1,
+                }
+            });
+        }
+    });
+
+    let wall = start.elapsed();
+    let t = tally.into_inner().expect("tally poisoned");
+    let all: Vec<u64> = t
+        .hit_latencies
+        .iter()
+        .chain(t.miss_latencies.iter())
+        .copied()
+        .collect();
+    LoadReport {
+        issued: spec.requests as u64,
+        completed: t.completed,
+        rejected_queue_full: t.rejected_queue_full,
+        rejected_expired: t.rejected_expired,
+        infeasible: t.infeasible,
+        deadline_missed: t.deadline_missed,
+        cache_hits: t.cache_hits,
+        wall_s: wall.as_secs_f64(),
+        achieved_qps: if wall.as_secs_f64() > 0.0 {
+            t.completed as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        per_rung: t.per_rung,
+        rung_guarantees: Rung::LADDER
+            .iter()
+            .map(|&rg| {
+                let g = rg.guarantee();
+                RungGuarantee {
+                    rung: rg.to_string(),
+                    requests: t.per_rung[rg.index()],
+                    cost_factor: g.cost_factor,
+                    delay_factor: g.delay_factor,
+                }
+            })
+            .collect(),
+        latency: LatencySummary::from_samples(all),
+        latency_cache_hit: LatencySummary::from_samples(t.hit_latencies),
+        latency_cache_miss: LatencySummary::from_samples(t.miss_latencies),
+        service_metrics: service.metrics(),
+    }
+}
+
+/// Formats a human-readable one-screen summary of a report.
+#[must_use]
+pub fn render(report: &LoadReport) -> String {
+    let r = report;
+    let rung_line = Rung::LADDER
+        .iter()
+        .map(|rg| format!("{rg}={}{}", r.per_rung[rg.index()], rg.guarantee()))
+        .collect::<Vec<_>>()
+        .join(" ");
+    format!(
+        "issued {}  completed {}  rejected(queue/deadline) {}/{}  infeasible {}\n\
+         wall {:.3}s  throughput {:.1} req/s  deadline-missed {}\n\
+         latency µs: p50 {}  p95 {}  p99 {}  mean {:.0}  max {}\n\
+         cache: hits {}  (hit p50 {} µs | miss p50 {} µs)\n\
+         rungs: {rung_line}",
+        r.issued,
+        r.completed,
+        r.rejected_queue_full,
+        r.rejected_expired,
+        r.infeasible,
+        r.wall_s,
+        r.achieved_qps,
+        r.deadline_missed,
+        r.latency.p50_us,
+        r.latency.p95_us,
+        r.latency.p99_us,
+        r.latency.mean_us,
+        r.latency.max_us,
+        r.cache_hits,
+        r.latency_cache_hit.p50_us,
+        r.latency_cache_miss.p50_us,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+
+    #[test]
+    fn replay_reaches_the_cache() {
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let spec = LoadSpec {
+            requests: 24,
+            unique: 3,
+            clients: 2,
+            n: 24,
+            ..LoadSpec::default()
+        };
+        let report = run(&svc, &spec);
+        assert_eq!(report.issued, 24);
+        assert_eq!(
+            report.completed + report.infeasible + report.rejected_queue_full,
+            24
+        );
+        assert!(report.cache_hits > 0, "no cache hits in cycled replay");
+        assert!(report.latency.count >= report.cache_hits);
+        let text = serde_json::to_string(&report).unwrap();
+        let back: LoadReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.completed, report.completed);
+        assert!(!render(&report).is_empty());
+    }
+
+    #[test]
+    fn latency_summary_is_exact() {
+        let s = LatencySummary::from_samples((1..=100).collect());
+        assert_eq!(s.p50_us, 50);
+        assert_eq!(s.p95_us, 95);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+        assert_eq!(s.count, 100);
+    }
+}

@@ -1,0 +1,189 @@
+//! Service metrics: counters plus a log-linear latency histogram.
+//!
+//! The histogram uses power-of-two major buckets subdivided into 8 linear
+//! minor buckets (an HDR-histogram-lite), so quantile reconstruction is
+//! accurate to within 12.5% across the full microsecond-to-minutes range
+//! with a fixed 320-slot footprint. [`MetricsSnapshot`] is the serializable
+//! view shipped over the wire by the `metrics` request and printed by
+//! `krsp-load`.
+
+use crate::degrade::Rung;
+use serde::{Deserialize, Serialize};
+
+const MAJORS: usize = 40;
+const MINORS: usize = 8;
+
+/// A fixed-footprint latency histogram over microsecond samples.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples (µs).
+    pub total_us: u64,
+    /// Smallest sample (µs); 0 when empty.
+    pub min_us: u64,
+    /// Largest sample (µs).
+    pub max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; MAJORS * MINORS],
+            count: 0,
+            total_us: 0,
+            min_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+fn bucket_index(us: u64) -> usize {
+    if us < MINORS as u64 {
+        return us as usize; // exact for 0..8 µs
+    }
+    let major = 63 - us.leading_zeros() as usize;
+    let major = major.min(MAJORS - 1);
+    let minor = ((us >> (major - 3)) & 7) as usize;
+    major * MINORS + minor
+}
+
+fn bucket_upper_bound(idx: usize) -> u64 {
+    if idx < MINORS {
+        return idx as u64;
+    }
+    let (major, minor) = (idx / MINORS, idx % MINORS);
+    ((MINORS + minor + 1) as u64) << (major - 3)
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&mut self, us: u64) {
+        self.buckets[bucket_index(us)] += 1;
+        if self.count == 0 || us < self.min_us {
+            self.min_us = us;
+        }
+        self.max_us = self.max_us.max(us);
+        self.count += 1;
+        self.total_us = self.total_us.saturating_add(us);
+    }
+
+    /// Approximate `q`-quantile in µs (`q ∈ [0, 1]`); 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(idx).min(self.max_us).max(self.min_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Mean latency in µs; 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time, serializable view of the service counters.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests rejected because the queue was full (backpressure).
+    pub rejected_queue_full: u64,
+    /// Requests whose deadline had already expired at admission.
+    pub rejected_expired: u64,
+    /// Requests answered (any rung, cached or fresh).
+    pub completed: u64,
+    /// Requests that proved infeasible.
+    pub infeasible: u64,
+    /// Answers served from the solution cache.
+    pub cache_hits: u64,
+    /// Answers that required a solver run.
+    pub cache_misses: u64,
+    /// Cache entries displaced by capacity pressure.
+    pub cache_evictions: u64,
+    /// Answers whose deadline had lapsed by completion time.
+    pub deadline_missed: u64,
+    /// Fresh solves per ladder rung, indexed by [`Rung::index`]
+    /// (`[full, single_probe, lp_rounding, min_delay]`).
+    pub per_rung: [u64; 4],
+    /// End-to-end latency of completed requests.
+    pub latency: LatencyHistogram,
+}
+
+impl MetricsSnapshot {
+    /// Increments the fresh-solve counter for `rung`.
+    pub fn count_rung(&mut self, rung: Rung) {
+        self.per_rung[rung.index()] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let mut h = LatencyHistogram::default();
+        for us in 1..=1000u64 {
+            h.record(us);
+        }
+        assert_eq!(h.count, 1000);
+        assert_eq!(h.min_us, 1);
+        assert_eq!(h.max_us, 1000);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        // Log-linear buckets: within 12.5% of the true order statistic.
+        assert!((440..=570).contains(&p50), "p50 = {p50}");
+        assert!((870..=1000).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99);
+        assert!((h.mean() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut h = LatencyHistogram::default();
+        for us in [3u64, 3, 5] {
+            h.record(us);
+        }
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(1.0), 5);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut m = MetricsSnapshot {
+            admitted: 7,
+            ..MetricsSnapshot::default()
+        };
+        m.count_rung(Rung::LpRounding);
+        m.latency.record(42);
+        let text = serde_json::to_string(&m).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.admitted, 7);
+        assert_eq!(back.per_rung, [0, 0, 1, 0]);
+        assert_eq!(back.latency.count, 1);
+        assert_eq!(back.latency.quantile(1.0), m.latency.quantile(1.0));
+    }
+}

@@ -1,0 +1,262 @@
+//! Newline-delimited-JSON TCP frontend.
+//!
+//! One request per line, one response per line; connections are handled on
+//! a thread each and may pipeline any number of requests. The wire enums
+//! are externally tagged, so a solve request looks like
+//!
+//! ```json
+//! {"Solve": {"instance": {...}, "deadline_ms": 250}}
+//! ```
+//!
+//! and `"Metrics"` (a bare string) fetches a
+//! [`MetricsSnapshot`](crate::metrics::MetricsSnapshot). Malformed lines
+//! get an `"Error"` response; the connection stays up.
+
+use crate::degrade::{Guarantee, Rung};
+use crate::metrics::MetricsSnapshot;
+use crate::service::{Request, Service};
+use krsp::Instance;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A request line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum WireRequest {
+    /// Provision paths for an instance.
+    Solve(SolveRequest),
+    /// Fetch the service counters.
+    Metrics,
+}
+
+/// Payload of [`WireRequest::Solve`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SolveRequest {
+    /// The kRSP instance.
+    pub instance: Instance,
+    /// Latency budget in milliseconds; omitted uses the service default.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A response line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum WireResponse {
+    /// The request was provisioned.
+    Solved(SolvedReply),
+    /// The request was rejected; the string names the
+    /// [`Rejection`](crate::service::Rejection).
+    Rejected(String),
+    /// Service counters.
+    Metrics(MetricsSnapshot),
+    /// The line could not be parsed or validated.
+    Error(String),
+}
+
+/// Payload of [`WireResponse::Solved`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SolvedReply {
+    /// Total solution cost.
+    pub cost: i64,
+    /// Total solution delay.
+    pub delay: i64,
+    /// Edge ids of the path system, ascending.
+    pub edges: Vec<u32>,
+    /// Ladder rung that answered.
+    pub rung: Rung,
+    /// The rung's advertised guarantee.
+    pub guarantee: Guarantee,
+    /// Whether the solution cache answered.
+    pub cache_hit: bool,
+    /// End-to-end service latency in microseconds.
+    pub latency_us: u64,
+    /// True when the answer arrived past the deadline.
+    pub deadline_missed: bool,
+}
+
+/// Evaluates one already-parsed request against the service.
+#[must_use]
+pub fn dispatch(service: &Service, request: WireRequest) -> WireResponse {
+    match request {
+        WireRequest::Metrics => WireResponse::Metrics(service.metrics()),
+        WireRequest::Solve(solve) => {
+            if let Err(e) = solve.instance.validate() {
+                return WireResponse::Error(format!("invalid instance: {e}"));
+            }
+            let out = service.provision(Request {
+                instance: solve.instance,
+                deadline: solve.deadline_ms.map(Duration::from_millis),
+            });
+            match out {
+                Ok(r) => WireResponse::Solved(SolvedReply {
+                    cost: r.solution.cost,
+                    delay: r.solution.delay,
+                    edges: r.solution.edges.iter().map(|e| e.0).collect(),
+                    rung: r.rung,
+                    guarantee: r.guarantee,
+                    cache_hit: r.cache_hit,
+                    latency_us: r.latency.as_micros().min(u128::from(u64::MAX)) as u64,
+                    deadline_missed: r.deadline_missed,
+                }),
+                Err(rejection) => WireResponse::Rejected(rejection.to_string()),
+            }
+        }
+    }
+}
+
+/// Evaluates one raw NDJSON line, returning the response line (without the
+/// trailing newline).
+#[must_use]
+pub fn dispatch_line(service: &Service, line: &str) -> String {
+    let response = match serde_json::from_str::<WireRequest>(line) {
+        Ok(req) => dispatch(service, req),
+        Err(e) => WireResponse::Error(format!("bad request: {e}")),
+    };
+    serde_json::to_string(&response)
+        .unwrap_or_else(|e| format!("{{\"Error\":\"serialize failed: {e}\"}}"))
+}
+
+fn handle_connection(service: &Service, stream: TcpStream) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = dispatch_line(service, &line);
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Binds `addr` and serves NDJSON connections forever (thread per
+/// connection). Returns only on a listener error.
+pub fn serve<A: ToSocketAddrs>(service: &Service, addr: A) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    serve_on(service, listener)
+}
+
+/// Serves on an already-bound listener (lets callers report the chosen
+/// port, e.g. when binding port 0).
+pub fn serve_on(service: &Service, listener: TcpListener) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let service = service.clone();
+        std::thread::spawn(move || {
+            let _ = handle_connection(&service, stream);
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use krsp_graph::{DiGraph, NodeId};
+
+    fn inst(d: i64) -> Instance {
+        let g = DiGraph::from_edges(4, &[(0, 1, 1, 5), (1, 3, 1, 5), (0, 2, 4, 1), (2, 3, 4, 1)]);
+        Instance::new(g, NodeId(0), NodeId(3), 2, d).unwrap()
+    }
+
+    #[test]
+    fn request_round_trips_through_json() {
+        let req = WireRequest::Solve(SolveRequest {
+            instance: inst(20),
+            deadline_ms: Some(250),
+        });
+        let text = serde_json::to_string(&req).unwrap();
+        let back: WireRequest = serde_json::from_str(&text).unwrap();
+        match back {
+            WireRequest::Solve(s) => {
+                assert_eq!(s.deadline_ms, Some(250));
+                assert_eq!(s.instance.k, 2);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let metrics: WireRequest = serde_json::from_str("\"Metrics\"").unwrap();
+        assert!(matches!(metrics, WireRequest::Metrics));
+    }
+
+    #[test]
+    fn dispatch_solves_rejects_and_reports() {
+        let svc = Service::new(ServiceConfig::default());
+        let ok = dispatch(
+            &svc,
+            WireRequest::Solve(SolveRequest {
+                instance: inst(20),
+                deadline_ms: None,
+            }),
+        );
+        match ok {
+            WireResponse::Solved(r) => {
+                assert!(r.delay <= 20);
+                assert!(!r.edges.is_empty());
+            }
+            other => panic!("expected Solved, got {other:?}"),
+        }
+        let infeasible = dispatch(
+            &svc,
+            WireRequest::Solve(SolveRequest {
+                instance: inst(3),
+                deadline_ms: None,
+            }),
+        );
+        assert!(matches!(infeasible, WireResponse::Rejected(_)));
+        let metrics = dispatch(&svc, WireRequest::Metrics);
+        match metrics {
+            WireResponse::Metrics(m) => assert_eq!(m.completed, 1),
+            other => panic!("expected Metrics, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_get_error_replies() {
+        let svc = Service::new(ServiceConfig::default());
+        let reply = dispatch_line(&svc, "{not json");
+        let parsed: WireResponse = serde_json::from_str(&reply).unwrap();
+        assert!(matches!(parsed, WireResponse::Error(_)));
+    }
+
+    #[test]
+    fn tcp_round_trip_on_loopback() {
+        use std::io::{BufRead, BufReader, Write};
+
+        let svc = Service::new(ServiceConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        {
+            let svc = svc.clone();
+            std::thread::spawn(move || {
+                let _ = serve_on(&svc, listener);
+            });
+        }
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let req = serde_json::to_string(&WireRequest::Solve(SolveRequest {
+            instance: inst(20),
+            deadline_ms: Some(1000),
+        }))
+        .unwrap();
+        stream.write_all(req.as_bytes()).unwrap();
+        stream.write_all(b"\n\"Metrics\"\n").unwrap();
+        stream.flush().unwrap();
+
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let solved: WireResponse = serde_json::from_str(line.trim()).unwrap();
+        assert!(matches!(solved, WireResponse::Solved(_)));
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let metrics: WireResponse = serde_json::from_str(line.trim()).unwrap();
+        match metrics {
+            WireResponse::Metrics(m) => assert_eq!(m.completed, 1),
+            other => panic!("expected Metrics, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! The provisioning service: admission control, worker pool, cache, ladder.
+//!
+//! Request lifecycle:
+//!
+//! 1. **Admission** — [`Service::provision`] rejects immediately when the
+//!    bounded queue is full ([`Rejection::QueueFull`], the backpressure
+//!    signal) or the request's deadline has already lapsed
+//!    ([`Rejection::DeadlineExpired`]). Admitted requests are enqueued on
+//!    the shared [`Executor`](krsp::Executor) — the same scheduling
+//!    primitive `krsp::solve_batch` fans out over.
+//! 2. **Cache** — the worker computes the canonical key (see
+//!    [`crate::hash`]) and answers from the LRU cache when possible.
+//! 3. **Ladder** — on a miss the worker picks the highest degradation rung
+//!    the *remaining* deadline admits (see [`crate::degrade`]) and solves.
+//!    Admitted requests are never dropped: an exhausted deadline degrades
+//!    to the min-delay rung rather than failing.
+//! 4. **Audit** — in debug builds every fresh solution is re-verified by
+//!    `krsp::verify::audit` against the rung's advertised guarantee.
+
+use crate::cache::SolutionCache;
+use crate::degrade::{solve_degraded, Guarantee, LadderError, LadderPolicy, Rung};
+use crate::hash::canonical_key;
+use crate::metrics::MetricsSnapshot;
+use krsp::{Config, Executor, Instance, Solution};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Maximum queued-but-unstarted requests before backpressure.
+    pub queue_capacity: usize,
+    /// Solution-cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// Deadline applied when a request carries none.
+    pub default_deadline: Duration,
+    /// Strict mode: reject a request whose deadline has fully lapsed by
+    /// the time a worker picks it up, instead of serving it via the lowest
+    /// ladder rung (the default).
+    pub reject_expired: bool,
+    /// Solver configuration for the top ladder rungs.
+    pub solver: Config,
+    /// Degradation-ladder admission thresholds.
+    pub ladder: LadderPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 1024,
+            default_deadline: Duration::from_secs(5),
+            reject_expired: false,
+            solver: Config::default(),
+            ladder: LadderPolicy::default(),
+        }
+    }
+}
+
+/// One provisioning request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The kRSP instance to provision.
+    pub instance: Instance,
+    /// Latency budget; `None` uses [`ServiceConfig::default_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+/// A successful provisioning answer.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The provisioned path system.
+    pub solution: Solution,
+    /// Ladder rung that produced the answer.
+    pub rung: Rung,
+    /// The rung's advertised guarantee, recorded per request.
+    pub guarantee: Guarantee,
+    /// Whether the answer came from the solution cache.
+    pub cache_hit: bool,
+    /// End-to-end latency (admission to completion).
+    pub latency: Duration,
+    /// True when the answer arrived after the request's deadline.
+    pub deadline_missed: bool,
+}
+
+/// Why a request produced no solution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Rejection {
+    /// The admission queue was full — retry later (backpressure).
+    QueueFull,
+    /// The deadline had already lapsed at admission.
+    DeadlineExpired,
+    /// The instance is infeasible at every ladder rung.
+    Infeasible,
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            Rejection::QueueFull => "admission queue full",
+            Rejection::DeadlineExpired => "deadline expired before admission",
+            Rejection::Infeasible => "instance infeasible at every rung",
+            Rejection::ShuttingDown => "service shutting down",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for Rejection {}
+
+struct Shared {
+    cfg: ServiceConfig,
+    cache: Mutex<SolutionCache>,
+    metrics: Mutex<MetricsSnapshot>,
+    in_flight: AtomicUsize,
+}
+
+struct Slot {
+    result: Mutex<Option<Result<Response, Rejection>>>,
+    done: Condvar,
+}
+
+/// The in-process provisioning service. Cloneable handles share one worker
+/// pool, cache, and metrics registry; dropping the last handle drains the
+/// queue and joins the workers.
+#[derive(Clone)]
+pub struct Service {
+    shared: Arc<Shared>,
+    executor: Arc<Executor>,
+}
+
+impl Service {
+    /// Starts a service with `cfg`.
+    #[must_use]
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let executor = Arc::new(Executor::new(cfg.workers));
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(SolutionCache::new(cfg.cache_capacity)),
+            metrics: Mutex::new(MetricsSnapshot::default()),
+            in_flight: AtomicUsize::new(0),
+            cfg,
+        });
+        Service { shared, executor }
+    }
+
+    /// Submits a request and blocks until its answer (or rejection) is
+    /// available. Safe to call from many threads concurrently.
+    pub fn provision(&self, request: Request) -> Result<Response, Rejection> {
+        let admitted_at = Instant::now();
+        let deadline = request.deadline.unwrap_or(self.shared.cfg.default_deadline);
+
+        // Admission control. `in_flight` counts queued + running requests;
+        // the queue is full when it exceeds capacity plus the workers that
+        // could be draining it.
+        let limit = self.shared.cfg.queue_capacity + self.shared.cfg.workers;
+        if self.shared.in_flight.fetch_add(1, Ordering::AcqRel) >= limit {
+            self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            let mut m = self.shared.metrics.lock().expect("metrics poisoned");
+            m.rejected_queue_full += 1;
+            return Err(Rejection::QueueFull);
+        }
+        let slot = Arc::new(Slot {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        {
+            let shared = Arc::clone(&self.shared);
+            let slot = Arc::clone(&slot);
+            let instance = request.instance;
+            self.executor.submit(Box::new(move || {
+                let outcome = handle(&shared, &instance, admitted_at, deadline);
+                shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                *slot.result.lock().expect("slot poisoned") = Some(outcome);
+                slot.done.notify_all();
+            }));
+        }
+        {
+            let mut m = self.shared.metrics.lock().expect("metrics poisoned");
+            m.admitted += 1;
+        }
+
+        let mut guard = slot.result.lock().expect("slot poisoned");
+        while guard.is_none() {
+            guard = slot.done.wait(guard).expect("slot poisoned");
+        }
+        guard.take().expect("result present")
+    }
+
+    /// A point-in-time copy of the service counters (cache counters folded
+    /// in).
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut m = self
+            .shared
+            .metrics
+            .lock()
+            .expect("metrics poisoned")
+            .clone();
+        let c = self.shared.cache.lock().expect("cache poisoned").stats();
+        m.cache_hits = c.hits;
+        m.cache_misses = c.misses;
+        m.cache_evictions = c.evictions;
+        m
+    }
+
+    /// The service configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.shared.cfg
+    }
+
+    /// Requests currently queued or running.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Acquire)
+    }
+}
+
+fn handle(
+    shared: &Shared,
+    instance: &Instance,
+    admitted_at: Instant,
+    deadline: Duration,
+) -> Result<Response, Rejection> {
+    let key = canonical_key(instance);
+
+    // Cache first — a hit costs two hashes and a map probe.
+    let cached = shared.cache.lock().expect("cache poisoned").get(key);
+    if let Some(hit) = cached {
+        let latency = admitted_at.elapsed();
+        let deadline_missed = latency > deadline;
+        finish_metrics(shared, latency, deadline_missed, None);
+        return Ok(Response {
+            solution: hit.solution,
+            rung: hit.rung,
+            guarantee: hit.guarantee,
+            cache_hit: true,
+            latency,
+            deadline_missed,
+        });
+    }
+
+    let remaining = deadline.saturating_sub(admitted_at.elapsed());
+    if shared.cfg.reject_expired && remaining.is_zero() && !deadline.is_zero() {
+        let mut m = shared.metrics.lock().expect("metrics poisoned");
+        m.rejected_expired += 1;
+        return Err(Rejection::DeadlineExpired);
+    }
+    let out = solve_degraded(instance, &shared.cfg.solver, remaining, &shared.cfg.ladder);
+    match out {
+        Ok(degraded) => {
+            #[cfg(debug_assertions)]
+            audit_response(instance, &degraded);
+            shared
+                .cache
+                .lock()
+                .expect("cache poisoned")
+                .put(key, degraded.clone());
+            let latency = admitted_at.elapsed();
+            let deadline_missed = latency > deadline;
+            finish_metrics(shared, latency, deadline_missed, Some(degraded.rung));
+            Ok(Response {
+                solution: degraded.solution,
+                rung: degraded.rung,
+                guarantee: degraded.guarantee,
+                cache_hit: false,
+                latency,
+                deadline_missed,
+            })
+        }
+        Err(LadderError::Infeasible) => {
+            let mut m = shared.metrics.lock().expect("metrics poisoned");
+            m.infeasible += 1;
+            Err(Rejection::Infeasible)
+        }
+    }
+}
+
+fn finish_metrics(
+    shared: &Shared,
+    latency: Duration,
+    deadline_missed: bool,
+    fresh_rung: Option<Rung>,
+) {
+    let mut m = shared.metrics.lock().expect("metrics poisoned");
+    m.completed += 1;
+    if deadline_missed {
+        m.deadline_missed += 1;
+    }
+    if let Some(rung) = fresh_rung {
+        m.count_rung(rung);
+    }
+    m.latency
+        .record(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+}
+
+/// Debug-build audit: every fresh answer is re-verified from first
+/// principles against the rung's advertised guarantee (delay within
+/// `delay_factor · D`; cost within `cost_factor ×` the LP lower bound when
+/// the rung certifies one).
+#[cfg(debug_assertions)]
+fn audit_response(instance: &Instance, degraded: &crate::degrade::Degraded) {
+    let mut relaxed = instance.clone();
+    relaxed.delay_bound = instance
+        .delay_bound
+        .saturating_mul(i64::from(degraded.guarantee.delay_factor));
+    let reference = degraded
+        .guarantee
+        .cost_factor
+        .zip(degraded.solution.lower_bound)
+        .map(|(factor, lb)| (lb, factor));
+    let violations = krsp::verify::audit(&relaxed, &degraded.solution, reference);
+    assert!(
+        violations.is_empty(),
+        "service produced an invalid {} response: {violations:?}",
+        degraded.rung
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krsp_graph::{DiGraph, NodeId};
+
+    fn tradeoff(d: i64) -> Instance {
+        let g = DiGraph::from_edges(
+            6,
+            &[
+                (0, 1, 1, 10),
+                (1, 5, 1, 10),
+                (0, 2, 8, 1),
+                (2, 5, 8, 1),
+                (0, 3, 2, 6),
+                (3, 5, 2, 6),
+                (0, 4, 9, 2),
+                (4, 5, 9, 2),
+            ],
+        );
+        Instance::new(g, NodeId(0), NodeId(5), 2, d).unwrap()
+    }
+
+    fn req(d: i64) -> Request {
+        Request {
+            instance: tradeoff(d),
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn provisions_and_caches() {
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let first = svc.provision(req(14)).unwrap();
+        assert!(!first.cache_hit);
+        assert_eq!(first.rung, Rung::Full);
+        assert!(first.solution.delay <= 14);
+
+        let second = svc.provision(req(14)).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.solution.cost, first.solution.cost);
+
+        let m = svc.metrics();
+        assert_eq!(m.admitted, 2);
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.per_rung, [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn zero_deadline_serves_degraded() {
+        let svc = Service::new(ServiceConfig::default());
+        let out = svc
+            .provision(Request {
+                instance: tradeoff(14),
+                deadline: Some(Duration::ZERO),
+            })
+            .unwrap();
+        assert_eq!(out.rung, Rung::MinDelay);
+        assert_eq!(out.guarantee.cost_factor, None);
+        assert!(out.solution.delay <= 14);
+    }
+
+    #[test]
+    fn strict_mode_rejects_lapsed_deadlines() {
+        let svc = Service::new(ServiceConfig {
+            reject_expired: true,
+            ..ServiceConfig::default()
+        });
+        let err = svc
+            .provision(Request {
+                instance: tradeoff(14),
+                deadline: Some(Duration::from_nanos(1)),
+            })
+            .unwrap_err();
+        assert_eq!(err, Rejection::DeadlineExpired);
+        assert_eq!(svc.metrics().rejected_expired, 1);
+    }
+
+    #[test]
+    fn infeasible_is_reported() {
+        let svc = Service::new(ServiceConfig::default());
+        let err = svc.provision(req(3)).unwrap_err();
+        assert_eq!(err, Rejection::Infeasible);
+        assert_eq!(svc.metrics().infeasible, 1);
+    }
+
+    #[test]
+    fn concurrent_clients_share_the_cache() {
+        let svc = Service::new(ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        });
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let svc = svc.clone();
+                s.spawn(move || {
+                    for d in [14, 16, 22, 14, 16, 22] {
+                        let out = svc.provision(req(d)).unwrap();
+                        assert!(out.solution.delay <= d);
+                    }
+                });
+            }
+        });
+        let m = svc.metrics();
+        assert_eq!(m.completed, 24);
+        // 3 distinct instances → at most 3 misses per distinct key modulo
+        // the race where two workers miss the same key simultaneously.
+        assert!(m.cache_hits >= 24 - 2 * 3, "hits = {}", m.cache_hits);
+        assert_eq!(m.cache_evictions, 0);
+    }
+
+    #[test]
+    fn queue_full_backpressure() {
+        // One worker, tiny queue, and requests that take real time: the
+        // admission counter must reject the overflow.
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        });
+        let mut rejected = 0u64;
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..12 {
+                let svc = svc.clone();
+                handles.push(s.spawn(move || svc.provision(req(14)).is_err()));
+            }
+            for h in handles {
+                if h.join().unwrap() {
+                    rejected += 1;
+                }
+            }
+        });
+        let m = svc.metrics();
+        assert_eq!(rejected, m.rejected_queue_full);
+        // With 12 simultaneous clients, capacity 1 and one worker, at
+        // least some requests must have seen backpressure.
+        assert!(m.rejected_queue_full > 0, "no backpressure observed");
+        assert_eq!(m.completed + m.rejected_queue_full, 12);
+    }
+}

@@ -262,8 +262,16 @@ mod tests {
     fn urgent_class_gets_fast_path() {
         let sim = two_paths();
         let trace = [
-            Packet { arrival: 0, class: 0, deadline: 5 },
-            Packet { arrival: 0, class: 1, deadline: 30 },
+            Packet {
+                arrival: 0,
+                class: 0,
+                deadline: 5,
+            },
+            Packet {
+                arrival: 0,
+                class: 1,
+                deadline: 30,
+            },
         ];
         let r = sim.run(&trace, Policy::UrgencyPriority, 10);
         assert_eq!(r.delivered, 2);
@@ -286,7 +294,11 @@ mod tests {
             1,
         );
         let trace: Vec<Packet> = (0..5)
-            .map(|_| Packet { arrival: 0, class: 0, deadline: 2 })
+            .map(|_| Packet {
+                arrival: 0,
+                class: 0,
+                deadline: 2,
+            })
             .collect();
         let r = sim.run(&trace, Policy::FastestOnly, 10);
         assert_eq!(r.delivered, 5);

@@ -34,7 +34,14 @@ fn main() {
         return;
     };
     let per_path = inst.delay_bound / inst.k as i64;
-    match solve_qos(&inst.graph, inst.s, inst.t, inst.k, per_path, &Config::default()) {
+    match solve_qos(
+        &inst.graph,
+        inst.s,
+        inst.t,
+        inst.k,
+        per_path,
+        &Config::default(),
+    ) {
         Ok(out) => {
             println!(
                 "session: k = {}, per-path target {per_path}, total budget {}",

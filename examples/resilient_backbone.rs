@@ -30,12 +30,19 @@ fn main() {
     println!("====================================================================");
 
     let mut rng = ChaCha20Rng::seed_from_u64(11);
-    let graph = grid(7, Regime::Uniform, WeightParams { max: 15, noise: 0 }, &mut rng);
+    let graph = grid(
+        7,
+        Regime::Uniform,
+        WeightParams { max: 15, noise: 0 },
+        &mut rng,
+    );
     let (s, t) = (NodeId(0), NodeId((graph.node_count() - 1) as u32));
 
     // Pick a budget between the extremes.
     let probe = Instance::new(graph.clone(), s, t, 2, i64::MAX / 4).expect("valid");
-    let dmin = krsp::baselines::min_delay(&probe).expect("grid hosts 2 paths").delay;
+    let dmin = krsp::baselines::min_delay(&probe)
+        .expect("grid hosts 2 paths")
+        .delay;
     let drelax = krsp::baselines::min_sum(&probe).expect("feasible").delay;
     let budget = dmin + (drelax - dmin) / 3;
 
@@ -70,8 +77,7 @@ fn main() {
         {
             Some(re) => {
                 survived += 1;
-                let premium =
-                    re.solution.cost as f64 / base.solution.cost as f64;
+                let premium = re.solution.cost as f64 / base.solution.cost as f64;
                 worst_premium = worst_premium.max(premium);
                 println!(
                     "  link {}→{} down: re-provisioned at cost {} (premium {:.2}×), delay {} ≤ {budget}",

@@ -38,7 +38,7 @@ fn main() {
         m: 400,
         regime: Regime::Anticorrelated, // fast links are expensive
         k: 3,
-        tightness: 0.35,                // SLO well below the min-cost delay
+        tightness: 0.35, // SLO well below the min-cost delay
         seed: 2026,
     };
     let inst = krsp_gen::instantiate_with_retries(workload, 50).expect("feasible fabric");

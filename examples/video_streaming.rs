@@ -35,7 +35,10 @@ fn main() {
         fastest.delay, cheapest.delay, cheapest.cost
     );
     println!();
-    println!("{:>8} {:>10} {:>10} {:>12} {:>14}", "D", "cost", "delay", "cost/LP", "min-cost ok?");
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>14}",
+        "D", "cost", "delay", "cost/LP", "min-cost ok?"
+    );
 
     let lo = fastest.delay;
     let hi = cheapest.delay.max(lo + 1);

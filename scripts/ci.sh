@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, and the test suite must all be clean.
+#
+#   ./scripts/ci.sh
+#
+# Runs from the repo root regardless of the caller's cwd.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "CI OK"

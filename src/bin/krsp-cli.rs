@@ -4,11 +4,22 @@
 //!   krsp-cli solve <instance.json> [--single-probe] [--lp-engine] [--eps N/D]
 //!   krsp-cli gen <family> <n> <k> <tightness> <seed> <out.json>
 //!   krsp-cli info <instance.json>
+//!   krsp-cli serve <addr> [--workers W] [--queue Q] [--cache CAP]
+//!                  [--deadline-ms MS] [--strict-deadlines]
+//!   krsp-cli load [krsp-load flags...]
 //!
 //! Families: gnm | grid | layered | geometric.
+//!
+//! `serve` runs the NDJSON provisioning service on `addr` (e.g.
+//! `127.0.0.1:7447`; port 0 picks a free port and prints it). One JSON
+//! request per line: `{"Solve": {"instance": {...}, "deadline_ms": 250}}`
+//! or `"Metrics"`. `load` forwards to the `krsp-load` replay tool (same
+//! flags; see its source header).
 
+use krsp_service::{Service, ServiceConfig};
 use krsp_suite::krsp::{self, solve, solve_scaled, Config, Engine, Eps};
 use krsp_suite::krsp_gen::{self, Family, Regime, Workload};
+use std::time::Duration;
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -21,8 +32,10 @@ fn main() {
         Some("solve") => cmd_solve(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("load") => cmd_load(&args[1..]),
         _ => {
-            eprintln!("usage: krsp-cli solve|gen|info ... (see source header)");
+            eprintln!("usage: krsp-cli solve|gen|info|serve|load ... (see source header)");
             std::process::exit(2);
         }
     }
@@ -123,6 +136,62 @@ fn cmd_gen(args: &[String]) {
         inst.k,
         inst.delay_bound
     );
+}
+
+fn cmd_serve(args: &[String]) {
+    let Some(addr) = args.first() else {
+        fail("serve needs a bind address, e.g. 127.0.0.1:7447")
+    };
+    let mut cfg = ServiceConfig::default();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        fn arg<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
+            value
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("bad value for {flag}")))
+        }
+        match a.as_str() {
+            "--workers" => cfg.workers = arg(a, it.next()),
+            "--queue" => cfg.queue_capacity = arg(a, it.next()),
+            "--cache" => cfg.cache_capacity = arg(a, it.next()),
+            "--deadline-ms" => {
+                cfg.default_deadline = Duration::from_millis(arg(a, it.next()));
+            }
+            "--strict-deadlines" => cfg.reject_expired = true,
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+    let listener = std::net::TcpListener::bind(addr)
+        .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));
+    let local = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    let service = Service::new(cfg);
+    println!(
+        "krsp-service listening on {local} ({} workers, queue {}, cache {})",
+        service.config().workers,
+        service.config().queue_capacity,
+        service.config().cache_capacity
+    );
+    if let Err(e) = krsp_service::serve_on(&service, listener) {
+        fail(&format!("listener failed: {e}"));
+    }
+}
+
+fn cmd_load(args: &[String]) {
+    // Same binary family; delegate so the flags stay in one place.
+    let exe = std::env::current_exe().unwrap_or_else(|e| fail(&format!("no current exe: {e}")));
+    let sibling = exe.with_file_name(if cfg!(windows) {
+        "krsp-load.exe"
+    } else {
+        "krsp-load"
+    });
+    let status = std::process::Command::new(&sibling)
+        .args(args)
+        .status()
+        .unwrap_or_else(|e| fail(&format!("cannot run {}: {e}", sibling.display())));
+    std::process::exit(status.code().unwrap_or(1));
 }
 
 fn cmd_info(args: &[String]) {

@@ -1,0 +1,84 @@
+//! `krsp-load` — replay generated workloads against the provisioning
+//! service at a target rate.
+//!
+//! Usage:
+//!   krsp-load [--requests N] [--qps Q] [--unique U] [--clients C]
+//!             [--family gnm|grid|layered|geometric] [--n N] [--k K]
+//!             [--tightness T] [--seed S] [--deadline-ms MS]
+//!             [--workers W] [--queue Q] [--cache CAP] [--out report.json]
+//!
+//! The human-readable summary goes to stderr; the full JSON
+//! [`LoadReport`](krsp_service::LoadReport) goes to stdout (or `--out`).
+//! `--qps 0` (the default) runs with an open throttle; `--cache 0`
+//! disables the solution cache; `--deadline-ms 0` forces every request
+//! onto the lowest degradation rung.
+
+use krsp_service::load::{self, LoadSpec};
+use krsp_service::{Service, ServiceConfig};
+use krsp_suite::krsp_gen::Family;
+use std::time::Duration;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
+    value
+        .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        .parse()
+        .unwrap_or_else(|_| fail(&format!("bad value for {flag}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec = LoadSpec::default();
+    let mut svc_cfg = ServiceConfig::default();
+    let mut out: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--requests" => spec.requests = parse(a, it.next()),
+            "--qps" => spec.qps = parse(a, it.next()),
+            "--unique" => spec.unique = parse(a, it.next()),
+            "--clients" => spec.clients = parse(a, it.next()),
+            "--n" => spec.n = parse(a, it.next()),
+            "--k" => spec.k = parse(a, it.next()),
+            "--tightness" => spec.tightness = parse(a, it.next()),
+            "--seed" => spec.seed = parse(a, it.next()),
+            "--deadline-ms" => spec.deadline_ms = Some(parse(a, it.next())),
+            "--workers" => svc_cfg.workers = parse(a, it.next()),
+            "--queue" => svc_cfg.queue_capacity = parse(a, it.next()),
+            "--cache" => svc_cfg.cache_capacity = parse(a, it.next()),
+            "--out" => out = Some(parse::<String>(a, it.next())),
+            "--family" => {
+                spec.family = match parse::<String>(a, it.next()).as_str() {
+                    "gnm" => Family::Gnm,
+                    "grid" => Family::Grid,
+                    "layered" => Family::Layered,
+                    "geometric" => Family::Geometric,
+                    other => fail(&format!("unknown family {other}")),
+                }
+            }
+            other => fail(&format!("unknown flag {other} (see source header)")),
+        }
+    }
+    // A forced deadline only bites if it is also the default for requests
+    // the spec leaves bare.
+    if let Some(ms) = spec.deadline_ms {
+        svc_cfg.default_deadline = Duration::from_millis(ms);
+    }
+
+    let service = Service::new(svc_cfg);
+    let report = load::run(&service, &spec);
+    eprintln!("{}", load::render(&report));
+
+    let json = serde_json::to_string_pretty(&report)
+        .unwrap_or_else(|e| fail(&format!("cannot serialize report: {e}")));
+    match out {
+        Some(path) => std::fs::write(&path, json + "\n")
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}"))),
+        None => println!("{json}"),
+    }
+}

@@ -83,7 +83,9 @@ fn all_configurations_uphold_the_contract() {
                         "{name}: delay violated"
                     );
                     assert!(
-                        out.solution.edges.is_k_flow(&inst.graph, inst.s, inst.t, inst.k),
+                        out.solution
+                            .edges
+                            .is_k_flow(&inst.graph, inst.s, inst.t, inst.k),
                         "{name}: structure violated"
                     );
                     // The Ĉ-bisected default gets the full (1,2); the
@@ -100,10 +102,7 @@ fn all_configurations_uphold_the_contract() {
                     );
                 }
                 Err(_) => {
-                    assert!(
-                        opt.is_none(),
-                        "{name}: declined a feasible instance"
-                    );
+                    assert!(opt.is_none(), "{name}: declined a feasible instance");
                 }
             }
         }
@@ -134,8 +133,7 @@ fn lp_engine_agrees_with_fast_engine_on_feasibility() {
         ) else {
             continue;
         };
-        let Some(dmin) = krsp_suite::krsp::baselines::min_delay(&probe).map(|s| s.delay)
-        else {
+        let Some(dmin) = krsp_suite::krsp::baselines::min_delay(&probe).map(|s| s.delay) else {
             continue;
         };
         let inst = Instance {

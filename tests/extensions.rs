@@ -76,10 +76,7 @@ fn qos_reduction_sorts_and_bounds() {
 fn vertex_disjoint_on_tiny_hand_instance() {
     use krsp_suite::krsp_graph::DiGraph;
     // Two routes forced through vertex 1 → vertex-disjoint k=2 infeasible.
-    let g = DiGraph::from_edges(
-        3,
-        &[(0, 1, 1, 1), (0, 1, 1, 1), (1, 2, 1, 1), (1, 2, 1, 1)],
-    );
+    let g = DiGraph::from_edges(3, &[(0, 1, 1, 1), (0, 1, 1, 1), (1, 2, 1, 1), (1, 2, 1, 1)]);
     let inst = Instance::new(g, NodeId(0), NodeId(2), 2, 10).unwrap();
     assert!(solve(&inst, &Config::default()).is_ok());
     assert!(solve_vertex_disjoint(&inst, &Config::default()).is_err());

@@ -1,0 +1,115 @@
+//! Hermetic stand-in for `rayon`.
+//!
+//! The build environment cannot fetch crates, so this crate provides the
+//! parallel-iterator *API surface* the workspace uses (`par_iter`,
+//! `into_par_iter`, `flat_map_iter`, plus every adapter inherited from
+//! [`Iterator`]) executed **sequentially**. Results are identical to rayon's
+//! because every call site in this repository uses order-preserving,
+//! side-effect-free pipelines.
+//!
+//! Heavy data parallelism in the workspace lives in
+//! `krsp::batch::Executor` (a real `std::thread` worker pool); this shim
+//! only keeps the remaining rayon call sites source-compatible.
+
+#![forbid(unsafe_code)]
+
+/// The rayon prelude: traits that add `par_iter`-style methods.
+pub mod prelude {
+    /// Conversion into a "parallel" (here: sequential) iterator by value.
+    pub trait IntoParallelIterator {
+        /// The iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item;
+
+        /// Converts `self` into an iterator. Sequential in this shim.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {
+        type Iter = T::IntoIter;
+        type Item = T::Item;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Conversion into a "parallel" iterator over references.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type (a reference).
+        type Item: 'data;
+
+        /// Iterates over `&self`. Sequential in this shim.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+    where
+        &'data T: IntoIterator,
+    {
+        type Iter = <&'data T as IntoIterator>::IntoIter;
+        type Item = <&'data T as IntoIterator>::Item;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Rayon-specific adapters that have no [`Iterator`] counterpart.
+    pub trait ParallelIterator: Iterator + Sized {
+        /// Rayon's `flat_map_iter`: identical to [`Iterator::flat_map`] here.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+
+        /// Sequential shim: splitting hints are meaningless, returns `self`.
+        fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+
+        /// Rayon's `find_any`: sequential execution always yields the first
+        /// match, so this is exactly [`Iterator::find`].
+        fn find_any<P>(mut self, predicate: P) -> Option<Self::Item>
+        where
+            P: FnMut(&Self::Item) -> bool,
+        {
+            self.find(predicate)
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges() {
+        let s: u64 = (0..10u64).into_par_iter().filter(|x| x % 2 == 0).sum();
+        assert_eq!(s, 20);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let out: Vec<u32> = vec![1u32, 2]
+            .par_iter()
+            .flat_map_iter(|&x| [x, x + 10])
+            .collect();
+        assert_eq!(out, vec![1, 11, 2, 12]);
+    }
+}

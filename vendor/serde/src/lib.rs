@@ -1,0 +1,440 @@
+//! Hermetic stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal (de)serialization framework under serde's names. Instead of
+//! serde's visitor-based zero-copy data model, values round-trip through an
+//! owned tree ([`Content`]); `#[derive(Serialize, Deserialize)]` (from the
+//! sibling `serde_derive` shim) generates `Content` conversions for plain
+//! structs and enums — exactly the shapes this repository uses. The JSON
+//! text layer lives in the vendored `serde_json`.
+//!
+//! Supported: named/tuple/unit structs; enums with unit, tuple, and struct
+//! variants (externally tagged, like serde); primitives, `String`, `char`,
+//! `Option`, `Vec`, arrays-as-seqs, tuples to arity 4, `Duration`, and
+//! maps with `String` keys. Unsupported (panics at derive time): generics,
+//! `#[serde(...)]` attributes.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::time::Duration;
+
+/// The self-describing value tree every type (de)serializes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Any integer (i128 covers every integral type the workspace uses).
+    Int(i128),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Map with string keys, insertion-ordered.
+    Map(Vec<(String, Content)>),
+}
+
+/// Deserialization failure: a human-readable path/expectation message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error describing an unexpected shape.
+    #[must_use]
+    pub fn expected(what: &str, got: &Content) -> Self {
+        let shape = match got {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::Int(_) => "integer",
+            Content::Float(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        };
+        DeError(format!("expected {what}, found {shape}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Content {
+    /// Map field lookup, as used by derived `Deserialize` impls.
+    pub fn field<'a>(&'a self, name: &str) -> Result<&'a Content, DeError> {
+        match self {
+            Content::Map(m) => m
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError(format!("missing field `{name}`"))),
+            other => Err(DeError::expected("map", other)),
+        }
+    }
+
+    /// The sequence payload, checked against an exact length.
+    pub fn seq_n(&self, n: usize) -> Result<&[Content], DeError> {
+        match self {
+            Content::Seq(s) if s.len() == n => Ok(s),
+            Content::Seq(s) => Err(DeError(format!(
+                "expected sequence of length {n}, found {}",
+                s.len()
+            ))),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+
+    fn int(&self) -> Result<i128, DeError> {
+        match self {
+            Content::Int(i) => Ok(*i),
+            // Tolerate integral floats (JSON writers may emit `1.0`).
+            Content::Float(f) if f.fract() == 0.0 && f.abs() < 2f64.powi(96) => Ok(*f as i128),
+            other => Err(DeError::expected("integer", other)),
+        }
+    }
+}
+
+/// Serialization into the [`Content`] tree.
+pub trait Serialize {
+    /// The value as a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialization out of the [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds the value from a content tree.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls --------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::Int(*self as i128) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let i = c.int()?;
+                <$t>::try_from(i).map_err(|_| DeError(format!(
+                    "integer {i} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for i128 {
+    fn to_content(&self) -> Content {
+        Content::Int(*self)
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.int()
+    }
+}
+
+impl Serialize for u128 {
+    fn to_content(&self) -> Content {
+        Content::Int(i128::try_from(*self).expect("u128 value exceeds i128 content range"))
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        u128::try_from(c.int()?).map_err(|_| DeError("negative integer for u128".into()))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Float(f) => Ok(*f),
+            Content::Int(i) => Ok(*i as f64),
+            other => Err(DeError::expected("float", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(s) => s.iter().map(T::from_content).collect(),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_content(c)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}, got {got}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                const N: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let s = c.seq_n(N)?;
+                Ok(($($t::from_content(&s[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Duration {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".into(), Content::Int(self.as_secs() as i128)),
+            (
+                "nanos".into(),
+                Content::Int(i128::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let secs = u64::from_content(c.field("secs")?)?;
+        let nanos = u32::from_content(c.field("nanos")?)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::expected("map", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::expected("map", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_content(&42u32.to_content()), Ok(42));
+        assert_eq!(i64::from_content(&(-7i64).to_content()), Ok(-7));
+        assert_eq!(bool::from_content(&true.to_content()), Ok(true));
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(f64::from_content(&1.5f64.to_content()), Ok(1.5));
+    }
+
+    #[test]
+    fn option_vec_tuple_round_trip() {
+        let v: Option<Vec<(u32, i64)>> = Some(vec![(1, -2), (3, 4)]);
+        let c = v.to_content();
+        assert_eq!(Option::<Vec<(u32, i64)>>::from_content(&c), Ok(v));
+        assert_eq!(Option::<u32>::from_content(&Content::Null), Ok(None));
+    }
+
+    #[test]
+    fn out_of_range_int_rejected() {
+        assert!(u8::from_content(&Content::Int(300)).is_err());
+        assert!(u32::from_content(&Content::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn duration_round_trips() {
+        let d = Duration::new(3, 456);
+        assert_eq!(Duration::from_content(&d.to_content()), Ok(d));
+    }
+}
