@@ -13,10 +13,17 @@
 
 use crate::algorithm1::{solve, Config, SolveError, Solved};
 use crate::instance::Instance;
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
+
+thread_local! {
+    /// True on threads owned by a resident pool (see
+    /// [`Executor::on_worker_thread`]).
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
 
 /// A boxed unit of work for the resident pool.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -59,6 +66,17 @@ impl Executor {
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// True when the current thread is a resident-pool worker (of *any*
+    /// executor). Code that blocks waiting for a job submitted via
+    /// [`Executor::submit`] must not do so from a worker thread — every
+    /// worker could end up parked behind a job that needs a worker to run,
+    /// deadlocking the pool. Callers use this to fall back to solving
+    /// inline (see the singleflight layer in `krsp-service`).
+    #[must_use]
+    pub fn on_worker_thread() -> bool {
+        IS_POOL_WORKER.with(Cell::get)
     }
 
     /// Applies `f` to every item, preserving order, using up to
@@ -136,20 +154,23 @@ impl Executor {
         let handles = (0..self.workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                thread::spawn(move || loop {
-                    let job = {
-                        let mut st = shared.state.lock().expect("pool state poisoned");
-                        loop {
-                            if let Some(j) = st.queue.pop_front() {
-                                break j;
+                thread::spawn(move || {
+                    IS_POOL_WORKER.with(|f| f.set(true));
+                    loop {
+                        let job = {
+                            let mut st = shared.state.lock().expect("pool state poisoned");
+                            loop {
+                                if let Some(j) = st.queue.pop_front() {
+                                    break j;
+                                }
+                                if st.shutdown {
+                                    return;
+                                }
+                                st = shared.not_empty.wait(st).expect("pool state poisoned");
                             }
-                            if st.shutdown {
-                                return;
-                            }
-                            st = shared.not_empty.wait(st).expect("pool state poisoned");
-                        }
-                    };
-                    job();
+                        };
+                        job();
+                    }
                 })
             })
             .collect();
@@ -291,6 +312,29 @@ mod tests {
         }
         drop(ex); // drains the queue and joins the workers
         assert_eq!(sum.load(Ordering::Relaxed), 50 * 51 / 2);
+    }
+
+    #[test]
+    fn worker_thread_marker_distinguishes_pool_threads() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        assert!(!Executor::on_worker_thread(), "test thread is not a worker");
+        let ex = Executor::new(2);
+        let seen = Arc::new(AtomicBool::new(false));
+        {
+            let seen = Arc::clone(&seen);
+            ex.submit(Box::new(move || {
+                seen.store(Executor::on_worker_thread(), Ordering::SeqCst);
+            }));
+        }
+        drop(ex);
+        assert!(seen.load(Ordering::SeqCst), "pool job must see the marker");
+        // Scoped map threads are not resident workers; blocking there is
+        // safe because the resident pool can still drain.
+        let ex = Executor::new(2);
+        let flags = ex.map(&[0u8; 4], |_| Executor::on_worker_thread());
+        assert_eq!(flags, vec![false; 4]);
     }
 
     #[test]

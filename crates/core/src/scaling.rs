@@ -18,6 +18,7 @@ use crate::algorithm1::{self, Config, SolveError};
 use crate::instance::Instance;
 use crate::phase1::{self, Phase1Backend};
 use crate::solution::Solution;
+use krsp_numeric::Rat;
 use serde::{Deserialize, Serialize};
 
 /// A positive rational `num/den` used for `ε` parameters.
@@ -37,8 +38,22 @@ impl Eps {
         Eps { num, den }
     }
 
-    fn as_f64(self) -> f64 {
-        f64::from(self.num) / f64::from(self.den)
+    /// `1 + ε` as an exact rational — the Theorem-4 delay relaxation factor.
+    #[must_use]
+    pub fn one_plus(self) -> Rat {
+        Rat::new(
+            i128::from(self.den) + i128::from(self.num),
+            i128::from(self.den),
+        )
+    }
+
+    /// `2 + ε` as an exact rational — the Theorem-4 cost relaxation factor.
+    #[must_use]
+    pub fn two_plus(self) -> Rat {
+        Rat::new(
+            2 * i128::from(self.den) + i128::from(self.num),
+            i128::from(self.den),
+        )
     }
 }
 
@@ -68,6 +83,7 @@ fn scale(w: i64, eps: Eps, bound: i64, l: i64) -> i64 {
 /// ```
 /// use krsp::{solve_scaled, Config, Eps, Instance};
 /// use krsp_graph::{DiGraph, NodeId};
+/// use krsp_numeric::Rat;
 ///
 /// let g = DiGraph::from_edges(4, &[
 ///     (0, 1, 10, 90), (1, 3, 10, 90),
@@ -76,8 +92,8 @@ fn scale(w: i64, eps: Eps, bound: i64, l: i64) -> i64 {
 /// let inst = Instance::new(g, NodeId(0), NodeId(3), 2, 200).unwrap();
 /// let eps = Eps::new(1, 4); // ε = 1/4
 /// let out = solve_scaled(&inst, eps, eps, &Config::default()).unwrap();
-/// // Delay within (1+ε)·D.
-/// assert!(out.solution.delay as f64 <= 1.25 * 200.0);
+/// // Delay within (1+ε)·D, checked exactly: 5/4 · 200.
+/// assert!(Rat::from(out.solution.delay) <= eps.one_plus() * Rat::from(200i64));
 /// ```
 pub fn solve_scaled(
     inst: &Instance,
@@ -129,10 +145,13 @@ pub fn solve_scaled(
                 solution.lower_bound = Some(p1.lp_bound);
                 // Certified budgets: delay ≤ (1+ε₁)·D always (by the scaled
                 // feasibility); accept on the cost side once within
-                // (2+ε₂)·guess.
-                let delay_ok = (solution.delay as f64)
-                    <= (1.0 + eps1.as_f64()) * inst.delay_bound as f64 + 1e-9;
-                let cost_ok = (solution.cost as f64) <= (2.0 + eps2.as_f64()) * guess as f64 + 1e-9;
+                // (2+ε₂)·guess. Both comparisons are exact rationals —
+                // Theorem 4's bound is a sharp inequality, and f64 slop
+                // either rejects valid answers or certifies invalid ones
+                // once the magnitudes pass 2^53.
+                let delay_ok =
+                    Rat::from(solution.delay) <= eps1.one_plus() * Rat::from(inst.delay_bound);
+                let cost_ok = Rat::from(solution.cost) <= eps2.two_plus() * Rat::from(guess);
                 if delay_ok {
                     let cand = ScaledSolved {
                         solution,
@@ -189,20 +208,41 @@ mod tests {
             let eps = Eps::new(1, 4);
             let out = solve_scaled(&inst, eps, eps, &Config::default()).unwrap();
             let opt = crate::exact::brute_force(&inst).unwrap();
-            // delay ≤ (1+ε)·D
+            // delay ≤ (1+ε)·D, exactly
             assert!(
-                out.solution.delay as f64 <= 1.25 * d as f64 + 1e-9,
+                Rat::from(out.solution.delay) <= eps.one_plus() * Rat::from(d),
                 "delay {} vs (1+ε)·{d}",
                 out.solution.delay
             );
-            // cost ≤ (2+ε)·C_OPT
+            // cost ≤ (2+ε)·C_OPT, exactly
             assert!(
-                out.solution.cost as f64 <= 2.25 * opt.cost as f64 + 1e-9,
+                Rat::from(out.solution.cost) <= eps.two_plus() * Rat::from(opt.cost),
                 "cost {} vs (2+ε)·{}",
                 out.solution.cost,
                 opt.cost
             );
         }
+    }
+
+    #[test]
+    fn guarantee_checks_are_exact_at_extreme_magnitudes() {
+        // With D near i64::MAX the f64 check `(1+ε)·D + 1e-9` cannot tell
+        // (1+ε)·D from (1+ε)·D + 1 — both round to the same double. The
+        // rational comparison must.
+        let eps = Eps::new(1, 3);
+        let d = 3 * (i64::MAX / 4); // divisible by eps.den, (1+ε)·D exact
+        let exactly_at_bound = d / 3 * 4;
+        assert!(Rat::from(exactly_at_bound) <= eps.one_plus() * Rat::from(d));
+        assert!(Rat::from(exactly_at_bound + 1) > eps.one_plus() * Rat::from(d));
+        // Same sharpness on the (2+ε) cost side.
+        let c = 3 * (i64::MAX / 8);
+        let at_cost_bound = c / 3 * 7;
+        assert!(Rat::from(at_cost_bound) <= eps.two_plus() * Rat::from(c));
+        assert!(Rat::from(at_cost_bound + 1) > eps.two_plus() * Rat::from(c));
+        // The f64 route genuinely cannot make this distinction: both sides
+        // of the boundary round to the same double, so any float predicate
+        // returns one verdict for a valid answer and a violation alike.
+        assert_eq!(exactly_at_bound as f64, (exactly_at_bound + 1) as f64);
     }
 
     #[test]

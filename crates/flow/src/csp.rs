@@ -159,6 +159,19 @@ pub fn constrained_shortest_path(
     Some(p)
 }
 
+/// Integer geometric mean `⌊√(lb·ub)⌋`, clamped into `[lb, ub]`.
+///
+/// Computed with an exact `u128` integer square root: the `f64` route
+/// (`((lb·ub) as f64).sqrt()`) loses precision once `lb·ub` exceeds 2^53,
+/// and a midpoint rounded up past `⌊√(lb·ub)⌋` can violate the bracket
+/// invariant (`2·mid < ub`) the Hassin/Larac-style shrink loop relies on —
+/// stalling or misbisecting the search near `i64::MAX`.
+fn geometric_midpoint(lb: i64, ub: i64) -> i64 {
+    debug_assert!(0 < lb && lb <= ub);
+    let mid = krsp_numeric::isqrt(lb as u128 * ub as u128) as i64;
+    mid.clamp(lb, ub)
+}
+
 /// Lorenz–Raz style FPTAS for the restricted shortest path problem:
 /// returns a path with `delay ≤ delay_bound` and
 /// `cost ≤ (1 + eps_num/eps_den) · OPT`, or `None` if infeasible.
@@ -257,8 +270,7 @@ pub fn rsp_fptas(
     // ub > 4·lb, `2·⌊√(lb·ub)⌋ < ub`, so both branches strictly shrink the
     // bracket and the loop terminates in O(log log(ub/lb)) tests.
     while ub > 4 * lb {
-        let c = ((lb as f64) * (ub as f64)).sqrt().floor() as i64;
-        let c = c.clamp(lb, ub);
+        let c = geometric_midpoint(lb, ub);
         match test(c) {
             Some(p) => {
                 debug_assert!(p.cost <= 2 * c, "test contract: cost ≤ (1+ε₀)·c");
@@ -372,6 +384,38 @@ mod tests {
         let g = DiGraph::from_edges(3, &[(0, 1, 0, 5), (1, 2, 0, 5), (0, 2, 7, 1)]);
         let p = rsp_fptas(&g, NodeId(0), NodeId(2), 10, 1, 10).unwrap();
         assert_eq!(p.cost, 0);
+    }
+
+    #[test]
+    fn geometric_midpoint_is_exact_near_i64_max() {
+        // lb·ub ≫ 2^53: the old f64 path rounded √(lb·ub) up past the true
+        // floor (for lb = ub = i64::MAX it saturates to i64::MAX only by
+        // accident of the `as` cast; one step down it misbisects).
+        let m = i64::MAX;
+        assert_eq!(geometric_midpoint(m, m), m);
+        assert_eq!(geometric_midpoint(m - 1, m), m - 1);
+        assert_eq!(geometric_midpoint(1, m), 3_037_000_499); // ⌊√(2^63−1)⌋
+                                                             // Exactness: mid is the floor sqrt of the product whenever that
+                                                             // floor lands inside [lb, ub].
+        for (lb, ub) in [
+            (m / 4, m),
+            (m / 2, m - 1),
+            ((1 << 31) + 7, (1 << 62) + 11),
+            (3, m / 3),
+        ] {
+            let mid = geometric_midpoint(lb, ub);
+            let prod = lb as u128 * ub as u128;
+            let mid_u = mid as u128;
+            assert!(mid_u * mid_u <= prod, "mid too big for ({lb}, {ub})");
+            assert!(
+                (mid_u + 1) * (mid_u + 1) > prod,
+                "mid not the floor for ({lb}, {ub})"
+            );
+            assert!((lb..=ub).contains(&mid));
+        }
+        // The shrink-loop invariant: while ub > 4·lb, 2·mid < ub strictly.
+        let (lb, ub) = (m / 8, m);
+        assert!(2i128 * i128::from(geometric_midpoint(lb, ub)) < i128::from(ub));
     }
 
     fn arb_graph() -> impl Strategy<Value = (DiGraph, i64)> {

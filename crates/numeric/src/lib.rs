@@ -48,6 +48,30 @@ pub fn lcm(a: i128, b: i128) -> i128 {
     (a / g).checked_mul(b).expect("lcm overflow").abs()
 }
 
+/// Exact integer square root: the largest `r` with `r·r ≤ n`.
+///
+/// Newton's method seeded from the bit length, so the iterate starts at or
+/// above `√n` and decreases monotonically — no floating-point round trip,
+/// which matters because `f64` has only 53 mantissa bits and misrounds
+/// square roots of products like `lb·ub` near `i64::MAX²`.
+#[must_use]
+pub fn isqrt(n: u128) -> u128 {
+    if n < 2 {
+        return n;
+    }
+    // 2^⌈bits/2⌉ ≥ √n, the required starting point for monotone descent.
+    let bits = 128 - n.leading_zeros();
+    let mut x = 1u128 << bits.div_ceil(2);
+    loop {
+        let y = (x + n / x) / 2;
+        if y >= x {
+            debug_assert!(x * x <= n && (x + 1).checked_mul(x + 1).is_none_or(|s| s > n));
+            return x;
+        }
+        x = y;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +92,44 @@ mod tests {
         assert_eq!(lcm(4, 6), 12);
         assert_eq!(lcm(-4, 6), 12);
         assert_eq!(lcm(7, 13), 91);
+    }
+
+    #[test]
+    fn isqrt_small_values() {
+        for n in 0u128..=10_000 {
+            let r = isqrt(n);
+            assert!(r * r <= n && (r + 1) * (r + 1) > n, "isqrt({n}) = {r}");
+        }
+    }
+
+    #[test]
+    fn isqrt_perfect_squares_and_neighbors() {
+        for r in [1u128, 2, 1 << 20, 1 << 40, (1 << 63) - 1, u64::MAX as u128] {
+            let sq = r * r;
+            assert_eq!(isqrt(sq), r);
+            assert_eq!(isqrt(sq - 1), r - 1);
+            assert_eq!(isqrt(sq + 1), r);
+        }
+    }
+
+    #[test]
+    fn isqrt_extreme_magnitudes_where_f64_misrounds() {
+        // i64::MAX² has 126 bits; f64's 53-bit mantissa rounds its square
+        // root up to 2^63, one past the true floor. The exact routine must
+        // not.
+        let m = i64::MAX as u128;
+        assert_eq!(isqrt(m * m), m);
+        assert_eq!(isqrt(m * m - 1), m - 1);
+        assert_eq!(isqrt(u128::MAX), (1u128 << 64) - 1);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_isqrt_is_exact_floor(hi in 0u64..=u64::MAX, lo in 0u64..=u64::MAX) {
+            let n = (u128::from(hi) << 64) | u128::from(lo);
+            let r = isqrt(n);
+            proptest::prop_assert!(r.checked_mul(r).is_some_and(|s| s <= n));
+            proptest::prop_assert!((r + 1).checked_mul(r + 1).is_none_or(|s| s > n));
+        }
     }
 }

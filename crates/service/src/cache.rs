@@ -5,13 +5,26 @@
 //! full ladder answers. The canonical key (see [`crate::hash`]) makes the
 //! cache insensitive to edge enumeration order; hit/miss/eviction counters
 //! feed [`MetricsSnapshot`](crate::metrics::MetricsSnapshot).
+//!
+//! Two layers live here:
+//!
+//! * [`SolutionCache`] — the single-threaded LRU map (one shard's worth).
+//! * [`ShardedCache`] — N independent `Mutex<SolutionCache>` shards, the
+//!   shard chosen from the canonical 128-bit key. Concurrent clients
+//!   touching different keys almost never contend on the same lock, and
+//!   because the canonical hash assigns every key to exactly one shard,
+//!   per-shard LRU is exact LRU *within the key population of that shard*
+//!   — recency of a key is only ever compared against keys it actually
+//!   competes with for slots.
 
 use crate::degrade::Degraded;
 use crate::hash::CacheKey;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Monotone counters describing cache behavior since construction.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups that found an entry.
     pub hits: u64,
@@ -19,6 +32,18 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries displaced by capacity pressure.
     pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Component-wise sum, for aggregating shards.
+    #[must_use]
+    pub fn merge(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
 }
 
 struct Entry {
@@ -109,6 +134,99 @@ impl SolutionCache {
     }
 }
 
+/// An N-way sharded [`SolutionCache`]: each shard is an independent LRU
+/// behind its own `Mutex`, and a key's shard is a pure function of its
+/// canonical 128-bit hash — so a hot single-lock cache becomes N mostly
+/// uncontended locks without changing per-key semantics. All methods take
+/// `&self`; the type is `Sync` and shared across worker and client threads.
+pub struct ShardedCache {
+    shards: Vec<Mutex<SolutionCache>>,
+}
+
+impl ShardedCache {
+    /// A cache of `shards` shards (clamped to ≥ 1) holding at most
+    /// `capacity` entries in total; each shard gets an equal slice
+    /// (rounded up, so total capacity is never below `capacity`). Zero
+    /// capacity disables caching entirely.
+    #[must_use]
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards)
+        };
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(SolutionCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index owning `key`. Uses the upper half of the 128-bit
+    /// canonical digest (both halves are independent FNV streams, so any
+    /// fixed slice is uniformly mixed).
+    #[must_use]
+    pub fn shard_of(&self, key: CacheKey) -> usize {
+        ((key.0 >> 64) % self.shards.len() as u128) as usize
+    }
+
+    /// Looks up `key` in its shard, refreshing recency on a hit.
+    pub fn get(&self, key: CacheKey) -> Option<Degraded> {
+        self.shards[self.shard_of(key)]
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+    }
+
+    /// Inserts (or refreshes) `key` in its shard, evicting that shard's
+    /// LRU entry under capacity pressure.
+    pub fn put(&self, key: CacheKey, value: Degraded) {
+        self.shards[self.shard_of(key)]
+            .lock()
+            .expect("cache shard poisoned")
+            .put(key, value);
+    }
+
+    /// Total entries across shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when every shard is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregated counters over all shards.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.shard_stats()
+            .into_iter()
+            .fold(CacheStats::default(), CacheStats::merge)
+    }
+
+    /// Per-shard counters, indexed by shard.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").stats())
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,5 +297,90 @@ mod tests {
         assert_eq!(c.stats().evictions, 0);
         assert_eq!(c.get(key(1)).unwrap().solution.cost, 11);
         assert!(c.get(key(2)).is_some());
+    }
+
+    /// Spread small integers over the full 128-bit key space so the shard
+    /// choice (upper 64 bits) actually varies.
+    fn spread(v: u64) -> CacheKey {
+        let x = (u128::from(v) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c834);
+        CacheKey(x)
+    }
+
+    #[test]
+    fn sharded_basics_and_shard_routing() {
+        let c = ShardedCache::new(64, 8);
+        assert_eq!(c.shard_count(), 8);
+        assert!(c.is_empty());
+        for v in 0..32u64 {
+            c.put(spread(v), dummy(v as i64));
+        }
+        assert_eq!(c.len(), 32);
+        for v in 0..32u64 {
+            assert_eq!(c.get(spread(v)).unwrap().solution.cost, v as i64);
+            // Routing is deterministic and in range.
+            let s = c.shard_of(spread(v));
+            assert!(s < 8);
+            assert_eq!(s, c.shard_of(spread(v)));
+        }
+        let stats = c.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (32, 0, 0));
+        let per_shard = c.shard_stats();
+        assert_eq!(per_shard.len(), 8);
+        assert_eq!(
+            per_shard
+                .iter()
+                .fold(CacheStats::default(), |a, &b| a.merge(b)),
+            stats
+        );
+        // The keys actually landed on more than one shard.
+        assert!(per_shard.iter().filter(|s| s.hits > 0).count() > 1);
+    }
+
+    #[test]
+    fn sharded_zero_capacity_disables_caching() {
+        let c = ShardedCache::new(0, 4);
+        c.put(spread(1), dummy(1));
+        assert!(c.get(spread(1)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn sharded_capacity_bounds_total_size() {
+        let c = ShardedCache::new(16, 4); // 4 slots per shard
+        for v in 0..200u64 {
+            c.put(spread(v), dummy(v as i64));
+        }
+        assert!(c.len() <= 16, "len = {}", c.len());
+        assert_eq!(c.stats().evictions, 200 - c.len() as u64);
+    }
+
+    proptest::proptest! {
+        /// With capacity ample enough that no shard ever evicts, a sharded
+        /// cache is observationally identical to a 1-shard cache under any
+        /// op sequence: same per-key answers, same aggregate counters.
+        /// (Under eviction pressure the two legitimately differ — LRU age
+        /// is tracked per shard — so ample capacity is the precise regime
+        /// where equivalence must be exact.)
+        #[test]
+        fn prop_sharded_matches_single_shard(
+            ops in proptest::collection::vec((0u8..=1, 0u64..24, 0i64..1000), 1..256),
+            shards in 1usize..12,
+        ) {
+            let sharded = ShardedCache::new(24 * shards, shards);
+            let single = ShardedCache::new(24, 1);
+            for (op, k, v) in ops {
+                let key = spread(k);
+                if op == 0 {
+                    let a = sharded.get(key).map(|d| d.solution.cost);
+                    let b = single.get(key).map(|d| d.solution.cost);
+                    proptest::prop_assert_eq!(a, b);
+                } else {
+                    sharded.put(key, dummy(v));
+                    single.put(key, dummy(v));
+                }
+            }
+            proptest::prop_assert_eq!(sharded.stats(), single.stats());
+            proptest::prop_assert_eq!(sharded.len(), single.len());
+        }
     }
 }

@@ -12,8 +12,12 @@
 //!   response auditing.
 //! * [`hash`] — canonical 128-bit instance digests (edge-order
 //!   insensitive) keying the cache.
-//! * [`cache`] — LRU memoization of full ladder answers, with
-//!   hit/miss/eviction counters.
+//! * [`cache`] — LRU memoization of full ladder answers, sharded across
+//!   independently-locked segments, with per-shard hit/miss/eviction
+//!   counters.
+//! * [`singleflight`] — coalesces concurrent misses for the same key onto
+//!   one solver run; duplicates wait on their own threads and share the
+//!   leader's answer.
 //! * [`degrade`] — the ladder `full → single_probe → lp_rounding →
 //!   min_delay`, each rung with an advertised `(cost, delay)` guarantee
 //!   recorded on every response.
@@ -48,11 +52,15 @@ pub mod load;
 pub mod metrics;
 pub mod proto;
 pub mod service;
+pub mod singleflight;
 
-pub use cache::{CacheStats, SolutionCache};
+pub use cache::{CacheStats, ShardedCache, SolutionCache};
 pub use degrade::{solve_degraded, Degraded, Guarantee, LadderError, LadderPolicy, Rung};
 pub use hash::{canonical_key, CacheKey};
 pub use load::{LoadReport, LoadSpec};
 pub use metrics::{LatencyHistogram, MetricsSnapshot};
-pub use proto::{serve, serve_on, SolveRequest, SolvedReply, WireRequest, WireResponse};
+pub use proto::{
+    serve, serve_on, SolveRequest, SolvedReply, WireRequest, WireResponse, MAX_LINE_BYTES,
+};
 pub use service::{Rejection, Request, Response, Service, ServiceConfig};
+pub use singleflight::{Join, Leader, Singleflight};

@@ -131,6 +131,9 @@ pub struct LoadReport {
     pub deadline_missed: u64,
     /// Answers served from the cache.
     pub cache_hits: u64,
+    /// Answers that piggybacked on a concurrent identical request's solve
+    /// (singleflight followers).
+    pub coalesced: u64,
     /// Wall-clock duration of the replay in seconds.
     pub wall_s: f64,
     /// Achieved throughput (completed / wall).
@@ -160,6 +163,7 @@ struct Tally {
     infeasible: u64,
     deadline_missed: u64,
     cache_hits: u64,
+    coalesced: u64,
     per_rung: [u64; 4],
     hit_latencies: Vec<u64>,
     miss_latencies: Vec<u64>,
@@ -228,9 +232,10 @@ pub fn run(service: &Service, spec: &LoadSpec) -> LoadReport {
                 match out {
                     Ok(r) => {
                         t.completed += 1;
-                        t.per_rung[r.rung.index()] += u64::from(!r.cache_hit);
+                        t.per_rung[r.rung.index()] += u64::from(!r.cache_hit && !r.coalesced);
                         t.deadline_missed += u64::from(r.deadline_missed);
                         t.cache_hits += u64::from(r.cache_hit);
+                        t.coalesced += u64::from(r.coalesced);
                         let us = r.latency.as_micros().min(u128::from(u64::MAX)) as u64;
                         if r.cache_hit {
                             t.hit_latencies.push(us);
@@ -262,6 +267,7 @@ pub fn run(service: &Service, spec: &LoadSpec) -> LoadReport {
         infeasible: t.infeasible,
         deadline_missed: t.deadline_missed,
         cache_hits: t.cache_hits,
+        coalesced: t.coalesced,
         wall_s: wall.as_secs_f64(),
         achieved_qps: if wall.as_secs_f64() > 0.0 {
             t.completed as f64 / wall.as_secs_f64()
@@ -301,7 +307,7 @@ pub fn render(report: &LoadReport) -> String {
         "issued {}  completed {}  rejected(queue/deadline) {}/{}  infeasible {}\n\
          wall {:.3}s  throughput {:.1} req/s  deadline-missed {}\n\
          latency µs: p50 {}  p95 {}  p99 {}  mean {:.0}  max {}\n\
-         cache: hits {}  (hit p50 {} µs | miss p50 {} µs)\n\
+         cache: hits {}  coalesced {}  (hit p50 {} µs | miss p50 {} µs)\n\
          rungs: {rung_line}",
         r.issued,
         r.completed,
@@ -317,6 +323,7 @@ pub fn render(report: &LoadReport) -> String {
         r.latency.mean_us,
         r.latency.max_us,
         r.cache_hits,
+        r.coalesced,
         r.latency_cache_hit.p50_us,
         r.latency_cache_miss.p50_us,
     )

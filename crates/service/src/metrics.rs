@@ -7,6 +7,7 @@
 //! view shipped over the wire by the `metrics` request and printed by
 //! `krsp-load`.
 
+use crate::cache::CacheStats;
 use crate::degrade::Rung;
 use serde::{Deserialize, Serialize};
 
@@ -116,6 +117,12 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Cache entries displaced by capacity pressure.
     pub cache_evictions: u64,
+    /// Requests answered by piggybacking on another request's in-flight
+    /// solve (singleflight followers).
+    pub coalesced: u64,
+    /// Cache counters broken out per shard (hits/misses/evictions each);
+    /// the aggregate fields above are their sum.
+    pub per_shard: Vec<CacheStats>,
     /// Answers whose deadline had lapsed by completion time.
     pub deadline_missed: u64,
     /// Fresh solves per ladder rung, indexed by [`Rung::index`]
@@ -175,6 +182,8 @@ mod tests {
     fn snapshot_round_trips_through_json() {
         let mut m = MetricsSnapshot {
             admitted: 7,
+            coalesced: 3,
+            per_shard: vec![CacheStats::default(); 4],
             ..MetricsSnapshot::default()
         };
         m.count_rung(Rung::LpRounding);
@@ -182,6 +191,8 @@ mod tests {
         let text = serde_json::to_string(&m).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
         assert_eq!(back.admitted, 7);
+        assert_eq!(back.coalesced, 3);
+        assert_eq!(back.per_shard.len(), 4);
         assert_eq!(back.per_rung, [0, 0, 1, 0]);
         assert_eq!(back.latency.count, 1);
         assert_eq!(back.latency.quantile(1.0), m.latency.quantile(1.0));

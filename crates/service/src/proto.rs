@@ -17,9 +17,16 @@ use crate::metrics::MetricsSnapshot;
 use crate::service::{Request, Service};
 use krsp::Instance;
 use serde::{Deserialize, Serialize};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Hard cap on one request line. A line longer than this is rejected with
+/// an [`WireResponse::Error`] and drained, instead of being buffered — an
+/// unbounded line would otherwise let a single client OOM the daemon.
+/// 8 MiB comfortably fits the largest instances `krsp-gen` emits (a few
+/// hundred bytes per edge) while bounding per-connection memory.
+pub const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
 
 /// A request line.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -68,6 +75,9 @@ pub struct SolvedReply {
     pub guarantee: Guarantee,
     /// Whether the solution cache answered.
     pub cache_hit: bool,
+    /// Whether the answer piggybacked on a concurrent identical request's
+    /// in-flight solve.
+    pub coalesced: bool,
     /// End-to-end service latency in microseconds.
     pub latency_us: u64,
     /// True when the answer arrived past the deadline.
@@ -95,6 +105,7 @@ pub fn dispatch(service: &Service, request: WireRequest) -> WireResponse {
                     rung: r.rung,
                     guarantee: r.guarantee,
                     cache_hit: r.cache_hit,
+                    coalesced: r.coalesced,
                     latency_us: r.latency.as_micros().min(u128::from(u64::MAX)) as u64,
                     deadline_missed: r.deadline_missed,
                 }),
@@ -116,20 +127,100 @@ pub fn dispatch_line(service: &Service, line: &str) -> String {
         .unwrap_or_else(|e| format!("{{\"Error\":\"serialize failed: {e}\"}}"))
 }
 
+/// One outcome of [`read_line_capped`].
+enum LineRead {
+    /// A complete line (without the trailing newline).
+    Line(Vec<u8>),
+    /// The line exceeded the cap; the remainder up to its newline has been
+    /// drained so the connection can keep serving.
+    TooLong,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, buffering at most `max` bytes.
+///
+/// Recoverable read errors (`Interrupted`, `WouldBlock`, `TimedOut`) are
+/// retried instead of torn down — a transient stall on a keepalive socket
+/// must not kill a connection that may have pipelined requests behind it.
+fn read_line_capped(reader: &mut impl BufRead, max: usize) -> std::io::Result<LineRead> {
+    let mut line = Vec::new();
+    let mut discarding = false;
+    loop {
+        let (consumed, done) = {
+            let chunk = match reader.fill_buf() {
+                Ok(c) => c,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            if chunk.is_empty() {
+                // EOF: a capped line ends here too, as does a final
+                // unterminated line.
+                return Ok(match (discarding, line.is_empty()) {
+                    (true, _) => LineRead::TooLong,
+                    (false, true) => LineRead::Eof,
+                    (false, false) => LineRead::Line(line),
+                });
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if !discarding {
+                        line.extend_from_slice(&chunk[..pos]);
+                    }
+                    (pos + 1, true)
+                }
+                None => {
+                    if !discarding {
+                        line.extend_from_slice(chunk);
+                    }
+                    (chunk.len(), false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        if line.len() > max {
+            line.clear();
+            discarding = true;
+        }
+        if done {
+            return Ok(if discarding {
+                LineRead::TooLong
+            } else {
+                LineRead::Line(line)
+            });
+        }
+    }
+}
+
 fn handle_connection(service: &Service, stream: TcpStream) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let reply = dispatch_line(service, &line);
+    let mut reader = BufReader::new(stream);
+    loop {
+        let reply = match read_line_capped(&mut reader, MAX_LINE_BYTES)? {
+            LineRead::Eof => return Ok(()),
+            LineRead::TooLong => {
+                let msg = format!("request line exceeds {MAX_LINE_BYTES} bytes");
+                serde_json::to_string(&WireResponse::Error(msg)).expect("error response serializes")
+            }
+            LineRead::Line(raw) => {
+                let line = String::from_utf8_lossy(&raw);
+                if line.trim().is_empty() {
+                    continue;
+                }
+                dispatch_line(service, &line)
+            }
+        };
         writer.write_all(reply.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
     }
-    Ok(())
 }
 
 /// Binds `addr` and serves NDJSON connections forever (thread per
@@ -220,6 +311,103 @@ mod tests {
         let reply = dispatch_line(&svc, "{not json");
         let parsed: WireResponse = serde_json::from_str(&reply).unwrap();
         assert!(matches!(parsed, WireResponse::Error(_)));
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_but_connection_survives() {
+        use std::io::{BufRead, BufReader, Read, Write};
+
+        let svc = Service::new(ServiceConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        {
+            let svc = svc.clone();
+            std::thread::spawn(move || {
+                let _ = serve_on(&svc, listener);
+            });
+        }
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // A single line larger than the cap, then a valid pipelined request
+        // on the same connection.
+        let garbage = vec![b'x'; MAX_LINE_BYTES + 4096];
+        stream.write_all(&garbage).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let req = serde_json::to_string(&WireRequest::Solve(SolveRequest {
+            instance: inst(20),
+            deadline_ms: None,
+        }))
+        .unwrap();
+        stream.write_all(req.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        match serde_json::from_str::<WireResponse>(line.trim()).unwrap() {
+            WireResponse::Error(msg) => assert!(msg.contains("exceeds"), "msg = {msg}"),
+            other => panic!("expected Error for oversized line, got {other:?}"),
+        }
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let solved: WireResponse = serde_json::from_str(line.trim()).unwrap();
+        assert!(
+            matches!(solved, WireResponse::Solved(_)),
+            "connection must keep serving after a rejected line"
+        );
+        // Invalid UTF-8 no longer tears down the connection either.
+        let mut stream = reader.into_inner();
+        stream.write_all(&[0xff, 0xfe, b'{', b'\n']).unwrap();
+        stream.flush().unwrap();
+        let mut byte = [0u8; 1];
+        stream.read_exact(&mut byte).unwrap(); // an Error line comes back
+        assert_eq!(byte[0], b'{');
+    }
+
+    #[test]
+    fn capped_reader_handles_boundaries() {
+        use std::io::Cursor;
+
+        // Exactly at the cap: accepted.
+        let data = [vec![b'a'; 16], b"\nrest\n".to_vec()].concat();
+        let mut r = BufReader::new(Cursor::new(data));
+        match read_line_capped(&mut r, 16).unwrap() {
+            LineRead::Line(l) => assert_eq!(l.len(), 16),
+            _ => panic!("line at the cap must pass"),
+        }
+        match read_line_capped(&mut r, 16).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, b"rest"),
+            _ => panic!("next line must still parse"),
+        }
+        assert!(matches!(
+            read_line_capped(&mut r, 16).unwrap(),
+            LineRead::Eof
+        ));
+
+        // One over: rejected, stream drained to the newline.
+        let data = [vec![b'b'; 17], b"\nok\n".to_vec()].concat();
+        let mut r = BufReader::new(Cursor::new(data));
+        assert!(matches!(
+            read_line_capped(&mut r, 16).unwrap(),
+            LineRead::TooLong
+        ));
+        match read_line_capped(&mut r, 16).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, b"ok"),
+            _ => panic!("stream must recover after a too-long line"),
+        }
+
+        // Unterminated final line and unterminated overflow at EOF.
+        let mut r = BufReader::new(Cursor::new(b"tail".to_vec()));
+        match read_line_capped(&mut r, 16).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, b"tail"),
+            _ => panic!("unterminated final line is still a line"),
+        }
+        let mut r = BufReader::new(Cursor::new(vec![b'c'; 64]));
+        assert!(matches!(
+            read_line_capped(&mut r, 16).unwrap(),
+            LineRead::TooLong
+        ));
     }
 
     #[test]

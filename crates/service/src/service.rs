@@ -4,23 +4,30 @@
 //!
 //! 1. **Admission** — [`Service::provision`] rejects immediately when the
 //!    bounded queue is full ([`Rejection::QueueFull`], the backpressure
-//!    signal) or the request's deadline has already lapsed
-//!    ([`Rejection::DeadlineExpired`]). Admitted requests are enqueued on
+//!    signal). Admission runs before the cache and the coalescing layer so
+//!    backpressure semantics are independent of traffic shape.
+//! 2. **Cache** — the *calling* thread computes the canonical key (see
+//!    [`crate::hash`]) and answers from the sharded LRU cache when
+//!    possible; a hit never touches the worker pool.
+//! 3. **Coalescing** — concurrent misses for the same key are collapsed by
+//!    a singleflight table (see [`crate::singleflight`]): one leader
+//!    solves, every duplicate blocks on the calling thread and receives a
+//!    clone of the leader's answer. Follower waits never run on pool
+//!    workers, so coalescing cannot deadlock the pool.
+//! 4. **Ladder** — the leader picks the highest degradation rung the
+//!    *remaining* deadline admits (see [`crate::degrade`]) and solves on
 //!    the shared [`Executor`](krsp::Executor) — the same scheduling
-//!    primitive `krsp::solve_batch` fans out over.
-//! 2. **Cache** — the worker computes the canonical key (see
-//!    [`crate::hash`]) and answers from the LRU cache when possible.
-//! 3. **Ladder** — on a miss the worker picks the highest degradation rung
-//!    the *remaining* deadline admits (see [`crate::degrade`]) and solves.
-//!    Admitted requests are never dropped: an exhausted deadline degrades
-//!    to the min-delay rung rather than failing.
-//! 4. **Audit** — in debug builds every fresh solution is re-verified by
+//!    primitive `krsp::solve_batch` fans out over. Admitted requests are
+//!    never dropped: an exhausted deadline degrades to the min-delay rung
+//!    rather than failing.
+//! 5. **Audit** — in debug builds every fresh solution is re-verified by
 //!    `krsp::verify::audit` against the rung's advertised guarantee.
 
-use crate::cache::SolutionCache;
-use crate::degrade::{solve_degraded, Guarantee, LadderError, LadderPolicy, Rung};
+use crate::cache::ShardedCache;
+use crate::degrade::{solve_degraded, Degraded, Guarantee, LadderError, LadderPolicy, Rung};
 use crate::hash::canonical_key;
 use crate::metrics::MetricsSnapshot;
+use crate::singleflight::{Join, Singleflight};
 use krsp::{Config, Executor, Instance, Solution};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -35,11 +42,17 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Solution-cache capacity (0 disables caching).
     pub cache_capacity: usize,
+    /// Number of independently-locked cache shards (clamped to ≥ 1).
+    pub cache_shards: usize,
+    /// Coalesce concurrent requests for the same instance onto one solver
+    /// run (the singleflight layer). Disabling this makes every miss solve
+    /// independently — useful as an experimental baseline.
+    pub coalesce: bool,
     /// Deadline applied when a request carries none.
     pub default_deadline: Duration,
     /// Strict mode: reject a request whose deadline has fully lapsed by
-    /// the time a worker picks it up, instead of serving it via the lowest
-    /// ladder rung (the default).
+    /// the time it reaches the solver, instead of serving it via the
+    /// lowest ladder rung (the default).
     pub reject_expired: bool,
     /// Solver configuration for the top ladder rungs.
     pub solver: Config,
@@ -53,6 +66,8 @@ impl Default for ServiceConfig {
             workers: 4,
             queue_capacity: 64,
             cache_capacity: 1024,
+            cache_shards: 8,
+            coalesce: true,
             default_deadline: Duration::from_secs(5),
             reject_expired: false,
             solver: Config::default(),
@@ -81,6 +96,9 @@ pub struct Response {
     pub guarantee: Guarantee,
     /// Whether the answer came from the solution cache.
     pub cache_hit: bool,
+    /// Whether the answer piggybacked on a concurrent identical request's
+    /// solve (singleflight follower) instead of running its own.
+    pub coalesced: bool,
     /// End-to-end latency (admission to completion).
     pub latency: Duration,
     /// True when the answer arrived after the request's deadline.
@@ -114,15 +132,23 @@ impl std::fmt::Display for Rejection {
 
 impl std::error::Error for Rejection {}
 
+#[cfg(test)]
+type SolveGate = Box<dyn Fn(&Shared) + Send + Sync>;
+
 struct Shared {
     cfg: ServiceConfig,
-    cache: Mutex<SolutionCache>,
+    cache: ShardedCache,
+    flights: Singleflight<Result<Degraded, LadderError>>,
     metrics: Mutex<MetricsSnapshot>,
     in_flight: AtomicUsize,
+    /// Test hook: runs inside every solver job before the solve, letting
+    /// tests hold a leader's flight open deterministically.
+    #[cfg(test)]
+    solve_gate: Mutex<Option<SolveGate>>,
 }
 
 struct Slot {
-    result: Mutex<Option<Result<Response, Rejection>>>,
+    result: Mutex<Option<Result<Degraded, LadderError>>>,
     done: Condvar,
 }
 
@@ -141,9 +167,12 @@ impl Service {
     pub fn new(cfg: ServiceConfig) -> Self {
         let executor = Arc::new(Executor::new(cfg.workers));
         let shared = Arc::new(Shared {
-            cache: Mutex::new(SolutionCache::new(cfg.cache_capacity)),
+            cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
+            flights: Singleflight::new(cfg.cache_shards),
             metrics: Mutex::new(MetricsSnapshot::default()),
             in_flight: AtomicUsize::new(0),
+            #[cfg(test)]
+            solve_gate: Mutex::new(None),
             cfg,
         });
         Service { shared, executor }
@@ -155,15 +184,102 @@ impl Service {
         let admitted_at = Instant::now();
         let deadline = request.deadline.unwrap_or(self.shared.cfg.default_deadline);
 
-        // Admission control. `in_flight` counts queued + running requests;
-        // the queue is full when it exceeds capacity plus the workers that
-        // could be draining it.
+        // Admission control. `in_flight` counts admitted requests still in
+        // `provision`; the queue is full when it exceeds capacity plus the
+        // workers that could be draining it. This runs before the cache
+        // and the coalescing layer, so backpressure does not depend on how
+        // duplicate-heavy the traffic is.
         let limit = self.shared.cfg.queue_capacity + self.shared.cfg.workers;
         if self.shared.in_flight.fetch_add(1, Ordering::AcqRel) >= limit {
             self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
             let mut m = self.shared.metrics.lock().expect("metrics poisoned");
             m.rejected_queue_full += 1;
             return Err(Rejection::QueueFull);
+        }
+        {
+            let mut m = self.shared.metrics.lock().expect("metrics poisoned");
+            m.admitted += 1;
+        }
+        let out = self.drive(&request.instance, admitted_at, deadline);
+        self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        out
+    }
+
+    /// The post-admission request path, run entirely on the calling
+    /// thread: cache probe, singleflight join, and (for leaders) the solve
+    /// dispatched to the pool.
+    fn drive(
+        &self,
+        instance: &Instance,
+        admitted_at: Instant,
+        deadline: Duration,
+    ) -> Result<Response, Rejection> {
+        let shared = &self.shared;
+        let key = canonical_key(instance);
+        loop {
+            // Cache first — a hit costs two hashes and one shard lock.
+            if let Some(hit) = shared.cache.get(key) {
+                let latency = admitted_at.elapsed();
+                let deadline_missed = latency > deadline;
+                finish_metrics(shared, latency, deadline_missed, None, false);
+                return Ok(Response {
+                    solution: hit.solution,
+                    rung: hit.rung,
+                    guarantee: hit.guarantee,
+                    cache_hit: true,
+                    coalesced: false,
+                    latency,
+                    deadline_missed,
+                });
+            }
+
+            let remaining = deadline.saturating_sub(admitted_at.elapsed());
+            if shared.cfg.reject_expired && remaining.is_zero() && !deadline.is_zero() {
+                let mut m = shared.metrics.lock().expect("metrics poisoned");
+                m.rejected_expired += 1;
+                return Err(Rejection::DeadlineExpired);
+            }
+
+            if !shared.cfg.coalesce {
+                let solved = self.solve_on_pool(instance, remaining);
+                if let Ok(d) = &solved {
+                    shared.cache.put(key, d.clone());
+                }
+                return finish_fresh(shared, solved, admitted_at, deadline, false);
+            }
+            match shared.flights.join(key) {
+                Join::Leader(leader) => {
+                    let solved = self.solve_on_pool(instance, remaining);
+                    // Populate the cache before retiring the flight, so a
+                    // request arriving after the flight is gone hits the
+                    // cache instead of solving again.
+                    if let Ok(d) = &solved {
+                        shared.cache.put(key, d.clone());
+                    }
+                    leader.complete(solved.clone());
+                    return finish_fresh(shared, solved, admitted_at, deadline, false);
+                }
+                Join::Follower(Some(solved)) => {
+                    return finish_fresh(shared, solved, admitted_at, deadline, true);
+                }
+                // The leader aborted (dropped without publishing); start
+                // over rather than hang.
+                Join::Follower(None) => {}
+            }
+        }
+    }
+
+    /// Runs one ladder solve on the resident pool, blocking the calling
+    /// thread for the result. When the caller *is* a pool worker (a nested
+    /// provision), the solve runs inline instead — parking a worker behind
+    /// a job that needs a worker would deadlock the pool.
+    fn solve_on_pool(
+        &self,
+        instance: &Instance,
+        remaining: Duration,
+    ) -> Result<Degraded, LadderError> {
+        if Executor::on_worker_thread() {
+            return solve_job(&self.shared, instance, remaining);
         }
         let slot = Arc::new(Slot {
             result: Mutex::new(None),
@@ -172,19 +288,13 @@ impl Service {
         {
             let shared = Arc::clone(&self.shared);
             let slot = Arc::clone(&slot);
-            let instance = request.instance;
+            let instance = instance.clone();
             self.executor.submit(Box::new(move || {
-                let outcome = handle(&shared, &instance, admitted_at, deadline);
-                shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-                *slot.result.lock().expect("slot poisoned") = Some(outcome);
+                let out = solve_job(&shared, &instance, remaining);
+                *slot.result.lock().expect("slot poisoned") = Some(out);
                 slot.done.notify_all();
             }));
         }
-        {
-            let mut m = self.shared.metrics.lock().expect("metrics poisoned");
-            m.admitted += 1;
-        }
-
         let mut guard = slot.result.lock().expect("slot poisoned");
         while guard.is_none() {
             guard = slot.done.wait(guard).expect("slot poisoned");
@@ -193,7 +303,7 @@ impl Service {
     }
 
     /// A point-in-time copy of the service counters (cache counters folded
-    /// in).
+    /// in, per shard and in aggregate).
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut m = self
@@ -202,10 +312,11 @@ impl Service {
             .lock()
             .expect("metrics poisoned")
             .clone();
-        let c = self.shared.cache.lock().expect("cache poisoned").stats();
+        let c = self.shared.cache.stats();
         m.cache_hits = c.hits;
         m.cache_misses = c.misses;
         m.cache_evictions = c.evictions;
+        m.per_shard = self.shared.cache.shard_stats();
         m
     }
 
@@ -220,56 +331,54 @@ impl Service {
     pub fn in_flight(&self) -> usize {
         self.shared.in_flight.load(Ordering::Acquire)
     }
+
+    /// Installs a hook that runs inside every solver job before solving.
+    #[cfg(test)]
+    fn set_solve_gate(&self, gate: SolveGate) {
+        *self.shared.solve_gate.lock().expect("gate poisoned") = Some(gate);
+    }
 }
 
-fn handle(
+fn solve_job(
     shared: &Shared,
     instance: &Instance,
-    admitted_at: Instant,
-    deadline: Duration,
-) -> Result<Response, Rejection> {
-    let key = canonical_key(instance);
-
-    // Cache first — a hit costs two hashes and a map probe.
-    let cached = shared.cache.lock().expect("cache poisoned").get(key);
-    if let Some(hit) = cached {
-        let latency = admitted_at.elapsed();
-        let deadline_missed = latency > deadline;
-        finish_metrics(shared, latency, deadline_missed, None);
-        return Ok(Response {
-            solution: hit.solution,
-            rung: hit.rung,
-            guarantee: hit.guarantee,
-            cache_hit: true,
-            latency,
-            deadline_missed,
-        });
-    }
-
-    let remaining = deadline.saturating_sub(admitted_at.elapsed());
-    if shared.cfg.reject_expired && remaining.is_zero() && !deadline.is_zero() {
-        let mut m = shared.metrics.lock().expect("metrics poisoned");
-        m.rejected_expired += 1;
-        return Err(Rejection::DeadlineExpired);
+    remaining: Duration,
+) -> Result<Degraded, LadderError> {
+    #[cfg(test)]
+    if let Some(gate) = shared.solve_gate.lock().expect("gate poisoned").as_ref() {
+        gate(shared);
     }
     let out = solve_degraded(instance, &shared.cfg.solver, remaining, &shared.cfg.ladder);
-    match out {
+    #[cfg(debug_assertions)]
+    if let Ok(degraded) = &out {
+        audit_response(instance, degraded);
+    }
+    out
+}
+
+/// Converts a (possibly shared) solve outcome into the caller's response,
+/// recording the caller's own latency, deadline, and coalescing outcome.
+fn finish_fresh(
+    shared: &Shared,
+    solved: Result<Degraded, LadderError>,
+    admitted_at: Instant,
+    deadline: Duration,
+    coalesced: bool,
+) -> Result<Response, Rejection> {
+    match solved {
         Ok(degraded) => {
-            #[cfg(debug_assertions)]
-            audit_response(instance, &degraded);
-            shared
-                .cache
-                .lock()
-                .expect("cache poisoned")
-                .put(key, degraded.clone());
             let latency = admitted_at.elapsed();
             let deadline_missed = latency > deadline;
-            finish_metrics(shared, latency, deadline_missed, Some(degraded.rung));
+            // Only the leader's solve counts as a rung solve; followers
+            // report themselves via the coalesced counter.
+            let fresh_rung = (!coalesced).then_some(degraded.rung);
+            finish_metrics(shared, latency, deadline_missed, fresh_rung, coalesced);
             Ok(Response {
                 solution: degraded.solution,
                 rung: degraded.rung,
                 guarantee: degraded.guarantee,
                 cache_hit: false,
+                coalesced,
                 latency,
                 deadline_missed,
             })
@@ -277,6 +386,9 @@ fn handle(
         Err(LadderError::Infeasible) => {
             let mut m = shared.metrics.lock().expect("metrics poisoned");
             m.infeasible += 1;
+            if coalesced {
+                m.coalesced += 1;
+            }
             Err(Rejection::Infeasible)
         }
     }
@@ -287,11 +399,15 @@ fn finish_metrics(
     latency: Duration,
     deadline_missed: bool,
     fresh_rung: Option<Rung>,
+    coalesced: bool,
 ) {
     let mut m = shared.metrics.lock().expect("metrics poisoned");
     m.completed += 1;
     if deadline_missed {
         m.deadline_missed += 1;
+    }
+    if coalesced {
+        m.coalesced += 1;
     }
     if let Some(rung) = fresh_rung {
         m.count_rung(rung);
@@ -360,6 +476,7 @@ mod tests {
         });
         let first = svc.provision(req(14)).unwrap();
         assert!(!first.cache_hit);
+        assert!(!first.coalesced);
         assert_eq!(first.rung, Rung::Full);
         assert!(first.solution.delay <= 14);
 
@@ -372,7 +489,9 @@ mod tests {
         assert_eq!(m.completed, 2);
         assert_eq!(m.cache_hits, 1);
         assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.coalesced, 0);
         assert_eq!(m.per_rung, [1, 0, 0, 0]);
+        assert_eq!(m.per_shard.len(), svc.config().cache_shards);
     }
 
     #[test]
@@ -432,16 +551,76 @@ mod tests {
         });
         let m = svc.metrics();
         assert_eq!(m.completed, 24);
-        // 3 distinct instances → at most 3 misses per distinct key modulo
-        // the race where two workers miss the same key simultaneously.
-        assert!(m.cache_hits >= 24 - 2 * 3, "hits = {}", m.cache_hits);
+        // 3 distinct instances: every request is a cache hit, a coalesced
+        // follower, or one of the fresh solves. Coalescing collapses
+        // simultaneous misses, so fresh solves stay near 3 (a solve can
+        // repeat only in the narrow window between a cache probe and the
+        // leader's cache fill).
+        let fresh: u64 = m.per_rung.iter().sum();
+        assert_eq!(m.cache_hits + m.coalesced + fresh, 24);
+        assert!(fresh >= 3, "fresh = {fresh}");
+        assert!(m.cache_hits + m.coalesced >= 24 - 2 * 3, "m = {m:?}");
         assert_eq!(m.cache_evictions, 0);
+    }
+
+    #[test]
+    fn coalescing_runs_exactly_one_solve_for_concurrent_duplicates() {
+        const K: usize = 8;
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        // Hold the leader's flight open until every other request has
+        // joined it as a follower — making "exactly one solver run for K
+        // concurrent duplicates" deterministic rather than racy.
+        let key = canonical_key(&tradeoff(14));
+        svc.set_solve_gate(Box::new(move |shared| {
+            while shared.flights.waiters(key) < K - 1 {
+                std::thread::yield_now();
+            }
+        }));
+        std::thread::scope(|s| {
+            for _ in 0..K {
+                let svc = svc.clone();
+                s.spawn(move || {
+                    let out = svc.provision(req(14)).unwrap();
+                    assert!(!out.cache_hit, "cache was empty for the whole flight");
+                    assert!(out.solution.delay <= 14);
+                });
+            }
+        });
+        let m = svc.metrics();
+        assert_eq!(m.completed, K as u64);
+        assert_eq!(
+            m.per_rung.iter().sum::<u64>(),
+            1,
+            "exactly one solver run, m = {m:?}"
+        );
+        assert_eq!(m.coalesced, (K - 1) as u64);
+        assert_eq!(m.cache_hits, 0);
+    }
+
+    #[test]
+    fn disabling_coalescing_solves_independently() {
+        let svc = Service::new(ServiceConfig {
+            coalesce: false,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        });
+        for _ in 0..3 {
+            let out = svc.provision(req(14)).unwrap();
+            assert!(!out.cache_hit && !out.coalesced);
+        }
+        let m = svc.metrics();
+        assert_eq!(m.per_rung.iter().sum::<u64>(), 3);
+        assert_eq!(m.coalesced, 0);
     }
 
     #[test]
     fn queue_full_backpressure() {
         // One worker, tiny queue, and requests that take real time: the
-        // admission counter must reject the overflow.
+        // admission counter must reject the overflow. Admission runs
+        // before coalescing, so identical instances still backpressure.
         let svc = Service::new(ServiceConfig {
             workers: 1,
             queue_capacity: 1,

@@ -1,0 +1,222 @@
+//! Request coalescing: one solver run per in-flight instance.
+//!
+//! Cache misses for the *same* canonical key routinely arrive together — a
+//! failure storm re-requests one flow from many controllers at once, and
+//! every copy missing the cache would otherwise pay for its own full
+//! ladder solve. The singleflight table elects the first requester as the
+//! **leader**; everyone else joining while the solve is in flight becomes a
+//! **follower** and blocks on the leader's flight entry instead of solving.
+//! When the leader publishes, all followers receive a clone of the result.
+//!
+//! Two properties the service relies on:
+//!
+//! * **Followers wait off-worker.** The wait happens on the requesting
+//!   client's thread (inside `Service::provision`), never on a resident
+//!   pool worker — parking workers behind a job that itself needs a worker
+//!   would deadlock the pool (see `Executor::on_worker_thread`).
+//! * **Leaders cannot strand followers.** The leader handle publishes on
+//!   drop if the owner forgot (or panicked past) `complete`; followers
+//!   observing an aborted flight retry from scratch rather than hanging.
+//!
+//! The table is sharded like the cache, so coalescing adds no global lock.
+
+use crate::hash::CacheKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Flight<T> {
+    /// `None` = still flying; `Some(None)` = leader aborted;
+    /// `Some(Some(v))` = published.
+    result: Mutex<Option<Option<T>>>,
+    done: Condvar,
+    waiters: AtomicUsize,
+}
+
+/// A sharded map from in-flight keys to their flight entries.
+pub struct Singleflight<T> {
+    shards: Vec<Mutex<HashMap<CacheKey, Arc<Flight<T>>>>>,
+}
+
+/// What [`Singleflight::join`] made of the caller.
+pub enum Join<'a, T: Clone> {
+    /// First requester for the key: solve, then [`Leader::complete`].
+    Leader(Leader<'a, T>),
+    /// A solve was already in flight; this is its published result, or
+    /// `None` if the leader aborted (retry in that case).
+    Follower(Option<T>),
+}
+
+/// The leader's obligation to publish. Dropping without
+/// [`Leader::complete`] publishes an abort so followers never hang.
+pub struct Leader<'a, T: Clone> {
+    table: &'a Singleflight<T>,
+    key: CacheKey,
+    flight: Arc<Flight<T>>,
+    published: bool,
+}
+
+impl<T: Clone> Singleflight<T> {
+    /// A table with `shards` shards (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Singleflight {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: CacheKey) -> &Mutex<HashMap<CacheKey, Arc<Flight<T>>>> {
+        &self.shards[((key.0 >> 64) % self.shards.len() as u128) as usize]
+    }
+
+    /// Joins the flight for `key`: the first caller becomes the leader,
+    /// every concurrent caller blocks until the leader publishes and gets
+    /// the result. **Blocks follower callers** — never call from a thread
+    /// that the leader's solve needs to make progress.
+    #[must_use]
+    pub fn join(&self, key: CacheKey) -> Join<'_, T> {
+        let flight = {
+            let mut map = self.shard(key).lock().expect("flight shard poisoned");
+            match map.get(&key) {
+                Some(f) => Arc::clone(f),
+                None => {
+                    let f = Arc::new(Flight {
+                        result: Mutex::new(None),
+                        done: Condvar::new(),
+                        waiters: AtomicUsize::new(0),
+                    });
+                    map.insert(key, Arc::clone(&f));
+                    return Join::Leader(Leader {
+                        table: self,
+                        key,
+                        flight: f,
+                        published: false,
+                    });
+                }
+            }
+        };
+        flight.waiters.fetch_add(1, Ordering::AcqRel);
+        let mut guard = flight.result.lock().expect("flight poisoned");
+        while guard.is_none() {
+            guard = flight.done.wait(guard).expect("flight poisoned");
+        }
+        Join::Follower(guard.clone().expect("checked above"))
+    }
+
+    /// Followers currently blocked on `key`'s flight (0 when none exists).
+    /// Test/diagnostic surface — the count is racy by nature.
+    #[must_use]
+    pub fn waiters(&self, key: CacheKey) -> usize {
+        let map = self.shard(key).lock().expect("flight shard poisoned");
+        map.get(&key)
+            .map_or(0, |f| f.waiters.load(Ordering::Acquire))
+    }
+}
+
+impl<T: Clone> Leader<'_, T> {
+    /// Publishes `value` to every follower and retires the flight.
+    pub fn complete(mut self, value: T) {
+        self.publish(Some(value));
+    }
+
+    fn publish(&mut self, value: Option<T>) {
+        self.published = true;
+        // Retire the key first so late arrivals start a fresh flight (the
+        // cache was already populated by the caller on success), then wake
+        // the followers already holding the entry.
+        self.table
+            .shard(self.key)
+            .lock()
+            .expect("flight shard poisoned")
+            .remove(&self.key);
+        *self.flight.result.lock().expect("flight poisoned") = Some(value);
+        self.flight.done.notify_all();
+    }
+}
+
+impl<T: Clone> Drop for Leader<'_, T> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.publish(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn key(v: u128) -> CacheKey {
+        CacheKey(v << 64 | v) // vary the shard-selecting upper half
+    }
+
+    #[test]
+    fn leader_publishes_to_all_followers() {
+        let sf: Arc<Singleflight<u64>> = Arc::new(Singleflight::new(4));
+        let solves = AtomicU64::new(0);
+        let got = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| match sf.join(key(7)) {
+                    Join::Leader(leader) => {
+                        // Hold the flight open until everyone else piled in.
+                        while sf.waiters(key(7)) < 7 {
+                            std::thread::yield_now();
+                        }
+                        solves.fetch_add(1, Ordering::SeqCst);
+                        leader.complete(42);
+                    }
+                    Join::Follower(v) => {
+                        assert_eq!(v, Some(42));
+                        got.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(solves.load(Ordering::SeqCst), 1);
+        assert_eq!(got.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let sf: Singleflight<u64> = Singleflight::new(4);
+        let a = sf.join(key(1));
+        let b = sf.join(key(2));
+        match (a, b) {
+            (Join::Leader(la), Join::Leader(lb)) => {
+                la.complete(1);
+                lb.complete(2);
+            }
+            _ => panic!("distinct keys must both lead"),
+        }
+        // Both flights retired: joining again leads anew.
+        assert!(matches!(sf.join(key(1)), Join::Leader(_)));
+    }
+
+    #[test]
+    fn dropped_leader_aborts_instead_of_hanging() {
+        let sf: Arc<Singleflight<u64>> = Arc::new(Singleflight::new(1));
+        let k = key(3);
+        let leader = match sf.join(k) {
+            Join::Leader(l) => l,
+            Join::Follower(_) => unreachable!(),
+        };
+        let waiter = {
+            let sf = Arc::clone(&sf);
+            std::thread::spawn(move || match sf.join(k) {
+                Join::Follower(v) => v,
+                Join::Leader(_) => panic!("flight already exists"),
+            })
+        };
+        while sf.waiters(k) < 1 {
+            std::thread::yield_now();
+        }
+        drop(leader); // no complete() — must publish the abort
+        assert_eq!(waiter.join().unwrap(), None);
+        // The key is free again.
+        assert!(matches!(sf.join(k), Join::Leader(_)));
+    }
+}

@@ -1,0 +1,148 @@
+//! Threaded stress tests for the sharded cache + singleflight service.
+//!
+//! These are `#[ignore]`d in the default run (they hammer the service with
+//! many client threads for a while) and executed by the CI stress stage:
+//! `cargo test --release -- --ignored stress`.
+
+use krsp::Instance;
+use krsp_graph::{DiGraph, NodeId};
+use krsp_service::{Rejection, Request, Service, ServiceConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A 6-node instance with a cost/delay trade-off; distinct delay bounds
+/// yield distinct canonical keys.
+fn tradeoff(d: i64) -> Instance {
+    let g = DiGraph::from_edges(
+        6,
+        &[
+            (0, 1, 1, 10),
+            (1, 5, 1, 10),
+            (0, 2, 8, 1),
+            (2, 5, 8, 1),
+            (0, 3, 2, 6),
+            (3, 5, 2, 6),
+            (0, 4, 9, 2),
+            (4, 5, 9, 2),
+        ],
+    );
+    Instance::new(g, NodeId(0), NodeId(5), 2, d).unwrap()
+}
+
+/// Duplicate-heavy storm: many clients, few distinct keys. Every request
+/// must complete, answers must be coherent per key, and the counters must
+/// balance exactly.
+#[test]
+#[ignore = "stress: run via cargo test --release -- --ignored stress"]
+fn stress_duplicate_heavy_storm_completes_and_balances() {
+    const CLIENTS: usize = 16;
+    const PER_CLIENT: usize = 150;
+    let bounds = [14i64, 16, 18, 22];
+
+    let svc = Service::new(ServiceConfig {
+        workers: 4,
+        queue_capacity: 4096, // storm fits: completeness, not backpressure
+        ..ServiceConfig::default()
+    });
+    let completed = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let svc = svc.clone();
+            let completed = Arc::clone(&completed);
+            s.spawn(move || {
+                for i in 0..PER_CLIENT {
+                    let d = bounds[(c + i) % bounds.len()];
+                    let out = svc.provision(Request {
+                        instance: tradeoff(d),
+                        deadline: None,
+                    });
+                    let r = out.expect("feasible instance under a roomy queue");
+                    assert!(r.solution.delay <= d, "budget violated for D={d}");
+                    assert!(
+                        !(r.cache_hit && r.coalesced),
+                        "an answer is a hit or a follower, never both"
+                    );
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    let issued = (CLIENTS * PER_CLIENT) as u64;
+    assert_eq!(completed.load(Ordering::Relaxed), issued);
+    let m = svc.metrics();
+    assert_eq!(m.admitted, issued);
+    assert_eq!(m.completed, issued);
+    assert_eq!(m.rejected_queue_full, 0);
+    // Exact balance: every answer is a cache hit, a coalesced follower, or
+    // a fresh solve at some rung.
+    let fresh: u64 = m.per_rung.iter().sum();
+    assert_eq!(m.cache_hits + m.coalesced + fresh, issued, "m = {m:?}");
+    assert!(
+        fresh >= bounds.len() as u64,
+        "each distinct key needs one solve"
+    );
+    // Coalescing and caching must absorb nearly all of the duplication.
+    assert!(
+        fresh <= issued / 10,
+        "duplicate-heavy traffic mostly re-solved: fresh = {fresh}"
+    );
+    // Per-shard counters sum to the aggregates.
+    let shard_hits: u64 = m.per_shard.iter().map(|s| s.hits).sum();
+    let shard_misses: u64 = m.per_shard.iter().map(|s| s.misses).sum();
+    assert_eq!(shard_hits, m.cache_hits);
+    assert_eq!(shard_misses, m.cache_misses);
+    assert_eq!(m.per_shard.len(), svc.config().cache_shards);
+}
+
+/// Tiny sharded cache under a wide key set: evictions must stay bounded by
+/// construction and the hit/miss ledger must match the probe count.
+#[test]
+#[ignore = "stress: run via cargo test --release -- --ignored stress"]
+fn stress_cache_thrash_keeps_counters_coherent() {
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 100;
+
+    let svc = Service::new(ServiceConfig {
+        workers: 4,
+        queue_capacity: 4096,
+        cache_capacity: 4, // far fewer slots than keys: constant eviction
+        cache_shards: 4,
+        ..ServiceConfig::default()
+    });
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let svc = svc.clone();
+            s.spawn(move || {
+                for i in 0..PER_CLIENT {
+                    // 20 distinct feasible bounds, scanned in conflicting
+                    // orders per client.
+                    let d = 14 + ((c * 7 + i) % 20) as i64;
+                    let out = svc.provision(Request {
+                        instance: tradeoff(d),
+                        deadline: None,
+                    });
+                    match out {
+                        Ok(r) => assert!(r.solution.delay <= d),
+                        Err(e) => assert_eq!(e, Rejection::Infeasible, "unexpected {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let m = svc.metrics();
+    let issued = (CLIENTS * PER_CLIENT) as u64;
+    assert_eq!(m.completed + m.infeasible, issued);
+    // Only completed non-coalesced requests probe... every drive probes the
+    // cache at least once, so probes ≥ requests that reached the cache.
+    assert!(
+        m.cache_hits + m.cache_misses >= m.completed,
+        "every request probes the cache at least once: {m:?}"
+    );
+    let fresh: u64 = m.per_rung.iter().sum();
+    assert_eq!(m.cache_hits + m.coalesced + fresh, m.completed);
+    let shard_evictions: u64 = m.per_shard.iter().map(|s| s.evictions).sum();
+    assert_eq!(shard_evictions, m.cache_evictions);
+    assert!(m.cache_evictions > 0, "thrash must evict");
+}

@@ -13,7 +13,10 @@ cargo fmt --check
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo test -q"
-cargo test -q
+echo "== cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "== cargo test --release -- --ignored stress"
+cargo test -q --release --workspace -- --ignored stress
 
 echo "CI OK"

@@ -5,6 +5,7 @@
 //!   krsp-cli gen <family> <n> <k> <tightness> <seed> <out.json>
 //!   krsp-cli info <instance.json>
 //!   krsp-cli serve <addr> [--workers W] [--queue Q] [--cache CAP]
+//!                  [--shards S] [--no-coalesce]
 //!                  [--deadline-ms MS] [--strict-deadlines]
 //!   krsp-cli load [krsp-load flags...]
 //!
@@ -155,6 +156,8 @@ fn cmd_serve(args: &[String]) {
             "--workers" => cfg.workers = arg(a, it.next()),
             "--queue" => cfg.queue_capacity = arg(a, it.next()),
             "--cache" => cfg.cache_capacity = arg(a, it.next()),
+            "--shards" => cfg.cache_shards = arg(a, it.next()),
+            "--no-coalesce" => cfg.coalesce = false,
             "--deadline-ms" => {
                 cfg.default_deadline = Duration::from_millis(arg(a, it.next()));
             }
@@ -169,10 +172,16 @@ fn cmd_serve(args: &[String]) {
         .expect("bound listener has an address");
     let service = Service::new(cfg);
     println!(
-        "krsp-service listening on {local} ({} workers, queue {}, cache {})",
+        "krsp-service listening on {local} ({} workers, queue {}, cache {}x{} shards, coalesce {})",
         service.config().workers,
         service.config().queue_capacity,
-        service.config().cache_capacity
+        service.config().cache_capacity,
+        service.config().cache_shards,
+        if service.config().coalesce {
+            "on"
+        } else {
+            "off"
+        }
     );
     if let Err(e) = krsp_service::serve_on(&service, listener) {
         fail(&format!("listener failed: {e}"));

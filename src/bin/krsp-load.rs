@@ -5,13 +5,15 @@
 //!   krsp-load [--requests N] [--qps Q] [--unique U] [--clients C]
 //!             [--family gnm|grid|layered|geometric] [--n N] [--k K]
 //!             [--tightness T] [--seed S] [--deadline-ms MS]
-//!             [--workers W] [--queue Q] [--cache CAP] [--out report.json]
+//!             [--workers W] [--queue Q] [--cache CAP] [--shards S]
+//!             [--no-coalesce] [--out report.json]
 //!
 //! The human-readable summary goes to stderr; the full JSON
 //! [`LoadReport`](krsp_service::LoadReport) goes to stdout (or `--out`).
 //! `--qps 0` (the default) runs with an open throttle; `--cache 0`
 //! disables the solution cache; `--deadline-ms 0` forces every request
-//! onto the lowest degradation rung.
+//! onto the lowest degradation rung. `--shards 1 --no-coalesce` recovers
+//! the single-lock, no-coalescing baseline for A/B comparisons.
 
 use krsp_service::load::{self, LoadSpec};
 use krsp_service::{Service, ServiceConfig};
@@ -51,6 +53,8 @@ fn main() {
             "--workers" => svc_cfg.workers = parse(a, it.next()),
             "--queue" => svc_cfg.queue_capacity = parse(a, it.next()),
             "--cache" => svc_cfg.cache_capacity = parse(a, it.next()),
+            "--shards" => svc_cfg.cache_shards = parse(a, it.next()),
+            "--no-coalesce" => svc_cfg.coalesce = false,
             "--out" => out = Some(parse::<String>(a, it.next())),
             "--family" => {
                 spec.family = match parse::<String>(a, it.next()).as_str() {
