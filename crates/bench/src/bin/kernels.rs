@@ -1,0 +1,305 @@
+//! Kernel benchmark suite: the tracked numbers behind `BENCH_kernels.json`
+//! (EXPERIMENTS.md T8).
+//!
+//! Usage:
+//!   cargo run -p krsp-bench --release --bin kernels              # full run
+//!   cargo run -p krsp-bench --release --bin kernels -- --smoke   # CI smoke
+//!   cargo run -p krsp-bench --release --bin kernels -- --out X.json
+//!
+//! Measures the flat budgeted-DP kernel (`krsp_flow::csp`) against the
+//! preserved pre-rewrite implementation (`krsp_flow::reference`) on the
+//! same instances, plus the Bellman–Ford scratch API against the
+//! per-call-allocating wrapper and the end-to-end solver on the T2/T4
+//! generator families. Everything is pinned — fixed seeds, fixed workload
+//! grid, fixed iteration counts — so two runs on the same machine measure
+//! the same work and the JSON can be compared commit to commit.
+//!
+//! The A/B pairs also cross-check their checksums: a variant that got
+//! faster by computing something else fails the run.
+
+use krsp::{solve, Config, Instance};
+use krsp_bench::standard_workload;
+use krsp_flow::bellman_ford::BfScratch;
+use krsp_flow::{
+    constrained_shortest_path_with, find_negative_cycle_in, reference, rsp_fptas_with, DpScratch,
+};
+use krsp_gen::{Family, Regime};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One timed measurement.
+#[derive(Serialize)]
+struct Measurement {
+    /// Kernel under test.
+    bench: String,
+    /// Instance/configuration label.
+    config: String,
+    /// `flat` (current), `reference` (pre-rewrite), or `current` where no
+    /// reference implementation exists.
+    variant: String,
+    iters: u64,
+    total_ms: f64,
+    per_iter_ms: f64,
+    /// Work fingerprint; equal across variants of the same (bench, config).
+    checksum: i64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: String,
+    mode: String,
+    results: Vec<Measurement>,
+    speedups: Vec<Speedup>,
+}
+
+/// reference / flat per-iteration ratio for one A/B pair.
+#[derive(Serialize)]
+struct Speedup {
+    bench: String,
+    config: String,
+    speedup: f64,
+}
+
+fn time_ms(iters: u64, mut f: impl FnMut() -> i64) -> (f64, i64) {
+    let mut checksum = 0i64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        checksum = black_box(f());
+    }
+    (start.elapsed().as_secs_f64() * 1e3, checksum)
+}
+
+struct Harness {
+    results: Vec<Measurement>,
+    smoke: bool,
+}
+
+impl Harness {
+    fn record(
+        &mut self,
+        bench: &str,
+        config: &str,
+        variant: &str,
+        iters: u64,
+        f: impl FnMut() -> i64,
+    ) {
+        let iters = if self.smoke { 2 } else { iters };
+        let (total_ms, checksum) = time_ms(iters, f);
+        self.results.push(Measurement {
+            bench: bench.to_string(),
+            config: config.to_string(),
+            variant: variant.to_string(),
+            iters,
+            total_ms,
+            per_iter_ms: total_ms / iters as f64,
+            checksum,
+        });
+    }
+
+    /// A/B pair: runs both variants and asserts their checksums agree.
+    fn ab(
+        &mut self,
+        bench: &str,
+        config: &str,
+        iters: u64,
+        flat: impl FnMut() -> i64,
+        reference: impl FnMut() -> i64,
+    ) {
+        self.record(bench, config, "flat", iters, flat);
+        self.record(bench, config, "reference", iters, reference);
+        let k = self.results.len();
+        let (a, b) = (&self.results[k - 2], &self.results[k - 1]);
+        assert_eq!(
+            a.checksum, b.checksum,
+            "{bench}/{config}: flat and reference disagree"
+        );
+    }
+}
+
+/// Path fingerprint: cost, delay, and edge ids folded into one i64.
+fn fingerprint(p: Option<&krsp_flow::CspPath>) -> i64 {
+    let Some(p) = p else { return -1 };
+    let mut h = p.cost.wrapping_mul(31).wrapping_add(p.delay);
+    for e in &p.edges {
+        h = h.wrapping_mul(131).wrapping_add(e.index() as i64);
+    }
+    h
+}
+
+/// The pinned instance grid. `(label, family, n, k, regime, tightness,
+/// seed)` — T2-style medium breadth plus T4-style layered fabrics, the
+/// scales the acceptance numbers are quoted at.
+fn grid(smoke: bool) -> Vec<(String, Instance)> {
+    let points: &[(&str, Family, usize, usize, Regime, f64, u64)] = if smoke {
+        &[
+            (
+                "smoke_gnm_n16",
+                Family::Gnm,
+                16,
+                2,
+                Regime::Uniform,
+                0.5,
+                7001,
+            ),
+            (
+                "smoke_layered_n18",
+                Family::Layered,
+                18,
+                2,
+                Regime::Anticorrelated,
+                0.5,
+                7002,
+            ),
+        ]
+    } else {
+        &[
+            // T2 scale: breadth across families at n = 40, k = 2.
+            ("t2_gnm_n40", Family::Gnm, 40, 2, Regime::Uniform, 0.4, 2003),
+            (
+                "t2_geometric_n40",
+                Family::Geometric,
+                40,
+                2,
+                Regime::Correlated,
+                0.4,
+                2011,
+            ),
+            // T4 scale: layered fabrics, n ≈ 48, anticorrelated (the
+            // adversarial regime the k sweep is quoted on).
+            (
+                "t4_layered_n48_k2",
+                Family::Layered,
+                48,
+                2,
+                Regime::Anticorrelated,
+                0.4,
+                4002,
+            ),
+            (
+                "t4_layered_n48_k4",
+                Family::Layered,
+                48,
+                4,
+                Regime::Anticorrelated,
+                0.4,
+                4004,
+            ),
+        ]
+    };
+    points
+        .iter()
+        .filter_map(|&(label, family, n, k, regime, tightness, seed)| {
+            let inst = standard_workload(family, n, k, regime, tightness, seed)?;
+            Some((label.to_string(), inst))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+
+    let mut h = Harness {
+        results: Vec::new(),
+        smoke,
+    };
+    let grid = grid(smoke);
+    assert!(!grid.is_empty(), "workload grid produced no instances");
+
+    // --- budget_dp (exact DP) and rsp_fptas: flat vs reference ----------
+    let mut dp = DpScratch::new();
+    for (label, inst) in &grid {
+        let g = &inst.graph;
+        let (s, t) = (inst.s, inst.t);
+        let d = inst.delay_bound;
+        h.ab(
+            "budget_dp",
+            label,
+            if smoke { 2 } else { 15 },
+            || fingerprint(constrained_shortest_path_with(g, s, t, d, &mut dp).as_ref()),
+            || fingerprint(reference::constrained_shortest_path(g, s, t, d).as_ref()),
+        );
+        h.ab(
+            "rsp_fptas",
+            label,
+            if smoke { 2 } else { 15 },
+            || fingerprint(rsp_fptas_with(g, s, t, d, 1, 4, &mut dp).as_ref()),
+            || fingerprint(reference::rsp_fptas(g, s, t, d, 1, 4).as_ref()),
+        );
+    }
+
+    // --- bellman_ford: scratch reuse vs per-call allocation -------------
+    // Negative-cycle detection under the solver's scalar weight shape, on
+    // the raw instance graphs (no negative cycle: full n-round worst case).
+    let mut bf: BfScratch<i64> = BfScratch::new();
+    for (label, inst) in &grid {
+        let g = &inst.graph;
+        h.ab(
+            "bellman_ford",
+            label,
+            if smoke { 2 } else { 400 },
+            || {
+                let found = find_negative_cycle_in(g, |e| g.edge(e).cost, &mut bf);
+                found.map_or(0, |c| c.len() as i64)
+            },
+            || {
+                let found = krsp_flow::bellman_ford::find_negative_cycle(g, |e| g.edge(e).cost);
+                found.map_or(0, |c| c.len() as i64)
+            },
+        );
+    }
+
+    // --- end-to-end solve (no reference variant; tracked over time) -----
+    for (label, inst) in &grid {
+        h.record("solve", label, "current", if smoke { 1 } else { 3 }, || {
+            solve(inst, &Config::default())
+                .map(|out| {
+                    out.solution
+                        .cost
+                        .wrapping_mul(31)
+                        .wrapping_add(out.solution.delay)
+                })
+                .unwrap_or(-1)
+        });
+    }
+
+    // --- speedups for the A/B pairs --------------------------------------
+    let mut speedups = Vec::new();
+    for i in (0..h.results.len()).step_by(1) {
+        let m = &h.results[i];
+        if m.variant != "flat" {
+            continue;
+        }
+        let reference = h
+            .results
+            .iter()
+            .find(|r| r.bench == m.bench && r.config == m.config && r.variant == "reference");
+        if let Some(r) = reference {
+            speedups.push(Speedup {
+                bench: m.bench.clone(),
+                config: m.config.clone(),
+                speedup: r.per_iter_ms / m.per_iter_ms.max(1e-9),
+            });
+        }
+    }
+
+    let report = Report {
+        schema: "krsp-bench-kernels/v1".to_string(),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        results: h.results,
+        speedups,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    // Self-validate before writing: the emitted text must parse back.
+    serde_json::parse_value(&json).expect("emitted JSON must be valid");
+    std::fs::write(&out, &json).expect("write report");
+    println!("{json}");
+    eprintln!("wrote {out}");
+}

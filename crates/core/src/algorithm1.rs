@@ -152,7 +152,13 @@ struct Probe {
 /// to the estimate `c_hat`. Returns the resulting (delay-feasible) solution
 /// or `None` if the loop stalled (no bicameral cycle under this `Ĉ`, or the
 /// iteration guard tripped).
-fn probe(inst: &Instance, p1: &Phase1, c_hat: i64, cfg: &Config) -> Option<Probe> {
+fn probe(
+    inst: &Instance,
+    p1: &Phase1,
+    c_hat: i64,
+    cfg: &Config,
+    scratch: &mut bicameral::SearchScratch,
+) -> Option<Probe> {
     let mut edges = p1.flow.clone();
     let mut cost = p1.cost;
     let mut delay = p1.delay;
@@ -173,7 +179,8 @@ fn probe(inst: &Instance, p1: &Phase1, c_hat: i64, cfg: &Config) -> Option<Probe
             enforce_cost_cap: cfg.enforce_cost_cap,
             scc_prune: cfg.scc_pruning,
         };
-        let cyc: BicameralCycle = bicameral::find(&residual, &ctx, cfg.engine, cfg.b_search)?;
+        let cyc: BicameralCycle =
+            bicameral::find_with(&residual, &ctx, cfg.engine, cfg.b_search, scratch)?;
         debug_assert!(residual.is_valid_cycle_set(&cyc.edges));
         if cfg.enforce_cost_cap && ctx.delta_c > 0 {
             let r = krsp_numeric::Rat::new(ctx.delta_d as i128, ctx.delta_c as i128);
@@ -210,6 +217,17 @@ fn probe(inst: &Instance, p1: &Phase1, c_hat: i64, cfg: &Config) -> Option<Probe
 
 /// Full solver: phase 1, then the `Ĉ`-bisected cycle-cancellation loop.
 pub fn solve(inst: &Instance, cfg: &Config) -> Result<Solved, SolveError> {
+    solve_with(inst, cfg, &mut bicameral::SearchScratch::new())
+}
+
+/// [`solve`] over a caller-owned [`bicameral::SearchScratch`], so repeated
+/// solves (the service degradation ladder, experiment sweeps) share the
+/// cycle-search buffers.
+pub fn solve_with(
+    inst: &Instance,
+    cfg: &Config,
+    scratch: &mut bicameral::SearchScratch,
+) -> Result<Solved, SolveError> {
     let start = Instant::now();
     inst.validate().map_err(|_| SolveError::DelayInfeasible)?;
     let p1 = phase1::run(inst, cfg.phase1_backend)?;
@@ -241,7 +259,7 @@ pub fn solve(inst: &Instance, cfg: &Config) -> Result<Solved, SolveError> {
 
     if cfg.single_probe {
         stats.probes = 1;
-        return match probe(inst, &p1, ub.max(1), cfg) {
+        return match probe(inst, &p1, ub.max(1), cfg, scratch) {
             Some(pr) => {
                 stats.iterations = pr.iterations;
                 Ok(finish(pr.solution, stats, start))
@@ -256,7 +274,7 @@ pub fn solve(inst: &Instance, cfg: &Config) -> Result<Solved, SolveError> {
     // Establish success at hi = UB: guaranteed since UB ≥ C_OPT.
     loop {
         stats.probes += 1;
-        match probe(inst, &p1, hi, cfg) {
+        match probe(inst, &p1, hi, cfg, scratch) {
             Some(pr) if pr.solution.cost <= 2 * hi => {
                 best = Some(pr);
                 break;
@@ -283,7 +301,7 @@ pub fn solve(inst: &Instance, cfg: &Config) -> Result<Solved, SolveError> {
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         stats.probes += 1;
-        match probe(inst, &p1, mid, cfg) {
+        match probe(inst, &p1, mid, cfg, scratch) {
             Some(pr) if pr.solution.cost <= 2 * mid => {
                 hi = mid;
                 best = Some(pr);

@@ -16,7 +16,7 @@ use crate::instance::Instance;
 use crate::phase1::{self, Phase1Backend};
 use crate::solution::Solution;
 use krsp_flow::karp::min_ratio_cycle;
-use krsp_flow::{min_cost_k_flow_fast as min_cost_k_flow, rsp_fptas};
+use krsp_flow::{min_cost_k_flow_fast as min_cost_k_flow, rsp_fptas_with, DpScratch};
 use krsp_graph::{DiGraph, EdgeId, EdgeSet, ResidualGraph};
 use krsp_numeric::Lex2;
 
@@ -66,8 +66,10 @@ pub fn greedy_rsp(inst: &Instance) -> Option<Solution> {
     let mut chosen: Vec<EdgeId> = Vec::new();
     // Map from the shrinking graph's edges back to original ids.
     let mut back: Vec<EdgeId> = (0..inst.m()).map(|i| EdgeId(i as u32)).collect();
+    // One DP arena for all k FPTAS stages.
+    let mut scratch = DpScratch::new();
     for _ in 0..inst.k {
-        let p = rsp_fptas(&remaining, inst.s, inst.t, per_path, 1, 4)?;
+        let p = rsp_fptas_with(&remaining, inst.s, inst.t, per_path, 1, 4, &mut scratch)?;
         let used: std::collections::HashSet<EdgeId> = p.edges.iter().copied().collect();
         for &e in &p.edges {
             chosen.push(back[e.index()]);

@@ -36,12 +36,13 @@
 //!   for the fast engine in tests.
 
 use crate::auxgraph::{AuxGraph, Sign};
-use krsp_flow::bellman_ford::find_negative_cycle;
+use krsp_flow::bellman_ford::{find_negative_cycle, find_negative_cycle_in, BfScratch};
 use krsp_graph::{split_closed_walk, DiGraph, EdgeId, NodeId, ResidualGraph};
 use krsp_lp::{LpOutcome, Model, Rat, Relation};
 use krsp_numeric::Lex2;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// Which bicameral-cycle engine to use.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -141,6 +142,25 @@ impl Ctx {
     }
 }
 
+/// Caller-owned buffers for repeated bicameral searches.
+///
+/// Algorithm 1 calls [`find`] once per cancellation iteration, and each
+/// layered pass inside runs Bellman–Ford under `Lex2` weights; holding one
+/// scratch per probe lets all of those share buffers ([`find_with`]).
+#[derive(Default)]
+pub struct SearchScratch {
+    /// Bellman–Ford buffers for the sequential passes 1 and 2.
+    bf: BfScratch<Lex2>,
+}
+
+impl SearchScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        SearchScratch::default()
+    }
+}
+
 /// Finds a bicameral cycle in `residual` under `ctx`, or `None` when no
 /// bicameral cycle exists (Algorithm 1 then declares the instance
 /// infeasible / the budget probe failed).
@@ -151,8 +171,21 @@ pub fn find(
     engine: Engine,
     b_search: BSearch,
 ) -> Option<BicameralCycle> {
+    find_with(residual, ctx, engine, b_search, &mut SearchScratch::new())
+}
+
+/// [`find`] over a caller-owned [`SearchScratch`] — the cancellation loop's
+/// entry point, so consecutive iterations reuse the search buffers.
+#[must_use]
+pub fn find_with(
+    residual: &ResidualGraph,
+    ctx: &Ctx,
+    engine: Engine,
+    b_search: BSearch,
+    scratch: &mut SearchScratch,
+) -> Option<BicameralCycle> {
     match engine {
-        Engine::Layered => layered(residual, ctx, b_search),
+        Engine::Layered => layered(residual, ctx, b_search, scratch),
         Engine::LpRounding => lp_rounding(residual, ctx, b_search),
     }
 }
@@ -209,26 +242,39 @@ fn ratio_score(cost: i64, delay: i64) -> Rat {
 }
 
 /// A node-remapped subgraph of the residual graph together with the map
-/// from its edge ids back to residual edge ids.
-struct SubResidual {
-    graph: DiGraph,
-    edge_map: Vec<EdgeId>,
+/// from its edge ids back to residual edge ids. When pruning is off, the
+/// "subgraph" borrows the residual graph itself (no clone) and the edge map
+/// is the identity (no allocation).
+struct SubResidual<'a> {
+    graph: Cow<'a, DiGraph>,
+    /// `None` = identity (subgraph ids are residual ids).
+    edge_map: Option<Vec<EdgeId>>,
+}
+
+impl SubResidual<'_> {
+    /// Maps a subgraph edge id back to the residual edge id.
+    fn to_residual(&self, e: EdgeId) -> EdgeId {
+        match &self.edge_map {
+            Some(map) => map[e.index()],
+            None => e,
+        }
+    }
 }
 
 /// One subgraph per *cyclic* SCC of the residual graph (or the whole graph
 /// as a single "subgraph" when pruning is off). Cycles — hence bicameral
 /// cycles — never cross SCC boundaries, so searching the pieces is exact.
-fn search_subgraphs(residual: &ResidualGraph, prune: bool) -> Vec<SubResidual> {
+fn search_subgraphs(residual: &ResidualGraph, prune: bool) -> Vec<SubResidual<'_>> {
     let rg = residual.graph();
     if !prune {
         return vec![SubResidual {
-            graph: rg.clone(),
-            edge_map: (0..rg.edge_count()).map(|i| EdgeId(i as u32)).collect(),
+            graph: Cow::Borrowed(rg),
+            edge_map: None,
         }];
     }
     let part = krsp_graph::tarjan_scc(rg);
     let cyclic: std::collections::HashSet<usize> = part.cyclic_components(rg).into_iter().collect();
-    let mut subs: Vec<SubResidual> = Vec::new();
+    let mut subs: Vec<(DiGraph, Vec<EdgeId>)> = Vec::new();
     // Component id → (subgraph index, node remap).
     let mut sub_of: Vec<Option<usize>> = vec![None; part.count];
     let mut node_map: Vec<u32> = vec![u32::MAX; rg.node_count()];
@@ -238,49 +284,56 @@ fn search_subgraphs(residual: &ResidualGraph, prune: bool) -> Vec<SubResidual> {
             continue;
         }
         let si = *sub_of[c].get_or_insert_with(|| {
-            subs.push(SubResidual {
-                graph: DiGraph::new(0),
-                edge_map: Vec::new(),
-            });
+            subs.push((DiGraph::new(0), Vec::new()));
             subs.len() - 1
         });
-        node_map[v.index()] = subs[si].graph.add_node().0;
+        node_map[v.index()] = subs[si].0.add_node().0;
     }
     for (id, e) in rg.edge_iter() {
         let c = part.component[e.src.index()];
         if cyclic.contains(&c) && part.same(e.src, e.dst) {
             let si = sub_of[c].expect("component registered");
-            let sub = &mut subs[si];
-            sub.graph.add_edge(
+            let (graph, edge_map) = &mut subs[si];
+            graph.add_edge(
                 krsp_graph::NodeId(node_map[e.src.index()]),
                 krsp_graph::NodeId(node_map[e.dst.index()]),
                 e.cost,
                 e.delay,
             );
-            sub.edge_map.push(id);
+            edge_map.push(id);
         }
     }
-    subs
+    subs.into_iter()
+        .map(|(graph, edge_map)| SubResidual {
+            graph: Cow::Owned(graph),
+            edge_map: Some(edge_map),
+        })
+        .collect()
 }
 
-fn layered(residual: &ResidualGraph, ctx: &Ctx, b_search: BSearch) -> Option<BicameralCycle> {
+fn layered(
+    residual: &ResidualGraph,
+    ctx: &Ctx,
+    b_search: BSearch,
+    scratch: &mut SearchScratch,
+) -> Option<BicameralCycle> {
     let rg = residual.graph();
 
     // Pass 1 — plain negative-cycle detection under w (strict), then under
-    // the lexicographic (w, d) to catch w = 0, d < 0 boundary cycles.
-    let tries: [Box<dyn Fn(EdgeId) -> Lex2>; 2] = [
-        Box::new(|e: EdgeId| {
-            let r = rg.edge(e);
-            Lex2::new(ctx.w(r.cost, r.delay), 0)
-        }),
-        Box::new(|e: EdgeId| {
-            let r = rg.edge(e);
-            Lex2::new(ctx.w(r.cost, r.delay), r.delay as i128)
-        }),
-    ];
-    for weight in &tries {
-        if let Some(walk) = find_negative_cycle(rg, weight.as_ref()) {
-            if let Some((edges, cost, delay, kind)) = harvest(residual, rg, &walk, |e| e, ctx) {
+    // the lexicographic (w, d) to catch w = 0, d < 0 boundary cycles. Both
+    // weights are monomorphized closures (no boxed dispatch per relaxation).
+    for strict in [true, false] {
+        let walk = find_negative_cycle_in(
+            rg,
+            |e: EdgeId| {
+                let r = rg.edge(e);
+                let d2 = if strict { 0 } else { r.delay as i128 };
+                Lex2::new(ctx.w(r.cost, r.delay), d2)
+            },
+            &mut scratch.bf,
+        );
+        if let Some(walk) = walk {
+            if let Some((edges, cost, delay, kind)) = harvest(residual, rg, walk, |e| e, ctx) {
                 return Some(BicameralCycle {
                     edges,
                     cost,
@@ -327,12 +380,16 @@ fn layered(residual: &ResidualGraph, ctx: &Ctx, b_search: BSearch) -> Option<Bic
         for sub in &subs {
             let aux = AuxGraph::combined(&sub.graph, b);
             let ag = &aux.graph;
-            let found = find_negative_cycle(ag, |e: EdgeId| {
-                let r = ag.edge(e);
-                Lex2::new(ctx.w(r.cost, r.delay), r.delay as i128)
-            });
+            let found = find_negative_cycle_in(
+                ag,
+                |e: EdgeId| {
+                    let r = ag.edge(e);
+                    Lex2::new(ctx.w(r.cost, r.delay), r.delay as i128)
+                },
+                &mut scratch.bf,
+            );
             if let Some(h_walk) = found {
-                let projected = aux.project(&h_walk);
+                let projected = aux.project(h_walk);
                 if projected.is_empty() {
                     continue; // pure closing-edge artifact (cannot happen: w=0)
                 }
@@ -340,7 +397,7 @@ fn layered(residual: &ResidualGraph, ctx: &Ctx, b_search: BSearch) -> Option<Bic
                     residual,
                     &sub.graph,
                     &projected,
-                    |e| sub.edge_map[e.index()],
+                    |e| sub.to_residual(e),
                     ctx,
                 ) {
                     return Some(BicameralCycle {
@@ -362,7 +419,8 @@ fn layered(residual: &ResidualGraph, ctx: &Ctx, b_search: BSearch) -> Option<Bic
     // Algorithm 2 bound every sub-cycle by `B` structurally (prefix sums
     // live in `[0, B]`), so scanning all seeds at `B = cap` is exact.
     // Parallel over (subgraph, seed, sign) with rayon: each search is
-    // independent.
+    // independent (and so allocates its own Bellman–Ford buffers — the
+    // shared scratch cannot cross the parallel boundary).
     let seeds: Vec<(usize, NodeId, Sign)> = subs
         .iter()
         .enumerate()
@@ -390,7 +448,7 @@ fn layered(residual: &ResidualGraph, ctx: &Ctx, b_search: BSearch) -> Option<Bic
                 residual,
                 &sub.graph,
                 &projected,
-                |e| sub.edge_map[e.index()],
+                |e| sub.to_residual(e),
                 ctx,
             )?;
             Some(BicameralCycle {

@@ -57,9 +57,9 @@ pub mod scaling;
 pub mod solution;
 pub mod verify;
 
-pub use algorithm1::{solve, Config, RunStats, SolveError, Solved};
+pub use algorithm1::{solve, solve_with, Config, RunStats, SolveError, Solved};
 pub use batch::{shared_executor, solve_batch, summarize, BatchSummary, Executor};
-pub use bicameral::{BSearch, CycleKind, Engine};
+pub use bicameral::{BSearch, CycleKind, Engine, SearchScratch};
 pub use instance::{Instance, InstanceError};
 pub use phase1::Phase1Backend;
 pub use scaling::{solve_scaled, Eps, ScaledSolved};

@@ -5,6 +5,11 @@
 //! cancellation must tolerate negative weights. This module also extracts an
 //! explicit negative cycle when one exists — the primitive behind both the
 //! Orda–Sprintson baseline and the layered bicameral-cycle engine.
+//!
+//! Algorithm 1's inner loop calls negative-cycle detection once per
+//! cancellation iteration per layered pass; [`BfScratch`] lets those calls
+//! share the `dist`/`pred`/`order`/cycle buffers instead of reallocating
+//! them every time (DESIGN.md §4.12).
 
 use crate::weight::Weight;
 use krsp_graph::{DiGraph, EdgeId, NodeId};
@@ -43,13 +48,56 @@ impl<W: Weight> BfResult<W> {
     }
 }
 
+/// Caller-owned buffers for repeated Bellman–Ford runs.
+///
+/// One scratch adapts to any graph size (buffers are resized per run,
+/// capacity is retained), so a single instance can serve a whole
+/// cancellation loop across residual and auxiliary graphs of different
+/// shapes.
+#[derive(Clone, Debug)]
+pub struct BfScratch<W> {
+    dist: Vec<Option<W>>,
+    pred: Vec<Option<EdgeId>>,
+    /// Backward-walk position per node during cycle extraction
+    /// (`usize::MAX` = unvisited).
+    order: Vec<usize>,
+    /// Extracted cycle (closed, contiguous); valid after a run that
+    /// returned `true`.
+    cycle: Vec<EdgeId>,
+}
+
+impl<W> Default for BfScratch<W> {
+    fn default() -> Self {
+        BfScratch {
+            dist: Vec::new(),
+            pred: Vec::new(),
+            order: Vec::new(),
+            cycle: Vec::new(),
+        }
+    }
+}
+
+impl<W> BfScratch<W> {
+    /// An empty scratch; buffers are sized lazily on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        BfScratch::default()
+    }
+}
+
 /// Bellman–Ford from a single source.
 pub fn bellman_ford<W: Weight>(
     graph: &DiGraph,
     source: NodeId,
     weight: impl Fn(EdgeId) -> W,
 ) -> BfResult<W> {
-    run(graph, &[source], weight)
+    let mut scratch = BfScratch::new();
+    let found = run(graph, std::iter::once(source), weight, &mut scratch);
+    BfResult {
+        dist: scratch.dist,
+        pred: scratch.pred,
+        negative_cycle: found.then_some(scratch.cycle),
+    }
 }
 
 /// Bellman–Ford with *every* node as a zero-distance source — detects a
@@ -58,19 +106,38 @@ pub fn find_negative_cycle<W: Weight>(
     graph: &DiGraph,
     weight: impl Fn(EdgeId) -> W,
 ) -> Option<Vec<EdgeId>> {
-    let sources: Vec<NodeId> = graph.node_iter().collect();
-    run(graph, &sources, weight).negative_cycle
+    let mut scratch = BfScratch::new();
+    find_negative_cycle_in(graph, weight, &mut scratch).map(<[EdgeId]>::to_vec)
 }
 
+/// [`find_negative_cycle`] over caller-owned buffers: no per-call
+/// allocation once the scratch is warm. The returned slice borrows the
+/// scratch and stays valid until the next run.
+pub fn find_negative_cycle_in<'s, W: Weight>(
+    graph: &DiGraph,
+    weight: impl Fn(EdgeId) -> W,
+    scratch: &'s mut BfScratch<W>,
+) -> Option<&'s [EdgeId]> {
+    run(graph, graph.node_iter(), weight, scratch).then_some(scratch.cycle.as_slice())
+}
+
+/// The relaxation engine. Leaves `dist`/`pred` in the scratch; returns
+/// `true` iff a reachable negative cycle exists, in which case the closed
+/// contiguous edge list is left in `scratch.cycle`.
 fn run<W: Weight>(
     graph: &DiGraph,
-    sources: &[NodeId],
+    sources: impl Iterator<Item = NodeId>,
     weight: impl Fn(EdgeId) -> W,
-) -> BfResult<W> {
+    scratch: &mut BfScratch<W>,
+) -> bool {
     let n = graph.node_count();
-    let mut dist: Vec<Option<W>> = vec![None; n];
-    let mut pred: Vec<Option<EdgeId>> = vec![None; n];
-    for &s in sources {
+    scratch.dist.clear();
+    scratch.dist.resize(n, None);
+    scratch.pred.clear();
+    scratch.pred.resize(n, None);
+    let dist = &mut scratch.dist;
+    let pred = &mut scratch.pred;
+    for s in sources {
         dist[s.index()] = Some(W::ZERO);
     }
 
@@ -98,40 +165,38 @@ fn run<W: Weight>(
         let _ = round;
     }
 
-    let negative_cycle = last_relaxed.map(|start| {
-        // Walk the predecessor graph backwards from the just-relaxed node
-        // until a node repeats; the edges between the two occurrences form a
-        // cycle, and every cycle in the predecessor graph at this point has
-        // negative weight (standard Bellman–Ford argument).
-        let mut order = vec![usize::MAX; n];
-        let mut back_edges: Vec<EdgeId> = Vec::new();
-        let mut cur = start;
-        order[cur.index()] = 0;
-        loop {
-            let e =
-                pred[cur.index()].expect("pred chain from a round-n relaxation cannot terminate");
-            back_edges.push(e);
-            cur = graph.edge(e).src;
-            if order[cur.index()] != usize::MAX {
-                // Entered the cycle: edges from position `order[cur]` up to
-                // here (in backward orientation) close it.
-                let from = order[cur.index()];
-                let mut cyc: Vec<EdgeId> = back_edges[from..].to_vec();
-                cyc.reverse();
-                break cyc;
-            }
-            order[cur.index()] = back_edges.len();
-            assert!(
-                back_edges.len() <= n,
-                "predecessor walk exceeded node count without cycling"
-            );
+    let Some(start) = last_relaxed else {
+        return false;
+    };
+    // Walk the predecessor graph backwards from the just-relaxed node until
+    // a node repeats; the edges between the two occurrences form a cycle,
+    // and every cycle in the predecessor graph at this point has negative
+    // weight (standard Bellman–Ford argument).
+    scratch.order.clear();
+    scratch.order.resize(n, usize::MAX);
+    let order = &mut scratch.order;
+    let back_edges = &mut scratch.cycle;
+    back_edges.clear();
+    let mut cur = start;
+    order[cur.index()] = 0;
+    loop {
+        let e = pred[cur.index()].expect("pred chain from a round-n relaxation cannot terminate");
+        back_edges.push(e);
+        cur = graph.edge(e).src;
+        if order[cur.index()] != usize::MAX {
+            // Entered the cycle: edges from position `order[cur]` up to
+            // here (in backward orientation) close it. Drop the approach
+            // prefix in place and flip to forward orientation — no copy.
+            let from = order[cur.index()];
+            back_edges.drain(..from);
+            back_edges.reverse();
+            return true;
         }
-    });
-
-    BfResult {
-        dist,
-        pred,
-        negative_cycle,
+        order[cur.index()] = back_edges.len();
+        assert!(
+            back_edges.len() <= n,
+            "predecessor walk exceeded node count without cycling"
+        );
     }
 }
 
@@ -229,5 +294,20 @@ mod tests {
         g.add_edge(NodeId(0), NodeId(1), 1, 0);
         let cyc = find_negative_cycle(&g, w(&g)).expect("self-loop cycle");
         assert_eq!(cyc, vec![EdgeId(0)]);
+    }
+
+    #[test]
+    fn scratch_reuse_across_graphs() {
+        // One scratch across graphs of different sizes, with and without
+        // negative cycles: results must match the allocating API.
+        let cyclic = DiGraph::from_edges(3, &[(0, 1, 1, 0), (1, 2, 2, 0), (2, 1, -3, 0)]);
+        let acyclic = DiGraph::from_edges(5, &[(0, 1, 1, 0), (1, 4, -2, 0), (0, 4, 3, 0)]);
+        let mut scratch = BfScratch::new();
+        for _ in 0..3 {
+            let got =
+                find_negative_cycle_in(&cyclic, w(&cyclic), &mut scratch).map(<[EdgeId]>::to_vec);
+            assert_eq!(got, find_negative_cycle(&cyclic, w(&cyclic)));
+            assert!(find_negative_cycle_in(&acyclic, w(&acyclic), &mut scratch).is_none());
+        }
     }
 }

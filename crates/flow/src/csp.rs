@@ -7,9 +7,37 @@
 //!   scaling template the paper's Theorem 4 applies to Algorithm 1.
 //!
 //! Both are used as the `k = 1` baseline (`greedy_rsp` runs them per path).
+//!
+//! ## The flat kernel
+//!
+//! The budgeted DP is the solver's hottest loop: the FPTAS re-runs it for
+//! every probe of its geometric bisection, and every caller above (greedy
+//! RSP, the service ladder) re-runs the FPTAS. The kernel therefore avoids
+//! all steady-state allocation and indirection (DESIGN.md §4.12):
+//!
+//! * the value table is one flat row-major `i64` buffer (`i64::MAX` =
+//!   unreachable), not a `Vec<Vec<Option<i64>>>`; level carry-over is a
+//!   `memcpy`, not an `Option` clone;
+//! * parents are two compact `u32` arrays (edge id + previous level);
+//! * the weight accessors are generic `impl Fn` parameters, monomorphized
+//!   at each call site — no `&dyn Fn` dispatch per edge relaxation — and
+//!   evaluated once per edge up front, not once per (level, edge);
+//! * edges are bucketed by budget value once per run: positive-budget edges
+//!   live in a flat array (edges whose budget exceeds the bound are dropped
+//!   entirely), zero-budget edges in a per-node CSR, so the within-level
+//!   Dijkstra pass is skipped outright when no zero-budget edge exists and
+//!   otherwise seeds its heap only with nodes that can propagate;
+//! * every buffer lives in a caller-owned [`DpScratch`], so the bisection
+//!   loop — and repeated solves above it — reuse one allocation.
+//!
+//! The pre-rewrite kernel is preserved in [`crate::reference`] and the test
+//! suite pins this one to it bit-for-bit (values, tie-breaking, recovered
+//! paths).
 
 use crate::dijkstra::dijkstra;
 use krsp_graph::{DiGraph, EdgeId, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A cost/delay-annotated simple path.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -23,109 +51,273 @@ pub struct CspPath {
 }
 
 impl CspPath {
-    fn from_edges(graph: &DiGraph, edges: Vec<EdgeId>) -> Self {
+    pub(crate) fn from_edges(graph: &DiGraph, edges: Vec<EdgeId>) -> Self {
         let cost = edges.iter().map(|&e| graph.edge(e).cost).sum();
         let delay = edges.iter().map(|&e| graph.edge(e).delay).sum();
         CspPath { edges, cost, delay }
     }
 }
 
-/// Budgeted DP: `value[b][v]` = minimum `objective` over `s→v` walks with
-/// `Σ budget ≤ b`, for `b = 0..=bound`. Zero-budget edges are handled with a
-/// per-level Dijkstra pass (objectives must be nonnegative).
-///
-/// Returns `(value, parent)` where `parent[b][v] = (edge, b_prev)`.
-struct BudgetDp {
-    value: Vec<Vec<Option<i64>>>,
-    parent: Vec<Vec<Option<(EdgeId, usize)>>>,
+/// "Unreachable" sentinel in the flat value table.
+const UNREACHED: i64 = i64::MAX;
+/// "No parent" sentinel in the flat parent table.
+const NO_PARENT: u32 = u32::MAX;
+
+/// A positive-budget edge, predigested for the relaxation loop.
+#[derive(Clone, Copy)]
+struct PosEdge {
+    /// Budget value (`≥ 1`, `≤ bound`).
+    budget: u32,
+    /// Tail node index.
+    src: u32,
+    /// Head node index.
+    dst: u32,
+    /// Objective value.
+    obj: i64,
+    /// Original edge id (for parents).
+    id: u32,
 }
 
+/// A zero-budget edge in the per-node CSR.
+#[derive(Clone, Copy)]
+struct ZeroEdge {
+    /// Head node index.
+    dst: u32,
+    /// Objective value.
+    obj: i64,
+    /// Original edge id (for parents).
+    id: u32,
+}
+
+/// Caller-owned scratch arena for the budgeted DP.
+///
+/// Holds the flat value/parent tables, the edge buckets, and the
+/// within-level heap. Create one per solving context and thread it through
+/// repeated [`constrained_shortest_path_with`] / [`rsp_fptas_with`] calls:
+/// after warm-up, the kernel allocates nothing. A single scratch adapts to
+/// any graph/bound size (buffers grow monotonically, capacity is retained).
+#[derive(Default)]
+pub struct DpScratch {
+    /// Flat `(bound+1) × n` value table, row-major by level.
+    value: Vec<i64>,
+    /// Parent edge id per `(level, node)`; `NO_PARENT` = none.
+    par_edge: Vec<u32>,
+    /// Parent level per `(level, node)` (meaningful iff `par_edge` set).
+    par_level: Vec<u32>,
+    /// Positive-budget edges with budget ≤ bound, in edge-id order.
+    pos: Vec<PosEdge>,
+    /// Zero-budget out-edges, CSR payload (tail-node grouped).
+    zero: Vec<ZeroEdge>,
+    /// CSR offsets: node `v`'s zero-budget out-edges are
+    /// `zero[zero_start[v]..zero_start[v+1]]`.
+    zero_start: Vec<u32>,
+    /// Per-edge budget cache (one accessor call per edge per run).
+    ebud: Vec<i64>,
+    /// Per-edge objective cache.
+    eobj: Vec<i64>,
+    /// Within-level Dijkstra heap, reused across levels.
+    heap: BinaryHeap<Reverse<(i64, u32)>>,
+    /// Settled stamps for the within-level pass (`== gen` means settled).
+    settled: Vec<u64>,
+    /// Current settle generation.
+    gen: u64,
+    /// Node count of the last run.
+    n: usize,
+    /// Level count (`bound + 1`) of the last run.
+    levels: usize,
+}
+
+impl DpScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        DpScratch::default()
+    }
+
+    #[inline]
+    fn value_at(&self, b: usize, v: NodeId) -> i64 {
+        self.value[b * self.n + v.index()]
+    }
+
+    /// True when node `v` has at least one outgoing zero-budget edge.
+    #[inline]
+    fn is_zero_tail(&self, v: u32) -> bool {
+        self.zero_start[v as usize] < self.zero_start[v as usize + 1]
+    }
+}
+
+/// Budgeted DP over the scratch arena: `value[b][v]` = minimum `objective`
+/// over `s→v` walks with `Σ budget ≤ b`, for `b = 0..=bound`. Zero-budget
+/// edges are handled with a per-level Dijkstra pass over the zero-edge CSR
+/// (objectives must be nonnegative).
+///
+/// Relaxation order — positive edges in id order per level, then the
+/// smallest-value-first zero pass — matches `reference::budget_dp` exactly,
+/// so values, parents, and recovered paths are bit-identical to the 2-D
+/// oracle.
 fn budget_dp(
+    scratch: &mut DpScratch,
     graph: &DiGraph,
     s: NodeId,
     bound: usize,
-    budget_of: &dyn Fn(EdgeId) -> i64,
-    objective_of: &dyn Fn(EdgeId) -> i64,
-) -> BudgetDp {
+    budget_of: impl Fn(EdgeId) -> i64,
+    objective_of: impl Fn(EdgeId) -> i64,
+) {
     let n = graph.node_count();
-    for (id, _) in graph.edge_iter() {
-        assert!(budget_of(id) >= 0, "budgets must be nonnegative");
-        assert!(objective_of(id) >= 0, "objectives must be nonnegative");
-    }
-    let mut value: Vec<Vec<Option<i64>>> = Vec::with_capacity(bound + 1);
-    let mut parent: Vec<Vec<Option<(EdgeId, usize)>>> = Vec::with_capacity(bound + 1);
+    let m = graph.edge_count();
+    let levels = bound + 1;
+    scratch.n = n;
+    scratch.levels = levels;
 
-    for b in 0..=bound {
-        // Initialize from carry-over and cross-level transitions.
-        let mut val: Vec<Option<i64>> = if b == 0 {
-            vec![None; n]
-        } else {
-            value[b - 1].clone()
-        };
-        let mut par: Vec<Option<(EdgeId, usize)>> = vec![None; n];
-        val[s.index()] = Some(0);
-        for (id, e) in graph.edge_iter() {
-            let be = budget_of(id) as usize;
-            if be >= 1 && be <= b {
-                if let Some(vu) = value[b - be][e.src.index()] {
-                    let cand = vu + objective_of(id);
-                    if val[e.dst.index()].is_none_or(|x| cand < x) {
-                        val[e.dst.index()] = Some(cand);
-                        par[e.dst.index()] = Some((id, b - be));
-                    }
-                }
+    // Predigest the weights: one accessor call per edge, validated once.
+    scratch.ebud.clear();
+    scratch.eobj.clear();
+    scratch.pos.clear();
+    for (id, e) in graph.edge_iter() {
+        let b = budget_of(id);
+        let o = objective_of(id);
+        assert!(b >= 0, "budgets must be nonnegative");
+        assert!(o >= 0, "objectives must be nonnegative");
+        scratch.ebud.push(b);
+        scratch.eobj.push(o);
+        if b >= 1 && b <= bound as i64 {
+            scratch.pos.push(PosEdge {
+                budget: b as u32,
+                src: e.src.0,
+                dst: e.dst.0,
+                obj: o,
+                id: id.0,
+            });
+        }
+    }
+    // Zero-budget CSR, grouped by tail in out-edge order (the order the
+    // reference kernel relaxes them in).
+    scratch.zero.clear();
+    scratch.zero_start.clear();
+    scratch.zero_start.reserve(n + 1);
+    for v in graph.node_iter() {
+        scratch.zero_start.push(scratch.zero.len() as u32);
+        for &e in graph.out_edges(v) {
+            if scratch.ebud[e.index()] == 0 {
+                scratch.zero.push(ZeroEdge {
+                    dst: graph.edge(e).dst.0,
+                    obj: scratch.eobj[e.index()],
+                    id: e.0,
+                });
             }
         }
-        // Within-level relaxation over zero-budget edges (Dijkstra flavor:
-        // repeatedly settle the smallest tentative value).
-        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(i64, u32)>> = val
-            .iter()
-            .enumerate()
-            .filter_map(|(v, x)| x.map(|x| std::cmp::Reverse((x, v as u32))))
-            .collect();
-        let mut done = vec![false; n];
-        while let Some(std::cmp::Reverse((dv, v))) = heap.pop() {
-            let v = NodeId(v);
-            if done[v.index()] || val[v.index()] != Some(dv) {
+    }
+    scratch.zero_start.push(scratch.zero.len() as u32);
+    let has_zero = !scratch.zero.is_empty();
+    let _ = m;
+
+    // Flat tables. `resize` keeps capacity across runs; rows are written
+    // level by level below, so no global fill is needed.
+    scratch.value.clear();
+    scratch.value.resize(levels * n, UNREACHED);
+    scratch.par_edge.clear();
+    scratch.par_edge.resize(levels * n, NO_PARENT);
+    scratch.par_level.clear();
+    scratch.par_level.resize(levels * n, 0);
+    if scratch.settled.len() < n {
+        scratch.settled.resize(n, 0);
+    }
+
+    for b in 0..levels {
+        let row = b * n;
+        if b > 0 {
+            // Carry-over: start from the previous level (one memcpy).
+            scratch.value.copy_within((row - n)..row, row);
+        }
+        scratch.value[row + s.index()] = 0;
+        // Cross-level transitions, in edge-id order (ties must resolve as
+        // in the reference kernel).
+        for pe in &scratch.pos {
+            if pe.budget as usize > b {
                 continue;
             }
-            done[v.index()] = true;
-            for &e in graph.out_edges(v) {
-                if budget_of(e) == 0 {
-                    let u = graph.edge(e).dst;
-                    let cand = dv + objective_of(e);
-                    if val[u.index()].is_none_or(|x| cand < x) {
-                        val[u.index()] = Some(cand);
-                        par[u.index()] = Some((e, b));
-                        heap.push(std::cmp::Reverse((cand, u.0)));
+            let vu = scratch.value[(b - pe.budget as usize) * n + pe.src as usize];
+            if vu == UNREACHED {
+                continue;
+            }
+            let cand = vu + pe.obj;
+            let slot = row + pe.dst as usize;
+            if cand < scratch.value[slot] {
+                scratch.value[slot] = cand;
+                scratch.par_edge[slot] = pe.id;
+                scratch.par_level[slot] = (b - pe.budget as usize) as u32;
+            }
+        }
+        if !has_zero {
+            continue;
+        }
+        // Within-level relaxation over zero-budget edges (Dijkstra flavor).
+        // Only nodes with outgoing zero-budget edges can propagate, so only
+        // they enter the heap; everything else is pure overhead.
+        scratch.gen += 1;
+        let gen = scratch.gen;
+        scratch.heap.clear();
+        for v in 0..n as u32 {
+            if scratch.is_zero_tail(v) && scratch.value[row + v as usize] != UNREACHED {
+                scratch
+                    .heap
+                    .push(Reverse((scratch.value[row + v as usize], v)));
+            }
+        }
+        while let Some(Reverse((dv, v))) = scratch.heap.pop() {
+            if scratch.settled[v as usize] == gen || scratch.value[row + v as usize] != dv {
+                continue;
+            }
+            scratch.settled[v as usize] = gen;
+            let (lo, hi) = (
+                scratch.zero_start[v as usize] as usize,
+                scratch.zero_start[v as usize + 1] as usize,
+            );
+            for i in lo..hi {
+                let ze = scratch.zero[i];
+                let cand = dv + ze.obj;
+                let slot = row + ze.dst as usize;
+                if cand < scratch.value[slot] {
+                    scratch.value[slot] = cand;
+                    scratch.par_edge[slot] = ze.id;
+                    scratch.par_level[slot] = b as u32;
+                    if scratch.is_zero_tail(ze.dst) {
+                        scratch.heap.push(Reverse((cand, ze.dst)));
                     }
                 }
             }
         }
-        value.push(val);
-        parent.push(par);
     }
-    BudgetDp { value, parent }
 }
 
-/// Reconstructs the path reaching `t` at level `b` of a [`budget_dp`] table.
-fn recover(dp: &BudgetDp, graph: &DiGraph, s: NodeId, t: NodeId, mut b: usize) -> Vec<EdgeId> {
+/// Reconstructs the path reaching `t` at level `b` of a [`budget_dp`] run.
+fn recover(
+    scratch: &DpScratch,
+    graph: &DiGraph,
+    s: NodeId,
+    t: NodeId,
+    mut b: usize,
+) -> Vec<EdgeId> {
+    let n = scratch.n;
     let mut edges = Vec::new();
     let mut v = t;
     let mut guard = 0usize;
     while v != s {
         // Drop to the lowest level with the same value (carried entries have
         // no parent at this level).
-        while b > 0 && dp.value[b - 1][v.index()] == dp.value[b][v.index()] {
+        while b > 0 && scratch.value[(b - 1) * n + v.index()] == scratch.value[b * n + v.index()] {
             b -= 1;
         }
-        let (e, bp) = dp.parent[b][v.index()].expect("dp parent chain intact");
+        let slot = b * n + v.index();
+        let e = scratch.par_edge[slot];
+        assert!(e != NO_PARENT, "dp parent chain intact");
+        let e = EdgeId(e);
         edges.push(e);
         v = graph.edge(e).src;
-        b = bp;
+        b = scratch.par_level[slot] as usize;
         guard += 1;
         assert!(
-            guard <= graph.edge_count() + dp.value.len(),
+            guard <= graph.edge_count() + scratch.levels,
             "dp path recovery loop"
         );
     }
@@ -136,7 +328,8 @@ fn recover(dp: &BudgetDp, graph: &DiGraph, s: NodeId, t: NodeId, mut b: usize) -
 /// Exact restricted shortest path: minimum-cost `s→t` path with total delay
 /// at most `delay_bound`. Pseudo-polynomial: `O(D·m·log n)`.
 ///
-/// Requires nonnegative costs and delays.
+/// Requires nonnegative costs and delays. Allocates a fresh [`DpScratch`];
+/// use [`constrained_shortest_path_with`] to amortize across calls.
 #[must_use]
 pub fn constrained_shortest_path(
     graph: &DiGraph,
@@ -144,16 +337,31 @@ pub fn constrained_shortest_path(
     t: NodeId,
     delay_bound: i64,
 ) -> Option<CspPath> {
+    constrained_shortest_path_with(graph, s, t, delay_bound, &mut DpScratch::new())
+}
+
+/// [`constrained_shortest_path`] over a caller-owned scratch arena.
+#[must_use]
+pub fn constrained_shortest_path_with(
+    graph: &DiGraph,
+    s: NodeId,
+    t: NodeId,
+    delay_bound: i64,
+    scratch: &mut DpScratch,
+) -> Option<CspPath> {
     assert!(delay_bound >= 0);
-    let dp = budget_dp(
+    budget_dp(
+        scratch,
         graph,
         s,
         delay_bound as usize,
-        &|e| graph.edge(e).delay,
-        &|e| graph.edge(e).cost,
+        |e| graph.edge(e).delay,
+        |e| graph.edge(e).cost,
     );
-    dp.value[delay_bound as usize][t.index()]?;
-    let edges = recover(&dp, graph, s, t, delay_bound as usize);
+    if scratch.value_at(delay_bound as usize, t) == UNREACHED {
+        return None;
+    }
+    let edges = recover(scratch, graph, s, t, delay_bound as usize);
     let p = CspPath::from_edges(graph, edges);
     debug_assert!(p.delay <= delay_bound);
     Some(p)
@@ -166,7 +374,7 @@ pub fn constrained_shortest_path(
 /// and a midpoint rounded up past `⌊√(lb·ub)⌋` can violate the bracket
 /// invariant (`2·mid < ub`) the Hassin/Larac-style shrink loop relies on —
 /// stalling or misbisecting the search near `i64::MAX`.
-fn geometric_midpoint(lb: i64, ub: i64) -> i64 {
+pub(crate) fn geometric_midpoint(lb: i64, ub: i64) -> i64 {
     debug_assert!(0 < lb && lb <= ub);
     let mid = krsp_numeric::isqrt(lb as u128 * ub as u128) as i64;
     mid.clamp(lb, ub)
@@ -177,6 +385,8 @@ fn geometric_midpoint(lb: i64, ub: i64) -> i64 {
 /// `cost ≤ (1 + eps_num/eps_den) · OPT`, or `None` if infeasible.
 ///
 /// Runs in time polynomial in the graph size and `eps_den/eps_num`.
+/// Allocates a fresh [`DpScratch`]; use [`rsp_fptas_with`] to amortize
+/// across calls.
 #[must_use]
 pub fn rsp_fptas(
     graph: &DiGraph,
@@ -185,6 +395,29 @@ pub fn rsp_fptas(
     delay_bound: i64,
     eps_num: u32,
     eps_den: u32,
+) -> Option<CspPath> {
+    rsp_fptas_with(
+        graph,
+        s,
+        t,
+        delay_bound,
+        eps_num,
+        eps_den,
+        &mut DpScratch::new(),
+    )
+}
+
+/// [`rsp_fptas`] over a caller-owned scratch arena: every DP probe of the
+/// geometric bisection reuses the same buffers.
+#[must_use]
+pub fn rsp_fptas_with(
+    graph: &DiGraph,
+    s: NodeId,
+    t: NodeId,
+    delay_bound: i64,
+    eps_num: u32,
+    eps_den: u32,
+    scratch: &mut DpScratch,
 ) -> Option<CspPath> {
     assert!(eps_num > 0 && eps_den > 0, "epsilon must be positive");
     assert!(delay_bound >= 0);
@@ -245,22 +478,27 @@ pub fn rsp_fptas(
 
     // Scaled test: does a delay-feasible path of cost ≤ c(1+ε0) exist?
     // (pass ⇒ such a path is produced; fail ⇒ OPT > c). ε0 = 1 here.
-    let test = |c: i64| -> Option<CspPath> {
+    // Takes the scratch explicitly so every probe reuses one arena.
+    let test = |scratch: &mut DpScratch, c: i64| -> Option<CspPath> {
         // θ = c / (n+1); scaled cost c'(e) = floor(c(e)/θ); budget n+1.
         // For any ≤n-edge path: c(P)/θ − n ≤ c'(P) ≤ c(P)/θ.
         let theta_num = c;
         let theta_den = n + 1;
         let scaled = |e: EdgeId| -> i64 { graph.edge(e).cost * theta_den / theta_num };
         let budget = (n + 1) as usize; // floor(c/θ) = n+1
-        let dp = budget_dp(
+        budget_dp(
+            scratch,
             graph,
             s,
             budget,
-            &|e| scaled(e).min(budget as i64 + 1),
-            &|e| graph.edge(e).delay,
+            |e| scaled(e).min(budget as i64 + 1),
+            |e| graph.edge(e).delay,
         );
-        let b = (0..=budget).find(|&b| dp.value[b][t.index()].is_some_and(|d| d <= delay_bound))?;
-        let edges = recover(&dp, graph, s, t, b);
+        let b = (0..=budget).find(|&b| {
+            let v = scratch.value_at(b, t);
+            v != UNREACHED && v <= delay_bound
+        })?;
+        let edges = recover(scratch, graph, s, t, b);
         Some(CspPath::from_edges(graph, edges))
     };
 
@@ -271,7 +509,7 @@ pub fn rsp_fptas(
     // bracket and the loop terminates in O(log log(ub/lb)) tests.
     while ub > 4 * lb {
         let c = geometric_midpoint(lb, ub);
-        match test(c) {
+        match test(scratch, c) {
             Some(p) => {
                 debug_assert!(p.cost <= 2 * c, "test contract: cost ≤ (1+ε₀)·c");
                 ub = ub.min((2 * c).max(lb));
@@ -292,15 +530,19 @@ pub fn rsp_fptas(
     // Budget: c'(P*) ≤ OPT/θ ≤ ub·(n+1)·eps_den/(lb·eps_num) (+ slack n).
     let budget = ((ub as i128 * (n as i128 + 1) * eps_den as i128) / denom + n as i128 + 1)
         .min(i128::from(u32::MAX)) as usize;
-    let dp = budget_dp(
+    budget_dp(
+        scratch,
         graph,
         s,
         budget,
-        &|e| scaled(e).min(budget as i64 + 1),
-        &|e| graph.edge(e).delay,
+        |e| scaled(e).min(budget as i64 + 1),
+        |e| graph.edge(e).delay,
     );
-    let b = (0..=budget).find(|&b| dp.value[b][t.index()].is_some_and(|d| d <= delay_bound))?;
-    let edges = recover(&dp, graph, s, t, b);
+    let b = (0..=budget).find(|&b| {
+        let v = scratch.value_at(b, t);
+        v != UNREACHED && v <= delay_bound
+    })?;
+    let edges = recover(scratch, graph, s, t, b);
     let p = CspPath::from_edges(graph, edges);
     debug_assert!(p.delay <= delay_bound);
     Some(p)
@@ -365,6 +607,27 @@ mod tests {
     fn unreachable_none() {
         let g = DiGraph::from_edges(3, &[(0, 1, 1, 1)]);
         assert!(constrained_shortest_path(&g, NodeId(0), NodeId(2), 100).is_none());
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes() {
+        // One scratch, alternating graphs/bounds: buffers must re-dimension
+        // correctly and answers must match fresh-scratch runs.
+        let g1 = tradeoff_graph();
+        let g2 = DiGraph::from_edges(6, &[(0, 1, 2, 3), (1, 5, 2, 3), (0, 5, 9, 1)]);
+        let mut scratch = DpScratch::new();
+        for _ in 0..3 {
+            for d in [1i64, 5, 20] {
+                for (g, t) in [(&g1, NodeId(3)), (&g2, NodeId(5))] {
+                    let fresh = constrained_shortest_path(g, NodeId(0), t, d);
+                    let reused = constrained_shortest_path_with(g, NodeId(0), t, d, &mut scratch);
+                    assert_eq!(fresh, reused);
+                    let fresh = rsp_fptas(g, NodeId(0), t, d, 1, 2);
+                    let reused = rsp_fptas_with(g, NodeId(0), t, d, 1, 2, &mut scratch);
+                    assert_eq!(fresh, reused);
+                }
+            }
+        }
     }
 
     #[test]

@@ -31,11 +31,15 @@ pub mod edmonds_karp;
 pub mod karp;
 pub mod mcf;
 pub mod mcf_fast;
+pub mod reference;
 pub mod weight;
 pub mod yen;
 
-pub use bellman_ford::{bellman_ford, BfResult};
-pub use csp::{constrained_shortest_path, rsp_fptas, CspPath};
+pub use bellman_ford::{bellman_ford, find_negative_cycle_in, BfResult, BfScratch};
+pub use csp::{
+    constrained_shortest_path, constrained_shortest_path_with, rsp_fptas, rsp_fptas_with, CspPath,
+    DpScratch,
+};
 pub use dijkstra::dijkstra;
 pub use dinic::{max_edge_disjoint_paths, Dinic};
 pub use edmonds_karp::{max_edge_disjoint_paths_ek, EdmondsKarp};

@@ -1,0 +1,264 @@
+//! Pre-flattening RSP kernels, kept verbatim as oracles.
+//!
+//! This module preserves the original 2-D `Option`-table implementation of
+//! the budgeted DP and the FPTAS built on it, exactly as they stood before
+//! the flat-kernel rewrite in [`crate::csp`]. It exists for two reasons:
+//!
+//! 1. **Oracle testing** — the property suite pins the flat kernel to this
+//!    implementation: identical values, identical tie-breaking, identical
+//!    recovered paths on random instances.
+//! 2. **A/B benchmarking** — `BENCH_kernels.json` tracks the speedup of the
+//!    flat kernel against this baseline on the same instances.
+//!
+//! Do not "improve" this module: its value is that it does not change.
+
+#![doc(hidden)]
+
+use crate::csp::{geometric_midpoint, CspPath};
+use crate::dijkstra::dijkstra;
+use krsp_graph::{DiGraph, EdgeId, NodeId};
+
+/// Budgeted DP tables in the original 2-D `Option` layout:
+/// `value[b][v]` = minimum objective over `s→v` walks with `Σ budget ≤ b`.
+pub struct BudgetDp {
+    /// `value[b][v]`, `None` = unreachable at that level.
+    pub value: Vec<Vec<Option<i64>>>,
+    /// `parent[b][v] = (edge, b_prev)` on the optimal walk.
+    pub parent: Vec<Vec<Option<(EdgeId, usize)>>>,
+}
+
+/// The original budgeted DP: per-level allocation, level cloning, `&dyn Fn`
+/// weight dispatch, and a full-graph heap rebuild for every budget level.
+pub fn budget_dp(
+    graph: &DiGraph,
+    s: NodeId,
+    bound: usize,
+    budget_of: &dyn Fn(EdgeId) -> i64,
+    objective_of: &dyn Fn(EdgeId) -> i64,
+) -> BudgetDp {
+    let n = graph.node_count();
+    for (id, _) in graph.edge_iter() {
+        assert!(budget_of(id) >= 0, "budgets must be nonnegative");
+        assert!(objective_of(id) >= 0, "objectives must be nonnegative");
+    }
+    let mut value: Vec<Vec<Option<i64>>> = Vec::with_capacity(bound + 1);
+    let mut parent: Vec<Vec<Option<(EdgeId, usize)>>> = Vec::with_capacity(bound + 1);
+
+    for b in 0..=bound {
+        // Initialize from carry-over and cross-level transitions.
+        let mut val: Vec<Option<i64>> = if b == 0 {
+            vec![None; n]
+        } else {
+            value[b - 1].clone()
+        };
+        let mut par: Vec<Option<(EdgeId, usize)>> = vec![None; n];
+        val[s.index()] = Some(0);
+        for (id, e) in graph.edge_iter() {
+            let be = budget_of(id) as usize;
+            if be >= 1 && be <= b {
+                if let Some(vu) = value[b - be][e.src.index()] {
+                    let cand = vu + objective_of(id);
+                    if val[e.dst.index()].is_none_or(|x| cand < x) {
+                        val[e.dst.index()] = Some(cand);
+                        par[e.dst.index()] = Some((id, b - be));
+                    }
+                }
+            }
+        }
+        // Within-level relaxation over zero-budget edges (Dijkstra flavor:
+        // repeatedly settle the smallest tentative value).
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(i64, u32)>> = val
+            .iter()
+            .enumerate()
+            .filter_map(|(v, x)| x.map(|x| std::cmp::Reverse((x, v as u32))))
+            .collect();
+        let mut done = vec![false; n];
+        while let Some(std::cmp::Reverse((dv, v))) = heap.pop() {
+            let v = NodeId(v);
+            if done[v.index()] || val[v.index()] != Some(dv) {
+                continue;
+            }
+            done[v.index()] = true;
+            for &e in graph.out_edges(v) {
+                if budget_of(e) == 0 {
+                    let u = graph.edge(e).dst;
+                    let cand = dv + objective_of(e);
+                    if val[u.index()].is_none_or(|x| cand < x) {
+                        val[u.index()] = Some(cand);
+                        par[u.index()] = Some((e, b));
+                        heap.push(std::cmp::Reverse((cand, u.0)));
+                    }
+                }
+            }
+        }
+        value.push(val);
+        parent.push(par);
+    }
+    BudgetDp { value, parent }
+}
+
+/// Path reconstruction over the original tables.
+pub fn recover(dp: &BudgetDp, graph: &DiGraph, s: NodeId, t: NodeId, mut b: usize) -> Vec<EdgeId> {
+    let mut edges = Vec::new();
+    let mut v = t;
+    let mut guard = 0usize;
+    while v != s {
+        // Drop to the lowest level with the same value (carried entries have
+        // no parent at this level).
+        while b > 0 && dp.value[b - 1][v.index()] == dp.value[b][v.index()] {
+            b -= 1;
+        }
+        let (e, bp) = dp.parent[b][v.index()].expect("dp parent chain intact");
+        edges.push(e);
+        v = graph.edge(e).src;
+        b = bp;
+        guard += 1;
+        assert!(
+            guard <= graph.edge_count() + dp.value.len(),
+            "dp path recovery loop"
+        );
+    }
+    edges.reverse();
+    edges
+}
+
+/// The original exact restricted shortest path on the 2-D tables.
+#[must_use]
+pub fn constrained_shortest_path(
+    graph: &DiGraph,
+    s: NodeId,
+    t: NodeId,
+    delay_bound: i64,
+) -> Option<CspPath> {
+    assert!(delay_bound >= 0);
+    let dp = budget_dp(
+        graph,
+        s,
+        delay_bound as usize,
+        &|e| graph.edge(e).delay,
+        &|e| graph.edge(e).cost,
+    );
+    dp.value[delay_bound as usize][t.index()]?;
+    let edges = recover(&dp, graph, s, t, delay_bound as usize);
+    let p = CspPath::from_edges(graph, edges);
+    debug_assert!(p.delay <= delay_bound);
+    Some(p)
+}
+
+/// The original Lorenz–Raz FPTAS driving the 2-D DP.
+#[must_use]
+pub fn rsp_fptas(
+    graph: &DiGraph,
+    s: NodeId,
+    t: NodeId,
+    delay_bound: i64,
+    eps_num: u32,
+    eps_den: u32,
+) -> Option<CspPath> {
+    assert!(eps_num > 0 && eps_den > 0, "epsilon must be positive");
+    assert!(delay_bound >= 0);
+    let n = graph.node_count() as i64;
+
+    // Feasibility + bottleneck bounds: the smallest edge-cost threshold c*
+    // whose subgraph contains a delay-feasible path gives OPT ∈ [c*, n·c*].
+    let sentinel = graph.total_delay().max(delay_bound).saturating_add(1);
+    let min_delay_using = |threshold: i64| -> bool {
+        let (dist, _) = dijkstra(graph, s, |e| {
+            if graph.edge(e).cost <= threshold {
+                graph.edge(e).delay
+            } else {
+                sentinel
+            }
+        });
+        matches!(dist[t.index()], Some(d) if d <= delay_bound)
+    };
+    let mut costs: Vec<i64> = graph.edges().iter().map(|e| e.cost).collect();
+    costs.push(0);
+    costs.sort_unstable();
+    costs.dedup();
+    if !min_delay_using(*costs.last().unwrap()) {
+        return None; // no delay-feasible path at all
+    }
+    // Binary search the threshold list.
+    let mut lo = 0usize;
+    let mut hi = costs.len() - 1;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if min_delay_using(costs[mid]) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let cstar = costs[lo];
+    if cstar == 0 {
+        // A zero-cost feasible path exists: it is optimal; extract it via
+        // the exact min-delay path over zero-cost edges.
+        let (dist, pred) = dijkstra(graph, s, |e| {
+            if graph.edge(e).cost == 0 {
+                graph.edge(e).delay
+            } else {
+                sentinel
+            }
+        });
+        let edges = crate::dijkstra::path_to(graph, &dist, &pred, t)?;
+        let p = CspPath::from_edges(graph, edges);
+        debug_assert_eq!(p.cost, 0);
+        return Some(p);
+    }
+    let mut lb = cstar; // OPT ≥ lb
+    let mut ub = n * cstar; // a feasible path of cost ≤ ub exists
+
+    // Scaled test: does a delay-feasible path of cost ≤ c(1+ε0) exist?
+    let test = |c: i64| -> Option<CspPath> {
+        let theta_num = c;
+        let theta_den = n + 1;
+        let scaled = |e: EdgeId| -> i64 { graph.edge(e).cost * theta_den / theta_num };
+        let budget = (n + 1) as usize; // floor(c/θ) = n+1
+        let dp = budget_dp(
+            graph,
+            s,
+            budget,
+            &|e| scaled(e).min(budget as i64 + 1),
+            &|e| graph.edge(e).delay,
+        );
+        let b = (0..=budget).find(|&b| dp.value[b][t.index()].is_some_and(|d| d <= delay_bound))?;
+        let edges = recover(&dp, graph, s, t, b);
+        Some(CspPath::from_edges(graph, edges))
+    };
+
+    // Geometric shrink until ub ≤ 4·lb.
+    while ub > 4 * lb {
+        let c = geometric_midpoint(lb, ub);
+        match test(c) {
+            Some(p) => {
+                debug_assert!(p.cost <= 2 * c, "test contract: cost ≤ (1+ε₀)·c");
+                ub = ub.min((2 * c).max(lb));
+            }
+            None => {
+                lb = c + 1;
+            }
+        }
+        debug_assert!(lb <= ub);
+    }
+
+    // Final scaled DP with target ε.
+    let denom = lb as i128 * eps_num as i128;
+    let scaled = |e: EdgeId| -> i64 {
+        ((graph.edge(e).cost as i128 * (n as i128 + 1) * eps_den as i128) / denom) as i64
+    };
+    let budget = ((ub as i128 * (n as i128 + 1) * eps_den as i128) / denom + n as i128 + 1)
+        .min(i128::from(u32::MAX)) as usize;
+    let dp = budget_dp(
+        graph,
+        s,
+        budget,
+        &|e| scaled(e).min(budget as i64 + 1),
+        &|e| graph.edge(e).delay,
+    );
+    let b = (0..=budget).find(|&b| dp.value[b][t.index()].is_some_and(|d| d <= delay_bound))?;
+    let edges = recover(&dp, graph, s, t, b);
+    let p = CspPath::from_edges(graph, edges);
+    debug_assert!(p.delay <= delay_bound);
+    Some(p)
+}

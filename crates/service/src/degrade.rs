@@ -21,7 +21,7 @@
 //! resort. A rung that *fails* (stalls, iteration limit) falls through to
 //! the next; genuine infeasibility short-circuits.
 
-use krsp::{baselines, solve, Config, Instance, Solution, SolveError};
+use krsp::{baselines, solve_with, Config, Instance, SearchScratch, Solution, SolveError};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -207,8 +207,10 @@ pub fn solve_degraded(
     policy: &LadderPolicy,
 ) -> Result<Degraded, LadderError> {
     let start = policy.admit(inst, remaining);
+    // One cycle-search scratch for every solver rung the ladder attempts.
+    let mut scratch = SearchScratch::new();
     for rung in Rung::LADDER.into_iter().skip(start.index()) {
-        match attempt(inst, cfg, rung) {
+        match attempt(inst, cfg, rung, &mut scratch) {
             Attempt::Solved(solution) => {
                 return Ok(Degraded {
                     solution,
@@ -229,14 +231,14 @@ enum Attempt {
     RungFailed,
 }
 
-fn attempt(inst: &Instance, cfg: &Config, rung: Rung) -> Attempt {
+fn attempt(inst: &Instance, cfg: &Config, rung: Rung, scratch: &mut SearchScratch) -> Attempt {
     match rung {
         Rung::Full | Rung::SingleProbe => {
             let cfg = Config {
                 single_probe: rung == Rung::SingleProbe,
                 ..*cfg
             };
-            match solve(inst, &cfg) {
+            match solve_with(inst, &cfg, scratch) {
                 Ok(s) => Attempt::Solved(s.solution),
                 Err(SolveError::IterationLimit) => Attempt::RungFailed,
                 Err(_) => Attempt::Infeasible,

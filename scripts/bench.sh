@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Kernel benchmark runner: regenerates BENCH_kernels.json (EXPERIMENTS.md T8).
+#
+#   ./scripts/bench.sh            # full run, writes BENCH_kernels.json
+#   ./scripts/bench.sh --smoke    # tiny sizes, for CI validation only
+#
+# The workload grid, seeds, and iteration counts are pinned inside the
+# `kernels` binary, so two runs on the same machine measure exactly the
+# same work; only wall-clock noise differs. Run on an idle machine before
+# committing updated numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p krsp-bench --bin kernels -- "$@" >/dev/null
+echo "BENCH_kernels.json updated:"
+grep -A2 '"speedups"' -m1 BENCH_kernels.json >/dev/null # sanity: section exists
+grep -E '"bench"|"speedup"' BENCH_kernels.json | tail -40

@@ -19,4 +19,12 @@ cargo test -q --workspace
 echo "== cargo test --release -- --ignored stress"
 cargo test -q --release --workspace -- --ignored stress
 
+echo "== bench harness smoke (tiny sizes, JSON must validate)"
+smoke_out="$(mktemp)"
+cargo run -q --release -p krsp-bench --bin kernels -- --smoke --out "$smoke_out" >/dev/null
+# The binary self-validates its JSON before writing; a nonempty file with
+# the expected schema line means the harness ran end to end.
+grep -q '"schema": "krsp-bench-kernels/v1"' "$smoke_out"
+rm -f "$smoke_out"
+
 echo "CI OK"

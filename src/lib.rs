@@ -4,6 +4,7 @@
 //! integration tests exercise exactly what a downstream user would import.
 
 pub use krsp;
+pub use krsp_flow;
 pub use krsp_gen;
 pub use krsp_graph;
 pub use krsp_sim;

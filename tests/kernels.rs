@@ -1,0 +1,143 @@
+//! Kernel pinning: the flat budgeted-DP kernel versus the preserved 2-D
+//! `Option`-table implementation (`krsp_flow::reference`).
+//!
+//! The flat rewrite must be *bit-identical* to the original, not merely
+//! equal in objective value: the DP's tie-breaking (first-seen minimum in
+//! edge-id order, then smallest-value-first zero-budget relaxation) decides
+//! which path is recovered, and downstream consumers (greedy RSP, the
+//! regression corpus in EXPERIMENTS.md) observe the paths themselves.
+//! Every comparison below asserts full `CspPath` equality — edge sequence,
+//! cost, and delay.
+
+use krsp_suite::krsp_flow::{constrained_shortest_path, reference, rsp_fptas};
+use krsp_suite::krsp_gen::{instantiate_with_retries, Family, Regime, Workload};
+use krsp_suite::krsp_graph::DiGraph;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+const FAMILIES: [Family; 5] = [
+    Family::Gnm,
+    Family::Grid,
+    Family::Layered,
+    Family::Geometric,
+    Family::ScaleFree,
+];
+const REGIMES: [Regime; 3] = [Regime::Uniform, Regime::Correlated, Regime::Anticorrelated];
+
+/// A generator-family graph, optionally rebuilt with a heavy share of
+/// zero-delay edges (`zero_stride > 0` zeroes every `zero_stride`-th edge's
+/// delay) — the zero-budget Dijkstra pass is the trickiest part of the DP
+/// and barely exercised by generic weights.
+fn family_graph(
+    family: Family,
+    n: usize,
+    regime: Regime,
+    seed: u64,
+    zero_stride: usize,
+) -> DiGraph {
+    let mut rng = ChaCha20Rng::seed_from_u64(seed);
+    let g = family.sample(n, n * 4, regime, &mut rng);
+    if zero_stride == 0 {
+        return g;
+    }
+    let mut rebuilt = DiGraph::new(g.node_count());
+    for (id, e) in g.edge_iter() {
+        let delay = if id.index() % zero_stride == 0 {
+            0
+        } else {
+            e.delay
+        };
+        rebuilt.add_edge(e.src, e.dst, e.cost, delay);
+    }
+    rebuilt
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flat exact DP ≡ 2-D oracle on random family graphs: same
+    /// feasibility verdict, same recovered path, edge for edge.
+    #[test]
+    fn flat_dp_matches_oracle(
+        fam_ix in 0usize..FAMILIES.len(),
+        reg_ix in 0usize..REGIMES.len(),
+        n in 8usize..28,
+        seed in 0u64..1_000_000,
+        bound in 0i64..60,
+        zero_stride in 0usize..4,
+    ) {
+        let family = FAMILIES[fam_ix];
+        let g = family_graph(family, n, REGIMES[reg_ix], seed, zero_stride);
+        let (s, t) = family.terminals(g.node_count());
+        let flat = constrained_shortest_path(&g, s, t, bound);
+        let oracle = reference::constrained_shortest_path(&g, s, t, bound);
+        prop_assert_eq!(flat, oracle, "family {:?} seed {} bound {}", family, seed, bound);
+    }
+
+    /// Flat FPTAS ≡ oracle FPTAS: the whole pipeline (threshold search,
+    /// geometric bisection, scaled DPs, recovery) must walk the same
+    /// trajectory and output the same path.
+    #[test]
+    fn flat_fptas_matches_oracle(
+        fam_ix in 0usize..FAMILIES.len(),
+        reg_ix in 0usize..REGIMES.len(),
+        n in 8usize..28,
+        seed in 0u64..1_000_000,
+        bound in 0i64..400,
+        zero_stride in 0usize..4,
+        eps_ix in 0usize..3,
+    ) {
+        let (eps_num, eps_den) = [(1, 2), (1, 4), (3, 10)][eps_ix];
+        let family = FAMILIES[fam_ix];
+        let g = family_graph(family, n, REGIMES[reg_ix], seed, zero_stride);
+        let (s, t) = family.terminals(g.node_count());
+        let flat = rsp_fptas(&g, s, t, bound, eps_num, eps_den);
+        let oracle = reference::rsp_fptas(&g, s, t, bound, eps_num, eps_den);
+        prop_assert_eq!(flat, oracle, "family {:?} seed {} bound {}", family, seed, bound);
+    }
+}
+
+/// Regression on the experiment corpus: the T1–T4 tables all draw from the
+/// `Workload` grid, so pin `rsp_fptas` to the reference on those instances
+/// — realistic budgets from the tightness machinery, every family × regime.
+#[test]
+fn fptas_bit_identical_on_workload_instances() {
+    let mut compared = 0usize;
+    for (fi, &family) in FAMILIES.iter().enumerate() {
+        for (ri, &regime) in REGIMES.iter().enumerate() {
+            for (ti, tightness) in [0.3, 0.7].into_iter().enumerate() {
+                let seed = 1000 * fi as u64 + 100 * ri as u64 + ti as u64;
+                let Some(inst) = instantiate_with_retries(
+                    Workload {
+                        family,
+                        n: 24,
+                        m: 96,
+                        regime,
+                        k: 2,
+                        tightness,
+                        seed,
+                    },
+                    40,
+                ) else {
+                    continue;
+                };
+                // The k = 1 subproblem exactly as greedy RSP poses it.
+                let per_path = inst.delay_bound / inst.k as i64;
+                for d in [per_path, inst.delay_bound] {
+                    let flat = rsp_fptas(&inst.graph, inst.s, inst.t, d, 1, 4);
+                    let oracle = reference::rsp_fptas(&inst.graph, inst.s, inst.t, d, 1, 4);
+                    assert_eq!(
+                        flat, oracle,
+                        "family {family:?} regime {regime:?} seed {seed} d {d}"
+                    );
+                    compared += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        compared >= 40,
+        "workload grid degenerated: {compared} comparisons"
+    );
+}
