@@ -17,13 +17,15 @@
 //! The A/B pairs also cross-check their checksums: a variant that got
 //! faster by computing something else fails the run.
 
-use krsp::{solve, Config, Instance};
+use krsp::bicameral::{seed_scan_only, Ctx};
+use krsp::{baselines, solve, Config, Instance};
 use krsp_bench::standard_workload;
 use krsp_flow::bellman_ford::BfScratch;
 use krsp_flow::{
     constrained_shortest_path_with, find_negative_cycle_in, reference, rsp_fptas_with, DpScratch,
 };
 use krsp_gen::{Family, Regime};
+use krsp_graph::ResidualGraph;
 use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
@@ -256,6 +258,64 @@ fn main() {
         );
     }
 
+    // --- bicameral_search: the pass-3 seed scan, threads axis -----------
+    // The parallel hotspot behind `--threads`/`KRSP_THREADS`. The
+    // min-delay baseline is lex-(delay, cost) optimal, so its residual
+    // graph has no delay-reducing cycle and no free cost-reducing cycle;
+    // under `delta_d = -1, delta_c = cap + 1` every candidate within the
+    // `|c| ≤ cap` window has weight `(cap+1)·d + c > 0`. The scan
+    // therefore finds nothing and every timed iteration is the same full
+    // sweep of all seeds — the deterministic worst case the cooperative
+    // cancellation must not slow down. Checksums are cross-checked over
+    // the widths: all variants must agree the sweep comes up empty.
+    let widths: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    for (label, inst) in &grid {
+        let Some(base) = baselines::min_delay(inst) else {
+            continue;
+        };
+        let residual = ResidualGraph::build(&inst.graph, &base.edges);
+        let cap = inst
+            .graph
+            .edge_iter()
+            .map(|(_, e)| e.cost)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let ctx = Ctx {
+            delta_d: -1,
+            delta_c: cap + 1,
+            cost_cap: cap,
+            enforce_cost_cap: true,
+            scc_prune: true,
+        };
+        for &width in widths {
+            krsp::set_solver_width(width);
+            h.record(
+                "bicameral_search",
+                label,
+                &format!("threads{width}"),
+                if smoke { 2 } else { 20 },
+                || {
+                    seed_scan_only(&residual, &ctx).map_or(-1, |cyc| {
+                        cyc.edges.iter().fold(
+                            cyc.cost.wrapping_mul(31).wrapping_add(cyc.delay),
+                            |acc, e| acc.wrapping_mul(131).wrapping_add(e.index() as i64),
+                        )
+                    })
+                },
+            );
+        }
+        krsp::set_solver_width(0);
+        let k = h.results.len();
+        let base_ck = h.results[k - widths.len()].checksum;
+        for m in &h.results[k - widths.len()..] {
+            assert_eq!(
+                m.checksum, base_ck,
+                "bicameral_search/{label}: width variants disagree"
+            );
+        }
+    }
+
     // --- end-to-end solve (no reference variant; tracked over time) -----
     for (label, inst) in &grid {
         h.record("solve", label, "current", if smoke { 1 } else { 3 }, || {
@@ -286,6 +346,27 @@ fn main() {
                 bench: m.bench.clone(),
                 config: m.config.clone(),
                 speedup: r.per_iter_ms / m.per_iter_ms.max(1e-9),
+            });
+        }
+    }
+
+    // bicameral_search speedup: single-threaded over the widest variant
+    // measured. On a multi-core host this is the parallel gain; on a
+    // single-core recorder it documents the pool's overhead (≈1.0).
+    let widest = format!("threads{}", widths.last().expect("widths nonempty"));
+    for m in &h.results {
+        if m.bench != "bicameral_search" || m.variant != "threads1" {
+            continue;
+        }
+        if let Some(w) = h
+            .results
+            .iter()
+            .find(|r| r.bench == m.bench && r.config == m.config && r.variant == widest)
+        {
+            speedups.push(Speedup {
+                bench: format!("bicameral_search(threads1/{widest})"),
+                config: m.config.clone(),
+                speedup: m.per_iter_ms / w.per_iter_ms.max(1e-9),
             });
         }
     }

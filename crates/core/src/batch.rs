@@ -7,7 +7,9 @@
 //! suite lives in one place:
 //!
 //! * [`Executor::map`] — scoped fan-out over borrowed slices (what
-//!   [`solve_batch`] uses); threads live only for the call.
+//!   [`solve_batch`] uses); threads live only for the call. Executes on
+//!   the vendored rayon pool (the same substrate as the solver's
+//!   parallel seed scan) at this executor's width.
 //! * [`Executor::submit`] — FIFO dispatch of `'static` jobs onto a
 //!   lazily-started resident worker pool (what the service uses).
 
@@ -15,7 +17,6 @@ use crate::algorithm1::{solve, Config, SolveError, Solved};
 use crate::instance::Instance;
 use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
@@ -81,37 +82,19 @@ impl Executor {
 
     /// Applies `f` to every item, preserving order, using up to
     /// [`Executor::workers`] scoped threads. Panics in `f` propagate.
+    ///
+    /// Since PR 4 this delegates to the vendored rayon pool — the same
+    /// scoped chunk-distributing substrate the bicameral seed scan runs
+    /// on — with this executor's width; the result is identical to a
+    /// sequential `items.iter().map(f).collect()` at any width.
     pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
     where
         I: Sync,
         T: Send,
         F: Fn(&I) -> T + Sync,
     {
-        let width = self.workers.min(items.len());
-        if width <= 1 {
-            return items.iter().map(f).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
-        thread::scope(|s| {
-            for _ in 0..width {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    let out = f(&items[i]);
-                    *slots[i].lock().expect("result slot poisoned") = Some(out);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every index visited")
-            })
+        rayon::ParIter::from_fn(items.len(), |i| f(&items[i]))
+            .with_width(self.workers)
             .collect()
     }
 
@@ -198,14 +181,12 @@ impl Drop for Executor {
     }
 }
 
-/// The process-wide executor used by [`solve_batch`]: one worker per
-/// available CPU.
+/// The process-wide executor used by [`solve_batch`]: the rayon pool's
+/// resolved width (`KRSP_THREADS` override, else one worker per available
+/// CPU), captured at first use.
 pub fn shared_executor() -> &'static Executor {
     static SHARED: OnceLock<Executor> = OnceLock::new();
-    SHARED.get_or_init(|| {
-        let width = thread::available_parallelism().map_or(4, std::num::NonZero::get);
-        Executor::new(width)
-    })
+    SHARED.get_or_init(|| Executor::new(rayon::current_num_threads()))
 }
 
 /// Solves every instance in parallel, preserving order.
@@ -316,7 +297,7 @@ mod tests {
 
     #[test]
     fn worker_thread_marker_distinguishes_pool_threads() {
-        use std::sync::atomic::AtomicBool;
+        use std::sync::atomic::{AtomicBool, Ordering};
         use std::sync::Arc;
 
         assert!(!Executor::on_worker_thread(), "test thread is not a worker");

@@ -36,13 +36,14 @@
 //!   for the fast engine in tests.
 
 use crate::auxgraph::{AuxGraph, Sign};
-use krsp_flow::bellman_ford::{find_negative_cycle, find_negative_cycle_in, BfScratch};
+use krsp_flow::bellman_ford::{find_negative_cycle_in, BfScratch};
 use krsp_graph::{split_closed_walk, DiGraph, EdgeId, NodeId, ResidualGraph};
 use krsp_lp::{LpOutcome, Model, Rat, Relation};
 use krsp_numeric::Lex2;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
+use std::cell::RefCell;
 
 /// Which bicameral-cycle engine to use.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -413,14 +414,32 @@ fn layered(
         }
     }
 
-    // Pass 3 — completeness fallback. The combined graph's prefix window is
-    // `[−B, B]`, so a projected *sub*-cycle can cost up to `2B` and fail the
-    // cap even though a cap-respecting cycle exists. The per-seed graphs of
-    // Algorithm 2 bound every sub-cycle by `B` structurally (prefix sums
-    // live in `[0, B]`), so scanning all seeds at `B = cap` is exact.
-    // Parallel over (subgraph, seed, sign) with rayon: each search is
-    // independent (and so allocates its own Bellman–Ford buffers — the
-    // shared scratch cannot cross the parallel boundary).
+    // Pass 3 — completeness fallback over the per-seed graphs.
+    seed_scan(residual, &subs, ctx, cap)
+}
+
+/// The per-seed layered scan (Algorithm 2's `H_v^±(B)` sweep) at `B =
+/// cap`: the completeness fallback of the layered engine. The combined
+/// graph's prefix window is `[−B, B]`, so a projected *sub*-cycle can cost
+/// up to `2B` and fail the cap even though a cap-respecting cycle exists;
+/// the per-seed graphs bound every sub-cycle by `B` structurally (prefix
+/// sums live in `[0, B]`), so scanning all seeds at `B = cap` is exact.
+///
+/// Parallel over `(subgraph, seed, sign)` on the rayon pool, with a
+/// deterministic `find_map_first` reduction: the returned cycle is the one
+/// from the *lowest seed index*, so the result is bit-identical at any
+/// thread count (workers cooperatively cancel seeds past an already-found
+/// match). Each worker thread holds its own Bellman–Ford scratch in a
+/// thread-local, so a scan allocates per *worker*, not per seed.
+fn seed_scan(
+    residual: &ResidualGraph,
+    subs: &[SubResidual<'_>],
+    ctx: &Ctx,
+    cap: i64,
+) -> Option<BicameralCycle> {
+    thread_local! {
+        static SEED_BF: RefCell<BfScratch<Lex2>> = RefCell::new(BfScratch::new());
+    }
     let seeds: Vec<(usize, NodeId, Sign)> = subs
         .iter()
         .enumerate()
@@ -430,17 +449,21 @@ fn layered(
                 .flat_map(move |v| [(si, v, Sign::Plus), (si, v, Sign::Minus)])
         })
         .collect();
-    seeds
-        .par_iter()
-        .filter_map(|&(si, v, sign)| {
-            let sub = &subs[si];
-            let aux = AuxGraph::seeded(&sub.graph, v, cap, sign);
-            let ag = &aux.graph;
-            let h_walk = find_negative_cycle(ag, |e: EdgeId| {
-                let r = ag.edge(e);
-                Lex2::new(ctx.w(r.cost, r.delay), r.delay as i128)
-            })?;
-            let projected = aux.project(&h_walk);
+    seeds.par_iter().find_map_first(|&(si, v, sign)| {
+        let sub = &subs[si];
+        let aux = AuxGraph::seeded(&sub.graph, v, cap, sign);
+        let ag = &aux.graph;
+        SEED_BF.with(|bf| {
+            let mut bf = bf.borrow_mut();
+            let h_walk = find_negative_cycle_in(
+                ag,
+                |e: EdgeId| {
+                    let r = ag.edge(e);
+                    Lex2::new(ctx.w(r.cost, r.delay), r.delay as i128)
+                },
+                &mut bf,
+            )?;
+            let projected = aux.project(h_walk);
             if projected.is_empty() {
                 return None;
             }
@@ -460,7 +483,24 @@ fn layered(
                 bound_used: Some(cap),
             })
         })
-        .find_any(|_| true)
+    })
+}
+
+/// Benchmark/diagnostic entry point: runs *only* the per-seed layered scan
+/// (pass 3 of the fast engine) on `residual` under `ctx`, exactly as the
+/// search's completeness fallback would. Exposed so `krsp-bench` can time
+/// the parallel seed sweep in isolation across thread counts.
+#[doc(hidden)]
+#[must_use]
+pub fn seed_scan_only(residual: &ResidualGraph, ctx: &Ctx) -> Option<BicameralCycle> {
+    let rg = residual.graph();
+    let cap = if ctx.enforce_cost_cap {
+        ctx.cost_cap.max(1)
+    } else {
+        rg.edges().iter().map(|e| e.cost.abs()).sum::<i64>().max(1)
+    };
+    let subs = search_subgraphs(residual, ctx.scc_prune);
+    seed_scan(residual, &subs, ctx, cap)
 }
 
 // ---------------------------------------------------------------------------
@@ -568,7 +608,9 @@ fn lp_rounding(residual: &ResidualGraph, ctx: &Ctx, b_search: BSearch) -> Option
     let mut best: Option<(BicameralCycle, Rat)> = None;
     for b in bounds {
         // All seeds and both signs, in parallel (rayon): Algorithm 3's
-        // "for each v ∈ G̃" loops.
+        // "for each v ∈ G̃" loops. `collect` reassembles candidates in
+        // seed order, so the selection loop below — and therefore the
+        // chosen cycle — is identical at any thread count.
         let seeds: Vec<(NodeId, Sign)> = rg
             .node_iter()
             .flat_map(|v| [(v, Sign::Plus), (v, Sign::Minus)])

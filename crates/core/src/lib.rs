@@ -58,6 +58,22 @@ pub mod solution;
 pub mod verify;
 
 pub use algorithm1::{solve, solve_with, Config, RunStats, SolveError, Solved};
+
+/// The data-parallel width the solver's internal fan-outs (the bicameral
+/// seed scan, [`solve_batch`]'s default executor) will use: the
+/// [`set_solver_width`] override if set, else the `KRSP_THREADS`
+/// environment variable, else one worker per available CPU. Solver output
+/// is bit-identical at any width; this only changes wall-clock time.
+#[must_use]
+pub fn solver_width() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Overrides [`solver_width`] process-wide (`0` clears the override).
+/// Safe to call at any time; reductions re-read the width when they start.
+pub fn set_solver_width(width: usize) {
+    rayon::set_num_threads(width);
+}
 pub use batch::{shared_executor, solve_batch, summarize, BatchSummary, Executor};
 pub use bicameral::{BSearch, CycleKind, Engine, SearchScratch};
 pub use instance::{Instance, InstanceError};

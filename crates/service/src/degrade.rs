@@ -142,6 +142,25 @@ impl Default for LadderPolicy {
 }
 
 impl LadderPolicy {
+    /// The default (single-threaded) calibration rescaled for a solver
+    /// `width` threads wide. The dominant cost of the [`Rung::Full`] and
+    /// [`Rung::SingleProbe`] rungs — the bicameral per-seed scan — runs on
+    /// the rayon pool, so those estimates shrink with width; the
+    /// [`Rung::LpRounding`] simplex is sequential and keeps its estimate.
+    /// A conservative half-efficiency model (`width` threads count as
+    /// `(width + 1) / 2`) absorbs the serial passes and pool overhead, so
+    /// admission stays pessimistic rather than optimistic.
+    #[must_use]
+    pub fn for_width(width: usize) -> Self {
+        let effective = (width.max(1) as u64).div_ceil(2);
+        let base = LadderPolicy::default();
+        LadderPolicy {
+            full_us_per_unit: (base.full_us_per_unit / effective).max(1),
+            probe_us_per_unit: (base.probe_us_per_unit / effective).max(1),
+            lp_us_per_unit: base.lp_us_per_unit,
+        }
+    }
+
     /// Estimated wall time for `rung` on `inst`; `None` means "always
     /// admitted".
     #[must_use]
@@ -338,6 +357,26 @@ mod tests {
         assert_eq!(policy.admit(&inst, probe), Rung::SingleProbe);
         assert_eq!(policy.admit(&inst, lp), Rung::LpRounding);
         assert_eq!(policy.admit(&inst, Duration::ZERO), Rung::MinDelay);
+    }
+
+    #[test]
+    fn width_scaled_policy_shrinks_parallel_rungs_only() {
+        let base = LadderPolicy::default();
+        let w1 = LadderPolicy::for_width(1);
+        assert_eq!(w1.full_us_per_unit, base.full_us_per_unit);
+        assert_eq!(w1.probe_us_per_unit, base.probe_us_per_unit);
+        assert_eq!(w1.lp_us_per_unit, base.lp_us_per_unit);
+        let w8 = LadderPolicy::for_width(8);
+        assert!(w8.full_us_per_unit < base.full_us_per_unit);
+        assert!(w8.probe_us_per_unit < base.probe_us_per_unit);
+        assert_eq!(w8.lp_us_per_unit, base.lp_us_per_unit);
+        // A deadline that only covers the width-8 Full estimate admits the
+        // Full rung on the wide pool but not under the 1-thread policy.
+        let inst = tradeoff(14);
+        let tight = w8.estimate(Rung::Full, &inst).unwrap();
+        assert_eq!(w8.admit(&inst, tight), Rung::Full);
+        assert!(base.estimate(Rung::Full, &inst).unwrap() > tight);
+        assert_ne!(base.admit(&inst, tight), Rung::Full);
     }
 
     #[test]

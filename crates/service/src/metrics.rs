@@ -55,7 +55,12 @@ fn bucket_upper_bound(idx: usize) -> u64 {
         return idx as u64;
     }
     let (major, minor) = (idx / MINORS, idx % MINORS);
-    ((MINORS + minor + 1) as u64) << (major - 3)
+    // Shift in u128 and saturate: at MAJORS = 40 the top shift (36) still
+    // fits u64, but a wider histogram would silently wrap `u64 <<` for the
+    // top buckets (16 << 60 loses the high bit) — saturating keeps the
+    // bound monotone instead.
+    let bound = u128::from((MINORS + minor + 1) as u64) << (major - 3);
+    u64::try_from(bound).unwrap_or(u64::MAX)
 }
 
 impl LatencyHistogram {
@@ -76,7 +81,17 @@ impl LatencyHistogram {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        // Exact integer rank. `(q * count as f64).ceil()` misrounds once
+        // `count` exceeds f64's 53-bit mantissa (`count as f64` itself
+        // rounds, so e.g. q = 1.0 could yield rank < count and return the
+        // wrong bucket); instead take q in 2⁻³² fixed point — exact for
+        // the conversion — and compute ceil(q_fp · count / 2³²) in u128.
+        const FP: u128 = 1 << 32;
+        let q_fp = (q.clamp(0.0, 1.0) * FP as f64).round() as u128;
+        let rank_u128 = (q_fp * u128::from(self.count)).div_ceil(FP);
+        let rank = u64::try_from(rank_u128.min(u128::from(self.count)))
+            .expect("rank is clamped to count")
+            .max(1);
         let mut seen = 0u64;
         for (idx, &n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -169,6 +184,41 @@ mod tests {
         }
         assert_eq!(h.quantile(0.5), 3);
         assert_eq!(h.quantile(1.0), 5);
+    }
+
+    #[test]
+    fn quantile_rank_is_exact_past_f64_mantissa() {
+        // 2⁵⁴ samples in one bucket plus a single sample at the max: with
+        // the old float rank, `count as f64` rounds 2⁵⁴ + 1 down to 2⁵⁴,
+        // so quantile(1.0) landed in the big bucket instead of the max.
+        let mut h = LatencyHistogram::default();
+        let big = 1u64 << 54;
+        h.buckets[bucket_index(100)] = big;
+        h.buckets[bucket_index(5000)] = 1;
+        h.count = big + 1;
+        h.min_us = 100;
+        h.max_us = 5000;
+        assert_eq!(h.quantile(1.0), 5000);
+        // Interior quantiles still resolve to the big bucket.
+        assert!(h.quantile(0.5) < 5000);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_bracket_samples_and_stay_monotone() {
+        // Sweep the representable range (the histogram caps at major 39 ≈
+        // 2⁴⁰ µs): every sample must land in a bucket whose upper bound
+        // brackets it, and bounds must be monotone in the bucket index.
+        let (mut prev_idx, mut prev_bound) = (0usize, 0u64);
+        let mut us = 1u64;
+        while us < (1 << 39) {
+            let idx = bucket_index(us);
+            let bound = bucket_upper_bound(idx);
+            assert!(bound >= us, "bound {bound} < sample {us}");
+            assert!(idx >= prev_idx, "bucket index regressed at {us}");
+            assert!(bound >= prev_bound, "bound regressed at {us}");
+            (prev_idx, prev_bound) = (idx, bound);
+            us += (us / 3).max(1);
+        }
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl Default for ServiceConfig {
             default_deadline: Duration::from_secs(5),
             reject_expired: false,
             solver: Config::default(),
-            ladder: LadderPolicy::default(),
+            // Admission thresholds account for the solver's data-parallel
+            // width: a wider rayon pool finishes the top rungs sooner, so
+            // tighter deadlines still admit them.
+            ladder: LadderPolicy::for_width(krsp::solver_width()),
         }
     }
 }

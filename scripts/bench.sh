@@ -7,7 +7,10 @@
 # The workload grid, seeds, and iteration counts are pinned inside the
 # `kernels` binary, so two runs on the same machine measure exactly the
 # same work; only wall-clock noise differs. Run on an idle machine before
-# committing updated numbers.
+# committing updated numbers. The `bicameral_search` rows sweep the solver
+# thread count (threads1/threads2/threads4) on the same sweep, so the
+# parallel speedup is only meaningful on a host with ≥4 cores — record
+# `nproc` alongside the numbers when quoting them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

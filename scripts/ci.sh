@@ -13,7 +13,10 @@ cargo fmt --check
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo test -q --workspace"
+echo "== cargo test -q --workspace (KRSP_THREADS=1: sequential oracle)"
+KRSP_THREADS=1 cargo test -q --workspace
+
+echo "== cargo test -q --workspace (default width: parallel pool)"
 cargo test -q --workspace
 
 echo "== cargo test --release -- --ignored stress"

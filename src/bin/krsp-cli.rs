@@ -2,12 +2,17 @@
 //!
 //! Usage:
 //!   krsp-cli solve <instance.json> [--single-probe] [--lp-engine] [--eps N/D]
+//!                  [--threads T]
 //!   krsp-cli gen <family> <n> <k> <tightness> <seed> <out.json>
 //!   krsp-cli info <instance.json>
 //!   krsp-cli serve <addr> [--workers W] [--queue Q] [--cache CAP]
-//!                  [--shards S] [--no-coalesce]
+//!                  [--shards S] [--no-coalesce] [--threads T]
 //!                  [--deadline-ms MS] [--strict-deadlines]
 //!   krsp-cli load [krsp-load flags...]
+//!
+//! `--threads T` (or the `KRSP_THREADS` env var) sets the solver's
+//! data-parallel width — the rayon pool behind the bicameral seed scan and
+//! batch solving. Output is bit-identical at any width.
 //!
 //! Families: gnm | grid | layered | geometric.
 //!
@@ -64,6 +69,10 @@ fn cmd_solve(args: &[String]) {
                     n.parse().unwrap_or_else(|_| fail("bad eps numerator")),
                     d.parse().unwrap_or_else(|_| fail("bad eps denominator")),
                 ));
+            }
+            "--threads" => {
+                let t = it.next().unwrap_or_else(|| fail("--threads needs a value"));
+                krsp::set_solver_width(t.parse().unwrap_or_else(|_| fail("bad --threads")));
             }
             other => fail(&format!("unknown flag {other}")),
         }
@@ -143,6 +152,14 @@ fn cmd_serve(args: &[String]) {
     let Some(addr) = args.first() else {
         fail("serve needs a bind address, e.g. 127.0.0.1:7447")
     };
+    // Apply --threads before building the config: the default ladder
+    // policy calibrates its admission estimates to the solver width.
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let t = args
+            .get(i + 1)
+            .unwrap_or_else(|| fail("--threads needs a value"));
+        krsp::set_solver_width(t.parse().unwrap_or_else(|_| fail("bad --threads")));
+    }
     let mut cfg = ServiceConfig::default();
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
@@ -157,6 +174,9 @@ fn cmd_serve(args: &[String]) {
             "--queue" => cfg.queue_capacity = arg(a, it.next()),
             "--cache" => cfg.cache_capacity = arg(a, it.next()),
             "--shards" => cfg.cache_shards = arg(a, it.next()),
+            "--threads" => {
+                it.next(); // consumed in the pre-scan above
+            }
             "--no-coalesce" => cfg.coalesce = false,
             "--deadline-ms" => {
                 cfg.default_deadline = Duration::from_millis(arg(a, it.next()));
@@ -172,7 +192,7 @@ fn cmd_serve(args: &[String]) {
         .expect("bound listener has an address");
     let service = Service::new(cfg);
     println!(
-        "krsp-service listening on {local} ({} workers, queue {}, cache {}x{} shards, coalesce {})",
+        "krsp-service listening on {local} ({} workers, queue {}, cache {}x{} shards, coalesce {}, solver threads {})",
         service.config().workers,
         service.config().queue_capacity,
         service.config().cache_capacity,
@@ -181,7 +201,8 @@ fn cmd_serve(args: &[String]) {
             "on"
         } else {
             "off"
-        }
+        },
+        krsp::solver_width()
     );
     if let Err(e) = krsp_service::serve_on(&service, listener) {
         fail(&format!("listener failed: {e}"));

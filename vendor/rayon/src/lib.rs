@@ -1,95 +1,372 @@
-//! Hermetic stand-in for `rayon`.
+//! Hermetic stand-in for `rayon` backed by a real worker pool.
 //!
 //! The build environment cannot fetch crates, so this crate provides the
-//! parallel-iterator *API surface* the workspace uses (`par_iter`,
-//! `into_par_iter`, `flat_map_iter`, plus every adapter inherited from
-//! [`Iterator`]) executed **sequentially**. Results are identical to rayon's
-//! because every call site in this repository uses order-preserving,
-//! side-effect-free pipelines.
+//! parallel-iterator *API surface* the workspace uses — `par_iter`,
+//! `into_par_iter`, `map`/`filter`/`filter_map`, `flat_map_iter`,
+//! `collect`, `sum`, and the `find_first` family — executed on a scoped
+//! `std::thread` worker pool. Unlike the earlier sequential shim, the
+//! adapters here genuinely fan work out across threads; unlike upstream
+//! rayon, the pool is scoped per reduction (no resident worker threads,
+//! no `unsafe`) and work is distributed by an atomic index counter.
 //!
-//! Heavy data parallelism in the workspace lives in
-//! `krsp::batch::Executor` (a real `std::thread` worker pool); this shim
-//! only keeps the remaining rayon call sites source-compatible.
+//! ## Determinism contract
+//!
+//! Every consumer is **deterministic at any thread count**:
+//!
+//! * [`ParIter::collect`] and [`ParIter::sum`] assemble per-index results
+//!   in source order, so the output is identical to a sequential run.
+//! * [`ParIter::find_first`] / [`ParIter::find_map_first`] return the
+//!   match with the *lowest source index*, cooperatively cancelling:
+//!   workers publish the best (lowest) matching index in an `AtomicUsize`
+//!   and abandon any index at or above it, so late indices stop burning
+//!   cycles once an earlier match exists — but a match can never shadow a
+//!   smaller-index match that has not been scanned yet.
+//! * [`ParIter::find_any`] is kept for rayon API compatibility but is
+//!   implemented as `find_first`; callers must not rely on it being
+//!   cheaper than the deterministic reduction.
+//!
+//! ## Width
+//!
+//! The worker width is resolved per reduction, in priority order:
+//! a per-iterator [`ParIter::with_width`] override, the process-wide
+//! [`set_num_threads`] override, the `KRSP_THREADS` environment variable
+//! (read once), then [`std::thread::available_parallelism`]. Width 1 (or a
+//! single-element input) short-circuits to an inline sequential loop with
+//! zero scheduling overhead.
 
 #![forbid(unsafe_code)]
 
-/// The rayon prelude: traits that add `par_iter`-style methods.
-pub mod prelude {
-    /// Conversion into a "parallel" (here: sequential) iterator by value.
-    pub trait IntoParallelIterator {
-        /// The iterator produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Item type.
-        type Item;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::thread;
 
-        /// Converts `self` into an iterator. Sequential in this shim.
-        fn into_par_iter(self) -> Self::Iter;
+/// Process-wide width override; 0 means "unset".
+static WIDTH_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker width for every subsequent reduction in this
+/// process (`0` clears the override and restores `KRSP_THREADS` /
+/// `available_parallelism` resolution). Takes effect immediately: the
+/// width is re-read at the start of each reduction.
+pub fn set_num_threads(width: usize) {
+    WIDTH_OVERRIDE.store(width, Ordering::SeqCst);
+}
+
+/// The `KRSP_THREADS` environment override, read once; 0 = unset/invalid.
+fn env_width() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("KRSP_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// The worker width reductions will use (before any per-iterator
+/// override): [`set_num_threads`] if set, else `KRSP_THREADS`, else
+/// [`std::thread::available_parallelism`].
+#[must_use]
+pub fn current_num_threads() -> usize {
+    let forced = WIDTH_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
     }
+    let env = env_width();
+    if env > 0 {
+        return env;
+    }
+    thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
 
-    impl<T: IntoIterator> IntoParallelIterator for T {
-        type Iter = T::IntoIter;
-        type Item = T::Item;
+/// A parallel iterator over an indexed source: `len` indices, each
+/// evaluated by a boxed pipeline to zero or more items. Adapters compose
+/// the pipeline; consumers fan the index space out over scoped worker
+/// threads and reassemble results in index order.
+pub struct ParIter<'a, T> {
+    len: usize,
+    /// Per-iterator width override (`None` = [`current_num_threads`]).
+    width: Option<usize>,
+    /// Minimum indices claimed per worker grab ([`ParIter::with_min_len`]).
+    min_chunk: usize,
+    /// The per-index pipeline. `Vec` (not a lazy iterator) so adapters can
+    /// box a single closure per stage instead of one per item.
+    eval: Box<dyn Fn(usize) -> Vec<T> + Sync + 'a>,
+}
 
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+impl<'a, T: Send + 'a> ParIter<'a, T> {
+    /// A parallel iterator producing `f(i)` for each `i in 0..len`.
+    ///
+    /// Not part of the upstream rayon API; the workspace's `Executor`
+    /// builds its scoped fan-out on top of this.
+    pub fn from_fn(len: usize, f: impl Fn(usize) -> T + Sync + 'a) -> Self {
+        ParIter {
+            len,
+            width: None,
+            min_chunk: 1,
+            eval: Box::new(move |i| vec![f(i)]),
         }
     }
 
-    /// Conversion into a "parallel" iterator over references.
-    pub trait IntoParallelRefIterator<'data> {
-        /// The iterator produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Item type (a reference).
-        type Item: 'data;
+    /// A parallel iterator over owned items (cloned out per index).
+    pub fn from_items(items: Vec<T>) -> Self
+    where
+        T: Clone + Sync,
+    {
+        let len = items.len();
+        ParIter {
+            len,
+            width: None,
+            min_chunk: 1,
+            eval: Box::new(move |i| vec![items[i].clone()]),
+        }
+    }
 
-        /// Iterates over `&self`. Sequential in this shim.
-        fn par_iter(&'data self) -> Self::Iter;
+    /// Overrides the worker width for this iterator's reduction only
+    /// (`0` = use the process-wide resolution).
+    ///
+    /// Not part of the upstream rayon API (rayon scopes width to a pool);
+    /// provided so callers with their own width policy — `Executor::map` —
+    /// can run on this substrate.
+    #[must_use]
+    pub fn with_width(mut self, width: usize) -> Self {
+        self.width = if width == 0 { None } else { Some(width) };
+        self
+    }
+
+    /// Rayon's `with_min_len`: workers claim at least `min` indices per
+    /// atomic grab, amortizing contention for very cheap per-index work.
+    #[must_use]
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_chunk = min.max(1);
+        self
+    }
+
+    /// Transforms every item.
+    #[must_use]
+    pub fn map<U: Send + 'a>(self, f: impl Fn(T) -> U + Sync + 'a) -> ParIter<'a, U> {
+        let eval = self.eval;
+        ParIter {
+            len: self.len,
+            width: self.width,
+            min_chunk: self.min_chunk,
+            eval: Box::new(move |i| eval(i).into_iter().map(&f).collect()),
+        }
+    }
+
+    /// Keeps only items matching the predicate.
+    #[must_use]
+    pub fn filter(self, f: impl Fn(&T) -> bool + Sync + 'a) -> ParIter<'a, T> {
+        let eval = self.eval;
+        ParIter {
+            len: self.len,
+            width: self.width,
+            min_chunk: self.min_chunk,
+            eval: Box::new(move |i| eval(i).into_iter().filter(&f).collect()),
+        }
+    }
+
+    /// Maps and filters in one pass.
+    #[must_use]
+    pub fn filter_map<U: Send + 'a>(
+        self,
+        f: impl Fn(T) -> Option<U> + Sync + 'a,
+    ) -> ParIter<'a, U> {
+        let eval = self.eval;
+        ParIter {
+            len: self.len,
+            width: self.width,
+            min_chunk: self.min_chunk,
+            eval: Box::new(move |i| eval(i).into_iter().filter_map(&f).collect()),
+        }
+    }
+
+    /// Rayon's `flat_map_iter`: maps each item to a *sequential* iterator
+    /// and flattens, preserving source order within and across indices.
+    #[must_use]
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<'a, U::Item>
+    where
+        U: IntoIterator,
+        U::Item: Send + 'a,
+        F: Fn(T) -> U + Sync + 'a,
+    {
+        let eval = self.eval;
+        ParIter {
+            len: self.len,
+            width: self.width,
+            min_chunk: self.min_chunk,
+            eval: Box::new(move |i| eval(i).into_iter().flat_map(&f).collect()),
+        }
+    }
+
+    /// Resolved worker width for this reduction.
+    fn resolved_width(&self) -> usize {
+        self.width.unwrap_or_else(current_num_threads).max(1)
+    }
+
+    /// The execution core: evaluates every index and hands `(index,
+    /// items)` to `visit`, fanning out over scoped worker threads. When
+    /// `skip_from` is given, indices `>= skip_from` are abandoned without
+    /// evaluation (the `find_first` cancellation frontier; consumers that
+    /// visit everything pass `None`).
+    fn drive(&self, skip_from: Option<&AtomicUsize>, visit: impl Fn(usize, Vec<T>) + Sync) {
+        let width = self.resolved_width().min(self.len);
+        let chunk = self.min_chunk;
+        let skip = |i: usize| skip_from.is_some_and(|b| i >= b.load(Ordering::Acquire));
+        if width <= 1 {
+            for i in 0..self.len {
+                if skip(i) {
+                    break; // indices only grow; nothing later can matter
+                }
+                visit(i, (self.eval)(i));
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for _ in 0..width {
+                s.spawn(|| loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= self.len {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(self.len) {
+                        if !skip(i) {
+                            visit(i, (self.eval)(i));
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Evaluates all indices in parallel and collects the items in source
+    /// order — identical to the sequential result.
+    #[must_use]
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        let mut slots: Vec<Mutex<Vec<T>>> = Vec::new();
+        slots.resize_with(self.len, || Mutex::new(Vec::new()));
+        self.drive(None, |i, items| {
+            *slots[i].lock().expect("collect slot poisoned") = items;
+        });
+        slots
+            .into_iter()
+            .flat_map(|m| m.into_inner().expect("collect slot poisoned"))
+            .collect()
+    }
+
+    /// Sums all items (order-insensitive, but computed from the
+    /// order-preserving collection so custom `Sum` impls see source order).
+    #[must_use]
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.collect::<Vec<T>>().into_iter().sum()
+    }
+
+    /// Number of items produced.
+    #[must_use]
+    pub fn count(self) -> usize {
+        self.map(|_| 1usize).sum()
+    }
+
+    /// The first item (in source-index order) matching the predicate —
+    /// deterministic at any thread count. Workers cooperatively cancel:
+    /// once a match at index `i` is published, indices `>= i` are
+    /// abandoned, while indices `< i` are still scanned so an earlier
+    /// match can replace it.
+    #[must_use]
+    pub fn find_first(self, pred: impl Fn(&T) -> bool + Sync) -> Option<T> {
+        self.find_map_first(|item| if pred(&item) { Some(item) } else { None })
+    }
+
+    /// Deterministic alias of [`ParIter::find_first`], kept so rayon call
+    /// sites compile; upstream `find_any` returns *any* match and is
+    /// nondeterministic under parallel execution, which no caller in this
+    /// workspace may depend on.
+    #[must_use]
+    pub fn find_any(self, pred: impl Fn(&T) -> bool + Sync) -> Option<T> {
+        self.find_first(pred)
+    }
+
+    /// Applies `f` to every item and returns the first `Some` in
+    /// source-index order, with the same cooperative cancellation as
+    /// [`ParIter::find_first`].
+    #[must_use]
+    pub fn find_map_first<U: Send>(self, f: impl Fn(T) -> Option<U> + Sync) -> Option<U> {
+        // Lowest index with a published match; the cancellation frontier.
+        let best = AtomicUsize::new(usize::MAX);
+        let slot: Mutex<Option<(usize, U)>> = Mutex::new(None);
+        self.drive(Some(&best), |i, items| {
+            if let Some(found) = items.into_iter().find_map(&f) {
+                let mut held = slot.lock().expect("find slot poisoned");
+                if held.as_ref().is_none_or(|&(j, _)| i < j) {
+                    *held = Some((i, found));
+                    best.fetch_min(i, Ordering::AcqRel);
+                }
+            }
+        });
+        slot.into_inner()
+            .expect("find slot poisoned")
+            .map(|(_, item)| item)
+    }
+}
+
+/// The rayon prelude: traits that add `par_iter`-style entry points.
+pub mod prelude {
+    pub use crate::ParIter;
+
+    /// Conversion into a parallel iterator by value. The source is
+    /// materialized up front, so only [`ExactSizeIterator`]-ish cheap
+    /// sources (ranges, small vectors) should come through here.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item: Send;
+
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter<'a>(self) -> ParIter<'a, Self::Item>
+        where
+            Self: 'a;
+    }
+
+    impl<I> IntoParallelIterator for I
+    where
+        I: IntoIterator,
+        I::Item: Send + Sync + Clone,
+    {
+        type Item = I::Item;
+
+        fn into_par_iter<'a>(self) -> ParIter<'a, I::Item>
+        where
+            Self: 'a,
+        {
+            ParIter::from_items(self.into_iter().collect())
+        }
+    }
+
+    /// Conversion into a parallel iterator over references.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Item type (a reference).
+        type Item: Send + 'data;
+
+        /// Iterates over `&self` in parallel.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
     }
 
     impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
     where
         &'data T: IntoIterator,
+        <&'data T as IntoIterator>::Item: Send + Sync + Clone,
     {
-        type Iter = <&'data T as IntoIterator>::IntoIter;
         type Item = <&'data T as IntoIterator>::Item;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item> {
+            ParIter::from_items(self.into_iter().collect())
         }
     }
-
-    /// Rayon-specific adapters that have no [`Iterator`] counterpart.
-    pub trait ParallelIterator: Iterator + Sized {
-        /// Rayon's `flat_map_iter`: identical to [`Iterator::flat_map`] here.
-        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
-        where
-            U: IntoIterator,
-            F: FnMut(Self::Item) -> U,
-        {
-            self.flat_map(f)
-        }
-
-        /// Sequential shim: splitting hints are meaningless, returns `self`.
-        fn with_min_len(self, _min: usize) -> Self {
-            self
-        }
-
-        /// Rayon's `find_any`: sequential execution always yields the first
-        /// match, so this is exactly [`Iterator::find`].
-        fn find_any<P>(mut self, predicate: P) -> Option<Self::Item>
-        where
-            P: FnMut(&Self::Item) -> bool,
-        {
-            self.find(predicate)
-        }
-    }
-
-    impl<I: Iterator> ParallelIterator for I {}
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn par_iter_matches_sequential() {
@@ -105,11 +382,94 @@ mod tests {
     }
 
     #[test]
-    fn flat_map_iter_flattens() {
-        let out: Vec<u32> = vec![1u32, 2]
-            .par_iter()
-            .flat_map_iter(|&x| [x, x + 10])
-            .collect();
-        assert_eq!(out, vec![1, 11, 2, 12]);
+    fn flat_map_iter_flattens_in_order() {
+        for width in [1, 2, 8] {
+            let out: Vec<u32> = vec![1u32, 2]
+                .par_iter()
+                .flat_map_iter(|&x| [x, x + 10])
+                .with_width(width)
+                .collect();
+            assert_eq!(out, vec![1, 11, 2, 12], "width {width}");
+        }
+    }
+
+    #[test]
+    fn collect_preserves_order_at_every_width() {
+        let items: Vec<usize> = (0..500).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 3).collect();
+        for width in [1, 2, 3, 8, 64] {
+            let got: Vec<usize> = items.par_iter().map(|&x| x * 3).with_width(width).collect();
+            assert_eq!(got, expect, "width {width}");
+        }
+    }
+
+    #[test]
+    fn filter_map_collect_is_deterministic() {
+        for width in [1, 2, 8] {
+            let got: Vec<usize> = (0..200usize)
+                .into_par_iter()
+                .filter_map(|x| (x % 3 == 0).then_some(x * x))
+                .with_width(width)
+                .collect();
+            let expect: Vec<usize> = (0..200).filter(|x| x % 3 == 0).map(|x| x * x).collect();
+            assert_eq!(got, expect, "width {width}");
+        }
+    }
+
+    #[test]
+    fn find_first_returns_lowest_index() {
+        // Matches at 13, 14, …; later matches complete much faster, so an
+        // "any" reduction would routinely return a higher index.
+        for width in [2, 8] {
+            for _ in 0..25 {
+                let got = (0..256usize)
+                    .into_par_iter()
+                    .with_width(width)
+                    .find_first(|&i| {
+                        if i < 64 {
+                            // Earlier indices do more work before answering.
+                            std::hint::black_box((0..2_000).sum::<usize>());
+                        }
+                        i >= 13
+                    });
+                assert_eq!(got, Some(13), "width {width}");
+            }
+        }
+    }
+
+    #[test]
+    fn find_map_first_skips_late_indices_after_a_match() {
+        // Cancellation: once index 5 has matched, indices past the
+        // frontier must be abandoned — with a single worker claiming
+        // indices in order, nothing after the first match is evaluated.
+        let evaluated = AtomicUsize::new(0);
+        let got = (0..10_000usize)
+            .into_par_iter()
+            .with_width(1)
+            .find_map_first(|i| {
+                evaluated.fetch_add(1, Ordering::SeqCst);
+                (i >= 5).then_some(i)
+            });
+        assert_eq!(got, Some(5));
+        assert_eq!(evaluated.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn find_first_with_no_match_is_none() {
+        for width in [1, 4] {
+            let got = (0..100u64)
+                .into_par_iter()
+                .with_width(width)
+                .find_first(|&x| x > 1_000);
+            assert_eq!(got, None, "width {width}");
+        }
+    }
+
+    #[test]
+    fn width_override_round_trips() {
+        crate::set_num_threads(3);
+        assert_eq!(crate::current_num_threads(), 3);
+        crate::set_num_threads(0);
+        assert!(crate::current_num_threads() >= 1);
     }
 }
