@@ -117,6 +117,11 @@ pub enum SolveError {
     /// The iteration guard tripped on every probe (should not happen on
     /// valid inputs; indicates `max_iterations` too small).
     IterationLimit,
+    /// The scratch's [`CancelToken`](krsp_flow::CancelToken) tripped
+    /// (deadline expiry or shutdown) before a certified answer was reached.
+    /// Never wraps a partial path: callers degrade to a cheaper, completed
+    /// method instead.
+    Cancelled,
 }
 
 impl std::fmt::Display for SolveError {
@@ -127,6 +132,7 @@ impl std::fmt::Display for SolveError {
             }
             SolveError::DelayInfeasible => write!(f, "delay budget unsatisfiable"),
             SolveError::IterationLimit => write!(f, "iteration limit exhausted"),
+            SolveError::Cancelled => write!(f, "solve cancelled before completion"),
         }
     }
 }
@@ -168,7 +174,7 @@ fn probe(
     let mut last_r: Option<krsp_numeric::Rat> = None;
 
     while delay > inst.delay_bound {
-        if iterations.len() >= cfg.max_iterations {
+        if iterations.len() >= cfg.max_iterations || scratch.cancel().is_cancelled() {
             return None;
         }
         let residual = ResidualGraph::build(&inst.graph, &edges);
@@ -257,6 +263,13 @@ pub fn solve_with(
     let ub = fallback.cost;
     let lb = p1.lp_bound.ceil().max(0) as i64;
 
+    // Cancellation contract: a tripped token turns probe stalls into
+    // `Err(Cancelled)` instead of shipping the fallback — the fallback's
+    // cost certificate is only meaningful when the probes genuinely failed,
+    // and the degradation ladder above substitutes a *completed* cheaper
+    // method on cancellation.
+    let cancel = scratch.cancel().clone();
+
     if cfg.single_probe {
         stats.probes = 1;
         return match probe(inst, &p1, ub.max(1), cfg, scratch) {
@@ -264,6 +277,7 @@ pub fn solve_with(
                 stats.iterations = pr.iterations;
                 Ok(finish(pr.solution, stats, start))
             }
+            None if cancel.is_cancelled() => Err(SolveError::Cancelled),
             None => Ok(finish(fallback, stats, start)),
         };
     }
@@ -273,6 +287,9 @@ pub fn solve_with(
     let (mut lo, mut hi) = (lb.max(1), ub.max(1));
     // Establish success at hi = UB: guaranteed since UB ≥ C_OPT.
     loop {
+        if cancel.is_cancelled() {
+            return Err(SolveError::Cancelled);
+        }
         stats.probes += 1;
         match probe(inst, &p1, hi, cfg, scratch) {
             Some(pr) if pr.solution.cost <= 2 * hi => {
@@ -294,11 +311,17 @@ pub fn solve_with(
         }
     }
     if best.is_none() {
+        if cancel.is_cancelled() {
+            return Err(SolveError::Cancelled);
+        }
         // Fall back to the feasible extreme (valid (1, 2−α·…) anyway).
         stats.wall = start.elapsed();
         return Ok(finish(fallback, stats, start));
     }
     while lo < hi {
+        if cancel.is_cancelled() {
+            return Err(SolveError::Cancelled);
+        }
         let mid = lo + (hi - lo) / 2;
         stats.probes += 1;
         match probe(inst, &p1, mid, cfg, scratch) {

@@ -36,7 +36,9 @@
 //!   for the fast engine in tests.
 
 use crate::auxgraph::{AuxGraph, Sign};
+use krsp_failpoint::fail_point;
 use krsp_flow::bellman_ford::{find_negative_cycle_in, BfScratch};
+use krsp_flow::cancel::CancelToken;
 use krsp_graph::{split_closed_walk, DiGraph, EdgeId, NodeId, ResidualGraph};
 use krsp_lp::{LpOutcome, Model, Rat, Relation};
 use krsp_numeric::Lex2;
@@ -152,6 +154,9 @@ impl Ctx {
 pub struct SearchScratch {
     /// Bellman–Ford buffers for the sequential passes 1 and 2.
     bf: BfScratch<Lex2>,
+    /// Cooperative-cancellation token polled between search passes and
+    /// seeds. Defaults to [`CancelToken::never`].
+    cancel: CancelToken,
 }
 
 impl SearchScratch {
@@ -159,6 +164,18 @@ impl SearchScratch {
     #[must_use]
     pub fn new() -> Self {
         SearchScratch::default()
+    }
+
+    /// Installs the cancellation token future searches poll; pass
+    /// [`CancelToken::never`] to make the scratch uncancellable again.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
+    }
+
+    /// The currently installed cancellation token.
+    #[must_use]
+    pub fn cancel(&self) -> &CancelToken {
+        &self.cancel
     }
 }
 
@@ -185,6 +202,10 @@ pub fn find_with(
     b_search: BSearch,
     scratch: &mut SearchScratch,
 ) -> Option<BicameralCycle> {
+    // Fault-injection site: fires once per cycle-cancellation iteration,
+    // so `delay(..)` here simulates a slow search and `err` a search that
+    // finds nothing (stalling the probe).
+    fail_point!("bicameral.search", |_msg| None);
     match engine {
         Engine::Layered => layered(residual, ctx, b_search, scratch),
         Engine::LpRounding => lp_rounding(residual, ctx, b_search),
@@ -377,6 +398,9 @@ fn layered(
         BSearch::FullSweep => (1..=cap).collect(),
     };
     for b in &bounds {
+        if scratch.cancel.is_cancelled() {
+            return None;
+        }
         let b = *b;
         for sub in &subs {
             let aux = AuxGraph::combined(&sub.graph, b);
@@ -415,7 +439,10 @@ fn layered(
     }
 
     // Pass 3 — completeness fallback over the per-seed graphs.
-    seed_scan(residual, &subs, ctx, cap)
+    if scratch.cancel.is_cancelled() {
+        return None;
+    }
+    seed_scan(residual, &subs, ctx, cap, &scratch.cancel)
 }
 
 /// The per-seed layered scan (Algorithm 2's `H_v^±(B)` sweep) at `B =
@@ -436,7 +463,13 @@ fn seed_scan(
     subs: &[SubResidual<'_>],
     ctx: &Ctx,
     cap: i64,
+    cancel: &CancelToken,
 ) -> Option<BicameralCycle> {
+    // Fault-injection site (see crates/failpoint). Planted on the calling
+    // executor thread — before the rayon fan-out — so an injected panic
+    // unwinds into the service's catch_unwind boundary, not into a pool
+    // worker.
+    fail_point!("bicameral.seed");
     thread_local! {
         static SEED_BF: RefCell<BfScratch<Lex2>> = RefCell::new(BfScratch::new());
     }
@@ -450,6 +483,11 @@ fn seed_scan(
         })
         .collect();
     seeds.par_iter().find_map_first(|&(si, v, sign)| {
+        if cancel.is_cancelled() {
+            // Cancellation must not fabricate "no cycle": the caller
+            // re-checks the token and discards this None.
+            return None;
+        }
         let sub = &subs[si];
         let aux = AuxGraph::seeded(&sub.graph, v, cap, sign);
         let ag = &aux.graph;
@@ -500,7 +538,7 @@ pub fn seed_scan_only(residual: &ResidualGraph, ctx: &Ctx) -> Option<BicameralCy
         rg.edges().iter().map(|e| e.cost.abs()).sum::<i64>().max(1)
     };
     let subs = search_subgraphs(residual, ctx.scc_prune);
-    seed_scan(residual, &subs, ctx, cap)
+    seed_scan(residual, &subs, ctx, cap, &CancelToken::never())
 }
 
 // ---------------------------------------------------------------------------

@@ -77,6 +77,7 @@ pub fn set_solver_width(width: usize) {
 pub use batch::{shared_executor, solve_batch, summarize, BatchSummary, Executor};
 pub use bicameral::{BSearch, CycleKind, Engine, SearchScratch};
 pub use instance::{Instance, InstanceError};
+pub use krsp_flow::CancelToken;
 pub use phase1::Phase1Backend;
 pub use scaling::{solve_scaled, Eps, ScaledSolved};
 pub use solution::Solution;

@@ -1,0 +1,365 @@
+//! Named fail points for deterministic fault injection.
+//!
+//! A hermetic, dependency-free take on tikv's `fail-rs`: code under test
+//! plants named sites with [`fail_point!`], and a test (or the
+//! `KRSP_FAILPOINTS` environment variable) arms a site with an action:
+//!
+//! ```text
+//! KRSP_FAILPOINTS='bicameral.seed=panic;proto.read=delay(50)'
+//! ```
+//!
+//! Supported actions:
+//!
+//! | spec            | effect at the site                                   |
+//! |-----------------|------------------------------------------------------|
+//! | `off`           | disarm the site                                      |
+//! | `panic`         | `panic!` with a canned message                       |
+//! | `panic(msg)`    | `panic!` with `msg`                                  |
+//! | `delay(ms)`     | sleep `ms` milliseconds, then continue               |
+//! | `err`           | early-return via the site's error mapping            |
+//! | `err(msg)`      | same, with `msg` as the payload                      |
+//!
+//! Any action may be prefixed with a count, `N*action`, firing at most `N`
+//! times before the site goes quiet (`1*panic` = "panic exactly once").
+//! Sites planted without an error mapping (the one-argument macro form)
+//! ignore `err` actions.
+//!
+//! The fast path is a single relaxed atomic load: with no site armed,
+//! a planted fail point costs one branch and touches no locks. Each site
+//! also keeps a fire counter ([`hits`]) so tests can arm a benign
+//! `delay(0)` purely to observe whether a code path was reached.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Environment variable scanned by [`setup_from_env`].
+pub const ENV_VAR: &str = "KRSP_FAILPOINTS";
+
+/// Count of armed sites; the macro fast path checks this before locking.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Action {
+    Panic(Option<String>),
+    Delay(u64),
+    Err(Option<String>),
+}
+
+#[derive(Debug)]
+struct Site {
+    action: Action,
+    /// `Some(n)` fires at most `n` more times; `None` fires forever.
+    remaining: Option<u64>,
+    hits: u64,
+}
+
+fn registry() -> &'static Mutex<HashMap<String, Site>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock_registry() -> std::sync::MutexGuard<'static, HashMap<String, Site>> {
+    // A thread that panics inside `eval` (the `panic` action does so by
+    // design) must not poison fault injection for everyone else.
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// True when at least one site is armed. The macro checks this first so
+/// disarmed fail points stay effectively free.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+/// Outcome of evaluating a site; consumed by [`fail_point!`].
+#[doc(hidden)]
+#[derive(Debug)]
+pub enum Eval {
+    /// No action fired (or a non-returning action already ran).
+    Pass,
+    /// An `err` action fired; the payload goes to the site's error mapping.
+    Err(String),
+}
+
+/// Evaluates the named site, executing `panic`/`delay` actions in place.
+///
+/// Returns [`Eval::Err`] when an `err` action fires; the macro turns that
+/// into an early return. Prefer the [`fail_point!`] macro over calling
+/// this directly.
+#[doc(hidden)]
+pub fn eval(name: &str) -> Eval {
+    let action = {
+        let mut map = lock_registry();
+        let Some(site) = map.get_mut(name) else {
+            return Eval::Pass;
+        };
+        if let Some(rem) = &mut site.remaining {
+            if *rem == 0 {
+                return Eval::Pass;
+            }
+            *rem -= 1;
+        }
+        site.hits += 1;
+        site.action.clone()
+    }; // registry unlocked before the action runs
+    match action {
+        Action::Delay(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Eval::Pass
+        }
+        Action::Panic(msg) => {
+            let msg = msg.unwrap_or_else(|| "injected panic".to_owned());
+            panic!("failpoint {name}: {msg}");
+        }
+        Action::Err(msg) => {
+            Eval::Err(msg.unwrap_or_else(|| format!("failpoint {name}: injected error")))
+        }
+    }
+}
+
+fn parse_action(spec: &str) -> Result<(Option<Action>, Option<u64>), String> {
+    let spec = spec.trim();
+    let (count, body) = match spec.split_once('*') {
+        Some((n, rest)) => {
+            let n: u64 = n
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad count prefix in {spec:?}"))?;
+            (Some(n), rest.trim())
+        }
+        None => (None, spec),
+    };
+    let (head, arg) = match body.split_once('(') {
+        Some((head, rest)) => {
+            let arg = rest
+                .strip_suffix(')')
+                .ok_or_else(|| format!("unclosed parenthesis in {spec:?}"))?;
+            (head.trim(), Some(arg))
+        }
+        None => (body, None),
+    };
+    let action = match (head, arg) {
+        ("off", None) => None,
+        ("panic", msg) => Some(Action::Panic(msg.map(str::to_owned))),
+        ("err", msg) => Some(Action::Err(msg.map(str::to_owned))),
+        ("delay", Some(ms)) => Some(Action::Delay(
+            ms.trim()
+                .parse()
+                .map_err(|_| format!("bad delay in {spec:?}"))?,
+        )),
+        ("delay", None) => return Err(format!("delay needs milliseconds in {spec:?}")),
+        _ => return Err(format!("unknown failpoint action {spec:?}")),
+    };
+    Ok((action, count))
+}
+
+/// Arms (or with `"off"` disarms) the named site.
+///
+/// The action grammar is documented at the crate level. Re-arming a site
+/// replaces its action and resets its count prefix, but preserves the hit
+/// counter.
+pub fn cfg(name: &str, action: &str) -> Result<(), String> {
+    let (action, count) = parse_action(action)?;
+    let mut map = lock_registry();
+    match action {
+        None => {
+            map.remove(name);
+        }
+        Some(action) => {
+            let hits = map.get(name).map_or(0, |s| s.hits);
+            map.insert(
+                name.to_owned(),
+                Site {
+                    action,
+                    remaining: count,
+                    hits,
+                },
+            );
+        }
+    }
+    ACTIVE.store(map.len(), Ordering::Relaxed);
+    Ok(())
+}
+
+/// Disarms the named site (idempotent).
+pub fn remove(name: &str) {
+    let mut map = lock_registry();
+    map.remove(name);
+    ACTIVE.store(map.len(), Ordering::Relaxed);
+}
+
+/// Disarms every site and zeroes all hit counters.
+pub fn clear() {
+    let mut map = lock_registry();
+    map.clear();
+    ACTIVE.store(0, Ordering::Relaxed);
+}
+
+/// Number of times the named site has fired since it was first armed.
+#[must_use]
+pub fn hits(name: &str) -> u64 {
+    lock_registry().get(name).map_or(0, |s| s.hits)
+}
+
+/// Names of every armed site, sorted (for diagnostics).
+#[must_use]
+pub fn list() -> Vec<String> {
+    let mut names: Vec<String> = lock_registry().keys().cloned().collect();
+    names.sort();
+    names
+}
+
+/// Arms sites from a `site=action;site=action` spec string.
+///
+/// Stops at the first malformed entry and reports it; entries before the
+/// bad one stay armed.
+pub fn setup_str(spec: &str) -> Result<(), String> {
+    for entry in spec.split(';') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (name, action) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint entry {entry:?} is not site=action"))?;
+        cfg(name.trim(), action)?;
+    }
+    Ok(())
+}
+
+/// Arms sites from the `KRSP_FAILPOINTS` environment variable.
+///
+/// Safe to call repeatedly (the service re-applies it on construction so
+/// env-armed sites survive a test-driven [`clear`]); note that re-applying
+/// resets `N*` count prefixes. Malformed specs are reported to stderr and
+/// otherwise ignored.
+pub fn setup_from_env() {
+    if let Ok(spec) = std::env::var(ENV_VAR) {
+        if let Err(e) = setup_str(&spec) {
+            eprintln!("warning: ignoring bad {ENV_VAR} entry: {e}");
+        }
+    }
+}
+
+/// Plants a named fail point.
+///
+/// `fail_point!("site")` honors `panic` and `delay` actions and ignores
+/// `err`. `fail_point!("site", |msg| expr)` additionally early-returns
+/// `expr` from the enclosing function when an `err` action fires, with
+/// `msg` bound to the action's payload string.
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {
+        if $crate::enabled() {
+            let _ = $crate::eval($name);
+        }
+    };
+    ($name:expr, $ret:expr) => {
+        if $crate::enabled() {
+            if let $crate::Eval::Err(__fp_msg) = $crate::eval($name) {
+                return ($ret)(__fp_msg);
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    // The registry is process-global and `cargo test` is multi-threaded,
+    // so every test serializes on this lock and starts from a clean slate.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn session() -> MutexGuard<'static, ()> {
+        let guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        guard
+    }
+
+    fn guarded(name: &str) -> Result<u32, String> {
+        fail_point!(name, Err);
+        Ok(7)
+    }
+
+    #[test]
+    fn disarmed_sites_are_inert() {
+        let _s = session();
+        assert!(!enabled());
+        assert_eq!(guarded("t.none"), Ok(7));
+        assert_eq!(hits("t.none"), 0);
+    }
+
+    #[test]
+    fn err_action_early_returns_with_payload() {
+        let _s = session();
+        cfg("t.err", "err(boom)").unwrap();
+        assert!(enabled());
+        assert_eq!(guarded("t.err"), Err("boom".to_owned()));
+        assert_eq!(hits("t.err"), 1);
+        cfg("t.err", "off").unwrap();
+        assert_eq!(guarded("t.err"), Ok(7));
+    }
+
+    #[test]
+    fn count_prefix_limits_fires() {
+        let _s = session();
+        cfg("t.count", "2*err").unwrap();
+        assert!(guarded("t.count").is_err());
+        assert!(guarded("t.count").is_err());
+        assert_eq!(guarded("t.count"), Ok(7)); // exhausted
+        assert_eq!(hits("t.count"), 2);
+    }
+
+    #[test]
+    fn panic_action_panics_and_does_not_poison_the_registry() {
+        let _s = session();
+        cfg("t.panic", "1*panic(kapow)").unwrap();
+        let caught = std::panic::catch_unwind(|| {
+            fail_point!("t.panic");
+        });
+        let payload = caught.expect_err("site should have panicked");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("kapow"), "unexpected payload {msg:?}");
+        // Registry still usable after the in-flight panic.
+        assert_eq!(hits("t.panic"), 1);
+        assert_eq!(guarded("t.other"), Ok(7));
+    }
+
+    #[test]
+    fn delay_action_sleeps_then_continues() {
+        let _s = session();
+        cfg("t.delay", "delay(20)").unwrap();
+        let started = std::time::Instant::now();
+        fail_point!("t.delay");
+        assert!(started.elapsed() >= Duration::from_millis(15));
+        assert_eq!(hits("t.delay"), 1);
+    }
+
+    #[test]
+    fn env_style_spec_arms_multiple_sites() {
+        let _s = session();
+        setup_str("a.one=err; b.two=3*delay(0) ;;c.three=panic(x)").unwrap();
+        assert_eq!(list(), vec!["a.one", "b.two", "c.three"]);
+        assert!(setup_str("broken").is_err());
+        assert!(setup_str("d.four=explode").is_err());
+        assert!(setup_str("e.five=delay").is_err());
+    }
+
+    #[test]
+    fn rearming_preserves_hit_counts() {
+        let _s = session();
+        cfg("t.rearm", "err").unwrap();
+        let _ = guarded("t.rearm");
+        cfg("t.rearm", "delay(0)").unwrap();
+        fail_point!("t.rearm");
+        assert_eq!(hits("t.rearm"), 2);
+    }
+}

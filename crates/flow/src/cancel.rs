@@ -1,0 +1,151 @@
+//! Cooperative cancellation for long-running kernels.
+//!
+//! A [`CancelToken`] combines a shared flag, an optional absolute deadline,
+//! and an optional parent token. Kernels poll [`CancelToken::is_cancelled`]
+//! at loop boundaries (per DP level batch, per probe, per seed) and bail
+//! out with their usual "no result" value; callers above translate that
+//! into a degraded-but-complete answer. Tokens are cheap to clone (an
+//! `Arc`) and the default token ([`CancelToken::never`]) carries no
+//! allocation at all, so uncancellable call paths pay one `Option` check.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A cloneable cancellation handle: flag + optional deadline + optional
+/// parent chain. See the module docs for the polling contract.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        let tripped = self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.parent.as_ref().is_some_and(|p| p.is_cancelled());
+        if tripped {
+            // Latch, so later polls skip the clock read / parent walk.
+            self.flag.store(true, Ordering::Relaxed);
+        }
+        tripped
+    }
+}
+
+impl CancelToken {
+    /// A token that can never be cancelled (the default). Costs nothing to
+    /// clone or poll.
+    #[must_use]
+    pub fn never() -> Self {
+        CancelToken { inner: None }
+    }
+
+    /// A root token cancellable only via [`cancel`](CancelToken::cancel).
+    #[must_use]
+    pub fn cancellable() -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+                parent: None,
+            })),
+        }
+    }
+
+    /// A root token that trips automatically at `deadline`.
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken::never().child_with_deadline(Some(deadline))
+    }
+
+    /// A child token: trips when `self` trips, when explicitly cancelled,
+    /// or (if given) when `deadline` passes. Cancelling the child does not
+    /// affect the parent.
+    #[must_use]
+    pub fn child_with_deadline(&self, deadline: Option<Instant>) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline,
+                parent: self.inner.clone(),
+            })),
+        }
+    }
+
+    /// Trips this token (no-op on a [`never`](CancelToken::never) token).
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// True once the token has tripped (flag, deadline, or any ancestor).
+    #[inline]
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => inner.is_cancelled(),
+        }
+    }
+
+    /// False only for [`never`](CancelToken::never) tokens.
+    #[must_use]
+    pub fn can_cancel(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn never_token_never_cancels() {
+        let t = CancelToken::never();
+        assert!(!t.can_cancel());
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert!(!CancelToken::default().is_cancelled());
+    }
+
+    #[test]
+    fn explicit_cancel_trips_and_latches() {
+        let t = CancelToken::cancellable();
+        assert!(!t.is_cancelled());
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_trips_the_token() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        let far = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+    }
+
+    #[test]
+    fn parent_cancel_reaches_children_but_not_vice_versa() {
+        let parent = CancelToken::cancellable();
+        let child = parent.child_with_deadline(None);
+        let sibling = parent.child_with_deadline(None);
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled());
+        assert!(!sibling.is_cancelled());
+        parent.cancel();
+        assert!(sibling.is_cancelled());
+    }
+}

@@ -34,7 +34,9 @@
 //! suite pins this one to it bit-for-bit (values, tie-breaking, recovered
 //! paths).
 
+use crate::cancel::CancelToken;
 use crate::dijkstra::dijkstra;
+use krsp_failpoint::fail_point;
 use krsp_graph::{DiGraph, EdgeId, NodeId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -125,6 +127,10 @@ pub struct DpScratch {
     n: usize,
     /// Level count (`bound + 1`) of the last run.
     levels: usize,
+    /// Cooperative-cancellation token polled between DP levels. Defaults
+    /// to [`CancelToken::never`]; riding in the scratch keeps the hot-path
+    /// signatures stable.
+    cancel: CancelToken,
 }
 
 impl DpScratch {
@@ -132,6 +138,18 @@ impl DpScratch {
     #[must_use]
     pub fn new() -> Self {
         DpScratch::default()
+    }
+
+    /// Installs the cancellation token future DP runs poll; pass
+    /// [`CancelToken::never`] to make the scratch uncancellable again.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
+    }
+
+    /// The currently installed cancellation token.
+    #[must_use]
+    pub fn cancel(&self) -> &CancelToken {
+        &self.cancel
     }
 
     #[inline]
@@ -155,6 +173,11 @@ impl DpScratch {
 /// smallest-value-first zero pass — matches `reference::budget_dp` exactly,
 /// so values, parents, and recovered paths are bit-identical to the 2-D
 /// oracle.
+///
+/// Returns `true` when every level was computed; `false` when the
+/// scratch's [`CancelToken`] tripped mid-run (the value table is then
+/// partial and must not be read).
+#[must_use]
 fn budget_dp(
     scratch: &mut DpScratch,
     graph: &DiGraph,
@@ -162,7 +185,12 @@ fn budget_dp(
     bound: usize,
     budget_of: impl Fn(EdgeId) -> i64,
     objective_of: impl Fn(EdgeId) -> i64,
-) {
+) -> bool {
+    fail_point!("csp.dp", |_msg| false);
+    let cancel = scratch.cancel.clone();
+    if cancel.is_cancelled() {
+        return false;
+    }
     let n = graph.node_count();
     let m = graph.edge_count();
     let levels = bound + 1;
@@ -224,6 +252,12 @@ fn budget_dp(
     }
 
     for b in 0..levels {
+        // Poll every 32 levels: frequent enough to stop a runaway scaled
+        // DP (levels are O(m) work each), rare enough to stay off the
+        // profile.
+        if b & 31 == 0 && cancel.is_cancelled() {
+            return false;
+        }
         let row = b * n;
         if b > 0 {
             // Carry-over: start from the previous level (one memcpy).
@@ -288,6 +322,7 @@ fn budget_dp(
             }
         }
     }
+    true
 }
 
 /// Reconstructs the path reaching `t` at level `b` of a [`budget_dp`] run.
@@ -350,7 +385,7 @@ pub fn constrained_shortest_path_with(
     scratch: &mut DpScratch,
 ) -> Option<CspPath> {
     assert!(delay_bound >= 0);
-    budget_dp(
+    let complete = budget_dp(
         scratch,
         graph,
         s,
@@ -358,7 +393,7 @@ pub fn constrained_shortest_path_with(
         |e| graph.edge(e).delay,
         |e| graph.edge(e).cost,
     );
-    if scratch.value_at(delay_bound as usize, t) == UNREACHED {
+    if !complete || scratch.value_at(delay_bound as usize, t) == UNREACHED {
         return None;
     }
     let edges = recover(scratch, graph, s, t, delay_bound as usize);
@@ -486,7 +521,7 @@ pub fn rsp_fptas_with(
         let theta_den = n + 1;
         let scaled = |e: EdgeId| -> i64 { graph.edge(e).cost * theta_den / theta_num };
         let budget = (n + 1) as usize; // floor(c/θ) = n+1
-        budget_dp(
+        let complete = budget_dp(
             scratch,
             graph,
             s,
@@ -494,6 +529,9 @@ pub fn rsp_fptas_with(
             |e| scaled(e).min(budget as i64 + 1),
             |e| graph.edge(e).delay,
         );
+        if !complete {
+            return None;
+        }
         let b = (0..=budget).find(|&b| {
             let v = scratch.value_at(b, t);
             v != UNREACHED && v <= delay_bound
@@ -508,6 +546,12 @@ pub fn rsp_fptas_with(
     // ub > 4·lb, `2·⌊√(lb·ub)⌋ < ub`, so both branches strictly shrink the
     // bracket and the loop terminates in O(log log(ub/lb)) tests.
     while ub > 4 * lb {
+        // A cancelled shrink probe returns None, which is indistinguishable
+        // from "OPT > c" — check the token explicitly so cancellation never
+        // misnarrows the bracket.
+        if scratch.cancel.is_cancelled() {
+            return None;
+        }
         let c = geometric_midpoint(lb, ub);
         match test(scratch, c) {
             Some(p) => {
@@ -530,7 +574,7 @@ pub fn rsp_fptas_with(
     // Budget: c'(P*) ≤ OPT/θ ≤ ub·(n+1)·eps_den/(lb·eps_num) (+ slack n).
     let budget = ((ub as i128 * (n as i128 + 1) * eps_den as i128) / denom + n as i128 + 1)
         .min(i128::from(u32::MAX)) as usize;
-    budget_dp(
+    let complete = budget_dp(
         scratch,
         graph,
         s,
@@ -538,6 +582,9 @@ pub fn rsp_fptas_with(
         |e| scaled(e).min(budget as i64 + 1),
         |e| graph.edge(e).delay,
     );
+    if !complete {
+        return None;
+    }
     let b = (0..=budget).find(|&b| {
         let v = scratch.value_at(b, t);
         v != UNREACHED && v <= delay_bound
@@ -628,6 +675,23 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cancelled_scratch_returns_none_and_recovers() {
+        let g = tradeoff_graph();
+        let mut scratch = DpScratch::new();
+        let token = CancelToken::cancellable();
+        token.cancel();
+        scratch.set_cancel(token);
+        assert!(
+            constrained_shortest_path_with(&g, NodeId(0), NodeId(3), 20, &mut scratch).is_none()
+        );
+        assert!(rsp_fptas_with(&g, NodeId(0), NodeId(3), 20, 1, 2, &mut scratch).is_none());
+        // Swapping back to a never-token makes the same scratch answer again.
+        scratch.set_cancel(CancelToken::never());
+        let p = constrained_shortest_path_with(&g, NodeId(0), NodeId(3), 20, &mut scratch).unwrap();
+        assert_eq!((p.cost, p.delay), (2, 20));
     }
 
     #[test]

@@ -19,11 +19,14 @@
 //!   and the scaling template behind Theorem 4).
 //! * [`weight`] — the [`weight::Weight`] abstraction (`i64`, `i128`,
 //!   [`krsp_numeric::Lex2`]) shared by all of the above.
+//! * [`cancel`] — the [`CancelToken`] kernels poll so deadline-expired or
+//!   shed requests actually stop computing (DESIGN.md §4.13).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bellman_ford;
+pub mod cancel;
 pub mod csp;
 pub mod dijkstra;
 pub mod dinic;
@@ -36,6 +39,7 @@ pub mod weight;
 pub mod yen;
 
 pub use bellman_ford::{bellman_ford, find_negative_cycle_in, BfResult, BfScratch};
+pub use cancel::CancelToken;
 pub use csp::{
     constrained_shortest_path, constrained_shortest_path_with, rsp_fptas, rsp_fptas_with, CspPath,
     DpScratch,

@@ -124,6 +124,9 @@ impl Tableau {
 /// Solves `model` (minimization) exactly. See [`LpOutcome`].
 #[must_use]
 pub fn solve(model: &Model) -> LpOutcome {
+    // Fault-injection site (see crates/failpoint): `err` reports the model
+    // as infeasible, which exercises every caller's no-LP-solution path.
+    krsp_failpoint::fail_point!("lp.simplex", |_msg| LpOutcome::Infeasible);
     let n = model.num_vars();
 
     // Shift variables to x = lo + x', x' >= 0, and lower upper bounds into

@@ -19,6 +19,7 @@
 
 use crate::degrade::Degraded;
 use crate::hash::CacheKey;
+use crate::sync_util::lock_recover;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -179,28 +180,22 @@ impl ShardedCache {
 
     /// Looks up `key` in its shard, refreshing recency on a hit.
     pub fn get(&self, key: CacheKey) -> Option<Degraded> {
-        self.shards[self.shard_of(key)]
-            .lock()
-            .expect("cache shard poisoned")
-            .get(key)
+        // Chaos-testing hook: `cache.get=err` forces a miss, exercising the
+        // solve path even for cached keys.
+        krsp_failpoint::fail_point!("cache.get", |_msg| None);
+        lock_recover(&self.shards[self.shard_of(key)]).get(key)
     }
 
     /// Inserts (or refreshes) `key` in its shard, evicting that shard's
     /// LRU entry under capacity pressure.
     pub fn put(&self, key: CacheKey, value: Degraded) {
-        self.shards[self.shard_of(key)]
-            .lock()
-            .expect("cache shard poisoned")
-            .put(key, value);
+        lock_recover(&self.shards[self.shard_of(key)]).put(key, value);
     }
 
     /// Total entries across shards.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| lock_recover(s).len()).sum()
     }
 
     /// True when every shard is empty.
@@ -222,12 +217,14 @@ impl ShardedCache {
     pub fn shard_stats(&self) -> Vec<CacheStats> {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").stats())
+            .map(|s| lock_recover(s).stats())
             .collect()
     }
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic is exactly the failure report we want there.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::degrade::Rung;
@@ -334,6 +331,23 @@ mod tests {
         );
         // The keys actually landed on more than one shard.
         assert!(per_shard.iter().filter(|s| s.hits > 0).count() > 1);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers() {
+        let c = ShardedCache::new(8, 1);
+        c.put(spread(1), dummy(5));
+        // Poison the only shard's lock with a panic mid-hold.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = c.shards[0].lock().unwrap();
+            panic!("poison the shard");
+        }));
+        assert!(caught.is_err());
+        // The cache keeps serving: per-operation state is consistent.
+        assert_eq!(c.get(spread(1)).unwrap().solution.cost, 5);
+        c.put(spread(2), dummy(6));
+        assert_eq!(c.len(), 2);
+        assert!(c.stats().hits >= 1);
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //! resort. A rung that *fails* (stalls, iteration limit) falls through to
 //! the next; genuine infeasibility short-circuits.
 
-use krsp::{baselines, solve_with, Config, Instance, SearchScratch, Solution, SolveError};
+use krsp::{
+    baselines, solve_with, CancelToken, Config, Instance, SearchScratch, Solution, SolveError,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -225,10 +227,31 @@ pub fn solve_degraded(
     remaining: Duration,
     policy: &LadderPolicy,
 ) -> Result<Degraded, LadderError> {
+    solve_degraded_with(inst, cfg, remaining, policy, &CancelToken::never())
+}
+
+/// [`solve_degraded`] with a cooperative [`CancelToken`] threaded into the
+/// solver kernels. A token that trips mid-rung stops that rung's DP/search
+/// loops; the failed rung falls through like any other rung failure, and
+/// rungs above [`Rung::MinDelay`] are skipped entirely once the token is
+/// cancelled. [`Rung::MinDelay`] always runs to completion (it is the
+/// always-answer contract), so a cancelled solve still returns a *complete*
+/// path system from a lower rung — never a partial one.
+pub fn solve_degraded_with(
+    inst: &Instance,
+    cfg: &Config,
+    remaining: Duration,
+    policy: &LadderPolicy,
+    cancel: &CancelToken,
+) -> Result<Degraded, LadderError> {
     let start = policy.admit(inst, remaining);
     // One cycle-search scratch for every solver rung the ladder attempts.
     let mut scratch = SearchScratch::new();
+    scratch.set_cancel(cancel.clone());
     for rung in Rung::LADDER.into_iter().skip(start.index()) {
+        if rung != Rung::MinDelay && cancel.is_cancelled() {
+            continue;
+        }
         match attempt(inst, cfg, rung, &mut scratch) {
             Attempt::Solved(solution) => {
                 return Ok(Degraded {
@@ -259,7 +282,9 @@ fn attempt(inst: &Instance, cfg: &Config, rung: Rung, scratch: &mut SearchScratc
             };
             match solve_with(inst, &cfg, scratch) {
                 Ok(s) => Attempt::Solved(s.solution),
-                Err(SolveError::IterationLimit) => Attempt::RungFailed,
+                // A cancelled rung proved nothing about feasibility — fall
+                // through so MinDelay can still answer.
+                Err(SolveError::IterationLimit | SolveError::Cancelled) => Attempt::RungFailed,
                 Err(_) => Attempt::Infeasible,
             }
         }
@@ -278,6 +303,8 @@ fn attempt(inst: &Instance, cfg: &Config, rung: Rung, scratch: &mut SearchScratc
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic is exactly the failure report we want there.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use krsp_graph::{DiGraph, NodeId};
@@ -377,6 +404,26 @@ mod tests {
         assert_eq!(w8.admit(&inst, tight), Rung::Full);
         assert!(base.estimate(Rung::Full, &inst).unwrap() > tight);
         assert_ne!(base.admit(&inst, tight), Rung::Full);
+    }
+
+    #[test]
+    fn cancelled_token_degrades_to_min_delay() {
+        let inst = tradeoff(14);
+        let cancel = CancelToken::cancellable();
+        cancel.cancel();
+        // A generous deadline admits the Full rung, but the tripped token
+        // skips every cancellable rung; MinDelay still answers in full.
+        let out = solve_degraded_with(
+            &inst,
+            &Config::default(),
+            Duration::from_secs(60),
+            &LadderPolicy::default(),
+            &cancel,
+        )
+        .unwrap();
+        assert_eq!(out.rung, Rung::MinDelay);
+        assert_eq!(out.guarantee, Rung::MinDelay.guarantee());
+        assert!(out.solution.delay <= 14);
     }
 
     #[test]

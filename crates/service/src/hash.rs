@@ -81,6 +81,8 @@ pub fn canonical_key(inst: &Instance) -> CacheKey {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic is exactly the failure report we want there.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use krsp_graph::{DiGraph, NodeId};

@@ -44,6 +44,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// A stray `unwrap()` on shared state is how one contained panic becomes a
+// poison cascade; require the justified forms (`expect` with an invariant,
+// or `sync_util`'s poison recovery).
+#![warn(clippy::unwrap_used)]
 
 pub mod cache;
 pub mod degrade;
@@ -51,16 +55,22 @@ pub mod hash;
 pub mod load;
 pub mod metrics;
 pub mod proto;
+pub mod quarantine;
 pub mod service;
 pub mod singleflight;
+mod sync_util;
 
 pub use cache::{CacheStats, ShardedCache, SolutionCache};
-pub use degrade::{solve_degraded, Degraded, Guarantee, LadderError, LadderPolicy, Rung};
+pub use degrade::{
+    solve_degraded, solve_degraded_with, Degraded, Guarantee, LadderError, LadderPolicy, Rung,
+};
 pub use hash::{canonical_key, CacheKey};
-pub use load::{LoadReport, LoadSpec};
+pub use load::{run_remote, LoadReport, LoadSpec, RemoteSpec};
 pub use metrics::{LatencyHistogram, MetricsSnapshot};
 pub use proto::{
-    serve, serve_on, SolveRequest, SolvedReply, WireRequest, WireResponse, MAX_LINE_BYTES,
+    serve, serve_on, serve_with_shutdown, ErrorKind, ServeOptions, SolveRequest, SolvedReply,
+    WireError, WireRequest, WireResponse, MAX_LINE_BYTES,
 };
+pub use quarantine::Quarantine;
 pub use service::{Rejection, Request, Response, Service, ServiceConfig};
 pub use singleflight::{Join, Leader, Singleflight};

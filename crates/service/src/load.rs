@@ -8,13 +8,22 @@
 //! order statistics rather than histogram reconstructions. The report is
 //! serializable — `krsp-load` prints it as JSON for committing under
 //! `results/`.
+//!
+//! [`run_remote`] replays the same workload over the NDJSON wire protocol
+//! against a running `krsp-cli serve`, with per-request reconnect and
+//! jittered exponential backoff so a restarting or briefly absent server
+//! does not fail the replay.
 
 use crate::degrade::Rung;
 use crate::metrics::MetricsSnapshot;
+use crate::proto::{ErrorKind, SolveRequest, WireRequest, WireResponse};
 use crate::service::{Rejection, Request, Service};
+use crate::sync_util::lock_recover;
 use krsp_gen::{Family, Regime, Workload};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -134,6 +143,13 @@ pub struct LoadReport {
     /// Answers that piggybacked on a concurrent identical request's solve
     /// (singleflight followers).
     pub coalesced: u64,
+    /// Structured error replies: contained solver panics, quarantined
+    /// keys, and (remote replay) transport failures that exhausted their
+    /// retry budget.
+    pub wire_errors: u64,
+    /// Reconnect-and-reissue attempts after transport errors (remote
+    /// replay only; 0 in-process).
+    pub transport_retries: u64,
     /// Wall-clock duration of the replay in seconds.
     pub wall_s: f64,
     /// Achieved throughput (completed / wall).
@@ -164,9 +180,32 @@ struct Tally {
     deadline_missed: u64,
     cache_hits: u64,
     coalesced: u64,
+    wire_errors: u64,
     per_rung: [u64; 4],
     hit_latencies: Vec<u64>,
     miss_latencies: Vec<u64>,
+}
+
+impl Tally {
+    fn record_solved(
+        &mut self,
+        rung: Rung,
+        cache_hit: bool,
+        coalesced: bool,
+        deadline_missed: bool,
+        latency_us: u64,
+    ) {
+        self.completed += 1;
+        self.per_rung[rung.index()] += u64::from(!cache_hit && !coalesced);
+        self.deadline_missed += u64::from(deadline_missed);
+        self.cache_hits += u64::from(cache_hit);
+        self.coalesced += u64::from(coalesced);
+        if cache_hit {
+            self.hit_latencies.push(latency_us);
+        } else {
+            self.miss_latencies.push(latency_us);
+        }
+    }
 }
 
 /// Builds the distinct instance pool for `spec`. Public so callers can
@@ -228,31 +267,33 @@ pub fn run(service: &Service, spec: &LoadSpec) -> LoadReport {
                     instance: pool[i % pool.len()].clone(),
                     deadline: spec.deadline_ms.map(Duration::from_millis),
                 });
-                let mut t = tally.lock().expect("tally poisoned");
+                let mut t = lock_recover(&tally);
                 match out {
                     Ok(r) => {
-                        t.completed += 1;
-                        t.per_rung[r.rung.index()] += u64::from(!r.cache_hit && !r.coalesced);
-                        t.deadline_missed += u64::from(r.deadline_missed);
-                        t.cache_hits += u64::from(r.cache_hit);
-                        t.coalesced += u64::from(r.coalesced);
                         let us = r.latency.as_micros().min(u128::from(u64::MAX)) as u64;
-                        if r.cache_hit {
-                            t.hit_latencies.push(us);
-                        } else {
-                            t.miss_latencies.push(us);
-                        }
+                        t.record_solved(r.rung, r.cache_hit, r.coalesced, r.deadline_missed, us);
                     }
                     Err(Rejection::QueueFull) => t.rejected_queue_full += 1,
                     Err(Rejection::DeadlineExpired) => t.rejected_expired += 1,
                     Err(Rejection::Infeasible | Rejection::ShuttingDown) => t.infeasible += 1,
+                    Err(Rejection::SolverPanic(_) | Rejection::Quarantined) => t.wire_errors += 1,
                 }
             });
         }
     });
 
     let wall = start.elapsed();
-    let t = tally.into_inner().expect("tally poisoned");
+    let t = tally.into_inner().unwrap_or_else(|e| e.into_inner());
+    build_report(spec.requests as u64, wall, t, 0, service.metrics())
+}
+
+fn build_report(
+    issued: u64,
+    wall: Duration,
+    t: Tally,
+    transport_retries: u64,
+    service_metrics: MetricsSnapshot,
+) -> LoadReport {
     let all: Vec<u64> = t
         .hit_latencies
         .iter()
@@ -260,7 +301,7 @@ pub fn run(service: &Service, spec: &LoadSpec) -> LoadReport {
         .copied()
         .collect();
     LoadReport {
-        issued: spec.requests as u64,
+        issued,
         completed: t.completed,
         rejected_queue_full: t.rejected_queue_full,
         rejected_expired: t.rejected_expired,
@@ -268,6 +309,8 @@ pub fn run(service: &Service, spec: &LoadSpec) -> LoadReport {
         deadline_missed: t.deadline_missed,
         cache_hits: t.cache_hits,
         coalesced: t.coalesced,
+        wire_errors: t.wire_errors,
+        transport_retries,
         wall_s: wall.as_secs_f64(),
         achieved_qps: if wall.as_secs_f64() > 0.0 {
             t.completed as f64 / wall.as_secs_f64()
@@ -290,8 +333,194 @@ pub fn run(service: &Service, spec: &LoadSpec) -> LoadReport {
         latency: LatencySummary::from_samples(all),
         latency_cache_hit: LatencySummary::from_samples(t.hit_latencies),
         latency_cache_miss: LatencySummary::from_samples(t.miss_latencies),
-        service_metrics: service.metrics(),
+        service_metrics,
     }
+}
+
+/// Where and how [`run_remote`] replays over the wire.
+#[derive(Clone, Debug)]
+pub struct RemoteSpec {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Reconnect-and-reissue attempts per request after a transport
+    /// error, with jittered exponential backoff between attempts.
+    pub retries: u32,
+}
+
+/// Deterministic jittered exponential backoff: base 10 ms doubling per
+/// attempt, capped at 500 ms, with the top half of the window jittered by
+/// an LCG step so concurrent clients do not reconnect in lockstep.
+fn backoff_delay(attempt: u32, salt: u64) -> Duration {
+    let cap = 10u64.saturating_mul(1 << attempt.min(6)).min(500);
+    let j = salt
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+        >> 33;
+    Duration::from_millis(cap / 2 + j % (cap / 2 + 1))
+}
+
+/// One client's connection to the server, lazily (re)established.
+struct WireClient {
+    addr: String,
+    retries: u32,
+    salt: u64,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl WireClient {
+    fn new(addr: &str, retries: u32, salt: u64) -> Self {
+        WireClient {
+            addr: addr.to_string(),
+            retries,
+            salt,
+            conn: None,
+        }
+    }
+
+    /// Sends one request line and reads one reply line, reconnecting and
+    /// reissuing (the protocol is stateless per line, so a reissue is
+    /// safe) up to the retry budget.
+    fn roundtrip(&mut self, line: &str, retries_made: &AtomicU64) -> std::io::Result<String> {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_roundtrip(line) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    self.conn = None;
+                    if attempt >= self.retries {
+                        return Err(e);
+                    }
+                    retries_made.fetch_add(1, Ordering::Relaxed);
+                    self.salt = self.salt.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    std::thread::sleep(backoff_delay(attempt, self.salt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    fn try_roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        if self.conn.is_none() {
+            self.conn = Some(BufReader::new(TcpStream::connect(&self.addr)?));
+        }
+        let reader = self.conn.as_mut().expect("connected above");
+        reader.get_mut().write_all(line.as_bytes())?;
+        reader.get_mut().write_all(b"\n")?;
+        let mut reply = String::new();
+        if reader.read_line(&mut reply)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(reply)
+    }
+}
+
+/// Replays `spec` over the NDJSON wire protocol against the server at
+/// `remote.addr`, one TCP connection per client thread.
+///
+/// Transport errors reconnect and reissue with backoff; a request that
+/// exhausts its retry budget is tallied under `wire_errors` rather than
+/// failing the replay. The final metrics snapshot is fetched over a fresh
+/// connection (left at its default if the server is already gone).
+///
+/// # Errors
+/// Returns an error when a request line cannot be serialized — transport
+/// failures are absorbed into the report instead.
+///
+/// # Panics
+/// Panics when no feasible instance can be generated from the spec.
+pub fn run_remote(spec: &LoadSpec, remote: &RemoteSpec) -> std::io::Result<LoadReport> {
+    let pool = build_pool(spec);
+    assert!(
+        !pool.is_empty(),
+        "load spec generated no feasible instances"
+    );
+    let lines: Vec<String> = pool
+        .iter()
+        .map(|inst| {
+            serde_json::to_string(&WireRequest::Solve(SolveRequest {
+                instance: inst.clone(),
+                deadline_ms: spec.deadline_ms,
+            }))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+        })
+        .collect::<std::io::Result<_>>()?;
+
+    let next = AtomicUsize::new(0);
+    let retries_made = AtomicU64::new(0);
+    let tally = Mutex::new(Tally::default());
+    let start = Instant::now();
+    let interval = if spec.qps > 0.0 {
+        Some(Duration::from_secs_f64(1.0 / spec.qps))
+    } else {
+        None
+    };
+
+    std::thread::scope(|s| {
+        for c in 0..spec.clients.max(1) {
+            let (next, retries_made, tally, lines) = (&next, &retries_made, &tally, &lines);
+            let mut client =
+                WireClient::new(&remote.addr, remote.retries, spec.seed ^ (c as u64 + 1));
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= spec.requests {
+                    break;
+                }
+                if let Some(step) = interval {
+                    let slot = start + step * i as u32;
+                    let now = Instant::now();
+                    if slot > now {
+                        std::thread::sleep(slot - now);
+                    }
+                }
+                let sent = Instant::now();
+                let reply = client.roundtrip(&lines[i % lines.len()], retries_made);
+                let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                let mut t = lock_recover(tally);
+                match reply
+                    .ok()
+                    .and_then(|r| serde_json::from_str::<WireResponse>(r.trim()).ok())
+                {
+                    Some(WireResponse::Solved(r)) => {
+                        t.record_solved(r.rung, r.cache_hit, r.coalesced, r.deadline_missed, us);
+                    }
+                    Some(WireResponse::Rejected(_)) => t.infeasible += 1,
+                    Some(WireResponse::Error(e)) => match e.kind {
+                        ErrorKind::Shed => t.rejected_queue_full += 1,
+                        ErrorKind::Timeout => t.rejected_expired += 1,
+                        _ => t.wire_errors += 1,
+                    },
+                    // Transport failure past the retry budget, or a reply
+                    // that did not parse (including an unexpected
+                    // `Metrics` payload).
+                    _ => t.wire_errors += 1,
+                }
+            });
+        }
+    });
+
+    let wall = start.elapsed();
+    let t = tally.into_inner().unwrap_or_else(|e| e.into_inner());
+    let metrics_line =
+        serde_json::to_string(&WireRequest::Metrics).unwrap_or_else(|_| "\"Metrics\"".to_string());
+    let service_metrics = WireClient::new(&remote.addr, remote.retries, spec.seed)
+        .roundtrip(&metrics_line, &retries_made)
+        .ok()
+        .and_then(|r| serde_json::from_str::<WireResponse>(r.trim()).ok())
+        .and_then(|r| match r {
+            WireResponse::Metrics(m) => Some(m),
+            _ => None,
+        })
+        .unwrap_or_default();
+    Ok(build_report(
+        spec.requests as u64,
+        wall,
+        t,
+        retries_made.load(Ordering::Relaxed),
+        service_metrics,
+    ))
 }
 
 /// Formats a human-readable one-screen summary of a report.
@@ -304,7 +533,7 @@ pub fn render(report: &LoadReport) -> String {
         .collect::<Vec<_>>()
         .join(" ");
     format!(
-        "issued {}  completed {}  rejected(queue/deadline) {}/{}  infeasible {}\n\
+        "issued {}  completed {}  rejected(queue/deadline) {}/{}  infeasible {}  errors {}  retries {}\n\
          wall {:.3}s  throughput {:.1} req/s  deadline-missed {}\n\
          latency µs: p50 {}  p95 {}  p99 {}  mean {:.0}  max {}\n\
          cache: hits {}  coalesced {}  (hit p50 {} µs | miss p50 {} µs)\n\
@@ -314,6 +543,8 @@ pub fn render(report: &LoadReport) -> String {
         r.rejected_queue_full,
         r.rejected_expired,
         r.infeasible,
+        r.wire_errors,
+        r.transport_retries,
         r.wall_s,
         r.achieved_qps,
         r.deadline_missed,
@@ -330,6 +561,8 @@ pub fn render(report: &LoadReport) -> String {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic is exactly the failure report we want there.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::service::ServiceConfig;

@@ -143,6 +143,13 @@ pub struct MetricsSnapshot {
     /// Fresh solves per ladder rung, indexed by [`Rung::index`]
     /// (`[full, single_probe, lp_rounding, min_delay]`).
     pub per_rung: [u64; 4],
+    /// Solver panics contained at the provisioning boundary.
+    pub solver_panics: u64,
+    /// Keys newly quarantined after repeated solver panics (transitions,
+    /// not fast-fail hits).
+    pub quarantined: u64,
+    /// Requests refused because the service was shutting down.
+    pub rejected_shutdown: u64,
     /// End-to-end latency of completed requests.
     pub latency: LatencyHistogram,
 }
@@ -155,6 +162,8 @@ impl MetricsSnapshot {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic is exactly the failure report we want there.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -10,16 +10,26 @@
 //!
 //! and `"Metrics"` (a bare string) fetches a
 //! [`MetricsSnapshot`](crate::metrics::MetricsSnapshot). Malformed lines
-//! get an `"Error"` response; the connection stays up.
+//! get an `"Error"` response carrying a machine-readable [`ErrorKind`]
+//! (`"parse"`, `"oversize_line"`, `"shed"`, `"timeout"`, `"solver_panic"`,
+//! `"internal"`) so clients can implement retry policy without string
+//! matching; the connection stays up.
+//!
+//! [`serve_with_shutdown`] is the graceful entry point: it polls a
+//! shutdown flag between accepts, and on shutdown stops accepting, flips
+//! the service into drain mode (see [`Service::begin_shutdown`]), and
+//! waits for in-flight connections within a bounded grace period.
 
 use crate::degrade::{Guarantee, Rung};
 use crate::metrics::MetricsSnapshot;
-use crate::service::{Request, Service};
+use crate::service::{Rejection, Request, Service};
 use krsp::Instance;
 use serde::{Deserialize, Serialize};
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Hard cap on one request line. A line longer than this is rejected with
 /// an [`WireResponse::Error`] and drained, instead of being buffered — an
@@ -56,8 +66,94 @@ pub enum WireResponse {
     Rejected(String),
     /// Service counters.
     Metrics(MetricsSnapshot),
-    /// The line could not be parsed or validated.
-    Error(String),
+    /// The request failed for an operational reason: unparseable line,
+    /// load shed, deadline, or a contained solver fault.
+    Error(WireError),
+}
+
+/// Machine-readable category of a [`WireResponse::Error`], serialized as a
+/// snake_case string so clients branch on it without string matching the
+/// human-readable message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line exceeded [`MAX_LINE_BYTES`].
+    OversizeLine,
+    /// The line was not a valid request (bad JSON or invalid instance).
+    Parse,
+    /// The solver panicked on this instance (contained server-side), or
+    /// the instance is quarantined after repeated panics. Retrying the
+    /// same instance will keep failing until the quarantine TTL lapses.
+    SolverPanic,
+    /// The deadline expired before the solve started (strict mode).
+    Timeout,
+    /// The service shed the request (queue full or shutting down) —
+    /// retry with backoff.
+    Shed,
+    /// The server failed internally while producing the response.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire string (`"oversize_line"`, `"parse"`, `"solver_panic"`,
+    /// `"timeout"`, `"shed"`, `"internal"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::OversizeLine => "oversize_line",
+            ErrorKind::Parse => "parse",
+            ErrorKind::SolverPanic => "solver_panic",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Shed => "shed",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// Hand-written (the vendored serde derive cannot rename variants, and the
+// wire format wants snake_case strings, not Rust variant names).
+impl Serialize for ErrorKind {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for ErrorKind {
+    fn from_content(c: &serde::Content) -> Result<Self, serde::DeError> {
+        match c {
+            serde::Content::Str(s) => match s.as_str() {
+                "oversize_line" => Ok(ErrorKind::OversizeLine),
+                "parse" => Ok(ErrorKind::Parse),
+                "solver_panic" => Ok(ErrorKind::SolverPanic),
+                "timeout" => Ok(ErrorKind::Timeout),
+                "shed" => Ok(ErrorKind::Shed),
+                "internal" => Ok(ErrorKind::Internal),
+                other => Err(serde::DeError(format!("unknown error kind {other:?}"))),
+            },
+            other => Err(serde::DeError::expected("error-kind string", other)),
+        }
+    }
+}
+
+/// Structured payload of [`WireResponse::Error`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireError {
+    /// Machine-readable category for client retry logic.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+fn wire_error(kind: ErrorKind, message: impl Into<String>) -> WireResponse {
+    WireResponse::Error(WireError {
+        kind,
+        message: message.into(),
+    })
 }
 
 /// Payload of [`WireResponse::Solved`].
@@ -91,7 +187,7 @@ pub fn dispatch(service: &Service, request: WireRequest) -> WireResponse {
         WireRequest::Metrics => WireResponse::Metrics(service.metrics()),
         WireRequest::Solve(solve) => {
             if let Err(e) = solve.instance.validate() {
-                return WireResponse::Error(format!("invalid instance: {e}"));
+                return wire_error(ErrorKind::Parse, format!("invalid instance: {e}"));
             }
             let out = service.provision(Request {
                 instance: solve.instance,
@@ -109,7 +205,19 @@ pub fn dispatch(service: &Service, request: WireRequest) -> WireResponse {
                     latency_us: r.latency.as_micros().min(u128::from(u64::MAX)) as u64,
                     deadline_missed: r.deadline_missed,
                 }),
-                Err(rejection) => WireResponse::Rejected(rejection.to_string()),
+                // Infeasibility is a *semantic* answer about the instance
+                // and keeps the dedicated `Rejected` variant; operational
+                // failures map onto error kinds clients can act on.
+                Err(r @ Rejection::Infeasible) => WireResponse::Rejected(r.to_string()),
+                Err(r @ (Rejection::QueueFull | Rejection::ShuttingDown)) => {
+                    wire_error(ErrorKind::Shed, r.to_string())
+                }
+                Err(r @ Rejection::DeadlineExpired) => {
+                    wire_error(ErrorKind::Timeout, r.to_string())
+                }
+                Err(r @ (Rejection::SolverPanic(_) | Rejection::Quarantined)) => {
+                    wire_error(ErrorKind::SolverPanic, r.to_string())
+                }
             }
         }
     }
@@ -121,10 +229,11 @@ pub fn dispatch(service: &Service, request: WireRequest) -> WireResponse {
 pub fn dispatch_line(service: &Service, line: &str) -> String {
     let response = match serde_json::from_str::<WireRequest>(line) {
         Ok(req) => dispatch(service, req),
-        Err(e) => WireResponse::Error(format!("bad request: {e}")),
+        Err(e) => wire_error(ErrorKind::Parse, format!("bad request: {e}")),
     };
-    serde_json::to_string(&response)
-        .unwrap_or_else(|e| format!("{{\"Error\":\"serialize failed: {e}\"}}"))
+    serde_json::to_string(&response).unwrap_or_else(|e| {
+        format!("{{\"Error\":{{\"kind\":\"internal\",\"message\":\"serialize failed: {e}\"}}}}")
+    })
 }
 
 /// One outcome of [`read_line_capped`].
@@ -138,25 +247,53 @@ enum LineRead {
     Eof,
 }
 
+/// What to do when a read blocks (`WouldBlock`/`TimedOut` on a socket with
+/// a read timeout). The callback receives whether the reader is mid-line
+/// (`partial = true`: bytes of the current line have arrived but not its
+/// newline), letting the caller distinguish an idle keepalive connection
+/// from a stalled sender.
+enum BlockAction {
+    /// Keep waiting.
+    Retry,
+    /// Close the connection cleanly (reported as EOF).
+    Close,
+    /// Give up: surface the block as a `TimedOut` error.
+    Fail,
+}
+
 /// Reads one `\n`-terminated line, buffering at most `max` bytes.
 ///
-/// Recoverable read errors (`Interrupted`, `WouldBlock`, `TimedOut`) are
-/// retried instead of torn down — a transient stall on a keepalive socket
-/// must not kill a connection that may have pipelined requests behind it.
-fn read_line_capped(reader: &mut impl BufRead, max: usize) -> std::io::Result<LineRead> {
+/// `Interrupted` reads are always retried. A *blocked* read (`WouldBlock`
+/// / `TimedOut`) consults `on_block`, so callers set the stall policy: a
+/// plain blocking server retries forever, while the shutdown-aware server
+/// closes idle connections on drain and bounds how long a half-sent line
+/// may stall a thread.
+fn read_line_capped(
+    reader: &mut impl BufRead,
+    max: usize,
+    on_block: &mut dyn FnMut(bool) -> BlockAction,
+) -> std::io::Result<LineRead> {
+    // Chaos-testing hook: `proto.read=err(...)` fails the read like a torn
+    // connection would.
+    krsp_failpoint::fail_point!("proto.read", |msg| Err(std::io::Error::other(msg)));
     let mut line = Vec::new();
     let mut discarding = false;
     loop {
         let (consumed, done) = {
             let chunk = match reader.fill_buf() {
                 Ok(c) => c,
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
-                    ) =>
-                {
-                    continue;
+                Err(e) if e.kind() == IoErrorKind::Interrupted => continue,
+                Err(e) if matches!(e.kind(), IoErrorKind::WouldBlock | IoErrorKind::TimedOut) => {
+                    match on_block(!line.is_empty() || discarding) {
+                        BlockAction::Retry => continue,
+                        BlockAction::Close => return Ok(LineRead::Eof),
+                        BlockAction::Fail => {
+                            return Err(std::io::Error::new(
+                                IoErrorKind::TimedOut,
+                                "read stalled past its budget",
+                            ))
+                        }
+                    }
                 }
                 Err(e) => return Err(e),
             };
@@ -199,15 +336,73 @@ fn read_line_capped(reader: &mut impl BufRead, max: usize) -> std::io::Result<Li
     }
 }
 
-fn handle_connection(service: &Service, stream: TcpStream) -> std::io::Result<()> {
+/// Knobs for [`serve_with_shutdown`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Budget for a *mid-line* read stall before the connection is
+    /// dropped; an idle connection (between lines) never times out.
+    pub read_timeout: Duration,
+    /// Socket write timeout: a client that stops draining its responses
+    /// cannot pin a connection thread forever.
+    pub write_timeout: Duration,
+    /// How long shutdown waits for in-flight connections to finish before
+    /// returning anyway.
+    pub grace: Duration,
+    /// Accept/shutdown polling tick (also the per-read poll granularity).
+    pub poll: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            grace: Duration::from_secs(5),
+            poll: Duration::from_millis(50),
+        }
+    }
+}
+
+fn handle_connection(
+    service: &Service,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    opts: &ServeOptions,
+) -> std::io::Result<()> {
+    let tick = opts.poll.max(Duration::from_millis(1));
+    // A finite read timeout turns blocking reads into poll ticks, so the
+    // stall policy below runs even when no bytes arrive.
+    stream.set_read_timeout(Some(tick))?;
+    stream.set_write_timeout(Some(opts.write_timeout))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     loop {
-        let reply = match read_line_capped(&mut reader, MAX_LINE_BYTES)? {
+        let mut stalled = Duration::ZERO;
+        let mut on_block = |partial: bool| {
+            if partial {
+                // A half-sent line: bounded patience, then drop — a
+                // stalled sender must not pin this thread forever.
+                stalled += tick;
+                if stalled >= opts.read_timeout {
+                    BlockAction::Fail
+                } else {
+                    BlockAction::Retry
+                }
+            } else if shutdown.load(Ordering::Acquire) {
+                // Idle between requests while draining: close cleanly. A
+                // request already in flight is not affected (we are here
+                // only when waiting for a *new* line).
+                BlockAction::Close
+            } else {
+                BlockAction::Retry
+            }
+        };
+        let reply = match read_line_capped(&mut reader, MAX_LINE_BYTES, &mut on_block)? {
             LineRead::Eof => return Ok(()),
             LineRead::TooLong => {
                 let msg = format!("request line exceeds {MAX_LINE_BYTES} bytes");
-                serde_json::to_string(&WireResponse::Error(msg)).expect("error response serializes")
+                serde_json::to_string(&wire_error(ErrorKind::OversizeLine, msg))
+                    .expect("error response serializes")
             }
             LineRead::Line(raw) => {
                 let line = String::from_utf8_lossy(&raw);
@@ -231,19 +426,70 @@ pub fn serve<A: ToSocketAddrs>(service: &Service, addr: A) -> std::io::Result<()
 }
 
 /// Serves on an already-bound listener (lets callers report the chosen
-/// port, e.g. when binding port 0).
+/// port, e.g. when binding port 0). Never shuts down on its own.
 pub fn serve_on(service: &Service, listener: TcpListener) -> std::io::Result<()> {
-    for stream in listener.incoming() {
-        let stream = stream?;
-        let service = service.clone();
-        std::thread::spawn(move || {
-            let _ = handle_connection(&service, stream);
-        });
+    serve_with_shutdown(
+        service,
+        listener,
+        Arc::new(AtomicBool::new(false)),
+        ServeOptions::default(),
+    )
+}
+
+/// Serves NDJSON connections until `shutdown` becomes `true`, then drains:
+/// stop accepting, flip the service into shutdown (new requests are shed,
+/// in-flight solves degrade to their cheapest rung and complete), close
+/// idle connections, and wait up to [`ServeOptions::grace`] for busy ones.
+///
+/// The flag is typically set from a signal handler (`SIGTERM`/ctrl-c in
+/// `krsp-cli serve`), which cannot run service code itself — hence a plain
+/// atomic rather than a callback. Returns once drained (or the grace
+/// lapsed), so the caller can flush final metrics before exiting.
+pub fn serve_with_shutdown(
+    service: &Service,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    opts: ServeOptions,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let conns = Arc::new(AtomicUsize::new(0));
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Connection sockets must not inherit the listener's
+                // nonblocking mode; handle_connection sets its own timeouts.
+                stream.set_nonblocking(false)?;
+                let service = service.clone();
+                let shutdown = Arc::clone(&shutdown);
+                let conns = Arc::clone(&conns);
+                let opts = opts.clone();
+                conns.fetch_add(1, Ordering::AcqRel);
+                std::thread::spawn(move || {
+                    let _ = handle_connection(&service, stream, &shutdown, &opts);
+                    conns.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
+            Err(e) if e.kind() == IoErrorKind::WouldBlock => std::thread::sleep(opts.poll),
+            Err(e) if e.kind() == IoErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
+    // Drain phase: the listener stops accepting (dropped below), admitted
+    // work finishes fast (cancel tokens trip to the cheapest rung), idle
+    // connections close on their next poll tick.
+    drop(listener);
+    service.begin_shutdown();
+    let deadline = Instant::now() + opts.grace;
+    while conns.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+        std::thread::sleep(opts.poll.min(Duration::from_millis(10)));
+    }
+    service.drain(deadline.saturating_duration_since(Instant::now()));
     Ok(())
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic is exactly the failure report we want there.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::service::ServiceConfig;
@@ -310,7 +556,10 @@ mod tests {
         let svc = Service::new(ServiceConfig::default());
         let reply = dispatch_line(&svc, "{not json");
         let parsed: WireResponse = serde_json::from_str(&reply).unwrap();
-        assert!(matches!(parsed, WireResponse::Error(_)));
+        match parsed {
+            WireResponse::Error(e) => assert_eq!(e.kind, ErrorKind::Parse),
+            other => panic!("expected Error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -346,7 +595,10 @@ mod tests {
         let mut line = String::new();
         reader.read_line(&mut line).unwrap();
         match serde_json::from_str::<WireResponse>(line.trim()).unwrap() {
-            WireResponse::Error(msg) => assert!(msg.contains("exceeds"), "msg = {msg}"),
+            WireResponse::Error(e) => {
+                assert_eq!(e.kind, ErrorKind::OversizeLine);
+                assert!(e.message.contains("exceeds"), "msg = {}", e.message);
+            }
             other => panic!("expected Error for oversized line, got {other:?}"),
         }
         line.clear();
@@ -372,16 +624,16 @@ mod tests {
         // Exactly at the cap: accepted.
         let data = [vec![b'a'; 16], b"\nrest\n".to_vec()].concat();
         let mut r = BufReader::new(Cursor::new(data));
-        match read_line_capped(&mut r, 16).unwrap() {
+        match read_line_capped(&mut r, 16, &mut |_| BlockAction::Retry).unwrap() {
             LineRead::Line(l) => assert_eq!(l.len(), 16),
             _ => panic!("line at the cap must pass"),
         }
-        match read_line_capped(&mut r, 16).unwrap() {
+        match read_line_capped(&mut r, 16, &mut |_| BlockAction::Retry).unwrap() {
             LineRead::Line(l) => assert_eq!(l, b"rest"),
             _ => panic!("next line must still parse"),
         }
         assert!(matches!(
-            read_line_capped(&mut r, 16).unwrap(),
+            read_line_capped(&mut r, 16, &mut |_| BlockAction::Retry).unwrap(),
             LineRead::Eof
         ));
 
@@ -389,23 +641,23 @@ mod tests {
         let data = [vec![b'b'; 17], b"\nok\n".to_vec()].concat();
         let mut r = BufReader::new(Cursor::new(data));
         assert!(matches!(
-            read_line_capped(&mut r, 16).unwrap(),
+            read_line_capped(&mut r, 16, &mut |_| BlockAction::Retry).unwrap(),
             LineRead::TooLong
         ));
-        match read_line_capped(&mut r, 16).unwrap() {
+        match read_line_capped(&mut r, 16, &mut |_| BlockAction::Retry).unwrap() {
             LineRead::Line(l) => assert_eq!(l, b"ok"),
             _ => panic!("stream must recover after a too-long line"),
         }
 
         // Unterminated final line and unterminated overflow at EOF.
         let mut r = BufReader::new(Cursor::new(b"tail".to_vec()));
-        match read_line_capped(&mut r, 16).unwrap() {
+        match read_line_capped(&mut r, 16, &mut |_| BlockAction::Retry).unwrap() {
             LineRead::Line(l) => assert_eq!(l, b"tail"),
             _ => panic!("unterminated final line is still a line"),
         }
         let mut r = BufReader::new(Cursor::new(vec![b'c'; 64]));
         assert!(matches!(
-            read_line_capped(&mut r, 16).unwrap(),
+            read_line_capped(&mut r, 16, &mut |_| BlockAction::Retry).unwrap(),
             LineRead::TooLong
         ));
     }

@@ -1,0 +1,160 @@
+//! Negative cache for instances that crash the solver.
+//!
+//! A deterministic solver panics deterministically: if one request's
+//! instance trips a bug, every retry of the same instance trips it again,
+//! and a retrying client can pin workers in a crash loop. The quarantine
+//! records panic *strikes* per canonical key; once a key accumulates
+//! [`Quarantine`]'s threshold it fast-fails with
+//! [`Rejection::Quarantined`](crate::Rejection::Quarantined) — no solver
+//! run, no worker touched — until a TTL elapses and the key is given
+//! another chance (the solver may have been reconfigured meanwhile).
+//!
+//! The table is bounded: when full, the entry closest to expiry is evicted
+//! to admit a new striker, so a hostile key-stream cannot grow it without
+//! limit.
+
+use crate::hash::CacheKey;
+use crate::sync_util::lock_recover;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    strikes: u32,
+    /// When the entry leaves the table (strike window and quarantine TTL
+    /// share the same clock: each strike re-arms it).
+    expires: Instant,
+    /// True once strikes reached the threshold: the key fast-fails.
+    active: bool,
+}
+
+/// Panic-strike table keyed by canonical instance hash.
+pub struct Quarantine {
+    inner: Mutex<HashMap<CacheKey, Entry>>,
+    threshold: u32,
+    ttl: Duration,
+    capacity: usize,
+}
+
+impl Quarantine {
+    /// A table quarantining keys after `threshold` strikes for `ttl`,
+    /// tracking at most `capacity` keys. `threshold == 0` disables the
+    /// quarantine entirely (strikes are not recorded, nothing fast-fails).
+    #[must_use]
+    pub fn new(threshold: u32, ttl: Duration, capacity: usize) -> Self {
+        Quarantine {
+            inner: Mutex::new(HashMap::new()),
+            threshold,
+            ttl,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records one solver panic against `key`. Returns `true` when this
+    /// strike activated the quarantine for the key (the transition, not the
+    /// steady state — callers use it to count quarantined keys once).
+    pub fn strike(&self, key: CacheKey) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        let now = Instant::now();
+        let mut map = lock_recover(&self.inner);
+        map.retain(|_, e| e.expires > now);
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            // Evict the entry closest to expiry rather than refuse the new
+            // striker: recent offenders matter more than nearly-forgiven.
+            if let Some(victim) = map.iter().min_by_key(|(_, e)| e.expires).map(|(k, _)| *k) {
+                map.remove(&victim);
+            }
+        }
+        let entry = map.entry(key).or_insert(Entry {
+            strikes: 0,
+            expires: now + self.ttl,
+            active: false,
+        });
+        entry.strikes = entry.strikes.saturating_add(1);
+        entry.expires = now + self.ttl;
+        let newly_active = !entry.active && entry.strikes >= self.threshold;
+        entry.active |= newly_active;
+        newly_active
+    }
+
+    /// Whether `key` is currently quarantined (active and unexpired).
+    #[must_use]
+    pub fn is_quarantined(&self, key: CacheKey) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        let now = Instant::now();
+        let mut map = lock_recover(&self.inner);
+        match map.get(&key) {
+            Some(e) if e.expires <= now => {
+                map.remove(&key);
+                false
+            }
+            Some(e) => e.active,
+            None => false,
+        }
+    }
+
+    /// Number of keys currently tracked (striking or quarantined).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        lock_recover(&self.inner).len()
+    }
+
+    /// True when no keys are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::hash::CacheKey;
+
+    #[test]
+    fn activates_at_threshold_and_expires() {
+        let q = Quarantine::new(2, Duration::from_millis(40), 8);
+        assert!(!q.is_quarantined(CacheKey(1)));
+        assert!(!q.strike(CacheKey(1)), "first strike is below threshold");
+        assert!(!q.is_quarantined(CacheKey(1)));
+        assert!(q.strike(CacheKey(1)), "second strike activates");
+        assert!(q.is_quarantined(CacheKey(1)));
+        assert!(!q.strike(CacheKey(1)), "already active: not a transition");
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(!q.is_quarantined(CacheKey(1)), "TTL elapsed");
+        // After expiry the key starts a fresh strike count.
+        assert!(!q.strike(CacheKey(1)));
+        assert!(!q.is_quarantined(CacheKey(1)));
+    }
+
+    #[test]
+    fn zero_threshold_disables() {
+        let q = Quarantine::new(0, Duration::from_secs(60), 8);
+        for _ in 0..10 {
+            assert!(!q.strike(CacheKey(9)));
+        }
+        assert!(!q.is_quarantined(CacheKey(9)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_expiring() {
+        let q = Quarantine::new(1, Duration::from_secs(60), 2);
+        assert!(q.strike(CacheKey(1)));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(q.strike(CacheKey(2)));
+        std::thread::sleep(Duration::from_millis(5));
+        // Key 3 needs a slot: key 1 (closest to expiry) is evicted.
+        assert!(q.strike(CacheKey(3)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_quarantined(CacheKey(1)));
+        assert!(q.is_quarantined(CacheKey(2)));
+        assert!(q.is_quarantined(CacheKey(3)));
+    }
+}

@@ -24,11 +24,14 @@
 //!    `krsp::verify::audit` against the rung's advertised guarantee.
 
 use crate::cache::ShardedCache;
-use crate::degrade::{solve_degraded, Degraded, Guarantee, LadderError, LadderPolicy, Rung};
+use crate::degrade::{solve_degraded_with, Degraded, Guarantee, LadderError, LadderPolicy, Rung};
 use crate::hash::canonical_key;
 use crate::metrics::MetricsSnapshot;
+use crate::quarantine::Quarantine;
 use crate::singleflight::{Join, Singleflight};
-use krsp::{Config, Executor, Instance, Solution};
+use crate::sync_util::lock_recover;
+use krsp::{CancelToken, Config, Executor, Instance, Solution};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -58,6 +61,14 @@ pub struct ServiceConfig {
     pub solver: Config,
     /// Degradation-ladder admission thresholds.
     pub ladder: LadderPolicy,
+    /// Solver panics on one key before it is quarantined (0 disables the
+    /// quarantine entirely).
+    pub quarantine_threshold: u32,
+    /// How long a quarantined key keeps fast-failing before it is allowed
+    /// to solve again.
+    pub quarantine_ttl: Duration,
+    /// Maximum keys tracked by the quarantine (oldest-expiring evicted).
+    pub quarantine_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +86,9 @@ impl Default for ServiceConfig {
             // width: a wider rayon pool finishes the top rungs sooner, so
             // tighter deadlines still admit them.
             ladder: LadderPolicy::for_width(krsp::solver_width()),
+            quarantine_threshold: 2,
+            quarantine_ttl: Duration::from_secs(30),
+            quarantine_capacity: 128,
         }
     }
 }
@@ -119,21 +133,43 @@ pub enum Rejection {
     Infeasible,
     /// The service is shutting down.
     ShuttingDown,
+    /// The solver panicked on this request; the panic was contained at the
+    /// provisioning boundary (the worker survives) and the payload is
+    /// carried for diagnostics.
+    SolverPanic(String),
+    /// The instance is quarantined after repeated solver panics; retried
+    /// after the quarantine TTL.
+    Quarantined,
 }
 
 impl std::fmt::Display for Rejection {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let msg = match self {
-            Rejection::QueueFull => "admission queue full",
-            Rejection::DeadlineExpired => "deadline expired before admission",
-            Rejection::Infeasible => "instance infeasible at every rung",
-            Rejection::ShuttingDown => "service shutting down",
-        };
-        f.write_str(msg)
+        match self {
+            Rejection::QueueFull => f.write_str("admission queue full"),
+            Rejection::DeadlineExpired => f.write_str("deadline expired before admission"),
+            Rejection::Infeasible => f.write_str("instance infeasible at every rung"),
+            Rejection::ShuttingDown => f.write_str("service shutting down"),
+            Rejection::SolverPanic(msg) => write!(f, "solver panicked: {msg}"),
+            Rejection::Quarantined => {
+                f.write_str("instance quarantined after repeated solver panics")
+            }
+        }
     }
 }
 
 impl std::error::Error for Rejection {}
+
+/// How a fresh solve can fail. This is the value singleflight followers
+/// receive a clone of, so it must stay cheap to clone; a contained panic is
+/// *not* published to followers (the leader aborts the flight instead, and
+/// each follower re-drives against the quarantine).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum SolveFailure {
+    /// Infeasible at every admitted rung.
+    Infeasible,
+    /// The ladder solve panicked; payload text for diagnostics.
+    Panicked(String),
+}
 
 #[cfg(test)]
 type SolveGate = Box<dyn Fn(&Shared) + Send + Sync>;
@@ -141,9 +177,14 @@ type SolveGate = Box<dyn Fn(&Shared) + Send + Sync>;
 struct Shared {
     cfg: ServiceConfig,
     cache: ShardedCache,
-    flights: Singleflight<Result<Degraded, LadderError>>,
+    flights: Singleflight<Result<Degraded, SolveFailure>>,
     metrics: Mutex<MetricsSnapshot>,
     in_flight: AtomicUsize,
+    /// Negative cache of keys whose solves keep panicking.
+    quarantine: Quarantine,
+    /// Master shutdown token; every request token is its child, so
+    /// tripping it degrades in-flight solves to their cheapest rung.
+    shutdown: CancelToken,
     /// Test hook: runs inside every solver job before the solve, letting
     /// tests hold a leader's flight open deterministically.
     #[cfg(test)]
@@ -151,7 +192,7 @@ struct Shared {
 }
 
 struct Slot {
-    result: Mutex<Option<Result<Degraded, LadderError>>>,
+    result: Mutex<Option<Result<Degraded, SolveFailure>>>,
     done: Condvar,
 }
 
@@ -168,12 +209,22 @@ impl Service {
     /// Starts a service with `cfg`.
     #[must_use]
     pub fn new(cfg: ServiceConfig) -> Self {
+        // Re-arm fault-injection sites from `KRSP_FAILPOINTS` so chaos runs
+        // configure themselves from the environment (additive; a no-op when
+        // the variable is unset).
+        krsp_failpoint::setup_from_env();
         let executor = Arc::new(Executor::new(cfg.workers));
         let shared = Arc::new(Shared {
             cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
             flights: Singleflight::new(cfg.cache_shards),
             metrics: Mutex::new(MetricsSnapshot::default()),
             in_flight: AtomicUsize::new(0),
+            quarantine: Quarantine::new(
+                cfg.quarantine_threshold,
+                cfg.quarantine_ttl,
+                cfg.quarantine_capacity,
+            ),
+            shutdown: CancelToken::cancellable(),
             #[cfg(test)]
             solve_gate: Mutex::new(None),
             cfg,
@@ -187,6 +238,13 @@ impl Service {
         let admitted_at = Instant::now();
         let deadline = request.deadline.unwrap_or(self.shared.cfg.default_deadline);
 
+        // Shutdown gate: a draining service refuses new work outright so
+        // `drain` only waits on requests admitted before the flip.
+        if self.shared.shutdown.is_cancelled() {
+            lock_recover(&self.shared.metrics).rejected_shutdown += 1;
+            return Err(Rejection::ShuttingDown);
+        }
+
         // Admission control. `in_flight` counts admitted requests still in
         // `provision`; the queue is full when it exceeds capacity plus the
         // workers that could be draining it. This runs before the cache
@@ -195,14 +253,10 @@ impl Service {
         let limit = self.shared.cfg.queue_capacity + self.shared.cfg.workers;
         if self.shared.in_flight.fetch_add(1, Ordering::AcqRel) >= limit {
             self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-            let mut m = self.shared.metrics.lock().expect("metrics poisoned");
-            m.rejected_queue_full += 1;
+            lock_recover(&self.shared.metrics).rejected_queue_full += 1;
             return Err(Rejection::QueueFull);
         }
-        {
-            let mut m = self.shared.metrics.lock().expect("metrics poisoned");
-            m.admitted += 1;
-        }
+        lock_recover(&self.shared.metrics).admitted += 1;
         let out = self.drive(&request.instance, admitted_at, deadline);
         self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
         out
@@ -219,6 +273,11 @@ impl Service {
     ) -> Result<Response, Rejection> {
         let shared = &self.shared;
         let key = canonical_key(instance);
+        // The request's cancel token: trips when the service shuts down or
+        // the deadline passes, degrading the solve to its cheapest rung.
+        let cancel = shared
+            .shutdown
+            .child_with_deadline(admitted_at.checked_add(deadline));
         loop {
             // Cache first — a hit costs two hashes and one shard lock.
             if let Some(hit) = shared.cache.get(key) {
@@ -236,30 +295,41 @@ impl Service {
                 });
             }
 
+            // Quarantine after the cache: a cached answer predating the
+            // strikes is still a valid answer, but a fresh solve on a
+            // striking key would crash-loop the workers.
+            if shared.quarantine.is_quarantined(key) {
+                return Err(Rejection::Quarantined);
+            }
+
             let remaining = deadline.saturating_sub(admitted_at.elapsed());
             if shared.cfg.reject_expired && remaining.is_zero() && !deadline.is_zero() {
-                let mut m = shared.metrics.lock().expect("metrics poisoned");
-                m.rejected_expired += 1;
+                lock_recover(&shared.metrics).rejected_expired += 1;
                 return Err(Rejection::DeadlineExpired);
             }
 
             if !shared.cfg.coalesce {
-                let solved = self.solve_on_pool(instance, remaining);
-                if let Ok(d) = &solved {
-                    shared.cache.put(key, d.clone());
-                }
+                let solved = self.solve_on_pool(instance, remaining, &cancel);
+                self.record_outcome(key, &solved);
                 return finish_fresh(shared, solved, admitted_at, deadline, false);
             }
             match shared.flights.join(key) {
                 Join::Leader(leader) => {
-                    let solved = self.solve_on_pool(instance, remaining);
+                    let solved = self.solve_on_pool(instance, remaining, &cancel);
                     // Populate the cache before retiring the flight, so a
                     // request arriving after the flight is gone hits the
                     // cache instead of solving again.
-                    if let Ok(d) = &solved {
-                        shared.cache.put(key, d.clone());
+                    self.record_outcome(key, &solved);
+                    if matches!(solved, Err(SolveFailure::Panicked(_))) {
+                        // Abort the flight instead of publishing the panic:
+                        // each follower wakes with `None` and re-drives on
+                        // its own, where it either sees the quarantine or
+                        // retries the solve itself. Dropping the leader
+                        // without `complete` publishes the abort.
+                        drop(leader);
+                    } else {
+                        leader.complete(solved.clone());
                     }
-                    leader.complete(solved.clone());
                     return finish_fresh(shared, solved, admitted_at, deadline, false);
                 }
                 Join::Follower(Some(solved)) => {
@@ -272,6 +342,21 @@ impl Service {
         }
     }
 
+    /// Post-solve bookkeeping shared by the coalesced and independent
+    /// paths: successes populate the cache, contained panics strike the
+    /// quarantine (and count activations).
+    fn record_outcome(&self, key: crate::hash::CacheKey, solved: &Result<Degraded, SolveFailure>) {
+        match solved {
+            Ok(d) => self.shared.cache.put(key, d.clone()),
+            Err(SolveFailure::Panicked(_)) => {
+                if self.shared.quarantine.strike(key) {
+                    lock_recover(&self.shared.metrics).quarantined += 1;
+                }
+            }
+            Err(SolveFailure::Infeasible) => {}
+        }
+    }
+
     /// Runs one ladder solve on the resident pool, blocking the calling
     /// thread for the result. When the caller *is* a pool worker (a nested
     /// provision), the solve runs inline instead — parking a worker behind
@@ -280,9 +365,10 @@ impl Service {
         &self,
         instance: &Instance,
         remaining: Duration,
-    ) -> Result<Degraded, LadderError> {
+        cancel: &CancelToken,
+    ) -> Result<Degraded, SolveFailure> {
         if Executor::on_worker_thread() {
-            return solve_job(&self.shared, instance, remaining);
+            return solve_job(&self.shared, instance, remaining, cancel);
         }
         let slot = Arc::new(Slot {
             result: Mutex::new(None),
@@ -292,29 +378,30 @@ impl Service {
             let shared = Arc::clone(&self.shared);
             let slot = Arc::clone(&slot);
             let instance = instance.clone();
+            let cancel = cancel.clone();
+            // `solve_job` contains every panic behind `catch_unwind`, so
+            // this closure always fills the slot and the condvar wait below
+            // cannot hang on a dead worker.
             self.executor.submit(Box::new(move || {
-                let out = solve_job(&shared, &instance, remaining);
-                *slot.result.lock().expect("slot poisoned") = Some(out);
+                let out = solve_job(&shared, &instance, remaining, &cancel);
+                *lock_recover(&slot.result) = Some(out);
                 slot.done.notify_all();
             }));
         }
-        let mut guard = slot.result.lock().expect("slot poisoned");
+        let mut guard = lock_recover(&slot.result);
         while guard.is_none() {
-            guard = slot.done.wait(guard).expect("slot poisoned");
+            guard = crate::sync_util::wait_recover(&slot.done, guard);
         }
-        guard.take().expect("result present")
+        guard
+            .take()
+            .expect("loop exits only when the slot is filled")
     }
 
     /// A point-in-time copy of the service counters (cache counters folded
     /// in, per shard and in aggregate).
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
-        let mut m = self
-            .shared
-            .metrics
-            .lock()
-            .expect("metrics poisoned")
-            .clone();
+        let mut m = lock_recover(&self.shared.metrics).clone();
         let c = self.shared.cache.stats();
         m.cache_hits = c.hits;
         m.cache_misses = c.misses;
@@ -335,35 +422,97 @@ impl Service {
         self.shared.in_flight.load(Ordering::Acquire)
     }
 
+    /// Flips the service into shutdown: new requests are refused with
+    /// [`Rejection::ShuttingDown`], and every in-flight request's cancel
+    /// token trips, degrading its solve to the cheapest completed rung so
+    /// it finishes (with a valid answer) instead of running its full
+    /// course. Idempotent.
+    pub fn begin_shutdown(&self) {
+        self.shared.shutdown.cancel();
+    }
+
+    /// Whether [`Service::begin_shutdown`] has been called.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.is_cancelled()
+    }
+
+    /// Blocks until every in-flight request has finished, or `grace`
+    /// elapses. Returns `true` when the service fully drained. Usually
+    /// preceded by [`Service::begin_shutdown`] (otherwise new arrivals can
+    /// keep the count from reaching zero).
+    pub fn drain(&self, grace: Duration) -> bool {
+        let deadline = Instant::now() + grace;
+        while self.in_flight() > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
     /// Installs a hook that runs inside every solver job before solving.
     #[cfg(test)]
     fn set_solve_gate(&self, gate: SolveGate) {
-        *self.shared.solve_gate.lock().expect("gate poisoned") = Some(gate);
+        *lock_recover(&self.shared.solve_gate) = Some(gate);
     }
 }
 
+/// One ladder solve behind the panic boundary. Everything that can run
+/// user-triggered solver code — the test gate, the `service.solve`
+/// failpoint, the ladder itself, and the debug-build audit — executes
+/// inside `catch_unwind`, so a panic anywhere in the solver surfaces as
+/// [`SolveFailure::Panicked`] instead of killing the worker thread.
 fn solve_job(
     shared: &Shared,
     instance: &Instance,
     remaining: Duration,
-) -> Result<Degraded, LadderError> {
-    #[cfg(test)]
-    if let Some(gate) = shared.solve_gate.lock().expect("gate poisoned").as_ref() {
-        gate(shared);
+    cancel: &CancelToken,
+) -> Result<Degraded, SolveFailure> {
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(test)]
+        if let Some(gate) = lock_recover(&shared.solve_gate).as_ref() {
+            gate(shared);
+        }
+        krsp_failpoint::fail_point!("service.solve");
+        let out = solve_degraded_with(
+            instance,
+            &shared.cfg.solver,
+            remaining,
+            &shared.cfg.ladder,
+            cancel,
+        );
+        #[cfg(debug_assertions)]
+        if let Ok(degraded) = &out {
+            audit_response(instance, degraded);
+        }
+        out
+    }));
+    match caught {
+        Ok(Ok(degraded)) => Ok(degraded),
+        Ok(Err(LadderError::Infeasible)) => Err(SolveFailure::Infeasible),
+        Err(payload) => Err(SolveFailure::Panicked(panic_message(payload.as_ref()))),
     }
-    let out = solve_degraded(instance, &shared.cfg.solver, remaining, &shared.cfg.ladder);
-    #[cfg(debug_assertions)]
-    if let Ok(degraded) = &out {
-        audit_response(instance, degraded);
+}
+
+/// Best-effort text of a panic payload (`&str` and `String` payloads cover
+/// `panic!`, `assert!`, `unwrap`, and the failpoint `panic` action).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
-    out
 }
 
 /// Converts a (possibly shared) solve outcome into the caller's response,
 /// recording the caller's own latency, deadline, and coalescing outcome.
 fn finish_fresh(
     shared: &Shared,
-    solved: Result<Degraded, LadderError>,
+    solved: Result<Degraded, SolveFailure>,
     admitted_at: Instant,
     deadline: Duration,
     coalesced: bool,
@@ -386,13 +535,19 @@ fn finish_fresh(
                 deadline_missed,
             })
         }
-        Err(LadderError::Infeasible) => {
-            let mut m = shared.metrics.lock().expect("metrics poisoned");
+        Err(SolveFailure::Infeasible) => {
+            let mut m = lock_recover(&shared.metrics);
             m.infeasible += 1;
             if coalesced {
                 m.coalesced += 1;
             }
             Err(Rejection::Infeasible)
+        }
+        // Only the leader sees a panic (the flight is aborted, not
+        // completed), so there is no coalesced bookkeeping here.
+        Err(SolveFailure::Panicked(msg)) => {
+            lock_recover(&shared.metrics).solver_panics += 1;
+            Err(Rejection::SolverPanic(msg))
         }
     }
 }
@@ -404,7 +559,7 @@ fn finish_metrics(
     fresh_rung: Option<Rung>,
     coalesced: bool,
 ) {
-    let mut m = shared.metrics.lock().expect("metrics poisoned");
+    let mut m = lock_recover(&shared.metrics);
     m.completed += 1;
     if deadline_missed {
         m.deadline_missed += 1;
@@ -443,6 +598,8 @@ fn audit_response(instance: &Instance, degraded: &crate::degrade::Degraded) {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic is exactly the failure report we want there.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use krsp_graph::{DiGraph, NodeId};
@@ -617,6 +774,129 @@ mod tests {
         let m = svc.metrics();
         assert_eq!(m.per_rung.iter().sum::<u64>(), 3);
         assert_eq!(m.coalesced, 0);
+    }
+
+    #[test]
+    fn panicking_leader_does_not_panic_followers() {
+        const K: usize = 6;
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            // Retries must be allowed to reach the solver again.
+            quarantine_threshold: 0,
+            ..ServiceConfig::default()
+        });
+        let key = canonical_key(&tradeoff(14));
+        let fired = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        {
+            let fired = Arc::clone(&fired);
+            svc.set_solve_gate(Box::new(move |shared| {
+                // First leader only: wait until every follower has joined
+                // the flight, then blow up — deterministically exercising
+                // the abort-and-retry path with a full house of waiters.
+                if !fired.swap(true, Ordering::SeqCst) {
+                    while shared.flights.waiters(key) < K - 1 {
+                        std::thread::yield_now();
+                    }
+                    panic!("injected leader panic");
+                }
+            }));
+        }
+        let (mut ok, mut panicked) = (0, 0);
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..K {
+                let svc = svc.clone();
+                handles.push(s.spawn(move || svc.provision(req(14))));
+            }
+            for h in handles {
+                match h.join().expect("client threads must not panic") {
+                    Ok(r) => {
+                        assert!(r.solution.delay <= 14);
+                        ok += 1;
+                    }
+                    Err(Rejection::SolverPanic(msg)) => {
+                        assert!(msg.contains("injected"), "msg = {msg}");
+                        panicked += 1;
+                    }
+                    Err(other) => panic!("unexpected rejection: {other}"),
+                }
+            }
+        });
+        assert_eq!(panicked, 1, "exactly the leader reports the panic");
+        assert_eq!(ok, K - 1, "every follower recovered via retry");
+        let m = svc.metrics();
+        assert_eq!(m.solver_panics, 1);
+        assert_eq!(m.quarantined, 0);
+        assert!(m.per_rung.iter().sum::<u64>() >= 1, "a retry re-solved");
+    }
+
+    #[test]
+    fn quarantine_fast_fails_after_repeated_panics() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            quarantine_threshold: 2,
+            quarantine_ttl: Duration::from_secs(60),
+            ..ServiceConfig::default()
+        });
+        svc.set_solve_gate(Box::new(|_| panic!("always broken")));
+        for _ in 0..2 {
+            let err = svc.provision(req(14)).unwrap_err();
+            assert!(matches!(err, Rejection::SolverPanic(_)), "err = {err}");
+        }
+        // The third request fast-fails without touching the solver.
+        let t0 = Instant::now();
+        assert_eq!(svc.provision(req(14)).unwrap_err(), Rejection::Quarantined);
+        assert!(t0.elapsed() < Duration::from_millis(250));
+        let m = svc.metrics();
+        assert_eq!(m.solver_panics, 2);
+        assert_eq!(m.quarantined, 1);
+        // Other keys are unaffected once the faulty gate is gone.
+        svc.set_solve_gate(Box::new(|_| {}));
+        assert!(svc.provision(req(16)).is_ok());
+        assert_eq!(svc.provision(req(14)).unwrap_err(), Rejection::Quarantined);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_and_drains_in_flight() {
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        {
+            let release = Arc::clone(&release);
+            svc.set_solve_gate(Box::new(move |_| {
+                while !release.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }));
+        }
+        std::thread::scope(|s| {
+            let in_flight = {
+                let svc = svc.clone();
+                s.spawn(move || svc.provision(req(14)))
+            };
+            while svc.in_flight() == 0 {
+                std::thread::yield_now();
+            }
+            svc.begin_shutdown();
+            assert!(svc.is_shutting_down());
+            // New arrivals are refused while the gated request drains.
+            assert_eq!(svc.provision(req(16)).unwrap_err(), Rejection::ShuttingDown);
+            assert!(
+                !svc.drain(Duration::from_millis(20)),
+                "gated request cannot drain yet"
+            );
+            release.store(true, Ordering::Release);
+            assert!(svc.drain(Duration::from_secs(10)), "drain after release");
+            let out = in_flight.join().expect("no panic").expect("still answered");
+            assert!(out.solution.delay <= 14);
+            // The shutdown tripped the request's token mid-solve: it
+            // finished on the always-on rung with a complete answer.
+            assert_eq!(out.rung, Rung::MinDelay);
+            assert_eq!(out.guarantee, Rung::MinDelay.guarantee());
+        });
+        assert_eq!(svc.metrics().rejected_shutdown, 1);
     }
 
     #[test]

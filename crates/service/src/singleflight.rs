@@ -21,6 +21,7 @@
 //! The table is sharded like the cache, so coalescing adds no global lock.
 
 use crate::hash::CacheKey;
+use crate::sync_util::{lock_recover, wait_recover};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -77,8 +78,9 @@ impl<T: Clone> Singleflight<T> {
     /// that the leader's solve needs to make progress.
     #[must_use]
     pub fn join(&self, key: CacheKey) -> Join<'_, T> {
+        krsp_failpoint::fail_point!("singleflight.join");
         let flight = {
-            let mut map = self.shard(key).lock().expect("flight shard poisoned");
+            let mut map = lock_recover(self.shard(key));
             match map.get(&key) {
                 Some(f) => Arc::clone(f),
                 None => {
@@ -98,9 +100,9 @@ impl<T: Clone> Singleflight<T> {
             }
         };
         flight.waiters.fetch_add(1, Ordering::AcqRel);
-        let mut guard = flight.result.lock().expect("flight poisoned");
+        let mut guard = lock_recover(&flight.result);
         while guard.is_none() {
-            guard = flight.done.wait(guard).expect("flight poisoned");
+            guard = wait_recover(&flight.done, guard);
         }
         Join::Follower(guard.clone().expect("checked above"))
     }
@@ -109,7 +111,7 @@ impl<T: Clone> Singleflight<T> {
     /// Test/diagnostic surface — the count is racy by nature.
     #[must_use]
     pub fn waiters(&self, key: CacheKey) -> usize {
-        let map = self.shard(key).lock().expect("flight shard poisoned");
+        let map = lock_recover(self.shard(key));
         map.get(&key)
             .map_or(0, |f| f.waiters.load(Ordering::Acquire))
     }
@@ -126,12 +128,8 @@ impl<T: Clone> Leader<'_, T> {
         // Retire the key first so late arrivals start a fresh flight (the
         // cache was already populated by the caller on success), then wake
         // the followers already holding the entry.
-        self.table
-            .shard(self.key)
-            .lock()
-            .expect("flight shard poisoned")
-            .remove(&self.key);
-        *self.flight.result.lock().expect("flight poisoned") = Some(value);
+        lock_recover(self.table.shard(self.key)).remove(&self.key);
+        *lock_recover(&self.flight.result) = Some(value);
         self.flight.done.notify_all();
     }
 }
@@ -145,6 +143,8 @@ impl<T: Clone> Drop for Leader<'_, T> {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic is exactly the failure report we want there.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;

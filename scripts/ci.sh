@@ -22,6 +22,15 @@ cargo test -q --workspace
 echo "== cargo test --release -- --ignored stress"
 cargo test -q --release --workspace -- --ignored stress
 
+echo "== chaos suite (failpoints + panic isolation + drain)"
+cargo test -q --test chaos
+# The same suite must hold with ambient jitter injected from the
+# environment — the env spec is additive on top of each test's own sites.
+KRSP_FAILPOINTS='cache.get=delay(1);singleflight.join=delay(1);proto.read=delay(1)' \
+    cargo test -q --test chaos
+echo "== chaos storm (T10: mid-replay shutdown under load)"
+cargo test -q --release --test chaos -- --ignored t10_chaos_storm_report
+
 echo "== bench harness smoke (tiny sizes, JSON must validate)"
 smoke_out="$(mktemp)"
 cargo run -q --release -p krsp-bench --bin kernels -- --smoke --out "$smoke_out" >/dev/null

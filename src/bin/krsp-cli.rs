@@ -8,6 +8,7 @@
 //!   krsp-cli serve <addr> [--workers W] [--queue Q] [--cache CAP]
 //!                  [--shards S] [--no-coalesce] [--threads T]
 //!                  [--deadline-ms MS] [--strict-deadlines]
+//!                  [--grace-ms MS]
 //!   krsp-cli load [krsp-load flags...]
 //!
 //! `--threads T` (or the `KRSP_THREADS` env var) sets the solver's
@@ -19,12 +20,17 @@
 //! `serve` runs the NDJSON provisioning service on `addr` (e.g.
 //! `127.0.0.1:7447`; port 0 picks a free port and prints it). One JSON
 //! request per line: `{"Solve": {"instance": {...}, "deadline_ms": 250}}`
-//! or `"Metrics"`. `load` forwards to the `krsp-load` replay tool (same
-//! flags; see its source header).
+//! or `"Metrics"`. SIGTERM/ctrl-c triggers a graceful drain: the listener
+//! stops accepting, in-flight requests finish within `--grace-ms`
+//! (default 5000), and a final metrics snapshot is flushed to stderr.
+//! `load` forwards to the `krsp-load` replay tool (same flags; see its
+//! source header).
 
-use krsp_service::{Service, ServiceConfig};
+use krsp_service::{serve_with_shutdown, ServeOptions, Service, ServiceConfig};
 use krsp_suite::krsp::{self, solve, solve_scaled, Config, Engine, Eps};
 use krsp_suite::krsp_gen::{self, Family, Regime, Workload};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn fail(msg: &str) -> ! {
@@ -161,6 +167,7 @@ fn cmd_serve(args: &[String]) {
         krsp::set_solver_width(t.parse().unwrap_or_else(|_| fail("bad --threads")));
     }
     let mut cfg = ServiceConfig::default();
+    let mut grace = Duration::from_millis(5000);
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         fn arg<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
@@ -182,6 +189,7 @@ fn cmd_serve(args: &[String]) {
                 cfg.default_deadline = Duration::from_millis(arg(a, it.next()));
             }
             "--strict-deadlines" => cfg.reject_expired = true,
+            "--grace-ms" => grace = Duration::from_millis(arg(a, it.next())),
             other => fail(&format!("unknown flag {other}")),
         }
     }
@@ -204,9 +212,28 @@ fn cmd_serve(args: &[String]) {
         },
         krsp::solver_width()
     );
-    if let Err(e) = krsp_service::serve_on(&service, listener) {
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    if let Err(e) = ctrlc::set_handler(move || {
+        eprintln!("krsp-service: shutdown signal received, draining");
+        flag.store(true, Ordering::Release);
+    }) {
+        fail(&format!("cannot install signal handler: {e}"));
+    }
+    let opts = ServeOptions {
+        grace,
+        ..ServeOptions::default()
+    };
+    if let Err(e) = serve_with_shutdown(&service, listener, Arc::clone(&shutdown), opts) {
         fail(&format!("listener failed: {e}"));
     }
+    // Flush the final counters so an orchestrator tearing the pod down
+    // still gets the run's telemetry.
+    match serde_json::to_string(&service.metrics()) {
+        Ok(json) => eprintln!("krsp-service: final metrics {json}"),
+        Err(e) => eprintln!("krsp-service: metrics serialize failed: {e}"),
+    }
+    println!("krsp-service: drained and stopped");
 }
 
 fn cmd_load(args: &[String]) {

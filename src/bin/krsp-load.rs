@@ -7,6 +7,7 @@
 //!             [--tightness T] [--seed S] [--deadline-ms MS]
 //!             [--workers W] [--queue Q] [--cache CAP] [--shards S]
 //!             [--no-coalesce] [--out report.json]
+//!             [--connect ADDR] [--retries N]
 //!
 //! The human-readable summary goes to stderr; the full JSON
 //! [`LoadReport`](krsp_service::LoadReport) goes to stdout (or `--out`).
@@ -14,8 +15,14 @@
 //! disables the solution cache; `--deadline-ms 0` forces every request
 //! onto the lowest degradation rung. `--shards 1 --no-coalesce` recovers
 //! the single-lock, no-coalescing baseline for A/B comparisons.
+//!
+//! `--connect ADDR` replays over the wire against a running
+//! `krsp-cli serve` instead of an in-process service (the `--workers` etc.
+//! service flags are then ignored). Transport errors reconnect and reissue
+//! with jittered exponential backoff, up to `--retries N` attempts per
+//! request (default 5).
 
-use krsp_service::load::{self, LoadSpec};
+use krsp_service::load::{self, LoadSpec, RemoteSpec};
 use krsp_service::{Service, ServiceConfig};
 use krsp_suite::krsp_gen::Family;
 use std::time::Duration;
@@ -37,6 +44,8 @@ fn main() {
     let mut spec = LoadSpec::default();
     let mut svc_cfg = ServiceConfig::default();
     let mut out: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut retries: u32 = 5;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -56,6 +65,8 @@ fn main() {
             "--shards" => svc_cfg.cache_shards = parse(a, it.next()),
             "--no-coalesce" => svc_cfg.coalesce = false,
             "--out" => out = Some(parse::<String>(a, it.next())),
+            "--connect" => connect = Some(parse::<String>(a, it.next())),
+            "--retries" => retries = parse(a, it.next()),
             "--family" => {
                 spec.family = match parse::<String>(a, it.next()).as_str() {
                     "gnm" => Family::Gnm,
@@ -74,8 +85,14 @@ fn main() {
         svc_cfg.default_deadline = Duration::from_millis(ms);
     }
 
-    let service = Service::new(svc_cfg);
-    let report = load::run(&service, &spec);
+    let report = match connect {
+        Some(addr) => load::run_remote(&spec, &RemoteSpec { addr, retries })
+            .unwrap_or_else(|e| fail(&format!("remote replay failed: {e}"))),
+        None => {
+            let service = Service::new(svc_cfg);
+            load::run(&service, &spec)
+        }
+    };
     eprintln!("{}", load::render(&report));
 
     let json = serde_json::to_string_pretty(&report)

@@ -1,0 +1,116 @@
+//! Hermetic offline stand-in for the `ctrlc` crate.
+//!
+//! [`set_handler`] installs an async-signal-safe flag-setting handler for
+//! SIGINT and SIGTERM and spawns a watcher thread that invokes the user
+//! callback from normal (non-signal) context whenever the flag trips. This
+//! is the only crate in the workspace that contains `unsafe` code — a raw
+//! `signal(2)` FFI call; everything the handler itself does is a single
+//! atomic store, which is async-signal-safe.
+//!
+//! On non-Unix targets [`set_handler`] succeeds but never fires (the
+//! workspace only targets Linux containers; the stub keeps it compiling
+//! elsewhere).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Error installing the handler.
+#[derive(Debug)]
+pub enum Error {
+    /// [`set_handler`] was already called once in this process.
+    MultipleHandlers,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::MultipleHandlers => write!(f, "a ctrl-c handler is already installed"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+static TRIPPED: AtomicBool = AtomicBool::new(false);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    use super::TRIPPED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        TRIPPED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is in libc (always linked by std on Unix); the
+        // handler performs a single lock-free atomic store, which is on
+        // POSIX's async-signal-safe list. Handler function pointers are
+        // passed as the platform's usize-sized handler slot.
+        unsafe {
+            extern "C" {
+                fn signal(signum: i32, handler: usize) -> usize;
+            }
+            let h = on_signal as extern "C" fn(i32) as usize;
+            signal(SIGINT, h);
+            signal(SIGTERM, h);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub fn install() {}
+}
+
+/// Installs `handler` to run (on a watcher thread, not in signal context)
+/// each time the process receives SIGINT or SIGTERM.
+pub fn set_handler<F>(mut handler: F) -> Result<(), Error>
+where
+    F: FnMut() + Send + 'static,
+{
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return Err(Error::MultipleHandlers);
+    }
+    sys::install();
+    std::thread::Builder::new()
+        .name("ctrlc-watcher".to_owned())
+        .spawn(move || loop {
+            if TRIPPED.swap(false, Ordering::SeqCst) {
+                handler();
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        })
+        .expect("spawn ctrl-c watcher thread");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn handler_runs_when_the_flag_trips() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&fired);
+        set_handler(move || {
+            seen.fetch_add(1, Ordering::SeqCst);
+        })
+        .expect("first install succeeds");
+        // Simulate signal delivery without killing the test runner.
+        TRIPPED.store(true, Ordering::SeqCst);
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while fired.load(Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert!(matches!(set_handler(|| {}), Err(Error::MultipleHandlers)));
+    }
+}
