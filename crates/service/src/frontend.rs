@@ -1,0 +1,821 @@
+//! The event-driven NDJSON frontend: one reactor thread multiplexing
+//! every connection over the vendored `krsp-reactor` epoll/poll loop.
+//!
+//! ## Shape
+//!
+//! The reactor thread owns the listener, every connection socket, and all
+//! per-connection state (read framing, write buffers, ordering queues).
+//! It never solves: `Solve` requests go through
+//! [`Service::provision_async`], run on the service's worker pool, and
+//! complete by pushing a rendered response line onto a shared completion
+//! queue and waking the reactor through its wake pipe. Total threads are
+//! therefore O(workers) + 1 regardless of connection count.
+//!
+//! ## Ordering model
+//!
+//! Requests carrying an `"id"` member are dispatched immediately and
+//! answered in completion order (out-of-order pipelining). Requests
+//! without an id keep the historical blocking semantics: each one is
+//! evaluated only after the previous id-less response on the same
+//! connection was produced, so legacy clients observe the same ordering
+//! *and* the same side-effect timing (a pipelined `"Metrics"` still
+//! counts the solve before it) as the thread-per-connection server.
+//!
+//! ## Fairness and protection
+//!
+//! * Reads are level-triggered and budgeted per readiness event, so one
+//!   firehose connection cannot starve the rest of the loop.
+//! * A connection stalled mid-line past [`ServeOptions::read_timeout`] is
+//!   dropped by the housekeeping sweep (the slow-loris defense); idle
+//!   connections *between* lines never time out.
+//! * A client that stops draining responses trips
+//!   [`ServeOptions::write_timeout`] and is dropped.
+//! * Accepts beyond [`ServeOptions::max_conns`] /
+//!   [`ServeOptions::per_client_conns`] are answered with a `"shed"`
+//!   error line and closed; `Solve` floods beyond the per-address token
+//!   bucket get `"rate_limited"` errors.
+//!
+//! The housekeeping sweep runs on a reactor timer every
+//! [`ServeOptions::poll`]; it is also where the shutdown flag (set from a
+//! signal handler that cannot wake the reactor itself) is noticed, so the
+//! daemon parks in `epoll_wait` when idle instead of spin-polling.
+
+use crate::metrics::FrontendStats;
+use crate::proto::{
+    self, health_reply, solve_response, DecodedRequest, ErrorKind, ServeOptions, SolveRequest,
+    WireRequest, WireResponse, MAX_LINE_BYTES,
+};
+use crate::service::{Request, Service};
+use crate::sync_util::lock_recover;
+use krsp_reactor::{Event, Interest, Mode, Reactor, Token, Waker};
+use serde::Content;
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind as IoErrorKind, Read, Write};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const LISTENER: Token = Token(0);
+const SWEEP: Token = Token(1);
+const FIRST_CONN_TOKEN: usize = 2;
+
+/// Read budget per readiness event per connection. Level-triggered
+/// registration re-reports the descriptor on the next poll, so capping a
+/// single drain bounds how long one chatty connection can hog the loop.
+const READ_BUDGET: usize = 256 * 1024;
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Compact the write buffer once this many bytes are already flushed.
+const OUT_COMPACT: usize = 64 * 1024;
+
+/// The pieces `serve_event_driven` hands back when no poll facility
+/// exists, so the caller can fall back to the threaded server.
+pub(crate) type FallbackParts = (TcpListener, Arc<AtomicBool>, ServeOptions);
+
+/// Runs the event-driven server. On an `Unsupported` reactor (no poll
+/// facility on this platform) the listener/flag/options are returned so
+/// the caller can fall back; any later error is terminal.
+pub(crate) fn serve_event_driven(
+    service: &Service,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    opts: ServeOptions,
+) -> Result<(), (std::io::Error, Option<FallbackParts>)> {
+    let reactor = match Reactor::new() {
+        Ok(r) => r,
+        Err(e) => return Err((e, Some((listener, shutdown, opts)))),
+    };
+    Frontend::new(service.clone(), reactor, listener, shutdown, opts)
+        .and_then(Frontend::run)
+        .map_err(|e| (e, None))
+}
+
+/// One response produced off-thread, addressed by connection token.
+struct Completion {
+    token: usize,
+    line: String,
+    /// Whether this response belongs to the connection's id-less ordered
+    /// stream (its completion unblocks the next queued request).
+    ordered: bool,
+}
+
+/// Work parked behind the connection's in-order (id-less) stream.
+enum Queued {
+    /// A response decided at receipt time (parse error, oversize line,
+    /// rate limit), waiting its turn to be written.
+    Respond(WireResponse),
+    /// A request evaluated when it reaches the front of the queue.
+    Request(WireRequest),
+}
+
+/// A complete line produced by the incremental framer.
+enum Framed {
+    Line(Vec<u8>),
+    TooLong,
+}
+
+struct Conn {
+    stream: TcpStream,
+    peer: IpAddr,
+    /// Bytes of the current (incomplete) request line.
+    line: Vec<u8>,
+    /// The current line blew past [`MAX_LINE_BYTES`]; bytes are dropped
+    /// until its newline, then one oversize error is emitted.
+    discarding: bool,
+    /// When the current partial line started arriving (the slow-loris
+    /// clock); `None` between lines.
+    partial_since: Option<Instant>,
+    /// Pending output; `[out_pos..]` is unwritten.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// When the socket first refused bytes; cleared on full flush.
+    write_stall_since: Option<Instant>,
+    /// Registered for writable interest (pending output).
+    wants_write: bool,
+    /// Dispatched requests (ordered + id-carrying) not yet answered.
+    in_flight: usize,
+    /// Id-less work awaiting its turn (see the module ordering model).
+    queue: VecDeque<Queued>,
+    /// An id-less request is currently dispatched; the queue is paused.
+    ordered_busy: bool,
+    /// Peer EOF seen: close once everything queued is answered+flushed.
+    read_closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, peer: IpAddr) -> Conn {
+        Conn {
+            stream,
+            peer,
+            line: Vec::new(),
+            discarding: false,
+            partial_since: None,
+            out: Vec::new(),
+            out_pos: 0,
+            write_stall_since: None,
+            wants_write: false,
+            in_flight: 0,
+            queue: VecDeque::new(),
+            ordered_busy: false,
+            read_closed: false,
+        }
+    }
+
+    /// Nothing in flight, queued, or buffered.
+    fn idle(&self) -> bool {
+        self.in_flight == 0 && self.queue.is_empty() && self.out_pos == self.out.len()
+    }
+}
+
+/// Per-address token bucket for `Solve` admission.
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+struct Frontend {
+    service: Service,
+    opts: ServeOptions,
+    tick: Duration,
+    reactor: Reactor,
+    waker: Waker,
+    /// `None` once draining (the listener is closed to stop accepts).
+    listener: Option<TcpListener>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<FrontendStats>,
+    conns: HashMap<usize, Conn>,
+    per_client: HashMap<IpAddr, usize>,
+    buckets: HashMap<IpAddr, Bucket>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    next_token: usize,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+}
+
+impl Frontend {
+    fn new(
+        service: Service,
+        mut reactor: Reactor,
+        listener: TcpListener,
+        shutdown: Arc<AtomicBool>,
+        opts: ServeOptions,
+    ) -> std::io::Result<Frontend> {
+        listener.set_nonblocking(true)?;
+        reactor.register(
+            listener.as_raw_fd(),
+            LISTENER,
+            Interest::READABLE,
+            Mode::Level,
+        )?;
+        let stats = Arc::new(FrontendStats::default());
+        service.attach_frontend_stats(Arc::clone(&stats));
+        let waker = reactor.waker();
+        Ok(Frontend {
+            tick: opts.poll.max(Duration::from_millis(1)),
+            service,
+            opts,
+            waker,
+            listener: Some(listener),
+            shutdown,
+            stats,
+            conns: HashMap::new(),
+            per_client: HashMap::new(),
+            buckets: HashMap::new(),
+            completions: Arc::new(Mutex::new(Vec::new())),
+            next_token: FIRST_CONN_TOKEN,
+            reactor,
+            draining: false,
+            drain_deadline: None,
+        })
+    }
+
+    fn run(mut self) -> std::io::Result<()> {
+        let mut events: Vec<Event> = Vec::new();
+        self.reactor.set_timer(Instant::now() + self.tick, SWEEP);
+        loop {
+            self.reactor.poll(&mut events, None)?;
+            // Off-thread completions first: their responses unblock queued
+            // work and free connections before new events pile on more.
+            self.apply_completions();
+            for ev in &events {
+                match ev.token {
+                    LISTENER => self.accept_ready()?,
+                    SWEEP => self.sweep(),
+                    Token(token) => self.conn_event(token, *ev),
+                }
+            }
+            // Completions that landed while handling events are picked up
+            // next iteration — the waker guarantees the poll returns
+            // immediately rather than parking.
+            if self.draining && self.conns.is_empty() {
+                break;
+            }
+            if let Some(deadline) = self.drain_deadline {
+                if Instant::now() >= deadline {
+                    let tokens: Vec<usize> = self.conns.keys().copied().collect();
+                    for token in tokens {
+                        self.drop_conn(token);
+                    }
+                    break;
+                }
+            }
+        }
+        let grace_left = self.drain_deadline.map_or(Duration::ZERO, |d| {
+            d.saturating_duration_since(Instant::now())
+        });
+        self.service.drain(grace_left);
+        Ok(())
+    }
+
+    // ---- accept path ---------------------------------------------------
+
+    fn accept_ready(&mut self) -> std::io::Result<()> {
+        loop {
+            let accepted = match self.listener.as_ref() {
+                None => return Ok(()), // draining: stray readiness
+                Some(listener) => listener.accept(),
+            };
+            match accepted {
+                Ok((stream, peer)) => self.admit_conn(stream, peer),
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == IoErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn admit_conn(&mut self, stream: TcpStream, peer: SocketAddr) {
+        let ip = peer.ip();
+        if self.conns.len() >= self.opts.max_conns {
+            self.stats.shed_total_cap();
+            proto::shed_at_accept(stream, "server connection limit reached");
+            return;
+        }
+        if self
+            .per_client
+            .get(&ip)
+            .is_some_and(|&n| n >= self.opts.per_client_conns)
+        {
+            self.stats.shed_per_client();
+            proto::shed_at_accept(stream, "per-client connection limit reached");
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        if self
+            .reactor
+            .register(
+                stream.as_raw_fd(),
+                Token(token),
+                Interest::READABLE,
+                Mode::Level,
+            )
+            .is_err()
+        {
+            return;
+        }
+        self.conns.insert(token, Conn::new(stream, ip));
+        *self.per_client.entry(ip).or_insert(0) += 1;
+        self.stats.conn_opened();
+    }
+
+    // ---- connection events ----------------------------------------------
+
+    fn conn_event(&mut self, token: usize, ev: Event) {
+        if ev.writable {
+            self.flush(token);
+        }
+        if ev.readable {
+            self.conn_readable(token);
+        }
+        self.maybe_close(token);
+    }
+
+    fn conn_readable(&mut self, token: usize) {
+        // Chaos-testing hook: `proto.read=err(...)` fails the read like a
+        // torn connection would (same site the threaded server honors).
+        if read_failpoint().is_err() {
+            self.drop_conn(token);
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let mut framed: Vec<Framed> = Vec::new();
+        let mut chunk = [0u8; READ_CHUNK];
+        let mut budget = READ_BUDGET;
+        loop {
+            if budget == 0 {
+                break; // level-triggered: the rest re-reports next poll
+            }
+            match conn.stream.read(&mut chunk[..READ_CHUNK.min(budget)]) {
+                Ok(0) => {
+                    // Peer EOF. An unterminated trailing line still counts
+                    // as a line (matching the blocking reader).
+                    if conn.discarding {
+                        conn.discarding = false;
+                        framed.push(Framed::TooLong);
+                    } else if !conn.line.is_empty() {
+                        framed.push(Framed::Line(std::mem::take(&mut conn.line)));
+                    }
+                    conn.read_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    budget -= n;
+                    frame_chunk(conn, &chunk[..n], &mut framed);
+                }
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == IoErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.drop_conn(token);
+                    return;
+                }
+            }
+        }
+        // The slow-loris clock: ticking iff a line is mid-flight.
+        if conn.line.is_empty() && !conn.discarding {
+            conn.partial_since = None;
+        } else if conn.partial_since.is_none() {
+            conn.partial_since = Some(Instant::now());
+        }
+        for item in framed {
+            if !self.conns.contains_key(&token) {
+                return; // an earlier line's handling dropped the conn
+            }
+            match item {
+                Framed::TooLong => {
+                    let msg = format!("request line exceeds {MAX_LINE_BYTES} bytes");
+                    self.enqueue_ordered(
+                        token,
+                        Queued::Respond(proto::wire_error(ErrorKind::OversizeLine, msg)),
+                    );
+                }
+                Framed::Line(raw) => self.handle_line(token, &raw),
+            }
+        }
+    }
+
+    fn handle_line(&mut self, token: usize, raw: &[u8]) {
+        let text = String::from_utf8_lossy(raw);
+        if text.trim().is_empty() {
+            return;
+        }
+        let DecodedRequest { id, request } = proto::decode_request_line(&text);
+        match (id, request) {
+            // Unparseable request: the error is matched to its id when one
+            // was recoverable, otherwise it joins the ordered stream.
+            (id @ Some(_), Err(msg)) => {
+                let line = proto::encode_response_line(
+                    id.as_ref(),
+                    &proto::wire_error(ErrorKind::Parse, msg),
+                );
+                self.queue_response(token, &line);
+            }
+            (None, Err(msg)) => {
+                self.enqueue_ordered(
+                    token,
+                    Queued::Respond(proto::wire_error(ErrorKind::Parse, msg)),
+                );
+            }
+            // Id-carrying requests dispatch immediately (out-of-order).
+            (Some(id), Ok(WireRequest::Metrics)) => {
+                let line = proto::encode_response_line(
+                    Some(&id),
+                    &WireResponse::Metrics(self.service.metrics()),
+                );
+                self.queue_response(token, &line);
+            }
+            (Some(id), Ok(WireRequest::Health)) => {
+                let response = WireResponse::Health(self.local_health());
+                let line = proto::encode_response_line(Some(&id), &response);
+                self.queue_response(token, &line);
+            }
+            (Some(id), Ok(WireRequest::Solve(solve))) => {
+                if let Some(refused) = self.screen_solve(token, &solve) {
+                    let line = proto::encode_response_line(Some(&id), &refused);
+                    self.queue_response(token, &line);
+                    return;
+                }
+                self.dispatch_solve(token, Some(id), false, solve);
+            }
+            // Id-less requests keep blocking-server semantics: strictly
+            // in order, evaluated only when their turn comes.
+            (None, Ok(WireRequest::Solve(solve))) => {
+                if let Some(refused) = self.screen_solve(token, &solve) {
+                    self.enqueue_ordered(token, Queued::Respond(refused));
+                    return;
+                }
+                self.enqueue_ordered(token, Queued::Request(WireRequest::Solve(solve)));
+            }
+            (None, Ok(request)) => self.enqueue_ordered(token, Queued::Request(request)),
+        }
+    }
+
+    /// Receipt-time checks shared by both dispatch paths: the per-address
+    /// token bucket, then instance validation.
+    fn screen_solve(&mut self, token: usize, solve: &SolveRequest) -> Option<WireResponse> {
+        let peer = self.conns.get(&token)?.peer;
+        if !self.rate_allow(peer) {
+            self.stats.rate_limited();
+            return Some(proto::wire_error(
+                ErrorKind::RateLimited,
+                "per-client request rate exceeded",
+            ));
+        }
+        if let Err(e) = solve.instance.validate() {
+            return Some(proto::wire_error(
+                ErrorKind::Parse,
+                format!("invalid instance: {e}"),
+            ));
+        }
+        None
+    }
+
+    fn rate_allow(&mut self, ip: IpAddr) -> bool {
+        if self.opts.rate_per_sec == 0 {
+            return true;
+        }
+        let rate = self.opts.rate_per_sec as f64;
+        let burst = if self.opts.rate_burst == 0 {
+            2.0 * rate
+        } else {
+            self.opts.rate_burst as f64
+        };
+        let now = Instant::now();
+        let bucket = self.buckets.entry(ip).or_insert(Bucket {
+            tokens: burst,
+            last: now,
+        });
+        bucket.tokens =
+            (bucket.tokens + now.duration_since(bucket.last).as_secs_f64() * rate).min(burst);
+        bucket.last = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn enqueue_ordered(&mut self, token: usize, item: Queued) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.queue.push_back(item);
+        }
+        self.pump_queue(token);
+    }
+
+    /// Advances the connection's in-order stream: answers everything up
+    /// to (and excluding) the next `Solve`, then dispatches that solve
+    /// and pauses until its completion unblocks the queue.
+    fn pump_queue(&mut self, token: usize) {
+        loop {
+            let item = {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                if conn.ordered_busy {
+                    return;
+                }
+                match conn.queue.pop_front() {
+                    Some(item) => item,
+                    None => return,
+                }
+            };
+            match item {
+                Queued::Respond(response) => {
+                    let line = proto::encode_response_line(None, &response);
+                    self.queue_response(token, &line);
+                }
+                Queued::Request(WireRequest::Metrics) => {
+                    // Evaluated here, not at receipt: every earlier id-less
+                    // request has completed, so the snapshot observes them
+                    // exactly as the blocking server's did.
+                    let line = proto::encode_response_line(
+                        None,
+                        &WireResponse::Metrics(self.service.metrics()),
+                    );
+                    self.queue_response(token, &line);
+                }
+                Queued::Request(WireRequest::Health) => {
+                    let response = WireResponse::Health(self.local_health());
+                    let line = proto::encode_response_line(None, &response);
+                    self.queue_response(token, &line);
+                }
+                Queued::Request(WireRequest::Solve(solve)) => {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.ordered_busy = true;
+                    }
+                    self.dispatch_solve(token, None, true, solve);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn dispatch_solve(
+        &mut self,
+        token: usize,
+        id: Option<Content>,
+        ordered: bool,
+        solve: SolveRequest,
+    ) {
+        let depth = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            conn.in_flight += 1;
+            conn.in_flight as u64
+        };
+        self.stats.observe_pipeline_depth(depth);
+        let completions = Arc::clone(&self.completions);
+        let waker = self.waker.clone();
+        self.service.provision_async(
+            Request {
+                instance: solve.instance,
+                deadline: solve.deadline_ms.map(Duration::from_millis),
+            },
+            move |out| {
+                // Rendering happens on the worker, off the reactor thread.
+                let line = proto::encode_response_line(id.as_ref(), &solve_response(out));
+                lock_recover(&completions).push(Completion {
+                    token,
+                    line,
+                    ordered,
+                });
+                waker.wake();
+            },
+        );
+    }
+
+    fn local_health(&self) -> crate::proto::HealthReply {
+        self.stats.health_probe();
+        health_reply(
+            &self.service,
+            Some((self.conns.len() as u64, self.opts.max_conns as u64)),
+        )
+    }
+
+    fn apply_completions(&mut self) {
+        let batch = std::mem::take(&mut *lock_recover(&self.completions));
+        for done in batch {
+            let Some(conn) = self.conns.get_mut(&done.token) else {
+                continue; // the connection died while its solve ran
+            };
+            conn.in_flight -= 1;
+            if done.ordered {
+                conn.ordered_busy = false;
+            }
+            self.queue_response(done.token, &done.line);
+            if done.ordered {
+                self.pump_queue(done.token);
+            }
+            self.maybe_close(done.token);
+        }
+    }
+
+    // ---- write path -----------------------------------------------------
+
+    fn queue_response(&mut self, token: usize, line: &str) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.out.extend_from_slice(line.as_bytes());
+        conn.out.push(b'\n');
+        self.flush(token);
+    }
+
+    fn flush(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        while conn.out_pos < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    self.drop_conn(token);
+                    return;
+                }
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => {
+                    if conn.out_pos >= OUT_COMPACT {
+                        conn.out.drain(..conn.out_pos);
+                        conn.out_pos = 0;
+                    }
+                    if conn.write_stall_since.is_none() {
+                        conn.write_stall_since = Some(Instant::now());
+                    }
+                    if !conn.wants_write {
+                        conn.wants_write = true;
+                        let fd = conn.stream.as_raw_fd();
+                        if self
+                            .reactor
+                            .reregister(fd, Token(token), Interest::BOTH, Mode::Level)
+                            .is_err()
+                        {
+                            self.drop_conn(token);
+                        }
+                    }
+                    return;
+                }
+                Err(e) if e.kind() == IoErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.drop_conn(token);
+                    return;
+                }
+            }
+        }
+        conn.out.clear();
+        conn.out_pos = 0;
+        conn.write_stall_since = None;
+        if conn.wants_write {
+            conn.wants_write = false;
+            let fd = conn.stream.as_raw_fd();
+            if self
+                .reactor
+                .reregister(fd, Token(token), Interest::READABLE, Mode::Level)
+                .is_err()
+            {
+                self.drop_conn(token);
+            }
+        }
+    }
+
+    // ---- lifecycle ------------------------------------------------------
+
+    fn maybe_close(&mut self, token: usize) {
+        let Some(conn) = self.conns.get(&token) else {
+            return;
+        };
+        if conn.idle() && (conn.read_closed || self.draining) {
+            self.drop_conn(token);
+        }
+    }
+
+    fn drop_conn(&mut self, token: usize) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.reactor.deregister(conn.stream.as_raw_fd());
+            if let Some(n) = self.per_client.get_mut(&conn.peer) {
+                *n -= 1;
+                if *n == 0 {
+                    self.per_client.remove(&conn.peer);
+                }
+            }
+            self.stats.conn_closed();
+        }
+    }
+
+    /// The housekeeping tick: notices the shutdown flag, enforces the
+    /// stall timeouts, prunes cold rate buckets, and re-arms itself.
+    fn sweep(&mut self) {
+        let now = Instant::now();
+        if !self.draining && self.shutdown.load(Ordering::Acquire) {
+            self.begin_drain(now);
+        }
+        let mut read_dead = Vec::new();
+        let mut write_dead = Vec::new();
+        let mut drain_idle = Vec::new();
+        for (&token, conn) in &self.conns {
+            if conn
+                .partial_since
+                .is_some_and(|since| now.duration_since(since) >= self.opts.read_timeout)
+            {
+                read_dead.push(token);
+            } else if conn
+                .write_stall_since
+                .is_some_and(|since| now.duration_since(since) >= self.opts.write_timeout)
+            {
+                write_dead.push(token);
+            } else if self.draining && conn.idle() {
+                drain_idle.push(token);
+            }
+        }
+        for token in read_dead {
+            self.stats.read_timeout();
+            self.drop_conn(token);
+        }
+        for token in write_dead {
+            self.drop_conn(token);
+        }
+        for token in drain_idle {
+            self.drop_conn(token);
+        }
+        // Buckets refill to full and then carry no state worth keeping;
+        // drop those with no open connection so one-shot clients cannot
+        // grow the map unboundedly.
+        let burst = if self.opts.rate_burst == 0 {
+            2.0 * self.opts.rate_per_sec as f64
+        } else {
+            self.opts.rate_burst as f64
+        };
+        let per_client = &self.per_client;
+        let rate = self.opts.rate_per_sec as f64;
+        self.buckets.retain(|ip, bucket| {
+            let refilled =
+                (bucket.tokens + now.duration_since(bucket.last).as_secs_f64() * rate).min(burst);
+            per_client.contains_key(ip) || refilled < burst
+        });
+        self.reactor.set_timer(now + self.tick, SWEEP);
+    }
+
+    fn begin_drain(&mut self, now: Instant) {
+        self.draining = true;
+        self.drain_deadline = Some(now + self.opts.grace);
+        // Stop accepting: deregister and close the listener so the port
+        // frees immediately, then flip the service (new solves shed, in-
+        // flight ones degrade to their cheapest rung and finish).
+        if let Some(listener) = self.listener.take() {
+            let _ = self.reactor.deregister(listener.as_raw_fd());
+        }
+        self.service.begin_shutdown();
+        let idle: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| conn.idle())
+            .map(|(&token, _)| token)
+            .collect();
+        for token in idle {
+            self.drop_conn(token);
+        }
+    }
+}
+
+/// Feeds one read chunk through the incremental framer, appending
+/// complete lines (and oversize markers) to `framed`.
+fn frame_chunk(conn: &mut Conn, mut rest: &[u8], framed: &mut Vec<Framed>) {
+    while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+        let (head, tail) = rest.split_at(pos);
+        rest = &tail[1..];
+        if conn.discarding {
+            conn.discarding = false;
+            framed.push(Framed::TooLong);
+        } else if conn.line.len() + head.len() > MAX_LINE_BYTES {
+            conn.line.clear();
+            framed.push(Framed::TooLong);
+        } else {
+            conn.line.extend_from_slice(head);
+            framed.push(Framed::Line(std::mem::take(&mut conn.line)));
+        }
+    }
+    if !rest.is_empty() && !conn.discarding {
+        if conn.line.len() + rest.len() > MAX_LINE_BYTES {
+            // Stop buffering: the line already blew the cap; remember only
+            // that fact until its newline arrives.
+            conn.line.clear();
+            conn.discarding = true;
+        } else {
+            conn.line.extend_from_slice(rest);
+        }
+    }
+}
+
+/// The `proto.read` failpoint as a fallible call site (the macro's `Err`
+/// form returns from the enclosing function).
+fn read_failpoint() -> std::io::Result<()> {
+    krsp_failpoint::fail_point!("proto.read", |msg| Err(std::io::Error::other(msg)));
+    Ok(())
+}

@@ -51,6 +51,34 @@
 
 pub mod cache;
 pub mod degrade;
+#[cfg(unix)]
+mod frontend;
+#[cfg(not(unix))]
+mod frontend {
+    //! Stub for platforms without a poll facility: the caller falls back
+    //! to the threaded server.
+    use crate::proto::ServeOptions;
+    use std::net::TcpListener;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    pub(crate) type FallbackParts = (TcpListener, Arc<AtomicBool>, ServeOptions);
+
+    pub(crate) fn serve_event_driven(
+        _service: &crate::Service,
+        listener: TcpListener,
+        shutdown: Arc<AtomicBool>,
+        opts: ServeOptions,
+    ) -> Result<(), (std::io::Error, Option<FallbackParts>)> {
+        Err((
+            std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "no event backend on this platform",
+            ),
+            Some((listener, shutdown, opts)),
+        ))
+    }
+}
 pub mod hash;
 pub mod load;
 pub mod metrics;
@@ -66,10 +94,11 @@ pub use degrade::{
 };
 pub use hash::{canonical_key, CacheKey};
 pub use load::{run_remote, LoadReport, LoadSpec, RemoteSpec};
-pub use metrics::{LatencyHistogram, MetricsSnapshot};
+pub use metrics::{FrontendSnapshot, LatencyHistogram, MetricsSnapshot};
 pub use proto::{
-    serve, serve_on, serve_with_shutdown, ErrorKind, ServeOptions, SolveRequest, SolvedReply,
-    WireError, WireRequest, WireResponse, MAX_LINE_BYTES,
+    decode_response_line, encode_request_with_id, health_reply, serve, serve_on,
+    serve_threaded_with_shutdown, serve_with_shutdown, ErrorKind, HealthReply, HealthStatus,
+    ServeOptions, SolveRequest, SolvedReply, WireError, WireRequest, WireResponse, MAX_LINE_BYTES,
 };
 pub use quarantine::Quarantine;
 pub use service::{Rejection, Request, Response, Service, ServiceConfig};

@@ -16,11 +16,12 @@
 
 use crate::degrade::Rung;
 use crate::metrics::MetricsSnapshot;
-use crate::proto::{ErrorKind, SolveRequest, WireRequest, WireResponse};
+use crate::proto::{self, ErrorKind, SolveRequest, WireRequest, WireResponse};
 use crate::service::{Rejection, Request, Service};
 use crate::sync_util::lock_recover;
 use krsp_gen::{Family, Regime, Workload};
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -52,6 +53,11 @@ pub struct LoadSpec {
     /// Per-request deadline in milliseconds; `None` uses the service
     /// default.
     pub deadline_ms: Option<u64>,
+    /// Requests kept in flight per connection in remote replays. `0`/`1`
+    /// is the classic one-at-a-time round trip; `N > 1` pipelines with
+    /// per-request ids and matches responses out of order. Ignored by
+    /// in-process replays (clients are the concurrency there).
+    pub pipeline: usize,
 }
 
 impl Default for LoadSpec {
@@ -67,6 +73,7 @@ impl Default for LoadSpec {
             tightness: 0.5,
             seed: 42,
             deadline_ms: None,
+            pipeline: 1,
         }
     }
 }
@@ -150,6 +157,17 @@ pub struct LoadReport {
     /// Reconnect-and-reissue attempts after transport errors (remote
     /// replay only; 0 in-process).
     pub transport_retries: u64,
+    /// Requests kept in flight per connection (1 = sequential round
+    /// trips). Latencies are measured **per id** — send of a request to
+    /// receipt of the response carrying its id — so pipelined numbers are
+    /// true per-request latencies, not batch times.
+    pub pipeline_depth: u64,
+    /// Responses that arrived before an earlier-submitted request's
+    /// response on the same connection (pipelined replays only).
+    pub out_of_order_replies: u64,
+    /// Deepest observed reordering: the most earlier-submitted requests
+    /// still unanswered when a response arrived.
+    pub reorder_depth_max: u64,
     /// Wall-clock duration of the replay in seconds.
     pub wall_s: f64,
     /// Achieved throughput (completed / wall).
@@ -181,6 +199,8 @@ struct Tally {
     cache_hits: u64,
     coalesced: u64,
     wire_errors: u64,
+    out_of_order: u64,
+    reorder_depth_max: u64,
     per_rung: [u64; 4],
     hit_latencies: Vec<u64>,
     miss_latencies: Vec<u64>,
@@ -284,7 +304,7 @@ pub fn run(service: &Service, spec: &LoadSpec) -> LoadReport {
 
     let wall = start.elapsed();
     let t = tally.into_inner().unwrap_or_else(|e| e.into_inner());
-    build_report(spec.requests as u64, wall, t, 0, service.metrics())
+    build_report(spec.requests as u64, wall, t, 0, 1, service.metrics())
 }
 
 fn build_report(
@@ -292,6 +312,7 @@ fn build_report(
     wall: Duration,
     t: Tally,
     transport_retries: u64,
+    pipeline_depth: u64,
     service_metrics: MetricsSnapshot,
 ) -> LoadReport {
     let all: Vec<u64> = t
@@ -311,6 +332,9 @@ fn build_report(
         coalesced: t.coalesced,
         wire_errors: t.wire_errors,
         transport_retries,
+        pipeline_depth,
+        out_of_order_replies: t.out_of_order,
+        reorder_depth_max: t.reorder_depth_max,
         wall_s: wall.as_secs_f64(),
         achieved_qps: if wall.as_secs_f64() > 0.0 {
             t.completed as f64 / wall.as_secs_f64()
@@ -417,6 +441,213 @@ impl WireClient {
     }
 }
 
+/// Classifies one wire response (or its absence) into the tally.
+fn tally_response(t: &mut Tally, response: Option<WireResponse>, latency_us: u64) {
+    match response {
+        Some(WireResponse::Solved(r)) => {
+            t.record_solved(
+                r.rung,
+                r.cache_hit,
+                r.coalesced,
+                r.deadline_missed,
+                latency_us,
+            );
+        }
+        Some(WireResponse::Rejected(_)) => t.infeasible += 1,
+        Some(WireResponse::Error(e)) => match e.kind {
+            ErrorKind::Shed => t.rejected_queue_full += 1,
+            ErrorKind::Timeout => t.rejected_expired += 1,
+            _ => t.wire_errors += 1,
+        },
+        // Transport failure past the retry budget, or a reply that did
+        // not parse (including an unexpected `Metrics` payload).
+        _ => t.wire_errors += 1,
+    }
+}
+
+/// Splices a numeric id into an already-serialized map-shaped request
+/// line: `{"Solve":...}` → `{"id":7,"Solve":...}`. Equivalent to
+/// [`proto::encode_request_with_id`] without re-serializing the instance.
+fn line_with_id(line: &str, id: u64) -> String {
+    debug_assert!(line.starts_with('{'), "request line must be a JSON map");
+    format!("{{\"id\":{id},{}", &line[1..])
+}
+
+/// A request written to a pipelined connection and not yet answered.
+struct Pending {
+    /// The full request line, kept for reissue after a connection death.
+    line: String,
+    /// When it was first sent; per-id latency spans reconnects, matching
+    /// the sequential client's retries-inclusive measurement.
+    sent: Instant,
+}
+
+/// One pipelined client: keeps up to `depth` ids in flight on a single
+/// connection, matches responses by id in whatever order they return,
+/// and on a connection death reconnects (with the same backoff budget as
+/// the sequential client) and reissues every outstanding id.
+#[allow(clippy::too_many_arguments)]
+fn run_pipelined_client(
+    remote: &RemoteSpec,
+    depth: usize,
+    mut salt: u64,
+    spec: &LoadSpec,
+    lines: &[String],
+    next: &AtomicUsize,
+    retries_made: &AtomicU64,
+    tally: &Mutex<Tally>,
+    start: Instant,
+    interval: Option<Duration>,
+) {
+    let mut conn: Option<BufReader<TcpStream>> = None;
+    let mut outstanding: HashMap<u64, Pending> = HashMap::new();
+    let mut order: VecDeque<u64> = VecDeque::new();
+    let mut exhausted = false;
+    let mut attempt = 0u32;
+    loop {
+        // (Re)establish the connection, reissuing everything outstanding
+        // oldest-first (the protocol is stateless per line, so a reissue
+        // is safe).
+        if conn.is_none() {
+            let established = TcpStream::connect(&remote.addr).ok().and_then(|s| {
+                let mut reader = BufReader::new(s);
+                for id in &order {
+                    let pending = outstanding.get(id).expect("order tracks outstanding");
+                    reader.get_mut().write_all(pending.line.as_bytes()).ok()?;
+                    reader.get_mut().write_all(b"\n").ok()?;
+                }
+                Some(reader)
+            });
+            match established {
+                Some(reader) => conn = Some(reader),
+                None => {
+                    if attempt >= remote.retries {
+                        // Budget exhausted: fail the whole window like the
+                        // sequential client fails its one request, then
+                        // start fresh on the remainder.
+                        let mut t = lock_recover(tally);
+                        t.wire_errors += outstanding.len() as u64;
+                        drop(t);
+                        outstanding.clear();
+                        order.clear();
+                        attempt = 0;
+                        if exhausted {
+                            return;
+                        }
+                        continue;
+                    }
+                    retries_made.fetch_add(1, Ordering::Relaxed);
+                    salt = salt.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    std::thread::sleep(backoff_delay(attempt, salt));
+                    attempt += 1;
+                    continue;
+                }
+            }
+        }
+        // Fill the window, writing each request as it is claimed.
+        while !exhausted && outstanding.len() < depth {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= spec.requests {
+                exhausted = true;
+                break;
+            }
+            if let Some(step) = interval {
+                let slot = start + step * i as u32;
+                let now = Instant::now();
+                if slot > now {
+                    std::thread::sleep(slot - now);
+                }
+            }
+            let id = i as u64;
+            let line = line_with_id(&lines[i % lines.len()], id);
+            let wrote = conn.as_mut().is_some_and(|reader| {
+                reader.get_mut().write_all(line.as_bytes()).is_ok()
+                    && reader.get_mut().write_all(b"\n").is_ok()
+            });
+            outstanding.insert(
+                id,
+                Pending {
+                    line,
+                    sent: Instant::now(),
+                },
+            );
+            order.push_back(id);
+            if !wrote {
+                conn = None;
+                break;
+            }
+        }
+        if conn.is_none() {
+            continue;
+        }
+        if outstanding.is_empty() {
+            return; // exhausted and fully answered
+        }
+        // Read one reply and match it to its id.
+        let mut reply = String::new();
+        let read = conn
+            .as_mut()
+            .map(|reader| reader.read_line(&mut reply))
+            .expect("connection established above");
+        match read {
+            Ok(n) if n > 0 => {
+                attempt = 0;
+                match proto::decode_response_line(reply.trim()) {
+                    Ok((Some(id), response)) if outstanding.contains_key(&id) => {
+                        let pos = order
+                            .iter()
+                            .position(|&x| x == id)
+                            .expect("outstanding ids are ordered");
+                        order.remove(pos);
+                        let pending = outstanding.remove(&id).expect("checked above");
+                        let us =
+                            pending.sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                        let mut t = lock_recover(tally);
+                        if pos > 0 {
+                            t.out_of_order += 1;
+                            t.reorder_depth_max = t.reorder_depth_max.max(pos as u64);
+                        }
+                        tally_response(&mut t, Some(response), us);
+                    }
+                    other => {
+                        // An id-less line (e.g. a shed error written at
+                        // accept) or an unknown id: charge it to the
+                        // oldest outstanding request.
+                        if let Some(id) = order.pop_front() {
+                            let pending =
+                                outstanding.remove(&id).expect("order tracks outstanding");
+                            let us =
+                                pending.sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                            let response = other.ok().map(|(_, r)| r);
+                            tally_response(&mut lock_recover(tally), response, us);
+                        }
+                    }
+                }
+            }
+            _ => {
+                // EOF or transport error with a window in flight.
+                conn = None;
+                if attempt >= remote.retries {
+                    let mut t = lock_recover(tally);
+                    t.wire_errors += outstanding.len() as u64;
+                    drop(t);
+                    outstanding.clear();
+                    order.clear();
+                    attempt = 0;
+                    if exhausted {
+                        return;
+                    }
+                    continue;
+                }
+                retries_made.fetch_add(1, Ordering::Relaxed);
+                salt = salt.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                std::thread::sleep(backoff_delay(attempt, salt));
+                attempt += 1;
+            }
+        }
+    }
+}
+
 /// Replays `spec` over the NDJSON wire protocol against the server at
 /// `remote.addr`, one TCP connection per client thread.
 ///
@@ -424,6 +655,13 @@ impl WireClient {
 /// exhausts its retry budget is tallied under `wire_errors` rather than
 /// failing the replay. The final metrics snapshot is fetched over a fresh
 /// connection (left at its default if the server is already gone).
+///
+/// With [`LoadSpec::pipeline`] > 1 each client keeps that many requests
+/// in flight per connection, tagging them with ids and matching the
+/// responses in completion order; the report then carries the observed
+/// reordering (`out_of_order_replies`, `reorder_depth_max`) and per-id
+/// latencies. A connection that dies mid-window reissues every
+/// outstanding id on the replacement connection.
 ///
 /// # Errors
 /// Returns an error when a request line cannot be serialized — transport
@@ -458,11 +696,29 @@ pub fn run_remote(spec: &LoadSpec, remote: &RemoteSpec) -> std::io::Result<LoadR
         None
     };
 
+    let depth = spec.pipeline.max(1);
     std::thread::scope(|s| {
         for c in 0..spec.clients.max(1) {
             let (next, retries_made, tally, lines) = (&next, &retries_made, &tally, &lines);
-            let mut client =
-                WireClient::new(&remote.addr, remote.retries, spec.seed ^ (c as u64 + 1));
+            let salt = spec.seed ^ (c as u64 + 1);
+            if depth > 1 {
+                s.spawn(move || {
+                    run_pipelined_client(
+                        remote,
+                        depth,
+                        salt,
+                        spec,
+                        lines,
+                        next,
+                        retries_made,
+                        tally,
+                        start,
+                        interval,
+                    );
+                });
+                continue;
+            }
+            let mut client = WireClient::new(&remote.addr, remote.retries, salt);
             s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= spec.requests {
@@ -478,25 +734,10 @@ pub fn run_remote(spec: &LoadSpec, remote: &RemoteSpec) -> std::io::Result<LoadR
                 let sent = Instant::now();
                 let reply = client.roundtrip(&lines[i % lines.len()], retries_made);
                 let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-                let mut t = lock_recover(tally);
-                match reply
+                let response = reply
                     .ok()
-                    .and_then(|r| serde_json::from_str::<WireResponse>(r.trim()).ok())
-                {
-                    Some(WireResponse::Solved(r)) => {
-                        t.record_solved(r.rung, r.cache_hit, r.coalesced, r.deadline_missed, us);
-                    }
-                    Some(WireResponse::Rejected(_)) => t.infeasible += 1,
-                    Some(WireResponse::Error(e)) => match e.kind {
-                        ErrorKind::Shed => t.rejected_queue_full += 1,
-                        ErrorKind::Timeout => t.rejected_expired += 1,
-                        _ => t.wire_errors += 1,
-                    },
-                    // Transport failure past the retry budget, or a reply
-                    // that did not parse (including an unexpected
-                    // `Metrics` payload).
-                    _ => t.wire_errors += 1,
-                }
+                    .and_then(|r| serde_json::from_str::<WireResponse>(r.trim()).ok());
+                tally_response(&mut lock_recover(tally), response, us);
             });
         }
     });
@@ -519,6 +760,7 @@ pub fn run_remote(spec: &LoadSpec, remote: &RemoteSpec) -> std::io::Result<LoadR
         wall,
         t,
         retries_made.load(Ordering::Relaxed),
+        depth as u64,
         service_metrics,
     ))
 }
@@ -532,12 +774,20 @@ pub fn render(report: &LoadReport) -> String {
         .map(|rg| format!("{rg}={}{}", r.per_rung[rg.index()], rg.guarantee()))
         .collect::<Vec<_>>()
         .join(" ");
+    let pipeline_line = if r.pipeline_depth > 1 {
+        format!(
+            "\npipeline: depth {}  out-of-order {}  (max reorder depth {})",
+            r.pipeline_depth, r.out_of_order_replies, r.reorder_depth_max
+        )
+    } else {
+        String::new()
+    };
     format!(
         "issued {}  completed {}  rejected(queue/deadline) {}/{}  infeasible {}  errors {}  retries {}\n\
          wall {:.3}s  throughput {:.1} req/s  deadline-missed {}\n\
          latency µs: p50 {}  p95 {}  p99 {}  mean {:.0}  max {}\n\
          cache: hits {}  coalesced {}  (hit p50 {} µs | miss p50 {} µs)\n\
-         rungs: {rung_line}",
+         rungs: {rung_line}{pipeline_line}",
         r.issued,
         r.completed,
         r.rejected_queue_full,
@@ -592,6 +842,25 @@ mod tests {
         let back: LoadReport = serde_json::from_str(&text).unwrap();
         assert_eq!(back.completed, report.completed);
         assert!(!render(&report).is_empty());
+    }
+
+    #[test]
+    fn spliced_id_matches_the_canonical_encoder() {
+        let spec = LoadSpec {
+            unique: 1,
+            n: 24,
+            ..LoadSpec::default()
+        };
+        let inst = build_pool(&spec).remove(0);
+        let req = WireRequest::Solve(SolveRequest {
+            instance: inst,
+            deadline_ms: Some(250),
+        });
+        let plain = serde_json::to_string(&req).unwrap();
+        assert_eq!(
+            line_with_id(&plain, 7),
+            proto::encode_request_with_id(7, &req)
+        );
     }
 
     #[test]

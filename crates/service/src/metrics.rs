@@ -10,6 +10,7 @@
 use crate::cache::CacheStats;
 use crate::degrade::Rung;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const MAJORS: usize = 40;
 const MINORS: usize = 8;
@@ -113,6 +114,110 @@ impl LatencyHistogram {
     }
 }
 
+/// Live counters for the TCP frontend, updated lock-free from the reactor
+/// thread and the solver-completion callbacks. The serializable view is
+/// [`FrontendSnapshot`]; [`crate::Service::attach_frontend_stats`] folds it
+/// into every [`MetricsSnapshot`].
+#[derive(Debug, Default)]
+pub struct FrontendStats {
+    conns_accepted: AtomicU64,
+    conns_open: AtomicU64,
+    conns_peak: AtomicU64,
+    shed_total_cap: AtomicU64,
+    shed_per_client: AtomicU64,
+    rate_limited: AtomicU64,
+    read_timeouts: AtomicU64,
+    pipelined_peak: AtomicU64,
+    health_probes: AtomicU64,
+}
+
+impl FrontendStats {
+    /// Records an accepted connection, tracking the open-connection peak.
+    pub fn conn_opened(&self) {
+        self.conns_accepted.fetch_add(1, Ordering::Relaxed);
+        let open = self.conns_open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.conns_peak.fetch_max(open, Ordering::Relaxed);
+    }
+
+    /// Records a closed connection.
+    pub fn conn_closed(&self) {
+        self.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection shed at accept because the total cap was hit.
+    pub fn shed_total_cap(&self) {
+        self.shed_total_cap.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection shed at accept because its client address had
+    /// too many connections open already.
+    pub fn shed_per_client(&self) {
+        self.shed_per_client.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request refused by the token-bucket rate limiter.
+    pub fn rate_limited(&self) {
+        self.rate_limited.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection dropped for stalling mid-line past the read
+    /// timeout (the slow-loris defense).
+    pub fn read_timeout(&self) {
+        self.read_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tracks the peak number of in-flight pipelined solves observed on a
+    /// single connection.
+    pub fn observe_pipeline_depth(&self, depth: u64) {
+        self.pipelined_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records a served `Health` probe.
+    pub fn health_probe(&self) {
+        self.health_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> FrontendSnapshot {
+        FrontendSnapshot {
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_open: self.conns_open.load(Ordering::Relaxed),
+            conns_peak: self.conns_peak.load(Ordering::Relaxed),
+            shed_total_cap: self.shed_total_cap.load(Ordering::Relaxed),
+            shed_per_client: self.shed_per_client.load(Ordering::Relaxed),
+            rate_limited: self.rate_limited.load(Ordering::Relaxed),
+            read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
+            pipelined_peak: self.pipelined_peak.load(Ordering::Relaxed),
+            health_probes: self.health_probes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Serializable view of [`FrontendStats`], nested in [`MetricsSnapshot`].
+/// All-zero when the service runs without a TCP frontend (library use).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrontendSnapshot {
+    /// Connections accepted over the frontend's lifetime.
+    pub conns_accepted: u64,
+    /// Connections currently open.
+    pub conns_open: u64,
+    /// Peak simultaneous open connections.
+    pub conns_peak: u64,
+    /// Connections shed at accept by the total-connection cap.
+    pub shed_total_cap: u64,
+    /// Connections shed at accept by the per-client cap.
+    pub shed_per_client: u64,
+    /// Requests refused by the per-client token-bucket rate limiter.
+    pub rate_limited: u64,
+    /// Connections dropped for stalling mid-line past the read timeout.
+    pub read_timeouts: u64,
+    /// Peak in-flight pipelined solves observed on one connection.
+    pub pipelined_peak: u64,
+    /// `Health` probes served.
+    pub health_probes: u64,
+}
+
 /// A point-in-time, serializable view of the service counters.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -152,6 +257,8 @@ pub struct MetricsSnapshot {
     pub rejected_shutdown: u64,
     /// End-to-end latency of completed requests.
     pub latency: LatencyHistogram,
+    /// TCP-frontend counters (all-zero without an attached frontend).
+    pub frontend: FrontendSnapshot,
 }
 
 impl MetricsSnapshot {

@@ -1,30 +1,49 @@
 //! Newline-delimited-JSON TCP frontend.
 //!
-//! One request per line, one response per line; connections are handled on
-//! a thread each and may pipeline any number of requests. The wire enums
-//! are externally tagged, so a solve request looks like
+//! One request per line, one response per line. The default server (see
+//! [`serve_with_shutdown`]) is event-driven: a single reactor thread (the
+//! vendored `krsp-reactor` epoll/poll loop) multiplexes every connection,
+//! frames lines incrementally against [`MAX_LINE_BYTES`], and dispatches
+//! solves to the service's worker pool, so thousands of mostly-idle
+//! connections cost O(workers) threads — not one thread each. The wire
+//! enums are externally tagged, so a solve request looks like
 //!
 //! ```json
 //! {"Solve": {"instance": {...}, "deadline_ms": 250}}
 //! ```
 //!
-//! and `"Metrics"` (a bare string) fetches a
-//! [`MetricsSnapshot`](crate::metrics::MetricsSnapshot). Malformed lines
-//! get an `"Error"` response carrying a machine-readable [`ErrorKind`]
-//! (`"parse"`, `"oversize_line"`, `"shed"`, `"timeout"`, `"solver_panic"`,
-//! `"internal"`) so clients can implement retry policy without string
-//! matching; the connection stays up.
+//! `"Metrics"` (a bare string) fetches a
+//! [`MetricsSnapshot`](crate::metrics::MetricsSnapshot), and `"Health"`
+//! fetches a [`HealthReply`] (ready/draining/shedding plus width and cache
+//! counters) cheap enough for load-balancer probing. Malformed lines get
+//! an `"Error"` response carrying a machine-readable [`ErrorKind`]
+//! (`"parse"`, `"oversize_line"`, `"shed"`, `"rate_limited"`, `"timeout"`,
+//! `"solver_panic"`, `"internal"`) so clients can implement retry policy
+//! without string matching; the connection stays up.
 //!
-//! [`serve_with_shutdown`] is the graceful entry point: it polls a
-//! shutdown flag between accepts, and on shutdown stops accepting, flips
-//! the service into drain mode (see [`Service::begin_shutdown`]), and
-//! waits for in-flight connections within a bounded grace period.
+//! ## Pipelining and request ids
+//!
+//! Because solves complete on worker threads, responses on one connection
+//! come back **in completion order, not submission order**. A map-shaped
+//! request may carry an `"id"` member — any JSON value, opaque to the
+//! server — and every response to it echoes that id back verbatim as an
+//! `"id"` member, so clients can pipeline many in-flight requests and
+//! match the replies ([`encode_request_with_id`] /
+//! [`decode_response_line`] implement the client side). Requests without
+//! an id get the unchanged historical wire format.
+//!
+//! [`serve_with_shutdown`] is the graceful entry point: on shutdown it
+//! stops accepting, flips the service into drain mode (see
+//! [`Service::begin_shutdown`]), answers the in-flight work, and bounds
+//! the whole farewell by a grace period. The previous thread-per-
+//! connection server survives as [`serve_threaded_with_shutdown`] — the
+//! A/B baseline and the fallback where no poll facility exists.
 
 use crate::degrade::{Guarantee, Rung};
 use crate::metrics::MetricsSnapshot;
-use crate::service::{Rejection, Request, Service};
+use crate::service::{Rejection, Request, Response, Service};
 use krsp::Instance;
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Serialize};
 use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -45,6 +64,8 @@ pub enum WireRequest {
     Solve(SolveRequest),
     /// Fetch the service counters.
     Metrics,
+    /// Cheap liveness/readiness probe for load balancers.
+    Health,
 }
 
 /// Payload of [`WireRequest::Solve`].
@@ -57,6 +78,11 @@ pub struct SolveRequest {
 }
 
 /// A response line.
+///
+/// One of these exists per request, briefly, between dispatch and
+/// serialization — the variant size spread is irrelevant at that rate and
+/// boxing would complicate every pattern match on the wire.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum WireResponse {
     /// The request was provisioned.
@@ -66,9 +92,114 @@ pub enum WireResponse {
     Rejected(String),
     /// Service counters.
     Metrics(MetricsSnapshot),
+    /// Readiness probe answer.
+    Health(HealthReply),
     /// The request failed for an operational reason: unparseable line,
     /// load shed, deadline, or a contained solver fault.
     Error(WireError),
+}
+
+/// Coarse serving state reported by [`WireRequest::Health`], serialized as
+/// a snake_case string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// Accepting and solving.
+    Ready,
+    /// Shutting down: existing work finishes, new work is refused.
+    Draining,
+    /// At capacity (admission queue or connection cap): retry elsewhere.
+    Shedding,
+}
+
+impl HealthStatus {
+    /// The wire string (`"ready"`, `"draining"`, `"shedding"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthStatus::Ready => "ready",
+            HealthStatus::Draining => "draining",
+            HealthStatus::Shedding => "shedding",
+        }
+    }
+}
+
+// Hand-written for the same reason as `ErrorKind`: the vendored serde
+// derive cannot rename variants to snake_case strings.
+impl Serialize for HealthStatus {
+    fn to_content(&self) -> Content {
+        Content::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for HealthStatus {
+    fn from_content(c: &Content) -> Result<Self, serde::DeError> {
+        match c {
+            Content::Str(s) => match s.as_str() {
+                "ready" => Ok(HealthStatus::Ready),
+                "draining" => Ok(HealthStatus::Draining),
+                "shedding" => Ok(HealthStatus::Shedding),
+                other => Err(serde::DeError(format!("unknown health status {other:?}"))),
+            },
+            other => Err(serde::DeError::expected("health-status string", other)),
+        }
+    }
+}
+
+/// Payload of [`WireResponse::Health`]: enough for a load balancer to
+/// route (status), for capacity planning (width/workers/queue), and for a
+/// cheap cache-efficiency read, without the full metrics histogram.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HealthReply {
+    /// Coarse serving state.
+    pub status: HealthStatus,
+    /// Solver data-parallel width (see `krsp::solver_width`).
+    pub width: u64,
+    /// Service worker threads.
+    pub workers: u64,
+    /// Requests admitted and not yet finished.
+    pub in_flight: u64,
+    /// Admission limit (`queue_capacity + workers`); `in_flight` at or
+    /// above this sheds.
+    pub queue_limit: u64,
+    /// Open frontend connections (0 when no frontend is attached).
+    pub conns_open: u64,
+    /// Solution-cache hits so far.
+    pub cache_hits: u64,
+    /// Solution-cache misses so far.
+    pub cache_misses: u64,
+    /// Solution-cache evictions so far.
+    pub cache_evictions: u64,
+}
+
+/// Builds a [`HealthReply`] from the service's current state. `conn_caps`
+/// carries the frontend's `(open, max)` connection counts when serving
+/// over TCP; `None` (library/threaded use) bases shedding on admission
+/// pressure alone.
+#[must_use]
+pub fn health_reply(service: &Service, conn_caps: Option<(u64, u64)>) -> HealthReply {
+    let m = service.metrics();
+    let cfg = service.config();
+    let queue_limit = (cfg.queue_capacity + cfg.workers) as u64;
+    let in_flight = service.in_flight() as u64;
+    let conns_open = conn_caps.map_or(m.frontend.conns_open, |(open, _)| open);
+    let status = if service.is_shutting_down() {
+        HealthStatus::Draining
+    } else if in_flight >= queue_limit || conn_caps.is_some_and(|(open, max)| open >= max) {
+        HealthStatus::Shedding
+    } else {
+        HealthStatus::Ready
+    };
+    HealthReply {
+        status,
+        width: krsp::solver_width() as u64,
+        workers: cfg.workers as u64,
+        in_flight,
+        queue_limit,
+        conns_open,
+        cache_hits: m.cache_hits,
+        cache_misses: m.cache_misses,
+        cache_evictions: m.cache_evictions,
+    }
 }
 
 /// Machine-readable category of a [`WireResponse::Error`], serialized as a
@@ -89,6 +220,9 @@ pub enum ErrorKind {
     /// The service shed the request (queue full or shutting down) —
     /// retry with backoff.
     Shed,
+    /// The client exceeded its per-address token-bucket request rate —
+    /// retry after backing off.
+    RateLimited,
     /// The server failed internally while producing the response.
     Internal,
 }
@@ -104,6 +238,7 @@ impl ErrorKind {
             ErrorKind::SolverPanic => "solver_panic",
             ErrorKind::Timeout => "timeout",
             ErrorKind::Shed => "shed",
+            ErrorKind::RateLimited => "rate_limited",
             ErrorKind::Internal => "internal",
         }
     }
@@ -132,6 +267,7 @@ impl Deserialize for ErrorKind {
                 "solver_panic" => Ok(ErrorKind::SolverPanic),
                 "timeout" => Ok(ErrorKind::Timeout),
                 "shed" => Ok(ErrorKind::Shed),
+                "rate_limited" => Ok(ErrorKind::RateLimited),
                 "internal" => Ok(ErrorKind::Internal),
                 other => Err(serde::DeError(format!("unknown error kind {other:?}"))),
             },
@@ -149,7 +285,7 @@ pub struct WireError {
     pub message: String,
 }
 
-fn wire_error(kind: ErrorKind, message: impl Into<String>) -> WireResponse {
+pub(crate) fn wire_error(kind: ErrorKind, message: impl Into<String>) -> WireResponse {
     WireResponse::Error(WireError {
         kind,
         message: message.into(),
@@ -180,45 +316,51 @@ pub struct SolvedReply {
     pub deadline_missed: bool,
 }
 
+/// Maps a provisioning outcome onto the wire — the single point both the
+/// blocking and the event-driven frontends share, so solve payloads are
+/// bit-identical regardless of which server answered.
+#[must_use]
+pub(crate) fn solve_response(out: Result<Response, Rejection>) -> WireResponse {
+    match out {
+        Ok(r) => WireResponse::Solved(SolvedReply {
+            cost: r.solution.cost,
+            delay: r.solution.delay,
+            edges: r.solution.edges.iter().map(|e| e.0).collect(),
+            rung: r.rung,
+            guarantee: r.guarantee,
+            cache_hit: r.cache_hit,
+            coalesced: r.coalesced,
+            latency_us: r.latency.as_micros().min(u128::from(u64::MAX)) as u64,
+            deadline_missed: r.deadline_missed,
+        }),
+        // Infeasibility is a *semantic* answer about the instance and
+        // keeps the dedicated `Rejected` variant; operational failures map
+        // onto error kinds clients can act on.
+        Err(r @ Rejection::Infeasible) => WireResponse::Rejected(r.to_string()),
+        Err(r @ (Rejection::QueueFull | Rejection::ShuttingDown)) => {
+            wire_error(ErrorKind::Shed, r.to_string())
+        }
+        Err(r @ Rejection::DeadlineExpired) => wire_error(ErrorKind::Timeout, r.to_string()),
+        Err(r @ (Rejection::SolverPanic(_) | Rejection::Quarantined)) => {
+            wire_error(ErrorKind::SolverPanic, r.to_string())
+        }
+    }
+}
+
 /// Evaluates one already-parsed request against the service.
 #[must_use]
 pub fn dispatch(service: &Service, request: WireRequest) -> WireResponse {
     match request {
         WireRequest::Metrics => WireResponse::Metrics(service.metrics()),
+        WireRequest::Health => WireResponse::Health(health_reply(service, None)),
         WireRequest::Solve(solve) => {
             if let Err(e) = solve.instance.validate() {
                 return wire_error(ErrorKind::Parse, format!("invalid instance: {e}"));
             }
-            let out = service.provision(Request {
+            solve_response(service.provision(Request {
                 instance: solve.instance,
                 deadline: solve.deadline_ms.map(Duration::from_millis),
-            });
-            match out {
-                Ok(r) => WireResponse::Solved(SolvedReply {
-                    cost: r.solution.cost,
-                    delay: r.solution.delay,
-                    edges: r.solution.edges.iter().map(|e| e.0).collect(),
-                    rung: r.rung,
-                    guarantee: r.guarantee,
-                    cache_hit: r.cache_hit,
-                    coalesced: r.coalesced,
-                    latency_us: r.latency.as_micros().min(u128::from(u64::MAX)) as u64,
-                    deadline_missed: r.deadline_missed,
-                }),
-                // Infeasibility is a *semantic* answer about the instance
-                // and keeps the dedicated `Rejected` variant; operational
-                // failures map onto error kinds clients can act on.
-                Err(r @ Rejection::Infeasible) => WireResponse::Rejected(r.to_string()),
-                Err(r @ (Rejection::QueueFull | Rejection::ShuttingDown)) => {
-                    wire_error(ErrorKind::Shed, r.to_string())
-                }
-                Err(r @ Rejection::DeadlineExpired) => {
-                    wire_error(ErrorKind::Timeout, r.to_string())
-                }
-                Err(r @ (Rejection::SolverPanic(_) | Rejection::Quarantined)) => {
-                    wire_error(ErrorKind::SolverPanic, r.to_string())
-                }
-            }
+            }))
         }
     }
 }
@@ -234,6 +376,119 @@ pub fn dispatch_line(service: &Service, line: &str) -> String {
     serde_json::to_string(&response).unwrap_or_else(|e| {
         format!("{{\"Error\":{{\"kind\":\"internal\",\"message\":\"serialize failed: {e}\"}}}}")
     })
+}
+
+// ---- request-id envelope ----------------------------------------------
+//
+// The vendored serde derive has no field attributes, so optional-absent
+// members cannot live in the wire structs themselves (an `Option` field
+// would serialize as `null`, changing the id-less format). Instead the id
+// is spliced in and out at the `Content` layer: requests may carry an
+// `"id"` member beside the request tag, responses echo it back, and an
+// id-less exchange is byte-identical to the historical wire format.
+
+/// A request line split into its (verbatim, opaque) id and the parse
+/// outcome of the remainder.
+pub(crate) struct DecodedRequest {
+    /// The `"id"` member, if the line was a map carrying one.
+    pub(crate) id: Option<Content>,
+    /// The rest of the line parsed as a request, or the parse error.
+    pub(crate) request: Result<WireRequest, String>,
+}
+
+/// Splits the optional `"id"` member off a raw request line. The id (when
+/// the line parsed far enough to extract one) is returned even for
+/// unparseable requests, so the error response can still be matched by a
+/// pipelining client.
+pub(crate) fn decode_request_line(line: &str) -> DecodedRequest {
+    let content = match serde_json::parse_value(line) {
+        Ok(c) => c,
+        Err(e) => {
+            return DecodedRequest {
+                id: None,
+                request: Err(format!("bad request: {e}")),
+            }
+        }
+    };
+    let (id, body) = match content {
+        Content::Map(mut entries) => {
+            let id = entries
+                .iter()
+                .position(|(key, _)| key == "id")
+                .map(|at| entries.remove(at).1);
+            (id, Content::Map(entries))
+        }
+        other => (None, other),
+    };
+    let request = WireRequest::from_content(&body).map_err(|e| format!("bad request: {e}"));
+    DecodedRequest { id, request }
+}
+
+/// Renders a response line (no trailing newline), echoing `id` as an
+/// `"id"` member when present. Without an id the output is exactly the
+/// historical `serde_json::to_string(&response)` bytes.
+pub(crate) fn encode_response_line(id: Option<&Content>, response: &WireResponse) -> String {
+    let content = match (id, response.to_content()) {
+        (None, c) => c,
+        (Some(id), Content::Map(mut entries)) => {
+            entries.insert(0, ("id".to_string(), id.clone()));
+            Content::Map(entries)
+        }
+        // Unreachable today (every `WireResponse` variant is a map), but a
+        // future unit variant must not lose the id.
+        (Some(id), other) => Content::Map(vec![
+            ("id".to_string(), id.clone()),
+            ("response".to_string(), other),
+        ]),
+    };
+    serde_json::to_string(&content).unwrap_or_else(|e| {
+        format!("{{\"Error\":{{\"kind\":\"internal\",\"message\":\"serialize failed: {e}\"}}}}")
+    })
+}
+
+/// Client-side encoder for a pipelined request: `request` with an `"id"`
+/// member spliced in (map-shaped requests only — i.e. [`WireRequest::Solve`];
+/// the bare-string requests cannot carry one and are answered in place).
+#[must_use]
+pub fn encode_request_with_id(id: u64, request: &WireRequest) -> String {
+    let content = match request.to_content() {
+        Content::Map(mut entries) => {
+            entries.insert(0, ("id".to_string(), Content::Int(i128::from(id))));
+            Content::Map(entries)
+        }
+        other => other,
+    };
+    serde_json::to_string(&content).unwrap_or_else(|e| {
+        format!("{{\"Error\":{{\"kind\":\"internal\",\"message\":\"serialize failed: {e}\"}}}}")
+    })
+}
+
+/// Client-side decoder for a response line: the echoed numeric id (if
+/// any) and the response.
+///
+/// # Errors
+/// The parse failure as text when the line is not a valid response.
+pub fn decode_response_line(line: &str) -> Result<(Option<u64>, WireResponse), String> {
+    let content = serde_json::parse_value(line).map_err(|e| format!("bad response: {e}"))?;
+    let (id, body) = match content {
+        Content::Map(mut entries) => {
+            let id = entries
+                .iter()
+                .position(|(key, _)| key == "id")
+                .map(|at| entries.remove(at).1);
+            (id, Content::Map(entries))
+        }
+        other => (None, other),
+    };
+    let id = match id {
+        None => None,
+        Some(Content::Int(n)) => {
+            Some(u64::try_from(n).map_err(|_| format!("response id {n} out of u64 range"))?)
+        }
+        Some(other) => return Err(format!("non-integer response id: {other:?}")),
+    };
+    let response = WireResponse::from_content(&body).map_err(|e| format!("bad response: {e}"))?;
+    Ok((id, response))
 }
 
 /// One outcome of [`read_line_capped`].
@@ -348,8 +603,23 @@ pub struct ServeOptions {
     /// How long shutdown waits for in-flight connections to finish before
     /// returning anyway.
     pub grace: Duration,
-    /// Accept/shutdown polling tick (also the per-read poll granularity).
+    /// Housekeeping tick: how often the server checks the shutdown flag
+    /// and enforces the stall timeouts. (In the threaded fallback, also
+    /// the per-read poll granularity.)
     pub poll: Duration,
+    /// Total open-connection cap; connections past it are answered with a
+    /// `"shed"` error at accept and closed.
+    pub max_conns: usize,
+    /// Open-connection cap per client address; excess connections from one
+    /// address are shed at accept. (Event-driven server only.)
+    pub per_client_conns: usize,
+    /// Token-bucket refill rate, in `Solve` requests per second per client
+    /// address; `0` disables rate limiting. Refused requests get a
+    /// `"rate_limited"` error and the connection stays up. (Event-driven
+    /// server only.)
+    pub rate_per_sec: u64,
+    /// Token-bucket burst capacity; `0` defaults to `2 × rate_per_sec`.
+    pub rate_burst: u64,
 }
 
 impl Default for ServeOptions {
@@ -359,6 +629,10 @@ impl Default for ServeOptions {
             write_timeout: Duration::from_secs(10),
             grace: Duration::from_secs(5),
             poll: Duration::from_millis(50),
+            max_conns: 4096,
+            per_client_conns: 1024,
+            rate_per_sec: 0,
+            rate_burst: 0,
         }
     }
 }
@@ -418,8 +692,8 @@ fn handle_connection(
     }
 }
 
-/// Binds `addr` and serves NDJSON connections forever (thread per
-/// connection). Returns only on a listener error.
+/// Binds `addr` and serves NDJSON connections forever on the event-driven
+/// frontend. Returns only on a listener/reactor error.
 pub fn serve<A: ToSocketAddrs>(service: &Service, addr: A) -> std::io::Result<()> {
     let listener = TcpListener::bind(addr)?;
     serve_on(service, listener)
@@ -441,11 +715,40 @@ pub fn serve_on(service: &Service, listener: TcpListener) -> std::io::Result<()>
 /// in-flight solves degrade to their cheapest rung and complete), close
 /// idle connections, and wait up to [`ServeOptions::grace`] for busy ones.
 ///
-/// The flag is typically set from a signal handler (`SIGTERM`/ctrl-c in
-/// `krsp-cli serve`), which cannot run service code itself — hence a plain
-/// atomic rather than a callback. Returns once drained (or the grace
-/// lapsed), so the caller can flush final metrics before exiting.
+/// One reactor thread multiplexes every connection (see
+/// [`crate::frontend`]); solves run on the service's worker pool and
+/// responses complete out of order (match them by request id). The flag
+/// is typically set from a signal handler (`SIGTERM`/ctrl-c in `krsp-cli
+/// serve`), which cannot run service code itself — hence a plain atomic
+/// rather than a callback; the frontend's housekeeping tick
+/// ([`ServeOptions::poll`]) bounds how long the flip can go unnoticed.
+/// Returns once drained (or the grace lapsed), so the caller can flush
+/// final metrics before exiting.
+///
+/// Where no poll facility exists (non-Unix), falls back to
+/// [`serve_threaded_with_shutdown`].
 pub fn serve_with_shutdown(
+    service: &Service,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    opts: ServeOptions,
+) -> std::io::Result<()> {
+    match crate::frontend::serve_event_driven(service, listener, shutdown, opts) {
+        Err((e, Some((listener, shutdown, opts)))) if e.kind() == IoErrorKind::Unsupported => {
+            serve_threaded_with_shutdown(service, listener, shutdown, opts)
+        }
+        Err((e, _)) => Err(e),
+        Ok(()) => Ok(()),
+    }
+}
+
+/// The previous thread-per-connection server: one OS thread per accepted
+/// connection, blocking reads with a poll-tick stall policy, in-order
+/// responses (ids are *not* echoed). Kept as the A/B baseline for the
+/// event-driven frontend and as the fallback where no poll facility
+/// exists; [`ServeOptions::max_conns`] is enforced (connections past the
+/// cap are shed at accept), but per-client caps and rate limits are not.
+pub fn serve_threaded_with_shutdown(
     service: &Service,
     listener: TcpListener,
     shutdown: Arc<AtomicBool>,
@@ -459,6 +762,10 @@ pub fn serve_with_shutdown(
                 // Connection sockets must not inherit the listener's
                 // nonblocking mode; handle_connection sets its own timeouts.
                 stream.set_nonblocking(false)?;
+                if conns.load(Ordering::Acquire) >= opts.max_conns {
+                    shed_at_accept(stream, "server connection limit reached");
+                    continue;
+                }
                 let service = service.clone();
                 let shutdown = Arc::clone(&shutdown);
                 let conns = Arc::clone(&conns);
@@ -485,6 +792,19 @@ pub fn serve_with_shutdown(
     }
     service.drain(deadline.saturating_duration_since(Instant::now()));
     Ok(())
+}
+
+/// Best-effort `"shed"` error to a connection refused at accept, so the
+/// client learns *why* instead of seeing a bare RST. The socket is fresh
+/// (empty send buffer), so the bounded-timeout write virtually always
+/// lands without blocking the acceptor meaningfully.
+pub(crate) fn shed_at_accept(stream: TcpStream, message: &str) {
+    let line = encode_response_line(None, &wire_error(ErrorKind::Shed, message));
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let mut stream = stream;
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
 }
 
 #[cfg(test)]

@@ -26,10 +26,10 @@
 use crate::cache::ShardedCache;
 use crate::degrade::{solve_degraded_with, Degraded, Guarantee, LadderError, LadderPolicy, Rung};
 use crate::hash::canonical_key;
-use crate::metrics::MetricsSnapshot;
+use crate::metrics::{FrontendStats, MetricsSnapshot};
 use crate::quarantine::Quarantine;
 use crate::singleflight::{Join, Singleflight};
-use crate::sync_util::lock_recover;
+use crate::sync_util::{lock_recover, wait_timeout_recover};
 use krsp::{CancelToken, Config, Executor, Instance, Solution};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -185,6 +185,14 @@ struct Shared {
     /// Master shutdown token; every request token is its child, so
     /// tripping it degrades in-flight solves to their cheapest rung.
     shutdown: CancelToken,
+    /// Pairs with `idle` so `drain` can park instead of spin-polling the
+    /// `in_flight` counter.
+    drain_lock: Mutex<()>,
+    /// Notified whenever `in_flight` drops to zero.
+    idle: Condvar,
+    /// Live TCP-frontend counters, folded into `metrics()` once a frontend
+    /// attaches them (absent in pure library use).
+    frontend: Mutex<Option<Arc<FrontendStats>>>,
     /// Test hook: runs inside every solver job before the solve, letting
     /// tests hold a leader's flight open deterministically.
     #[cfg(test)]
@@ -225,6 +233,9 @@ impl Service {
                 cfg.quarantine_capacity,
             ),
             shutdown: CancelToken::cancellable(),
+            drain_lock: Mutex::new(()),
+            idle: Condvar::new(),
+            frontend: Mutex::new(None),
             #[cfg(test)]
             solve_gate: Mutex::new(None),
             cfg,
@@ -237,29 +248,74 @@ impl Service {
     pub fn provision(&self, request: Request) -> Result<Response, Rejection> {
         let admitted_at = Instant::now();
         let deadline = request.deadline.unwrap_or(self.shared.cfg.default_deadline);
+        self.admit()?;
+        let out = self.drive(&request.instance, admitted_at, deadline);
+        self.release();
+        out
+    }
 
-        // Shutdown gate: a draining service refuses new work outright so
-        // `drain` only waits on requests admitted before the flip.
+    /// Submits a request without blocking the caller: admission (and its
+    /// rejections) happen synchronously, but an admitted request's solve
+    /// runs as a pool job and `complete` fires from a worker thread. This
+    /// is the entry point the event-driven frontend uses — its reactor
+    /// thread must never block on a solve.
+    ///
+    /// `complete` is called exactly once, either inline (rejections — the
+    /// caller gets backpressure feedback before queuing anything) or from
+    /// the worker that finished the request.
+    pub fn provision_async<F>(&self, request: Request, complete: F)
+    where
+        F: FnOnce(Result<Response, Rejection>) + Send + 'static,
+    {
+        let admitted_at = Instant::now();
+        let deadline = request.deadline.unwrap_or(self.shared.cfg.default_deadline);
+        if let Err(rejected) = self.admit() {
+            complete(Err(rejected));
+            return;
+        }
+        let svc = self.clone();
+        // The job drives the full post-admission path on a worker. A
+        // singleflight follower briefly parks that worker until its leader
+        // publishes (bounded by one solve; a queued follower behind its
+        // own leader on a single worker cannot exist — the leader's job
+        // ran to completion first, retiring the flight).
+        self.executor.submit(Box::new(move || {
+            let out = svc.drive(&request.instance, admitted_at, deadline);
+            svc.release();
+            complete(out);
+        }));
+    }
+
+    /// Shutdown gate plus admission control. `in_flight` counts admitted
+    /// requests not yet released; the queue is full when it exceeds
+    /// capacity plus the workers that could be draining it. This runs
+    /// before the cache and the coalescing layer, so backpressure does not
+    /// depend on how duplicate-heavy the traffic is.
+    fn admit(&self) -> Result<(), Rejection> {
+        // A draining service refuses new work outright so `drain` only
+        // waits on requests admitted before the flip.
         if self.shared.shutdown.is_cancelled() {
             lock_recover(&self.shared.metrics).rejected_shutdown += 1;
             return Err(Rejection::ShuttingDown);
         }
-
-        // Admission control. `in_flight` counts admitted requests still in
-        // `provision`; the queue is full when it exceeds capacity plus the
-        // workers that could be draining it. This runs before the cache
-        // and the coalescing layer, so backpressure does not depend on how
-        // duplicate-heavy the traffic is.
         let limit = self.shared.cfg.queue_capacity + self.shared.cfg.workers;
         if self.shared.in_flight.fetch_add(1, Ordering::AcqRel) >= limit {
-            self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.release();
             lock_recover(&self.shared.metrics).rejected_queue_full += 1;
             return Err(Rejection::QueueFull);
         }
         lock_recover(&self.shared.metrics).admitted += 1;
-        let out = self.drive(&request.instance, admitted_at, deadline);
-        self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-        out
+        Ok(())
+    }
+
+    /// Releases one admission slot, waking `drain` when the service goes
+    /// idle. The notify runs under `drain_lock` so a concurrent drainer
+    /// cannot check the counter and park between our decrement and notify.
+    fn release(&self) {
+        if self.shared.in_flight.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = lock_recover(&self.shared.drain_lock);
+            self.shared.idle.notify_all();
+        }
     }
 
     /// The post-admission request path, run entirely on the calling
@@ -407,7 +463,17 @@ impl Service {
         m.cache_misses = c.misses;
         m.cache_evictions = c.evictions;
         m.per_shard = self.shared.cache.shard_stats();
+        if let Some(frontend) = lock_recover(&self.shared.frontend).as_ref() {
+            m.frontend = frontend.snapshot();
+        }
         m
+    }
+
+    /// Registers the TCP frontend's live counters so [`Service::metrics`]
+    /// (and therefore the `Metrics` wire request) reports them. The
+    /// frontend keeps the same `Arc` and updates it lock-free.
+    pub fn attach_frontend_stats(&self, stats: Arc<FrontendStats>) {
+        *lock_recover(&self.shared.frontend) = Some(stats);
     }
 
     /// The service configuration.
@@ -443,13 +509,20 @@ impl Service {
     /// keep the count from reaching zero).
     pub fn drain(&self, grace: Duration) -> bool {
         let deadline = Instant::now() + grace;
-        while self.in_flight() > 0 {
-            if Instant::now() >= deadline {
+        let mut guard = lock_recover(&self.shared.drain_lock);
+        loop {
+            if self.in_flight() == 0 {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
                 return false;
             }
-            std::thread::sleep(Duration::from_millis(2));
+            // Parked until `release` drops the count to zero (it notifies
+            // under `drain_lock`, so the wakeup cannot be lost) or the
+            // grace deadline arrives.
+            guard = wait_timeout_recover(&self.shared.idle, guard, deadline - now);
         }
-        true
     }
 
     /// Installs a hook that runs inside every solver job before solving.

@@ -19,6 +19,20 @@ pub(crate) fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> Mut
     cv.wait(guard).unwrap_or_else(|e| e.into_inner())
 }
 
+/// [`Condvar::wait_timeout`] with the same poison recovery as
+/// [`lock_recover`]. Callers re-check their predicate and their own
+/// deadline on return, so the timed-out flag is not surfaced.
+pub(crate) fn wait_timeout_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: std::time::Duration,
+) -> MutexGuard<'a, T> {
+    match cv.wait_timeout(guard, timeout) {
+        Ok((g, _)) => g,
+        Err(e) => e.into_inner().0,
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
 mod tests {

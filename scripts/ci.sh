@@ -31,6 +31,9 @@ KRSP_FAILPOINTS='cache.get=delay(1);singleflight.join=delay(1);proto.read=delay(
 echo "== chaos storm (T10: mid-replay shutdown under load)"
 cargo test -q --release --test chaos -- --ignored t10_chaos_storm_report
 
+echo "== frontend scaling smoke (512 conns, bounded threads, no drops)"
+cargo test -q --release -p krsp-service --test frontend -- --ignored scaling
+
 echo "== bench harness smoke (tiny sizes, JSON must validate)"
 smoke_out="$(mktemp)"
 cargo run -q --release -p krsp-bench --bin kernels -- --smoke --out "$smoke_out" >/dev/null

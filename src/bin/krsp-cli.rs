@@ -8,7 +8,8 @@
 //!   krsp-cli serve <addr> [--workers W] [--queue Q] [--cache CAP]
 //!                  [--shards S] [--no-coalesce] [--threads T]
 //!                  [--deadline-ms MS] [--strict-deadlines]
-//!                  [--grace-ms MS]
+//!                  [--grace-ms MS] [--max-conns N] [--per-client-conns N]
+//!                  [--rate R] [--rate-burst B] [--threaded]
 //!   krsp-cli load [krsp-load flags...]
 //!
 //! `--threads T` (or the `KRSP_THREADS` env var) sets the solver's
@@ -19,12 +20,19 @@
 //!
 //! `serve` runs the NDJSON provisioning service on `addr` (e.g.
 //! `127.0.0.1:7447`; port 0 picks a free port and prints it). One JSON
-//! request per line: `{"Solve": {"instance": {...}, "deadline_ms": 250}}`
-//! or `"Metrics"`. SIGTERM/ctrl-c triggers a graceful drain: the listener
-//! stops accepting, in-flight requests finish within `--grace-ms`
-//! (default 5000), and a final metrics snapshot is flushed to stderr.
-//! `load` forwards to the `krsp-load` replay tool (same flags; see its
-//! source header).
+//! request per line: `{"Solve": {"instance": {...}, "deadline_ms": 250}}`,
+//! `"Metrics"`, or `"Health"`. The default frontend is event-driven (one
+//! reactor thread multiplexing every connection; requests may carry ids
+//! and pipeline); `--threaded` selects the legacy thread-per-connection
+//! server for A/B comparison. `--max-conns` / `--per-client-conns` cap
+//! open connections (excess accepts are answered with a `"shed"` error
+//! and closed) and `--rate R` token-buckets each client address to R
+//! solves/s (burst `--rate-burst`, default 2R; excess gets
+//! `"rate_limited"` errors). SIGTERM/ctrl-c triggers a graceful drain:
+//! the listener stops accepting, in-flight requests finish within
+//! `--grace-ms` (default 5000), and a final metrics snapshot is flushed
+//! to stderr. `load` forwards to the `krsp-load` replay tool (same flags;
+//! see its source header).
 
 use krsp_service::{serve_with_shutdown, ServeOptions, Service, ServiceConfig};
 use krsp_suite::krsp::{self, solve, solve_scaled, Config, Engine, Eps};
@@ -167,7 +175,8 @@ fn cmd_serve(args: &[String]) {
         krsp::set_solver_width(t.parse().unwrap_or_else(|_| fail("bad --threads")));
     }
     let mut cfg = ServiceConfig::default();
-    let mut grace = Duration::from_millis(5000);
+    let mut opts = ServeOptions::default();
+    let mut threaded = false;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         fn arg<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
@@ -189,7 +198,12 @@ fn cmd_serve(args: &[String]) {
                 cfg.default_deadline = Duration::from_millis(arg(a, it.next()));
             }
             "--strict-deadlines" => cfg.reject_expired = true,
-            "--grace-ms" => grace = Duration::from_millis(arg(a, it.next())),
+            "--grace-ms" => opts.grace = Duration::from_millis(arg(a, it.next())),
+            "--max-conns" => opts.max_conns = arg(a, it.next()),
+            "--per-client-conns" => opts.per_client_conns = arg(a, it.next()),
+            "--rate" => opts.rate_per_sec = arg(a, it.next()),
+            "--rate-burst" => opts.rate_burst = arg(a, it.next()),
+            "--threaded" => threaded = true,
             other => fail(&format!("unknown flag {other}")),
         }
     }
@@ -220,11 +234,12 @@ fn cmd_serve(args: &[String]) {
     }) {
         fail(&format!("cannot install signal handler: {e}"));
     }
-    let opts = ServeOptions {
-        grace,
-        ..ServeOptions::default()
+    let served = if threaded {
+        krsp_service::serve_threaded_with_shutdown(&service, listener, Arc::clone(&shutdown), opts)
+    } else {
+        serve_with_shutdown(&service, listener, Arc::clone(&shutdown), opts)
     };
-    if let Err(e) = serve_with_shutdown(&service, listener, Arc::clone(&shutdown), opts) {
+    if let Err(e) = served {
         fail(&format!("listener failed: {e}"));
     }
     // Flush the final counters so an orchestrator tearing the pod down

@@ -7,7 +7,7 @@
 //!             [--tightness T] [--seed S] [--deadline-ms MS]
 //!             [--workers W] [--queue Q] [--cache CAP] [--shards S]
 //!             [--no-coalesce] [--out report.json]
-//!             [--connect ADDR] [--retries N]
+//!             [--connect ADDR] [--retries N] [--pipeline N]
 //!
 //! The human-readable summary goes to stderr; the full JSON
 //! [`LoadReport`](krsp_service::LoadReport) goes to stdout (or `--out`).
@@ -20,7 +20,10 @@
 //! `krsp-cli serve` instead of an in-process service (the `--workers` etc.
 //! service flags are then ignored). Transport errors reconnect and reissue
 //! with jittered exponential backoff, up to `--retries N` attempts per
-//! request (default 5).
+//! request (default 5). `--pipeline N` keeps N requests in flight per
+//! connection using per-request ids (responses are matched out of order;
+//! the report then carries the observed reordering and per-id latencies);
+//! a connection that dies mid-window reissues its outstanding ids.
 
 use krsp_service::load::{self, LoadSpec, RemoteSpec};
 use krsp_service::{Service, ServiceConfig};
@@ -67,6 +70,7 @@ fn main() {
             "--out" => out = Some(parse::<String>(a, it.next())),
             "--connect" => connect = Some(parse::<String>(a, it.next())),
             "--retries" => retries = parse(a, it.next()),
+            "--pipeline" => spec.pipeline = parse(a, it.next()),
             "--family" => {
                 spec.family = match parse::<String>(a, it.next()).as_str() {
                     "gnm" => Family::Gnm,
@@ -78,6 +82,9 @@ fn main() {
             }
             other => fail(&format!("unknown flag {other} (see source header)")),
         }
+    }
+    if spec.pipeline > 1 && connect.is_none() {
+        fail("--pipeline requires --connect (in-process replays scale with --clients)");
     }
     // A forced deadline only bites if it is also the default for requests
     // the spec leaves bare.

@@ -1,0 +1,1045 @@
+//! Hermetic readiness reactor for the NDJSON frontend.
+//!
+//! The build environment has no crates.io access, so instead of `mio` this
+//! crate speaks to the kernel directly through hand-written FFI
+//! declarations (the same approach as the vendored `ctrlc` shim): `epoll`
+//! on Linux, `poll(2)` on other Unixes. On top of the raw syscalls it
+//! provides the three primitives an event-driven server needs:
+//!
+//! * **Registration** — [`Reactor::register`] associates a file
+//!   descriptor with a caller-chosen [`Token`] and an [`Interest`]
+//!   (readable/writable), in level- or edge-triggered [`Mode`];
+//! * **Timers** — [`Reactor::set_timer`] arms a one-shot deadline that is
+//!   delivered as an [`Event`] with `timer = true`, letting the owner run
+//!   periodic sweeps (read-timeout enforcement, shutdown-flag checks)
+//!   without a dedicated ticker thread;
+//! * **A wake pipe** — [`Reactor::waker`] hands out a cheap `Send + Sync`
+//!   handle other threads use to interrupt a blocked [`Reactor::poll`],
+//!   which is how solver workers tell the I/O loop "a response is ready".
+//!
+//! The reactor itself is single-owner (`&mut self` everywhere); only the
+//! [`Waker`] crosses threads. Nothing here spawns threads or buffers
+//! I/O — it is a readiness multiplexer, not a runtime.
+//!
+//! Unsupported platforms (non-Unix) compile but [`Reactor::new`] returns
+//! `ErrorKind::Unsupported`, so callers can fall back to a blocking
+//! design; the workspace only targets Linux containers.
+
+#![warn(missing_docs)]
+
+use std::collections::BinaryHeap;
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Raw file descriptor (`std::os::fd::RawFd` on Unix; mirrored here so the
+/// API also typechecks on unsupported targets).
+pub type RawFd = i32;
+
+/// Caller-chosen identifier carried on every readiness event for a
+/// registered descriptor. The reactor never interprets it beyond equality;
+/// [`Token::WAKE`] is reserved for the internal wake pipe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+impl Token {
+    /// Reserved by the reactor for its wake pipe; never delivered to the
+    /// caller and rejected by [`Reactor::register`].
+    pub const WAKE: Token = Token(usize::MAX);
+}
+
+/// Which readiness directions a registration listens for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake on readable (or peer hangup).
+    pub readable: bool,
+    /// Wake on writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// Level- or edge-triggered delivery.
+///
+/// Level-triggered registrations re-report a condition on every poll while
+/// it holds; edge-triggered ones report only transitions, so the owner
+/// must drain until `WouldBlock`. The `poll(2)` fallback backend is
+/// inherently level-triggered and degrades `Edge` to `Level` — portable
+/// callers must stay correct under level semantics (ours do: they drain
+/// on every event anyway).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Report while the condition holds (default, `poll(2)`-compatible).
+    Level,
+    /// Report state *transitions* only (`EPOLLET`).
+    Edge,
+}
+
+/// One readiness notification.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The registration (or timer) this event belongs to.
+    pub token: Token,
+    /// The descriptor is readable (includes EOF/peer-hangup: a read will
+    /// not block, it returns 0 or an error).
+    pub readable: bool,
+    /// The descriptor is writable.
+    pub writable: bool,
+    /// An error or hangup condition was reported (`EPOLLERR`/`EPOLLHUP`).
+    /// Also sets `readable` so a plain read loop observes the failure.
+    pub error: bool,
+    /// This is a timer expiry (no descriptor involved), delivered for the
+    /// token passed to [`Reactor::set_timer`].
+    pub timer: bool,
+}
+
+/// A `Send + Sync` handle that interrupts a blocked [`Reactor::poll`] from
+/// another thread. Cheap to clone; coalesces (many wakes before the next
+/// poll produce one interruption).
+#[derive(Clone)]
+pub struct Waker {
+    pipe: Arc<sys::WakePipe>,
+}
+
+impl Waker {
+    /// Interrupts the reactor's current (or next) [`Reactor::poll`].
+    /// Never blocks: a full pipe means a wake is already pending.
+    pub fn wake(&self) {
+        self.pipe.wake();
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct Timer {
+    deadline: Instant,
+    seq: u64,
+    token: Token,
+}
+
+// BinaryHeap is a max-heap; invert so the earliest deadline pops first.
+impl Ord for Timer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Timer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The readiness multiplexer. See the crate docs for the model.
+pub struct Reactor {
+    backend: sys::Backend,
+    wake: Arc<sys::WakePipe>,
+    timers: BinaryHeap<Timer>,
+    timer_seq: u64,
+}
+
+impl Reactor {
+    /// Opens a reactor on the platform's preferred backend (`epoll` on
+    /// Linux, `poll(2)` elsewhere on Unix).
+    ///
+    /// # Errors
+    /// Propagates the backend syscall failure; `ErrorKind::Unsupported` on
+    /// non-Unix targets.
+    pub fn new() -> io::Result<Reactor> {
+        Self::with_backend(sys::Backend::preferred()?)
+    }
+
+    /// Opens a reactor on the portable `poll(2)` backend regardless of
+    /// platform (level-triggered only). Exists so the fallback backend
+    /// stays exercised by tests on Linux too.
+    ///
+    /// # Errors
+    /// Propagates the syscall failure.
+    pub fn with_poll_backend() -> io::Result<Reactor> {
+        Self::with_backend(sys::Backend::poll_set()?)
+    }
+
+    fn with_backend(backend: sys::Backend) -> io::Result<Reactor> {
+        let wake = Arc::new(sys::WakePipe::new()?);
+        let mut reactor = Reactor {
+            backend,
+            wake,
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+        };
+        let wake_fd = reactor.wake.read_fd();
+        reactor.backend.attach_wake(wake_fd)?;
+        Ok(reactor)
+    }
+
+    /// A handle other threads use to interrupt [`Reactor::poll`].
+    #[must_use]
+    pub fn waker(&self) -> Waker {
+        Waker {
+            pipe: Arc::clone(&self.wake),
+        }
+    }
+
+    /// Registers `fd` for `interest` under `token`. The reactor does not
+    /// own the descriptor — the caller keeps it open until after
+    /// [`Reactor::deregister`].
+    ///
+    /// # Errors
+    /// `InvalidInput` for [`Token::WAKE`]; otherwise the syscall failure
+    /// (e.g. registering the same fd twice on epoll).
+    pub fn register(
+        &mut self,
+        fd: RawFd,
+        token: Token,
+        interest: Interest,
+        mode: Mode,
+    ) -> io::Result<()> {
+        if token == Token::WAKE {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "Token::WAKE is reserved for the reactor's wake pipe",
+            ));
+        }
+        self.backend.register(fd, token, interest, mode)
+    }
+
+    /// Changes the interest/mode of an already-registered descriptor.
+    ///
+    /// # Errors
+    /// The syscall failure (e.g. the fd was never registered).
+    pub fn reregister(
+        &mut self,
+        fd: RawFd,
+        token: Token,
+        interest: Interest,
+        mode: Mode,
+    ) -> io::Result<()> {
+        if token == Token::WAKE {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "Token::WAKE is reserved for the reactor's wake pipe",
+            ));
+        }
+        self.backend.reregister(fd, token, interest, mode)
+    }
+
+    /// Removes a registration. Always call before closing the descriptor
+    /// (closing first leaves a stale entry on the `poll(2)` backend).
+    ///
+    /// # Errors
+    /// The syscall failure (e.g. the fd was never registered).
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        self.backend.deregister(fd)
+    }
+
+    /// Arms a one-shot timer: a poll at or after `deadline` delivers an
+    /// [`Event`] with `timer = true` for `token`. Timers are independent
+    /// of descriptor registrations (any token value is fine, including one
+    /// also used for an fd).
+    pub fn set_timer(&mut self, deadline: Instant, token: Token) {
+        self.timer_seq += 1;
+        self.timers.push(Timer {
+            deadline,
+            seq: self.timer_seq,
+            token,
+        });
+    }
+
+    /// Blocks until readiness, a timer expiry, a [`Waker::wake`], or
+    /// `timeout` (forever when `None`), then appends the batch of events
+    /// to `events` (cleared first) and returns its length.
+    ///
+    /// A wake produces an early return with possibly zero events — the
+    /// caller's loop re-checks its own cross-thread queues on every
+    /// return, which is exactly why it was woken.
+    ///
+    /// # Errors
+    /// Propagates the backend syscall failure. `EINTR` is not an error:
+    /// it returns with whatever (possibly zero) events are due.
+    pub fn poll(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        events.clear();
+        let now = Instant::now();
+        // The kernel wait is bounded by the nearest timer deadline.
+        let until_timer = self
+            .timers
+            .peek()
+            .map(|t| t.deadline.saturating_duration_since(now));
+        let effective = match (timeout, until_timer) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        };
+        let woken = self.backend.wait(effective, &self.wake, events)?;
+        if woken {
+            self.wake.drain();
+        }
+        // Deliver every timer that has expired by the time the wait ended.
+        let now = Instant::now();
+        while let Some(t) = self.timers.peek() {
+            if t.deadline > now {
+                break;
+            }
+            let t = self.timers.pop().expect("peeked entry exists");
+            events.push(Event {
+                token: t.token,
+                readable: false,
+                writable: false,
+                error: false,
+                timer: true,
+            });
+        }
+        Ok(events.len())
+    }
+
+    /// Number of armed (not yet delivered) timers.
+    #[must_use]
+    pub fn timers_armed(&self) -> usize {
+        self.timers.len()
+    }
+}
+
+/// Converts a `Duration` to a millisecond count for the kernel, rounding
+/// *up* so a timer never fires early, saturating at `i32::MAX` (~24 days —
+/// the caller simply re-polls).
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => i32::try_from(d.as_micros().div_ceil(1000)).unwrap_or(i32::MAX),
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    //! The Unix backends: raw FFI declarations plus the epoll and
+    //! `poll(2)` wait implementations. This is the only module in the
+    //! crate containing `unsafe`; every block carries its justification.
+
+    use super::{timeout_ms, Event, Interest, Mode, RawFd, Token};
+    use std::ffi::{c_int, c_short, c_ulong, c_void};
+    use std::io;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    const F_SETFL: c_int = 4;
+    #[cfg(target_os = "linux")]
+    const O_NONBLOCK: c_int = 0x800;
+    #[cfg(not(target_os = "linux"))]
+    const O_NONBLOCK: c_int = 0x4; // the BSD family value
+
+    // epoll constants (Linux UAPI).
+    const EPOLL_CLOEXEC: c_int = 0x80000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLET: u32 = 1 << 31;
+
+    // poll(2) constants (identical on Linux and the BSDs).
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+    const POLLNVAL: c_short = 0x020;
+
+    /// Mirror of the kernel's `struct epoll_event`. The x86-64 UAPI
+    /// declares it `__attribute__((packed))`; other architectures use
+    /// natural alignment.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    /// Mirror of `struct pollfd` (layout identical across Unixes).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    extern "C" {
+        // All of these are libc symbols; std always links libc on Unix.
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        fn pipe(pipefd: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// The self-pipe a [`super::Waker`] writes into. Both ends are
+    /// nonblocking: a full pipe means a wake is already pending, and the
+    /// drain read stops at empty.
+    pub(super) struct WakePipe {
+        read_fd: RawFd,
+        write_fd: RawFd,
+        /// Fast path: set by `wake`, cleared by `drain`, so back-to-back
+        /// wakes skip the syscall entirely once one byte is in flight.
+        pending: AtomicBool,
+    }
+
+    impl WakePipe {
+        pub(super) fn new() -> io::Result<WakePipe> {
+            let mut fds = [0 as c_int; 2];
+            // SAFETY: `fds` is a valid 2-slot buffer, exactly what
+            // pipe(2) writes into; fcntl only flips the status flags of
+            // descriptors this function just created and still owns.
+            unsafe {
+                cvt(pipe(fds.as_mut_ptr()))?;
+                for fd in fds {
+                    if cvt(fcntl(fd, F_SETFL, O_NONBLOCK)).is_err() {
+                        let e = io::Error::last_os_error();
+                        close(fds[0]);
+                        close(fds[1]);
+                        return Err(e);
+                    }
+                }
+            }
+            Ok(WakePipe {
+                read_fd: fds[0],
+                write_fd: fds[1],
+                pending: AtomicBool::new(false),
+            })
+        }
+
+        pub(super) fn read_fd(&self) -> RawFd {
+            self.read_fd
+        }
+
+        pub(super) fn wake(&self) {
+            if self.pending.swap(true, Ordering::AcqRel) {
+                return; // a byte is already in the pipe
+            }
+            let byte = 1u8;
+            // SAFETY: writes one byte from a live stack buffer into an fd
+            // this struct owns. A nonblocking write to a full pipe fails
+            // with EAGAIN, which is fine: full pipe ⇒ wake already pending.
+            unsafe {
+                write(self.write_fd, (&raw const byte).cast::<c_void>(), 1);
+            }
+        }
+
+        pub(super) fn drain(&self) {
+            self.pending.store(false, Ordering::Release);
+            let mut buf = [0u8; 64];
+            // SAFETY: reads into a live stack buffer from an owned
+            // nonblocking fd; loops until the pipe is empty (EAGAIN).
+            unsafe { while read(self.read_fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) > 0 {} }
+        }
+    }
+
+    impl Drop for WakePipe {
+        fn drop(&mut self) {
+            // SAFETY: closing descriptors this struct exclusively owns.
+            unsafe {
+                close(self.read_fd);
+                close(self.write_fd);
+            }
+        }
+    }
+
+    /// Backend dispatch: epoll where available, a `poll(2)` set otherwise
+    /// (and on request, for fallback-path testing).
+    pub(super) enum Backend {
+        #[cfg(target_os = "linux")]
+        Epoll(Epoll),
+        Poll(PollSet),
+    }
+
+    impl Backend {
+        pub(super) fn preferred() -> io::Result<Backend> {
+            #[cfg(target_os = "linux")]
+            {
+                Epoll::new().map(Backend::Epoll)
+            }
+            #[cfg(not(target_os = "linux"))]
+            {
+                Self::poll_set()
+            }
+        }
+
+        pub(super) fn poll_set() -> io::Result<Backend> {
+            Ok(Backend::Poll(PollSet::new()))
+        }
+
+        /// Hooks the wake pipe's read end into the backend. The epoll set
+        /// carries it as a normal registration under [`Token::WAKE`]; the
+        /// `poll(2)` backend slots it in per-wait, so this is a no-op.
+        pub(super) fn attach_wake(&mut self, fd: RawFd) -> io::Result<()> {
+            match self {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll(e) => e.ctl(
+                    EPOLL_CTL_ADD,
+                    fd,
+                    Token::WAKE,
+                    Interest::READABLE,
+                    Mode::Level,
+                ),
+                Backend::Poll(_) => Ok(()),
+            }
+        }
+
+        pub(super) fn register(
+            &mut self,
+            fd: RawFd,
+            token: Token,
+            interest: Interest,
+            mode: Mode,
+        ) -> io::Result<()> {
+            match self {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll(e) => e.ctl(EPOLL_CTL_ADD, fd, token, interest, mode),
+                Backend::Poll(p) => p.register(fd, token, interest),
+            }
+        }
+
+        pub(super) fn reregister(
+            &mut self,
+            fd: RawFd,
+            token: Token,
+            interest: Interest,
+            mode: Mode,
+        ) -> io::Result<()> {
+            match self {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll(e) => e.ctl(EPOLL_CTL_MOD, fd, token, interest, mode),
+                Backend::Poll(p) => p.reregister(fd, token, interest),
+            }
+        }
+
+        pub(super) fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            match self {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll(e) => {
+                    e.ctl(EPOLL_CTL_DEL, fd, Token(0), Interest::READABLE, Mode::Level)
+                }
+                Backend::Poll(p) => p.deregister(fd),
+            }
+        }
+
+        /// One kernel wait. Fills `events` with non-wake readiness and
+        /// returns whether the wake pipe fired.
+        pub(super) fn wait(
+            &mut self,
+            timeout: Option<Duration>,
+            wake: &WakePipe,
+            events: &mut Vec<Event>,
+        ) -> io::Result<bool> {
+            match self {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll(e) => e.wait(timeout, events),
+                Backend::Poll(p) => p.wait(timeout, wake, events),
+            }
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    pub(super) struct Epoll {
+        epfd: RawFd,
+        /// Reusable kernel-fill buffer for `epoll_wait`.
+        buf: Vec<EpollEvent>,
+    }
+
+    #[cfg(target_os = "linux")]
+    impl Epoll {
+        fn new() -> io::Result<Epoll> {
+            // SAFETY: plain syscall, no pointers.
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Epoll {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 256],
+            })
+        }
+
+        fn bits(interest: Interest, mode: Mode) -> u32 {
+            let mut ev = EPOLLRDHUP;
+            if interest.readable {
+                ev |= EPOLLIN;
+            }
+            if interest.writable {
+                ev |= EPOLLOUT;
+            }
+            if mode == Mode::Edge {
+                ev |= EPOLLET;
+            }
+            ev
+        }
+
+        fn ctl(
+            &mut self,
+            op: c_int,
+            fd: RawFd,
+            token: Token,
+            interest: Interest,
+            mode: Mode,
+        ) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: Self::bits(interest, mode),
+                data: token.0 as u64,
+            };
+            // SAFETY: `ev` lives across the call; DEL ignores the event
+            // pointer on modern kernels but passing a valid one is always
+            // permitted.
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &raw mut ev) })?;
+            Ok(())
+        }
+
+        fn wait(&mut self, timeout: Option<Duration>, events: &mut Vec<Event>) -> io::Result<bool> {
+            let max = c_int::try_from(self.buf.len()).expect("buffer is small");
+            // SAFETY: the buffer outlives the call and `max` is exactly
+            // its length, so the kernel writes in bounds.
+            let n =
+                unsafe { epoll_wait(self.epfd, self.buf.as_mut_ptr(), max, timeout_ms(timeout)) };
+            let n = match cvt(n) {
+                Ok(n) => n as usize,
+                // A signal interrupted the wait: report zero events; the
+                // caller's loop re-polls with recomputed timeouts.
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                Err(e) => return Err(e),
+            };
+            let mut woken = false;
+            for slot in &self.buf[..n] {
+                // Copy out of the (possibly packed) struct before use.
+                let (bits, data) = (slot.events, slot.data);
+                if data == Token::WAKE.0 as u64 {
+                    woken = true;
+                    continue;
+                }
+                let error = bits & (EPOLLERR | EPOLLHUP) != 0;
+                events.push(Event {
+                    token: Token(data as usize),
+                    readable: bits & (EPOLLIN | EPOLLRDHUP) != 0 || error,
+                    writable: bits & EPOLLOUT != 0,
+                    error,
+                    timer: false,
+                });
+            }
+            Ok(woken)
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            // SAFETY: closing the epoll fd this struct exclusively owns.
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+
+    /// The portable fallback: a registration table replayed into a fresh
+    /// `pollfd` array per wait. Level-triggered only (edge degrades).
+    pub(super) struct PollSet {
+        entries: Vec<(RawFd, Token, Interest)>,
+    }
+
+    impl PollSet {
+        fn new() -> PollSet {
+            PollSet {
+                entries: Vec::new(),
+            }
+        }
+
+        fn register(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            if self.entries.iter().any(|&(f, _, _)| f == fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            self.entries.push((fd, token, interest));
+            Ok(())
+        }
+
+        fn reregister(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            match self.entries.iter_mut().find(|(f, _, _)| *f == fd) {
+                Some(e) => {
+                    *e = (fd, token, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    "fd was never registered",
+                )),
+            }
+        }
+
+        fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let before = self.entries.len();
+            self.entries.retain(|&(f, _, _)| f != fd);
+            if self.entries.len() == before {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    "fd was never registered",
+                ));
+            }
+            Ok(())
+        }
+
+        fn wait(
+            &mut self,
+            timeout: Option<Duration>,
+            wake: &WakePipe,
+            events: &mut Vec<Event>,
+        ) -> io::Result<bool> {
+            let mut fds: Vec<PollFd> = Vec::with_capacity(self.entries.len() + 1);
+            fds.push(PollFd {
+                fd: wake.read_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+            for &(fd, _, interest) in &self.entries {
+                let mut ev = 0;
+                if interest.readable {
+                    ev |= POLLIN;
+                }
+                if interest.writable {
+                    ev |= POLLOUT;
+                }
+                fds.push(PollFd {
+                    fd,
+                    events: ev,
+                    revents: 0,
+                });
+            }
+            // SAFETY: `fds` outlives the call and the count is exactly its
+            // length, so the kernel reads/writes in bounds.
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms(timeout)) };
+            match cvt(n) {
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => return Ok(false),
+                Err(e) => return Err(e),
+            }
+            let woken = fds[0].revents & POLLIN != 0;
+            for (slot, &(_, token, _)) in fds[1..].iter().zip(&self.entries) {
+                let bits = slot.revents;
+                if bits == 0 {
+                    continue;
+                }
+                let error = bits & (POLLERR | POLLHUP | POLLNVAL) != 0;
+                events.push(Event {
+                    token,
+                    readable: bits & POLLIN != 0 || error,
+                    writable: bits & POLLOUT != 0,
+                    error,
+                    timer: false,
+                });
+            }
+            Ok(woken)
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    //! Non-Unix stub: compiles, but every constructor reports
+    //! `Unsupported` so callers fall back to a blocking frontend.
+
+    use super::{Event, Interest, Mode, RawFd, Token};
+    use std::io;
+    use std::time::Duration;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "krsp-reactor requires a Unix poll/epoll facility",
+        )
+    }
+
+    pub(super) struct WakePipe;
+
+    impl WakePipe {
+        pub(super) fn new() -> io::Result<WakePipe> {
+            Err(unsupported())
+        }
+
+        pub(super) fn read_fd(&self) -> RawFd {
+            -1
+        }
+
+        pub(super) fn wake(&self) {}
+
+        pub(super) fn drain(&self) {}
+    }
+
+    pub(super) struct Backend;
+
+    impl Backend {
+        pub(super) fn preferred() -> io::Result<Backend> {
+            Err(unsupported())
+        }
+
+        pub(super) fn poll_set() -> io::Result<Backend> {
+            Err(unsupported())
+        }
+
+        pub(super) fn attach_wake(&mut self, _fd: RawFd) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub(super) fn register(
+            &mut self,
+            _fd: RawFd,
+            _token: Token,
+            _interest: Interest,
+            _mode: Mode,
+        ) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub(super) fn reregister(
+            &mut self,
+            _fd: RawFd,
+            _token: Token,
+            _interest: Interest,
+            _mode: Mode,
+        ) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub(super) fn deregister(&mut self, _fd: RawFd) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub(super) fn wait(
+            &mut self,
+            _timeout: Option<Duration>,
+            _wake: &WakePipe,
+            _events: &mut Vec<Event>,
+        ) -> io::Result<bool> {
+            Err(unsupported())
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::Instant;
+
+    fn backends() -> Vec<Reactor> {
+        let mut v = vec![Reactor::new().expect("default backend")];
+        v.push(Reactor::with_poll_backend().expect("poll backend"));
+        v
+    }
+
+    #[test]
+    fn readable_event_fires_and_clears() {
+        for mut r in backends() {
+            let (mut a, b) = UnixStream::pair().expect("socketpair");
+            b.set_nonblocking(true).expect("nonblocking");
+            r.register(b.as_raw_fd(), Token(7), Interest::READABLE, Mode::Level)
+                .expect("register");
+
+            let mut events = Vec::new();
+            // Nothing pending: a zero timeout returns empty.
+            r.poll(&mut events, Some(Duration::ZERO)).expect("poll");
+            assert!(events.is_empty(), "spurious events: {events:?}");
+
+            a.write_all(b"x").expect("write");
+            r.poll(&mut events, Some(Duration::from_secs(5)))
+                .expect("poll");
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].token, Token(7));
+            assert!(events[0].readable && !events[0].writable && !events[0].timer);
+
+            // Level-triggered: still readable on the next poll; after
+            // draining, quiet again.
+            r.poll(&mut events, Some(Duration::ZERO)).expect("poll");
+            assert_eq!(events.len(), 1, "level mode must re-report");
+            let mut buf = [0u8; 8];
+            let mut b2 = &b;
+            let _ = b2.read(&mut buf).expect("drain");
+            r.poll(&mut events, Some(Duration::ZERO)).expect("poll");
+            assert!(events.is_empty(), "drained fd still reported");
+
+            r.deregister(b.as_raw_fd()).expect("deregister");
+            a.write_all(b"y").expect("write");
+            r.poll(&mut events, Some(Duration::ZERO)).expect("poll");
+            assert!(events.is_empty(), "deregistered fd still reported");
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn edge_mode_reports_transitions_only() {
+        let mut r = Reactor::new().expect("epoll backend");
+        let (mut a, b) = UnixStream::pair().expect("socketpair");
+        b.set_nonblocking(true).expect("nonblocking");
+        r.register(b.as_raw_fd(), Token(3), Interest::READABLE, Mode::Edge)
+            .expect("register");
+        a.write_all(b"x").expect("write");
+
+        let mut events = Vec::new();
+        r.poll(&mut events, Some(Duration::from_secs(5)))
+            .expect("poll");
+        assert_eq!(events.len(), 1, "edge reports the transition");
+        // Without a new arrival the edge does not re-fire (data unread).
+        r.poll(&mut events, Some(Duration::from_millis(50)))
+            .expect("poll");
+        assert!(events.is_empty(), "edge re-reported without a transition");
+        // A new arrival is a new edge.
+        a.write_all(b"y").expect("write");
+        r.poll(&mut events, Some(Duration::from_secs(5)))
+            .expect("poll");
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_poll() {
+        for mut r in backends() {
+            let waker = r.waker();
+            let t0 = Instant::now();
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                waker.wake();
+                waker.wake(); // coalesces, must not jam the pipe
+            });
+            let mut events = Vec::new();
+            r.poll(&mut events, Some(Duration::from_secs(30)))
+                .expect("poll");
+            let waited = t0.elapsed();
+            handle.join().expect("waker thread");
+            assert!(events.is_empty(), "wake is not a caller event");
+            assert!(
+                waited < Duration::from_secs(10),
+                "poll was not interrupted (waited {waited:?})"
+            );
+            // The pipe was drained: the next poll does not spin.
+            let t1 = Instant::now();
+            r.poll(&mut events, Some(Duration::from_millis(80)))
+                .expect("poll");
+            assert!(t1.elapsed() >= Duration::from_millis(50), "stale wake byte");
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order() {
+        for mut r in backends() {
+            let t0 = Instant::now();
+            r.set_timer(t0 + Duration::from_millis(60), Token(2));
+            r.set_timer(t0 + Duration::from_millis(20), Token(1));
+            assert_eq!(r.timers_armed(), 2);
+
+            let mut events = Vec::new();
+            r.poll(&mut events, None).expect("poll");
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].token, Token(1));
+            assert!(events[0].timer);
+            assert!(
+                t0.elapsed() >= Duration::from_millis(20),
+                "timer fired early"
+            );
+
+            r.poll(&mut events, None).expect("poll");
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].token, Token(2));
+            assert!(
+                t0.elapsed() >= Duration::from_millis(60),
+                "timer fired early"
+            );
+            assert_eq!(r.timers_armed(), 0);
+        }
+    }
+
+    #[test]
+    fn writable_interest_and_reregister() {
+        for mut r in backends() {
+            let (a, _b) = UnixStream::pair().expect("socketpair");
+            a.set_nonblocking(true).expect("nonblocking");
+            // An idle socket with buffer space is immediately writable.
+            r.register(a.as_raw_fd(), Token(9), Interest::WRITABLE, Mode::Level)
+                .expect("register");
+            let mut events = Vec::new();
+            r.poll(&mut events, Some(Duration::from_secs(5)))
+                .expect("poll");
+            assert_eq!(events.len(), 1);
+            assert!(events[0].writable && !events[0].readable);
+
+            // Dropping write interest silences it.
+            r.reregister(a.as_raw_fd(), Token(9), Interest::READABLE, Mode::Level)
+                .expect("reregister");
+            r.poll(&mut events, Some(Duration::ZERO)).expect("poll");
+            assert!(events.is_empty(), "reregister did not take: {events:?}");
+        }
+    }
+
+    #[test]
+    fn wake_token_is_reserved() {
+        let mut r = Reactor::new().expect("reactor");
+        let (a, _b) = UnixStream::pair().expect("socketpair");
+        let err = r
+            .register(a.as_raw_fd(), Token::WAKE, Interest::READABLE, Mode::Level)
+            .expect_err("WAKE must be rejected");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn peer_hangup_reads_as_readable_error() {
+        for mut r in backends() {
+            let (a, b) = UnixStream::pair().expect("socketpair");
+            b.set_nonblocking(true).expect("nonblocking");
+            r.register(b.as_raw_fd(), Token(4), Interest::READABLE, Mode::Level)
+                .expect("register");
+            drop(a);
+            let mut events = Vec::new();
+            r.poll(&mut events, Some(Duration::from_secs(5)))
+                .expect("poll");
+            assert_eq!(events.len(), 1);
+            assert!(
+                events[0].readable,
+                "hangup must surface as readable so a read loop sees EOF"
+            );
+        }
+    }
+}

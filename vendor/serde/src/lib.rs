@@ -119,6 +119,20 @@ pub trait Deserialize: Sized {
 
 // ---- primitive impls --------------------------------------------------
 
+// `Content` is its own wire form, so callers can splice dynamic values
+// (e.g. an opaque request id echoed back verbatim) into typed payloads.
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
 macro_rules! impl_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
