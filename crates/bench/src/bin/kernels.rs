@@ -10,22 +10,31 @@
 //! preserved pre-rewrite implementation (`krsp_flow::reference`) on the
 //! same instances, plus the Bellman–Ford scratch API against the
 //! per-call-allocating wrapper and the end-to-end solver on the T2/T4
-//! generator families. Everything is pinned — fixed seeds, fixed workload
-//! grid, fixed iteration counts — so two runs on the same machine measure
-//! the same work and the JSON can be compared commit to commit.
+//! generator families. The batch plane gets its own row families
+//! (EXPERIMENTS.md T12): `csp_batch` answers a fixed query set against a
+//! shared [`TopoDigest`] at batch sizes 1/8/64 vs the per-query rebuild,
+//! and `solve_batch` runs the same end-to-end query set through
+//! [`krsp::solve_batch`] windows of 1/8/64 vs unbatched `solve` calls —
+//! the amortization curve is `per_iter_ms` falling as the batch size
+//! grows. Everything is pinned — fixed seeds, fixed workload grid, fixed
+//! iteration counts — so two runs on the same machine measure the same
+//! work and the JSON can be compared commit to commit. The report records
+//! the host (`nproc`, os, arch) so committed numbers carry their context.
 //!
 //! The A/B pairs also cross-check their checksums: a variant that got
-//! faster by computing something else fails the run.
+//! faster by computing something else fails the run. The batch families
+//! cross-check every batch size against the unbatched fold the same way.
 
 use krsp::bicameral::{seed_scan_only, Ctx};
-use krsp::{baselines, solve, Config, Instance};
+use krsp::{baselines, solve, solve_batch, Config, Instance};
 use krsp_bench::standard_workload;
 use krsp_flow::bellman_ford::BfScratch;
 use krsp_flow::{
-    constrained_shortest_path_with, find_negative_cycle_in, reference, rsp_fptas_with, DpScratch,
+    constrained_shortest_path_with, constrained_shortest_paths_digested, find_negative_cycle_in,
+    reference, rsp_fptas_with, CspQuery, DpScratch, TopoDigest,
 };
 use krsp_gen::{Family, Regime};
-use krsp_graph::ResidualGraph;
+use krsp_graph::{NodeId, ResidualGraph};
 use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
@@ -47,10 +56,32 @@ struct Measurement {
     checksum: i64,
 }
 
+/// Recording host metadata: committed numbers are only comparable across
+/// commits measured on the same machine, so the report says which one.
+#[derive(Serialize)]
+struct Host {
+    /// Available hardware parallelism (`nproc`); bounds every threads-axis
+    /// and batch-axis row.
+    nproc: usize,
+    os: String,
+    arch: String,
+}
+
+impl Host {
+    fn detect() -> Host {
+        Host {
+            nproc: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+        }
+    }
+}
+
 #[derive(Serialize)]
 struct Report {
     schema: String,
     mode: String,
+    host: Host,
     results: Vec<Measurement>,
     speedups: Vec<Speedup>,
 }
@@ -330,6 +361,148 @@ fn main() {
         });
     }
 
+    // --- csp_batch: shared-digest query blocks, batch-size axis ----------
+    // A fixed query set per instance (mixed sources so sweep sharing has
+    // groups to merge, staggered bounds below the digest bound), answered
+    // at batch sizes 1/8/64: each window predigests once and sweeps its
+    // block. `unbatched` is the per-query rebuild
+    // (`constrained_shortest_path_with`). Checksums fold every query's
+    // path fingerprint in order, so all variants must answer every query
+    // bit-identically — the amortization must not change a single path.
+    let nq = if smoke { 8 } else { 64 };
+    let batch_sizes: &[usize] = if smoke { &[1, 8] } else { &[1, 8, 64] };
+    for (label, inst) in &grid {
+        let g = &inst.graph;
+        let d = inst.delay_bound;
+        let n = g.node_count() as u32;
+        let queries: Vec<CspQuery> = (0..nq)
+            .map(|j| CspQuery {
+                s: if j % 4 == 0 {
+                    inst.s
+                } else {
+                    NodeId((j as u32).wrapping_mul(7) % n)
+                },
+                t: inst.t,
+                delay_bound: (d - (j as i64 % 5)).max(0),
+            })
+            .collect();
+        h.record(
+            "csp_batch",
+            label,
+            "unbatched",
+            if smoke { 2 } else { 5 },
+            || {
+                queries.iter().fold(0i64, |acc, q| {
+                    let p = constrained_shortest_path_with(g, q.s, q.t, q.delay_bound, &mut dp);
+                    acc.wrapping_mul(1_000_003)
+                        .wrapping_add(fingerprint(p.as_ref()))
+                })
+            },
+        );
+        for &batch in batch_sizes {
+            h.record(
+                "csp_batch",
+                label,
+                &format!("batch{batch}"),
+                if smoke { 2 } else { 5 },
+                || {
+                    queries.chunks(batch).fold(0i64, |acc, block| {
+                        let digest = TopoDigest::delay_cost(g, d);
+                        constrained_shortest_paths_digested(g, &digest, block, &mut dp)
+                            .iter()
+                            .fold(acc, |acc, p| {
+                                acc.wrapping_mul(1_000_003)
+                                    .wrapping_add(fingerprint(p.as_ref()))
+                            })
+                    })
+                },
+            );
+        }
+        let k = h.results.len();
+        let rows = 1 + batch_sizes.len();
+        let base_ck = h.results[k - rows].checksum;
+        for m in &h.results[k - rows..] {
+            assert_eq!(
+                m.checksum, base_ck,
+                "csp_batch/{label}: {} disagrees with unbatched",
+                m.variant
+            );
+        }
+    }
+
+    // --- solve_batch: end-to-end batched solving, batch-size axis --------
+    // The same topology solved at `nq` staggered delay bounds (relaxing a
+    // feasible bound keeps the instance valid), pushed through
+    // `solve_batch` windows of 1/8/64 vs a plain `solve` loop. Window 1
+    // pays the per-call worker-pool setup `nq` times; window 64 pays it
+    // once and reuses the per-worker scratch across all queries — the
+    // per_iter_ms spread is the batch plane's amortization. Checksums fold
+    // each query's (cost, delay) in order: batching must not change any
+    // answer.
+    for (label, inst) in &grid {
+        let d = inst.delay_bound;
+        let insts: Vec<Instance> = (0..nq)
+            .map(|j| {
+                Instance::new(
+                    inst.graph.clone(),
+                    inst.s,
+                    inst.t,
+                    inst.k,
+                    d + (j as i64 % 7),
+                )
+                .expect("relaxing a feasible bound keeps the instance valid")
+            })
+            .collect();
+        let cfg = Config::default();
+        let fold = |acc: i64, r: Result<(i64, i64), ()>| {
+            let v = r.map_or(-1, |(c, dl)| c.wrapping_mul(31).wrapping_add(dl));
+            acc.wrapping_mul(1_000_003).wrapping_add(v)
+        };
+        h.record(
+            "solve_batch",
+            label,
+            "unbatched",
+            if smoke { 1 } else { 2 },
+            || {
+                insts.iter().fold(0i64, |acc, i| {
+                    let r = solve(i, &cfg)
+                        .map(|out| (out.solution.cost, out.solution.delay))
+                        .map_err(|_| ());
+                    fold(acc, r)
+                })
+            },
+        );
+        for &batch in batch_sizes {
+            h.record(
+                "solve_batch",
+                label,
+                &format!("batch{batch}"),
+                if smoke { 1 } else { 2 },
+                || {
+                    insts.chunks(batch).fold(0i64, |acc, window| {
+                        solve_batch(window, &cfg).iter().fold(acc, |acc, r| {
+                            let r = r
+                                .as_ref()
+                                .map(|out| (out.solution.cost, out.solution.delay))
+                                .map_err(|_| ());
+                            fold(acc, r)
+                        })
+                    })
+                },
+            );
+        }
+        let k = h.results.len();
+        let rows = 1 + batch_sizes.len();
+        let base_ck = h.results[k - rows].checksum;
+        for m in &h.results[k - rows..] {
+            assert_eq!(
+                m.checksum, base_ck,
+                "solve_batch/{label}: {} disagrees with unbatched solves",
+                m.variant
+            );
+        }
+    }
+
     // --- speedups for the A/B pairs --------------------------------------
     let mut speedups = Vec::new();
     for i in (0..h.results.len()).step_by(1) {
@@ -371,9 +544,31 @@ fn main() {
         }
     }
 
+    // Batch amortization: per-query cost unbatched over the widest batch.
+    // > 1.0 means batching pays; the committed full-mode numbers are the
+    // T12 acceptance curve.
+    let widest_batch = format!("batch{}", batch_sizes.last().expect("batch axis nonempty"));
+    for m in &h.results {
+        if m.variant != "unbatched" {
+            continue;
+        }
+        if let Some(w) = h
+            .results
+            .iter()
+            .find(|r| r.bench == m.bench && r.config == m.config && r.variant == widest_batch)
+        {
+            speedups.push(Speedup {
+                bench: format!("{}(unbatched/{widest_batch})", m.bench),
+                config: m.config.clone(),
+                speedup: m.per_iter_ms / w.per_iter_ms.max(1e-9),
+            });
+        }
+    }
+
     let report = Report {
         schema: "krsp-bench-kernels/v1".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
+        host: Host::detect(),
         results: h.results,
         speedups,
     };

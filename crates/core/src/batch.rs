@@ -13,10 +13,12 @@
 //! * [`Executor::submit`] — FIFO dispatch of `'static` jobs onto a
 //!   lazily-started resident worker pool (what the service uses).
 
-use crate::algorithm1::{solve, Config, SolveError, Solved};
+use crate::algorithm1::{solve_with, Config, SolveError, Solved};
+use crate::bicameral::SearchScratch;
 use crate::instance::Instance;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
@@ -24,6 +26,14 @@ thread_local! {
     /// True on threads owned by a resident pool (see
     /// [`Executor::on_worker_thread`]).
     static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+
+    /// Per-worker solver arena for [`solve_batch`]: each pool thread keeps
+    /// one [`SearchScratch`] (and, inside it, the Bellman–Ford buffers)
+    /// alive across every query it processes, so a batch of N queries
+    /// warms `width` arenas instead of allocating N. Scratch reuse is
+    /// output-invariant (pinned by the scratch-reuse tests), so batched
+    /// results stay bit-identical to independent [`solve`] calls.
+    static WORKER_SCRATCH: RefCell<SearchScratch> = RefCell::new(SearchScratch::new());
 }
 
 /// A boxed unit of work for the resident pool.
@@ -189,7 +199,53 @@ pub fn shared_executor() -> &'static Executor {
     SHARED.get_or_init(|| Executor::new(rayon::current_num_threads()))
 }
 
+/// Why one query of a batch failed. Granular per query: a panicking
+/// instance maps to [`BatchError::Panicked`] for *that* slot only instead
+/// of unwinding through the pool and poisoning its siblings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchError {
+    /// The solver ran to completion and reported failure.
+    Solve(SolveError),
+    /// The solver panicked; the payload message is attached. Sibling
+    /// queries in the same batch are unaffected.
+    Panicked(String),
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::Solve(e) => e.fmt(f),
+            BatchError::Panicked(msg) => write!(f, "solver panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BatchError::Solve(e) => Some(e),
+            BatchError::Panicked(_) => None,
+        }
+    }
+}
+
+/// Best-effort panic payload rendering (panics carry `&str` or `String`
+/// in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
 /// Solves every instance in parallel, preserving order.
+///
+/// Each pool worker reuses one resident [`SearchScratch`] arena across all
+/// the queries it processes, and each query runs inside `catch_unwind`:
+/// a panicking instance yields [`BatchError::Panicked`] in its own slot
+/// while every sibling query completes normally. Results are bit-identical
+/// to N independent [`solve`] calls at any worker width.
 ///
 /// ```
 /// use krsp::{solve_batch, Config, Instance};
@@ -207,8 +263,21 @@ pub fn shared_executor() -> &'static Executor {
 /// assert!(results[1].is_err()); // budget 3 is unsatisfiable
 /// ```
 #[must_use]
-pub fn solve_batch(instances: &[Instance], cfg: &Config) -> Vec<Result<Solved, SolveError>> {
-    shared_executor().map(instances, |i| solve(i, cfg))
+pub fn solve_batch(instances: &[Instance], cfg: &Config) -> Vec<Result<Solved, BatchError>> {
+    // A transient executor at the *current* solver width: `map` is scoped
+    // (no resident threads), so this is just a width capture — and unlike
+    // the process-wide executor, it tracks `set_solver_width` /
+    // `KRSP_THREADS` changes made after the first batch.
+    Executor::new(rayon::current_num_threads()).map(instances, |inst| {
+        WORKER_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            match catch_unwind(AssertUnwindSafe(|| solve_with(inst, cfg, &mut scratch))) {
+                Ok(Ok(out)) => Ok(out),
+                Ok(Err(e)) => Err(BatchError::Solve(e)),
+                Err(payload) => Err(BatchError::Panicked(panic_message(payload.as_ref()))),
+            }
+        })
+    })
 }
 
 /// Aggregate statistics over a batch result.
@@ -218,6 +287,8 @@ pub struct BatchSummary {
     pub solved: usize,
     /// Number of infeasible instances.
     pub infeasible: usize,
+    /// Number of queries whose solver panicked (isolated per query).
+    pub panicked: usize,
     /// Total cost over solved instances.
     pub total_cost: i64,
     /// Worst delay utilization (delay / D) over solved instances.
@@ -226,7 +297,7 @@ pub struct BatchSummary {
 
 /// Summarizes a batch result against its instances.
 #[must_use]
-pub fn summarize(instances: &[Instance], results: &[Result<Solved, SolveError>]) -> BatchSummary {
+pub fn summarize(instances: &[Instance], results: &[Result<Solved, BatchError>]) -> BatchSummary {
     let mut s = BatchSummary::default();
     for (inst, r) in instances.iter().zip(results) {
         match r {
@@ -236,7 +307,8 @@ pub fn summarize(instances: &[Instance], results: &[Result<Solved, SolveError>])
                 let u = out.solution.delay as f64 / inst.delay_bound.max(1) as f64;
                 s.worst_delay_utilization = s.worst_delay_utilization.max(u);
             }
-            Err(_) => s.infeasible += 1,
+            Err(BatchError::Panicked(_)) => s.panicked += 1,
+            Err(BatchError::Solve(_)) => s.infeasible += 1,
         }
     }
     s
@@ -245,6 +317,7 @@ pub fn summarize(instances: &[Instance], results: &[Result<Solved, SolveError>])
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solve;
     use krsp_graph::{DiGraph, NodeId};
 
     fn inst(d: i64) -> Instance {
@@ -264,9 +337,25 @@ mod tests {
                     assert_eq!(a.solution.cost, b.solution.cost);
                     assert_eq!(a.solution.delay, b.solution.delay);
                 }
-                (Err(a), Err(b)) => assert_eq!(*a, b),
+                (Err(BatchError::Solve(a)), Err(b)) => assert_eq!(a, &b),
                 other => panic!("batch/sequential disagree: {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn batch_reuses_worker_scratch_bit_identically() {
+        // Many queries per worker: the per-thread scratch is hit warm and
+        // the answers must still match fresh solves exactly.
+        let batch: Vec<Instance> = (0..24).map(|i| inst(12 + (i % 9))).collect();
+        let cfg = Config::default();
+        let results = solve_batch(&batch, &cfg);
+        for (i, r) in results.iter().enumerate() {
+            let fresh = solve(&batch[i], &cfg).expect("instances are feasible");
+            let got = r.as_ref().expect("batch result matches");
+            assert_eq!(got.solution.cost, fresh.solution.cost);
+            assert_eq!(got.solution.delay, fresh.solution.delay);
+            assert_eq!(got.solution.edges, fresh.solution.edges);
         }
     }
 

@@ -74,7 +74,7 @@ pub fn solver_width() -> usize {
 pub fn set_solver_width(width: usize) {
     rayon::set_num_threads(width);
 }
-pub use batch::{shared_executor, solve_batch, summarize, BatchSummary, Executor};
+pub use batch::{shared_executor, solve_batch, summarize, BatchError, BatchSummary, Executor};
 pub use bicameral::{BSearch, CycleKind, Engine, SearchScratch};
 pub use instance::{Instance, InstanceError};
 pub use krsp_flow::CancelToken;

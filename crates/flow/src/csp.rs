@@ -156,11 +156,189 @@ impl DpScratch {
     fn value_at(&self, b: usize, v: NodeId) -> i64 {
         self.value[b * self.n + v.index()]
     }
+}
 
-    /// True when node `v` has at least one outgoing zero-budget edge.
+/// True when node `v` has at least one outgoing zero-budget edge.
+#[inline]
+fn zero_tail(zero_start: &[u32], v: u32) -> bool {
+    zero_start[v as usize] < zero_start[v as usize + 1]
+}
+
+/// Borrowed edge buckets for one DP sweep: either the scratch's own
+/// (single-query path) or a shared [`TopoDigest`]'s (batch path).
+struct Buckets<'a> {
+    /// Positive-budget edges with budget ≤ bound, in edge-id order.
+    pos: &'a [PosEdge],
+    /// Zero-budget out-edges, CSR payload (tail-node grouped).
+    zero: &'a [ZeroEdge],
+    /// CSR offsets over `zero`.
+    zero_start: &'a [u32],
+}
+
+/// Destination buffers for [`digest_buckets`]: either a scratch arena's
+/// fields (single-query path) or a fresh [`TopoDigest`]'s vectors (batch
+/// path). Bundled so both call sites lend the same shape.
+struct BucketBufs<'a> {
+    ebud: &'a mut Vec<i64>,
+    eobj: &'a mut Vec<i64>,
+    pos: &'a mut Vec<PosEdge>,
+    zero: &'a mut Vec<ZeroEdge>,
+    zero_start: &'a mut Vec<u32>,
+}
+
+/// Builds the edge buckets the DP sweep relaxes over: one accessor call per
+/// edge (cached in `ebud`/`eobj`), positive-budget edges with budget ≤
+/// `bound` into `pos` in edge-id order, zero-budget edges into a per-node
+/// CSR in out-edge order. Shared by [`budget_dp`] (per-run buckets in the
+/// scratch) and [`TopoDigest::build`] (buckets built once per topology), so
+/// the two paths bucket identically by construction.
+fn digest_buckets(
+    graph: &DiGraph,
+    bound: usize,
+    budget_of: impl Fn(EdgeId) -> i64,
+    objective_of: impl Fn(EdgeId) -> i64,
+    out: BucketBufs<'_>,
+) {
+    let BucketBufs {
+        ebud,
+        eobj,
+        pos,
+        zero,
+        zero_start,
+    } = out;
+    ebud.clear();
+    eobj.clear();
+    pos.clear();
+    for (id, e) in graph.edge_iter() {
+        let b = budget_of(id);
+        let o = objective_of(id);
+        assert!(b >= 0, "budgets must be nonnegative");
+        assert!(o >= 0, "objectives must be nonnegative");
+        ebud.push(b);
+        eobj.push(o);
+        if b >= 1 && b <= bound as i64 {
+            pos.push(PosEdge {
+                budget: b as u32,
+                src: e.src.0,
+                dst: e.dst.0,
+                obj: o,
+                id: id.0,
+            });
+        }
+    }
+    // Zero-budget CSR, grouped by tail in out-edge order (the order the
+    // reference kernel relaxes them in).
+    zero.clear();
+    zero_start.clear();
+    zero_start.reserve(graph.node_count() + 1);
+    for v in graph.node_iter() {
+        zero_start.push(zero.len() as u32);
+        for &e in graph.out_edges(v) {
+            if ebud[e.index()] == 0 {
+                zero.push(ZeroEdge {
+                    dst: graph.edge(e).dst.0,
+                    obj: eobj[e.index()],
+                    id: e.0,
+                });
+            }
+        }
+    }
+    zero_start.push(zero.len() as u32);
+}
+
+/// Predigested edge buckets for one fixed `(graph, budget, objective,
+/// bound)` shape, reusable across any number of DP runs.
+///
+/// The digest is the batch plane's shared read-only half: build it once per
+/// topology with [`TopoDigest::delay_cost`], then answer many `(s, t, D)`
+/// queries through [`constrained_shortest_path_digested`] /
+/// [`constrained_shortest_paths_digested`] without re-walking the edge list
+/// per query. Invariants (asserted at query time):
+///
+/// * the digest must have been built from the *same* graph the query runs
+///   on (node and edge counts are checked; weights are the builder's
+///   responsibility — a digest never outlives a graph mutation);
+/// * every query bound must be ≤ the digest's `bound`. The relaxation loop
+///   skips edges whose budget exceeds the current level, and levels are
+///   computed bottom-up, so a sweep truncated at a smaller bound is
+///   bit-identical to a dedicated [`budget_dp`] run at that bound.
+pub struct TopoDigest {
+    pos: Vec<PosEdge>,
+    zero: Vec<ZeroEdge>,
+    zero_start: Vec<u32>,
+    n: usize,
+    m: usize,
+    bound: usize,
+}
+
+impl TopoDigest {
+    /// Digest for the exact restricted-shortest-path shape: budget = edge
+    /// delay, objective = edge cost, usable for any query with
+    /// `delay_bound ≤ max_delay_bound`.
+    ///
+    /// # Panics
+    /// Panics when `max_delay_bound` is negative or any weight is negative.
+    #[must_use]
+    pub fn delay_cost(graph: &DiGraph, max_delay_bound: i64) -> TopoDigest {
+        assert!(max_delay_bound >= 0, "delay bound must be nonnegative");
+        TopoDigest::build(
+            graph,
+            max_delay_bound as usize,
+            |e| graph.edge(e).delay,
+            |e| graph.edge(e).cost,
+        )
+    }
+
+    fn build(
+        graph: &DiGraph,
+        bound: usize,
+        budget_of: impl Fn(EdgeId) -> i64,
+        objective_of: impl Fn(EdgeId) -> i64,
+    ) -> TopoDigest {
+        let (mut ebud, mut eobj) = (Vec::new(), Vec::new());
+        let (mut pos, mut zero, mut zero_start) = (Vec::new(), Vec::new(), Vec::new());
+        digest_buckets(
+            graph,
+            bound,
+            budget_of,
+            objective_of,
+            BucketBufs {
+                ebud: &mut ebud,
+                eobj: &mut eobj,
+                pos: &mut pos,
+                zero: &mut zero,
+                zero_start: &mut zero_start,
+            },
+        );
+        TopoDigest {
+            pos,
+            zero,
+            zero_start,
+            n: graph.node_count(),
+            m: graph.edge_count(),
+            bound,
+        }
+    }
+
+    /// The largest query bound this digest supports.
+    #[must_use]
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
     #[inline]
-    fn is_zero_tail(&self, v: u32) -> bool {
-        self.zero_start[v as usize] < self.zero_start[v as usize + 1]
+    fn buckets(&self) -> Buckets<'_> {
+        Buckets {
+            pos: &self.pos,
+            zero: &self.zero,
+            zero_start: &self.zero_start,
+        }
+    }
+
+    /// Asserts the digest was built from a graph of this shape.
+    fn check_graph(&self, graph: &DiGraph) {
+        assert_eq!(self.n, graph.node_count(), "digest/graph node mismatch");
+        assert_eq!(self.m, graph.edge_count(), "digest/graph edge mismatch");
     }
 }
 
@@ -186,58 +364,64 @@ fn budget_dp(
     budget_of: impl Fn(EdgeId) -> i64,
     objective_of: impl Fn(EdgeId) -> i64,
 ) -> bool {
+    let n = graph.node_count();
+    // Predigest the weights: one accessor call per edge, validated once.
+    digest_buckets(
+        graph,
+        bound,
+        budget_of,
+        objective_of,
+        BucketBufs {
+            ebud: &mut scratch.ebud,
+            eobj: &mut scratch.eobj,
+            pos: &mut scratch.pos,
+            zero: &mut scratch.zero,
+            zero_start: &mut scratch.zero_start,
+        },
+    );
+    // Lend the scratch its own buckets for the sweep (moved out and back so
+    // the arena keeps its capacity; the sweep needs the scratch mutably).
+    let pos = std::mem::take(&mut scratch.pos);
+    let zero = std::mem::take(&mut scratch.zero);
+    let zero_start = std::mem::take(&mut scratch.zero_start);
+    let complete = dp_sweep(
+        scratch,
+        &Buckets {
+            pos: &pos,
+            zero: &zero,
+            zero_start: &zero_start,
+        },
+        n,
+        s,
+        bound + 1,
+    );
+    scratch.pos = pos;
+    scratch.zero = zero;
+    scratch.zero_start = zero_start;
+    complete
+}
+
+/// The DP loop proper, over already-built buckets: fills the scratch's
+/// flat value/parent tables for levels `0..levels`. The buckets may be the
+/// scratch's own ([`budget_dp`]) or a shared [`TopoDigest`]'s; either way
+/// the relaxation skips edges whose budget exceeds the current level, so
+/// buckets built at any bound ≥ `levels - 1` produce identical tables.
+#[must_use]
+fn dp_sweep(
+    scratch: &mut DpScratch,
+    buckets: &Buckets<'_>,
+    n: usize,
+    s: NodeId,
+    levels: usize,
+) -> bool {
     fail_point!("csp.dp", |_msg| false);
     let cancel = scratch.cancel.clone();
     if cancel.is_cancelled() {
         return false;
     }
-    let n = graph.node_count();
-    let m = graph.edge_count();
-    let levels = bound + 1;
     scratch.n = n;
     scratch.levels = levels;
-
-    // Predigest the weights: one accessor call per edge, validated once.
-    scratch.ebud.clear();
-    scratch.eobj.clear();
-    scratch.pos.clear();
-    for (id, e) in graph.edge_iter() {
-        let b = budget_of(id);
-        let o = objective_of(id);
-        assert!(b >= 0, "budgets must be nonnegative");
-        assert!(o >= 0, "objectives must be nonnegative");
-        scratch.ebud.push(b);
-        scratch.eobj.push(o);
-        if b >= 1 && b <= bound as i64 {
-            scratch.pos.push(PosEdge {
-                budget: b as u32,
-                src: e.src.0,
-                dst: e.dst.0,
-                obj: o,
-                id: id.0,
-            });
-        }
-    }
-    // Zero-budget CSR, grouped by tail in out-edge order (the order the
-    // reference kernel relaxes them in).
-    scratch.zero.clear();
-    scratch.zero_start.clear();
-    scratch.zero_start.reserve(n + 1);
-    for v in graph.node_iter() {
-        scratch.zero_start.push(scratch.zero.len() as u32);
-        for &e in graph.out_edges(v) {
-            if scratch.ebud[e.index()] == 0 {
-                scratch.zero.push(ZeroEdge {
-                    dst: graph.edge(e).dst.0,
-                    obj: scratch.eobj[e.index()],
-                    id: e.0,
-                });
-            }
-        }
-    }
-    scratch.zero_start.push(scratch.zero.len() as u32);
-    let has_zero = !scratch.zero.is_empty();
-    let _ = m;
+    let has_zero = !buckets.zero.is_empty();
 
     // Flat tables. `resize` keeps capacity across runs; rows are written
     // level by level below, so no global fill is needed.
@@ -266,7 +450,7 @@ fn budget_dp(
         scratch.value[row + s.index()] = 0;
         // Cross-level transitions, in edge-id order (ties must resolve as
         // in the reference kernel).
-        for pe in &scratch.pos {
+        for pe in buckets.pos {
             if pe.budget as usize > b {
                 continue;
             }
@@ -292,7 +476,7 @@ fn budget_dp(
         let gen = scratch.gen;
         scratch.heap.clear();
         for v in 0..n as u32 {
-            if scratch.is_zero_tail(v) && scratch.value[row + v as usize] != UNREACHED {
+            if zero_tail(buckets.zero_start, v) && scratch.value[row + v as usize] != UNREACHED {
                 scratch
                     .heap
                     .push(Reverse((scratch.value[row + v as usize], v)));
@@ -304,18 +488,18 @@ fn budget_dp(
             }
             scratch.settled[v as usize] = gen;
             let (lo, hi) = (
-                scratch.zero_start[v as usize] as usize,
-                scratch.zero_start[v as usize + 1] as usize,
+                buckets.zero_start[v as usize] as usize,
+                buckets.zero_start[v as usize + 1] as usize,
             );
             for i in lo..hi {
-                let ze = scratch.zero[i];
+                let ze = buckets.zero[i];
                 let cand = dv + ze.obj;
                 let slot = row + ze.dst as usize;
                 if cand < scratch.value[slot] {
                     scratch.value[slot] = cand;
                     scratch.par_edge[slot] = ze.id;
                     scratch.par_level[slot] = b as u32;
-                    if scratch.is_zero_tail(ze.dst) {
+                    if zero_tail(buckets.zero_start, ze.dst) {
                         scratch.heap.push(Reverse((cand, ze.dst)));
                     }
                 }
@@ -400,6 +584,117 @@ pub fn constrained_shortest_path_with(
     let p = CspPath::from_edges(graph, edges);
     debug_assert!(p.delay <= delay_bound);
     Some(p)
+}
+
+/// One restricted-shortest-path query against a shared [`TopoDigest`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CspQuery {
+    /// Source node.
+    pub s: NodeId,
+    /// Target node.
+    pub t: NodeId,
+    /// Delay budget; must be `≤` the digest's bound.
+    pub delay_bound: i64,
+}
+
+/// [`constrained_shortest_path_with`] against a prebuilt [`TopoDigest`]:
+/// skips the per-call edge walk and bucket build. Bit-identical to the
+/// undigested call for any `delay_bound ≤ digest.bound()`.
+///
+/// # Panics
+/// Panics when the digest does not match `graph`'s shape, or
+/// `delay_bound` is negative or exceeds the digest bound.
+#[must_use]
+pub fn constrained_shortest_path_digested(
+    graph: &DiGraph,
+    digest: &TopoDigest,
+    s: NodeId,
+    t: NodeId,
+    delay_bound: i64,
+    scratch: &mut DpScratch,
+) -> Option<CspPath> {
+    digest.check_graph(graph);
+    assert!(delay_bound >= 0, "delay bound must be nonnegative");
+    assert!(
+        delay_bound as usize <= digest.bound,
+        "query bound {delay_bound} exceeds digest bound {}",
+        digest.bound
+    );
+    let bound = delay_bound as usize;
+    if !dp_sweep(scratch, &digest.buckets(), digest.n, s, bound + 1) {
+        return None;
+    }
+    if scratch.value_at(bound, t) == UNREACHED {
+        return None;
+    }
+    let edges = recover(scratch, graph, s, t, bound);
+    let p = CspPath::from_edges(graph, edges);
+    debug_assert!(p.delay <= delay_bound);
+    Some(p)
+}
+
+/// Answers a block of queries against one shared [`TopoDigest`], sharing
+/// DP sweeps across queries with the same source.
+///
+/// Queries are grouped by source in first-appearance order; each group
+/// runs **one** sweep to the group's largest bound. The value table at any
+/// level `b` depends only on levels `≤ b` (and the per-level relaxation
+/// skips edges whose budget exceeds the level), so every query reads the
+/// same cells — and recovers the same parents — as a dedicated
+/// [`constrained_shortest_path_with`] run at its own bound: results are
+/// bit-identical, query by query.
+///
+/// A tripped [`CancelToken`] in the scratch stops the remaining sweeps;
+/// unanswered queries come back `None`, like the single-query calls.
+///
+/// # Panics
+/// Panics when the digest does not match `graph`'s shape, or any query
+/// bound is negative or exceeds the digest bound.
+#[must_use]
+pub fn constrained_shortest_paths_digested(
+    graph: &DiGraph,
+    digest: &TopoDigest,
+    queries: &[CspQuery],
+    scratch: &mut DpScratch,
+) -> Vec<Option<CspPath>> {
+    digest.check_graph(graph);
+    let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        assert!(q.delay_bound >= 0, "delay bound must be nonnegative");
+        assert!(
+            q.delay_bound as usize <= digest.bound,
+            "query bound {} exceeds digest bound {}",
+            q.delay_bound,
+            digest.bound
+        );
+        match groups.iter_mut().find(|(s, _)| *s == q.s) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((q.s, vec![i])),
+        }
+    }
+    let mut out: Vec<Option<CspPath>> = vec![None; queries.len()];
+    for (s, idxs) in groups {
+        let max_bound = idxs
+            .iter()
+            .map(|&i| queries[i].delay_bound as usize)
+            .max()
+            .expect("group is nonempty");
+        if !dp_sweep(scratch, &digest.buckets(), digest.n, s, max_bound + 1) {
+            break;
+        }
+        for &i in &idxs {
+            let q = &queries[i];
+            let bound = q.delay_bound as usize;
+            if scratch.value_at(bound, q.t) == UNREACHED {
+                continue;
+            }
+            let edges = recover(scratch, graph, s, q.t, bound);
+            let p = CspPath::from_edges(graph, edges);
+            debug_assert!(p.delay <= q.delay_bound);
+            out[i] = Some(p);
+        }
+    }
+    out
 }
 
 /// Integer geometric mean `⌊√(lb·ub)⌋`, clamped into `[lb, ub]`.
@@ -695,6 +990,130 @@ mod tests {
     }
 
     #[test]
+    fn digested_matches_rebuild_across_bounds() {
+        // One digest built at the largest bound must answer every smaller
+        // bound bit-identically to a per-call bucket rebuild — the shared
+        // invariant the batch plane rests on.
+        let graphs = [
+            tradeoff_graph(),
+            DiGraph::from_edges(
+                4,
+                &[
+                    (0, 1, 1, 10),
+                    (1, 3, 1, 10),
+                    (0, 2, 10, 1),
+                    (2, 3, 10, 1),
+                    (1, 2, 0, 0), // zero-delay bridge exercises the CSR
+                ],
+            ),
+        ];
+        for g in &graphs {
+            let digest = TopoDigest::delay_cost(g, 25);
+            let mut scratch = DpScratch::new();
+            let mut scratch_d = DpScratch::new();
+            for d in 0..=25i64 {
+                let rebuilt =
+                    constrained_shortest_path_with(g, NodeId(0), NodeId(3), d, &mut scratch);
+                let digested = constrained_shortest_path_digested(
+                    g,
+                    &digest,
+                    NodeId(0),
+                    NodeId(3),
+                    d,
+                    &mut scratch_d,
+                );
+                assert_eq!(rebuilt, digested, "bound {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn digested_multi_query_matches_independent_calls() {
+        let g = DiGraph::from_edges(
+            5,
+            &[
+                (0, 1, 1, 10),
+                (1, 3, 1, 10),
+                (0, 2, 10, 1),
+                (2, 3, 10, 1),
+                (1, 2, 0, 0),
+                (3, 4, 2, 3),
+                (1, 4, 7, 2),
+            ],
+        );
+        let digest = TopoDigest::delay_cost(&g, 30);
+        // Mixed sources, targets, and bounds — including infeasible ones —
+        // so the grouping path, the shared-sweep reads, and the None cases
+        // are all exercised.
+        let queries = [
+            CspQuery {
+                s: NodeId(0),
+                t: NodeId(3),
+                delay_bound: 20,
+            },
+            CspQuery {
+                s: NodeId(1),
+                t: NodeId(4),
+                delay_bound: 4,
+            },
+            CspQuery {
+                s: NodeId(0),
+                t: NodeId(4),
+                delay_bound: 30,
+            },
+            CspQuery {
+                s: NodeId(0),
+                t: NodeId(3),
+                delay_bound: 1, // infeasible
+            },
+            CspQuery {
+                s: NodeId(1),
+                t: NodeId(3),
+                delay_bound: 11,
+            },
+            CspQuery {
+                s: NodeId(4),
+                t: NodeId(0),
+                delay_bound: 9, // unreachable
+            },
+        ];
+        let mut scratch = DpScratch::new();
+        let batch = constrained_shortest_paths_digested(&g, &digest, &queries, &mut scratch);
+        assert_eq!(batch.len(), queries.len());
+        for (q, got) in queries.iter().zip(&batch) {
+            let solo = constrained_shortest_path(&g, q.s, q.t, q.delay_bound);
+            assert_eq!(&solo, got, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn digested_multi_query_respects_cancellation() {
+        let g = tradeoff_graph();
+        let digest = TopoDigest::delay_cost(&g, 20);
+        let mut scratch = DpScratch::new();
+        let token = CancelToken::cancellable();
+        token.cancel();
+        scratch.set_cancel(token);
+        let queries = [CspQuery {
+            s: NodeId(0),
+            t: NodeId(3),
+            delay_bound: 20,
+        }];
+        let out = constrained_shortest_paths_digested(&g, &digest, &queries, &mut scratch);
+        assert_eq!(out, vec![None]);
+        // The same scratch answers again once the token is replaced.
+        scratch.set_cancel(CancelToken::never());
+        let out = constrained_shortest_paths_digested(&g, &digest, &queries, &mut scratch);
+        assert_eq!(
+            (
+                out[0].as_ref().unwrap().cost,
+                out[0].as_ref().unwrap().delay
+            ),
+            (2, 20)
+        );
+    }
+
+    #[test]
     fn fptas_feasible_and_near_optimal() {
         let g = tradeoff_graph();
         let p = rsp_fptas(&g, NodeId(0), NodeId(3), 20, 1, 2).unwrap();
@@ -771,6 +1190,30 @@ mod tests {
                         "approx {} vs opt {}", a.cost, e.cost);
                 }
                 (e, a) => prop_assert!(false, "feasibility mismatch: exact={:?} approx={:?}", e.is_some(), a.is_some()),
+            }
+        }
+
+        #[test]
+        fn prop_digested_batch_matches_independent_calls(
+            (g, d) in arb_graph(),
+            picks in proptest::collection::vec((0u32..7, 0u32..7, 0i64..40), 1..12),
+        ) {
+            // A digest at the max bound + grouped sweeps must be
+            // bit-identical to one fresh call per query.
+            let digest = TopoDigest::delay_cost(&g, 40);
+            let queries: Vec<CspQuery> = picks
+                .into_iter()
+                .map(|(s, t, jitter)| CspQuery {
+                    s: NodeId(s),
+                    t: NodeId(t),
+                    delay_bound: jitter.min(d.max(0)),
+                })
+                .collect();
+            let mut scratch = DpScratch::new();
+            let batch = constrained_shortest_paths_digested(&g, &digest, &queries, &mut scratch);
+            for (q, got) in queries.iter().zip(&batch) {
+                let solo = constrained_shortest_path(&g, q.s, q.t, q.delay_bound);
+                prop_assert_eq!(&solo, got, "query {:?}", q);
             }
         }
 

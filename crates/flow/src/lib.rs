@@ -41,8 +41,9 @@ pub mod yen;
 pub use bellman_ford::{bellman_ford, find_negative_cycle_in, BfResult, BfScratch};
 pub use cancel::CancelToken;
 pub use csp::{
-    constrained_shortest_path, constrained_shortest_path_with, rsp_fptas, rsp_fptas_with, CspPath,
-    DpScratch,
+    constrained_shortest_path, constrained_shortest_path_digested, constrained_shortest_path_with,
+    constrained_shortest_paths_digested, rsp_fptas, rsp_fptas_with, CspPath, CspQuery, DpScratch,
+    TopoDigest,
 };
 pub use dijkstra::dijkstra;
 pub use dinic::{max_edge_disjoint_paths, Dinic};

@@ -42,8 +42,8 @@
 
 use crate::metrics::FrontendStats;
 use crate::proto::{
-    self, health_reply, solve_response, DecodedRequest, ErrorKind, ServeOptions, SolveRequest,
-    WireRequest, WireResponse, MAX_LINE_BYTES,
+    self, health_reply, solve_response, DecodedRequest, ErrorKind, ServeOptions, SolveBatchRequest,
+    SolveRequest, WireRequest, WireResponse, MAX_LINE_BYTES,
 };
 use crate::service::{Request, Service};
 use crate::sync_util::lock_recover;
@@ -113,8 +113,17 @@ enum Queued {
 /// A complete line produced by the incremental framer.
 enum Framed {
     Line(Vec<u8>),
-    TooLong,
+    /// The line blew past [`MAX_LINE_BYTES`]. The framer kept the line's
+    /// first [`ID_PREFIX`] bytes, so a pipelined request's `"id"` member
+    /// (which the canonical encoders place first) survives the discard and
+    /// the oversize error can still be matched by the client.
+    TooLong(Option<Content>),
 }
+
+/// How many bytes of an oversize line the framer retains for id recovery.
+/// The canonical id splice is `{"id":<u64>,...`, so 256 bytes is generous;
+/// anything fancier than a leading integer id falls back to a bare error.
+const ID_PREFIX: usize = 256;
 
 struct Conn {
     stream: TcpStream,
@@ -122,7 +131,9 @@ struct Conn {
     /// Bytes of the current (incomplete) request line.
     line: Vec<u8>,
     /// The current line blew past [`MAX_LINE_BYTES`]; bytes are dropped
-    /// until its newline, then one oversize error is emitted.
+    /// until its newline, then one oversize error is emitted. While set,
+    /// `line` holds the frozen [`ID_PREFIX`]-byte head of the oversize
+    /// line (for id recovery), not live framing state.
     discarding: bool,
     /// When the current partial line started arriving (the slow-loris
     /// clock); `None` between lines.
@@ -359,7 +370,7 @@ impl Frontend {
                     // as a line (matching the blocking reader).
                     if conn.discarding {
                         conn.discarding = false;
-                        framed.push(Framed::TooLong);
+                        framed.push(Framed::TooLong(take_oversize_id(conn)));
                     } else if !conn.line.is_empty() {
                         framed.push(Framed::Line(std::mem::take(&mut conn.line)));
                     }
@@ -389,12 +400,19 @@ impl Frontend {
                 return; // an earlier line's handling dropped the conn
             }
             match item {
-                Framed::TooLong => {
+                Framed::TooLong(id) => {
                     let msg = format!("request line exceeds {MAX_LINE_BYTES} bytes");
-                    self.enqueue_ordered(
-                        token,
-                        Queued::Respond(proto::wire_error(ErrorKind::OversizeLine, msg)),
-                    );
+                    let error = proto::wire_error(ErrorKind::OversizeLine, msg);
+                    match id {
+                        // A recovered id: answer immediately and id-matched,
+                        // like any other out-of-order response — an in-flight
+                        // pipelined solve must not be charged with this error.
+                        Some(id) => {
+                            let line = proto::encode_response_line(Some(&id), &error);
+                            self.queue_response(token, &line);
+                        }
+                        None => self.enqueue_ordered(token, Queued::Respond(error)),
+                    }
                 }
                 Framed::Line(raw) => self.handle_line(token, &raw),
             }
@@ -423,6 +441,11 @@ impl Frontend {
                     Queued::Respond(proto::wire_error(ErrorKind::Parse, msg)),
                 );
             }
+            // Batches fan out immediately: every query carries its own id
+            // (an envelope id would be ambiguous across N responses and is
+            // ignored), so responses are out-of-order like any pipelined
+            // solve, one per query.
+            (_, Ok(WireRequest::SolveBatch(batch))) => self.handle_batch(token, batch),
             // Id-carrying requests dispatch immediately (out-of-order).
             (Some(id), Ok(WireRequest::Metrics)) => {
                 let line = proto::encode_response_line(
@@ -454,6 +477,60 @@ impl Frontend {
                 self.enqueue_ordered(token, Queued::Request(WireRequest::Solve(solve)));
             }
             (None, Ok(request)) => self.enqueue_ordered(token, Queued::Request(request)),
+        }
+    }
+
+    /// Fans a `SolveBatch` out to one dispatched solve per query. The
+    /// token bucket charges the *batch* (one wire request, one token —
+    /// batching is the sanctioned way to amortize); admission, deadlines,
+    /// and the degradation ladder then apply per query, and every
+    /// response — including refusals — is id-matched to its query.
+    fn handle_batch(&mut self, token: usize, batch: SolveBatchRequest) {
+        let Some(peer) = self.conns.get(&token).map(|conn| conn.peer) else {
+            return;
+        };
+        if batch.queries.is_empty() {
+            self.enqueue_ordered(
+                token,
+                Queued::Respond(proto::wire_error(
+                    ErrorKind::Parse,
+                    "empty SolveBatch: no queries",
+                )),
+            );
+            return;
+        }
+        self.stats.batch(batch.queries.len() as u64);
+        let rate_refused = if self.rate_allow(peer) {
+            None
+        } else {
+            self.stats.rate_limited();
+            Some(proto::wire_error(
+                ErrorKind::RateLimited,
+                "per-client request rate exceeded",
+            ))
+        };
+        for query in batch.queries {
+            let id = Content::Int(i128::from(query.id));
+            let refused =
+                rate_refused.clone().or_else(|| {
+                    query.instance.validate().err().map(|e| {
+                        proto::wire_error(ErrorKind::Parse, format!("invalid instance: {e}"))
+                    })
+                });
+            if let Some(response) = refused {
+                let line = proto::encode_response_line(Some(&id), &response);
+                self.queue_response(token, &line);
+                continue;
+            }
+            self.dispatch_solve(
+                token,
+                Some(id),
+                false,
+                SolveRequest {
+                    instance: query.instance,
+                    deadline_ms: query.deadline_ms,
+                },
+            );
         }
     }
 
@@ -553,6 +630,11 @@ impl Frontend {
                     }
                     self.dispatch_solve(token, None, true, solve);
                     return;
+                }
+                // Unreachable: batches fan out at receipt (handle_line)
+                // and never join the id-less ordered stream.
+                Queued::Request(WireRequest::SolveBatch(batch)) => {
+                    self.handle_batch(token, batch);
                 }
             }
         }
@@ -792,10 +874,10 @@ fn frame_chunk(conn: &mut Conn, mut rest: &[u8], framed: &mut Vec<Framed>) {
         rest = &tail[1..];
         if conn.discarding {
             conn.discarding = false;
-            framed.push(Framed::TooLong);
+            framed.push(Framed::TooLong(take_oversize_id(conn)));
         } else if conn.line.len() + head.len() > MAX_LINE_BYTES {
-            conn.line.clear();
-            framed.push(Framed::TooLong);
+            keep_id_prefix(conn, head);
+            framed.push(Framed::TooLong(take_oversize_id(conn)));
         } else {
             conn.line.extend_from_slice(head);
             framed.push(Framed::Line(std::mem::take(&mut conn.line)));
@@ -803,14 +885,69 @@ fn frame_chunk(conn: &mut Conn, mut rest: &[u8], framed: &mut Vec<Framed>) {
     }
     if !rest.is_empty() && !conn.discarding {
         if conn.line.len() + rest.len() > MAX_LINE_BYTES {
-            // Stop buffering: the line already blew the cap; remember only
-            // that fact until its newline arrives.
-            conn.line.clear();
+            // Stop buffering: the line already blew the cap; keep only its
+            // [`ID_PREFIX`]-byte head (for id recovery) until its newline.
+            keep_id_prefix(conn, rest);
             conn.discarding = true;
         } else {
             conn.line.extend_from_slice(rest);
         }
     }
+}
+
+/// Truncates `conn.line` to the oversize line's first [`ID_PREFIX`] bytes,
+/// topping it up from `next` (the chunk that blew the cap) if the buffered
+/// part was shorter than the prefix.
+fn keep_id_prefix(conn: &mut Conn, next: &[u8]) {
+    if conn.line.len() < ID_PREFIX {
+        let want = ID_PREFIX - conn.line.len();
+        conn.line.extend_from_slice(&next[..want.min(next.len())]);
+    }
+    conn.line.truncate(ID_PREFIX);
+}
+
+/// Consumes the retained oversize-line prefix, recovering its `"id"`.
+fn take_oversize_id(conn: &mut Conn) -> Option<Content> {
+    let prefix = std::mem::take(&mut conn.line);
+    recover_line_id(&prefix)
+}
+
+/// Strictly parses the canonical pipelined-request head `{"id":<int>` out
+/// of an oversize line's retained prefix. Only the exact splice the
+/// [`proto::encode_request_with_id`]-family encoders emit (optional
+/// whitespace, then a leading integer `"id"` member) is recognized —
+/// guessing at arbitrary JSON from a truncated prefix risks matching an
+/// id the client never sent, and a miss only downgrades the oversize
+/// error to the historical bare form.
+fn recover_line_id(prefix: &[u8]) -> Option<Content> {
+    let mut rest = prefix;
+    let skip_ws = |bytes: &mut &[u8]| {
+        while let [b' ' | b'\t' | b'\r', tail @ ..] = *bytes {
+            *bytes = tail;
+        }
+    };
+    skip_ws(&mut rest);
+    rest = rest.strip_prefix(b"{")?;
+    skip_ws(&mut rest);
+    rest = rest.strip_prefix(b"\"id\"")?;
+    skip_ws(&mut rest);
+    rest = rest.strip_prefix(b":")?;
+    skip_ws(&mut rest);
+    let negative = if let Some(tail) = rest.strip_prefix(b"-") {
+        rest = tail;
+        true
+    } else {
+        false
+    };
+    let digits = rest.iter().take_while(|b| b.is_ascii_digit()).count();
+    // The id must end inside the prefix (at a member separator), or a
+    // truncated longer number would be misread as a shorter id.
+    if digits == 0 || digits == rest.len() {
+        return None;
+    }
+    let text = std::str::from_utf8(&rest[..digits]).ok()?;
+    let n: i128 = text.parse().ok()?;
+    Some(Content::Int(if negative { -n } else { n }))
 }
 
 /// The `proto.read` failpoint as a fallible call site (the macro's `Err`

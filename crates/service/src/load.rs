@@ -16,7 +16,9 @@
 
 use crate::degrade::Rung;
 use crate::metrics::MetricsSnapshot;
-use crate::proto::{self, ErrorKind, SolveRequest, WireRequest, WireResponse};
+use crate::proto::{
+    self, BatchQuery, ErrorKind, SolveBatchRequest, SolveRequest, WireRequest, WireResponse,
+};
 use crate::service::{Rejection, Request, Service};
 use crate::sync_util::lock_recover;
 use krsp_gen::{Family, Regime, Workload};
@@ -58,6 +60,12 @@ pub struct LoadSpec {
     /// per-request ids and matches responses out of order. Ignored by
     /// in-process replays (clients are the concurrency there).
     pub pipeline: usize,
+    /// Queries grouped into each `SolveBatch` wire request in remote
+    /// replays. `0`/`1` sends classic one-query `Solve` lines; `N > 1`
+    /// sends one batch line per `N` claimed requests and matches the
+    /// per-query responses by id. Mutually exclusive with `pipeline > 1`;
+    /// ignored by in-process replays.
+    pub batch: usize,
 }
 
 impl Default for LoadSpec {
@@ -74,6 +82,7 @@ impl Default for LoadSpec {
             seed: 42,
             deadline_ms: None,
             pipeline: 1,
+            batch: 1,
         }
     }
 }
@@ -95,14 +104,33 @@ pub struct LatencySummary {
     pub max_us: u64,
 }
 
+/// Exact 1-based quantile rank: `ceil(q · count)` clamped to
+/// `[1, count]`, computed without going through `f64` multiplication.
+/// `(q * count as f64).ceil()` misrounds once `count` exceeds f64's
+/// 53-bit mantissa (`count as f64` itself rounds, so e.g. `q = 1.0`
+/// could yield a rank below `count` and select the wrong order
+/// statistic); instead take `q` in 2⁻³² fixed point — exact for the
+/// conversion — and compute `ceil(q_fp · count / 2³²)` in u128. The
+/// same rank the metrics histogram uses (`metrics::LatencyHistogram`).
+fn quantile_rank(q: f64, count: u64) -> u64 {
+    const FP: u128 = 1 << 32;
+    let q_fp = (q.clamp(0.0, 1.0) * FP as f64).round() as u128;
+    let rank = (q_fp * u128::from(count)).div_ceil(FP);
+    u64::try_from(rank.min(u128::from(count)))
+        .expect("rank is clamped to count")
+        .max(1)
+}
+
 impl LatencySummary {
     fn from_samples(mut samples: Vec<u64>) -> Self {
+        // Empty replays (every request rejected) must report zeros, not a
+        // 0/0 = NaN mean — NaN is not valid JSON and corrupts the report.
         if samples.is_empty() {
             return LatencySummary::default();
         }
         samples.sort_unstable();
         let pick = |q: f64| {
-            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let rank = quantile_rank(q, samples.len() as u64) as usize;
             samples[rank - 1]
         };
         LatencySummary {
@@ -162,6 +190,10 @@ pub struct LoadReport {
     /// receipt of the response carrying its id — so pipelined numbers are
     /// true per-request latencies, not batch times.
     pub pipeline_depth: u64,
+    /// Queries per `SolveBatch` wire request (1 = plain `Solve` lines).
+    /// Latencies are per query — send of the batch line to receipt of the
+    /// response carrying that query's id.
+    pub batch_size: u64,
     /// Responses that arrived before an earlier-submitted request's
     /// response on the same connection (pipelined replays only).
     pub out_of_order_replies: u64,
@@ -304,7 +336,7 @@ pub fn run(service: &Service, spec: &LoadSpec) -> LoadReport {
 
     let wall = start.elapsed();
     let t = tally.into_inner().unwrap_or_else(|e| e.into_inner());
-    build_report(spec.requests as u64, wall, t, 0, 1, service.metrics())
+    build_report(spec.requests as u64, wall, t, 0, 1, 1, service.metrics())
 }
 
 fn build_report(
@@ -313,6 +345,7 @@ fn build_report(
     t: Tally,
     transport_retries: u64,
     pipeline_depth: u64,
+    batch_size: u64,
     service_metrics: MetricsSnapshot,
 ) -> LoadReport {
     let all: Vec<u64> = t
@@ -333,6 +366,7 @@ fn build_report(
         wire_errors: t.wire_errors,
         transport_retries,
         pipeline_depth,
+        batch_size,
         out_of_order_replies: t.out_of_order,
         reorder_depth_max: t.reorder_depth_max,
         wall_s: wall.as_secs_f64(),
@@ -424,20 +458,62 @@ impl WireClient {
     }
 
     fn try_roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        Ok(self.try_roundtrip_many(line, 1)?.remove(0).1)
+    }
+
+    /// Sends one request line and reads `replies` reply lines — the
+    /// multi-response shape of a `SolveBatch` line — with the same
+    /// reconnect-and-reissue policy as [`WireClient::roundtrip`]. Each
+    /// reply carries its receipt instant so per-query latency can span
+    /// only until *that* response arrived, not until the whole batch
+    /// drained.
+    fn roundtrip_many(
+        &mut self,
+        line: &str,
+        replies: usize,
+        retries_made: &AtomicU64,
+    ) -> std::io::Result<Vec<(Instant, String)>> {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_roundtrip_many(line, replies) {
+                Ok(lines) => return Ok(lines),
+                Err(e) => {
+                    self.conn = None;
+                    if attempt >= self.retries {
+                        return Err(e);
+                    }
+                    retries_made.fetch_add(1, Ordering::Relaxed);
+                    self.salt = self.salt.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    std::thread::sleep(backoff_delay(attempt, self.salt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    fn try_roundtrip_many(
+        &mut self,
+        line: &str,
+        replies: usize,
+    ) -> std::io::Result<Vec<(Instant, String)>> {
         if self.conn.is_none() {
             self.conn = Some(BufReader::new(TcpStream::connect(&self.addr)?));
         }
         let reader = self.conn.as_mut().expect("connected above");
         reader.get_mut().write_all(line.as_bytes())?;
         reader.get_mut().write_all(b"\n")?;
-        let mut reply = String::new();
-        if reader.read_line(&mut reply)? == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
+        let mut out = Vec::with_capacity(replies);
+        for _ in 0..replies {
+            let mut reply = String::new();
+            if reader.read_line(&mut reply)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            out.push((Instant::now(), reply));
         }
-        Ok(reply)
+        Ok(out)
     }
 }
 
@@ -648,6 +724,96 @@ fn run_pipelined_client(
     }
 }
 
+/// One batched client: claims `batch` request indices per window, sends
+/// them as a single `SolveBatch` line (ids = request indices), and reads
+/// the per-query responses back, matching them by id. A transport error
+/// reissues the whole line (the protocol is stateless per line); a
+/// window that exhausts its retry budget is charged to `wire_errors`
+/// query by query, like the sequential client's single request.
+#[allow(clippy::too_many_arguments)]
+fn run_batched_client(
+    remote: &RemoteSpec,
+    batch: usize,
+    salt: u64,
+    spec: &LoadSpec,
+    pool: &[krsp::Instance],
+    next: &AtomicUsize,
+    retries_made: &AtomicU64,
+    tally: &Mutex<Tally>,
+    start: Instant,
+    interval: Option<Duration>,
+) {
+    let mut client = WireClient::new(&remote.addr, remote.retries, salt);
+    loop {
+        let base = next.fetch_add(batch, Ordering::Relaxed);
+        if base >= spec.requests {
+            return;
+        }
+        let count = batch.min(spec.requests - base);
+        if let Some(step) = interval {
+            // The whole window departs on its first query's arrival slot:
+            // batching trades per-query pacing for amortization.
+            let slot = start + step * base as u32;
+            let now = Instant::now();
+            if slot > now {
+                std::thread::sleep(slot - now);
+            }
+        }
+        let queries: Vec<BatchQuery> = (0..count)
+            .map(|j| BatchQuery {
+                id: (base + j) as u64,
+                instance: pool[(base + j) % pool.len()].clone(),
+                deadline_ms: spec.deadline_ms,
+            })
+            .collect();
+        let line =
+            match serde_json::to_string(&WireRequest::SolveBatch(SolveBatchRequest { queries })) {
+                Ok(line) => line,
+                Err(_) => {
+                    // Unreachable in practice: the pool pre-serialized.
+                    lock_recover(tally).wire_errors += count as u64;
+                    continue;
+                }
+            };
+        let sent = Instant::now();
+        match client.roundtrip_many(&line, count, retries_made) {
+            Ok(replies) => {
+                let mut expected: VecDeque<u64> = (base as u64..(base + count) as u64).collect();
+                for (received, reply) in replies {
+                    let us = received
+                        .duration_since(sent)
+                        .as_micros()
+                        .min(u128::from(u64::MAX)) as u64;
+                    match proto::decode_response_line(reply.trim()) {
+                        Ok((Some(id), response)) if expected.contains(&id) => {
+                            let pos = expected
+                                .iter()
+                                .position(|&x| x == id)
+                                .expect("checked contains above");
+                            expected.remove(pos);
+                            let mut t = lock_recover(tally);
+                            if pos > 0 {
+                                t.out_of_order += 1;
+                                t.reorder_depth_max = t.reorder_depth_max.max(pos as u64);
+                            }
+                            tally_response(&mut t, Some(response), us);
+                        }
+                        other => {
+                            // An id-less or unknown-id line: charge it to
+                            // the oldest unanswered query in the window.
+                            if expected.pop_front().is_some() {
+                                let response = other.ok().map(|(_, r)| r);
+                                tally_response(&mut lock_recover(tally), response, us);
+                            }
+                        }
+                    }
+                }
+            }
+            Err(_) => lock_recover(tally).wire_errors += count as u64,
+        }
+    }
+}
+
 /// Replays `spec` over the NDJSON wire protocol against the server at
 /// `remote.addr`, one TCP connection per client thread.
 ///
@@ -663,9 +829,17 @@ fn run_pipelined_client(
 /// latencies. A connection that dies mid-window reissues every
 /// outstanding id on the replacement connection.
 ///
+/// With [`LoadSpec::batch`] > 1 each client instead groups that many
+/// claimed requests into a single `SolveBatch` line per round trip and
+/// matches the per-query responses by id; per-query latency spans from
+/// the batch line's send to the receipt of the response carrying that
+/// query's id.
+///
 /// # Errors
-/// Returns an error when a request line cannot be serialized — transport
-/// failures are absorbed into the report instead.
+/// Returns an error when a request line cannot be serialized or when
+/// `pipeline` and `batch` are both above 1 (they prescribe conflicting
+/// framings for the same connection) — transport failures are absorbed
+/// into the report instead.
 ///
 /// # Panics
 /// Panics when no feasible instance can be generated from the spec.
@@ -697,10 +871,35 @@ pub fn run_remote(spec: &LoadSpec, remote: &RemoteSpec) -> std::io::Result<LoadR
     };
 
     let depth = spec.pipeline.max(1);
+    let batch = spec.batch.max(1);
+    if depth > 1 && batch > 1 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "pipeline and batch are mutually exclusive",
+        ));
+    }
     std::thread::scope(|s| {
         for c in 0..spec.clients.max(1) {
-            let (next, retries_made, tally, lines) = (&next, &retries_made, &tally, &lines);
+            let (next, retries_made, tally, lines, pool) =
+                (&next, &retries_made, &tally, &lines, &pool);
             let salt = spec.seed ^ (c as u64 + 1);
+            if batch > 1 {
+                s.spawn(move || {
+                    run_batched_client(
+                        remote,
+                        batch,
+                        salt,
+                        spec,
+                        pool,
+                        next,
+                        retries_made,
+                        tally,
+                        start,
+                        interval,
+                    );
+                });
+                continue;
+            }
             if depth > 1 {
                 s.spawn(move || {
                     run_pipelined_client(
@@ -761,6 +960,7 @@ pub fn run_remote(spec: &LoadSpec, remote: &RemoteSpec) -> std::io::Result<LoadR
         t,
         retries_made.load(Ordering::Relaxed),
         depth as u64,
+        batch as u64,
         service_metrics,
     ))
 }
@@ -778,6 +978,11 @@ pub fn render(report: &LoadReport) -> String {
         format!(
             "\npipeline: depth {}  out-of-order {}  (max reorder depth {})",
             r.pipeline_depth, r.out_of_order_replies, r.reorder_depth_max
+        )
+    } else if r.batch_size > 1 {
+        format!(
+            "\nbatch: size {}  out-of-order {}  (max reorder depth {})",
+            r.batch_size, r.out_of_order_replies, r.reorder_depth_max
         )
     } else {
         String::new()
@@ -871,5 +1076,96 @@ mod tests {
         assert_eq!(s.p99_us, 99);
         assert_eq!(s.max_us, 100);
         assert_eq!(s.count, 100);
+    }
+
+    #[test]
+    fn quantile_rank_is_exact_past_f64_mantissa() {
+        // `count as f64` rounds once count exceeds the 53-bit mantissa, so
+        // the old `(q * count as f64).ceil()` rank loses the top sample
+        // even at q = 1.0. The fixed-point rank must not.
+        let count = (1u64 << 53) + 1;
+        assert_eq!(quantile_rank(1.0, count), count);
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        let old = (1.0f64 * count as f64).ceil() as u64;
+        assert!(
+            old < count,
+            "the f64 formula must misround here or this regression is vacuous"
+        );
+        // In the exactly-representable range the two ranks agree.
+        for count in [1u64, 2, 3, 7, 100, 1000] {
+            for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+                #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+                let old = ((q * count as f64).ceil() as u64).clamp(1, count);
+                assert_eq!(quantile_rank(q, count), old, "q={q} count={count}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_samples_summarize_to_zeros_not_nan() {
+        let s = LatencySummary::from_samples(Vec::new());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.max_us, 0);
+        assert!(
+            s.mean_us == 0.0 && s.mean_us.is_finite(),
+            "empty replay must report a zero mean, not 0/0 = NaN"
+        );
+        // NaN would serialize as `null` and fail to deserialize back into
+        // an f64 — the report must survive a JSON round trip.
+        let text = serde_json::to_string(&s).unwrap();
+        assert!(!text.contains("null"), "NaN leaked into the JSON: {text}");
+        let back: LatencySummary = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.count, 0);
+    }
+
+    #[test]
+    fn batched_replay_round_trips_over_the_wire() {
+        use crate::proto::serve_on;
+        use std::net::TcpListener;
+
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        {
+            let svc = svc.clone();
+            std::thread::spawn(move || {
+                let _ = serve_on(&svc, listener);
+            });
+        }
+        let spec = LoadSpec {
+            requests: 24,
+            unique: 2,
+            clients: 2,
+            batch: 4,
+            n: 24,
+            ..LoadSpec::default()
+        };
+        let remote = RemoteSpec {
+            addr: addr.to_string(),
+            retries: 2,
+        };
+        let report = run_remote(&spec, &remote).unwrap();
+        assert_eq!(report.issued, 24);
+        assert_eq!(report.batch_size, 4);
+        assert_eq!(report.wire_errors, 0, "batched replay hit wire errors");
+        assert_eq!(
+            report.completed + report.infeasible + report.rejected_queue_full,
+            24,
+            "every batched query must be answered exactly once"
+        );
+        assert!(report.latency.count > 0);
+        assert!(render(&report).contains("batch: size 4"));
+
+        // pipeline and batch together is an input error, not a replay.
+        let bad = LoadSpec {
+            pipeline: 2,
+            batch: 2,
+            ..spec
+        };
+        assert!(run_remote(&bad, &remote).is_err());
     }
 }

@@ -129,6 +129,8 @@ pub struct FrontendStats {
     read_timeouts: AtomicU64,
     pipelined_peak: AtomicU64,
     health_probes: AtomicU64,
+    batches: AtomicU64,
+    batch_queries: AtomicU64,
 }
 
 impl FrontendStats {
@@ -177,6 +179,12 @@ impl FrontendStats {
         self.health_probes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one `SolveBatch` request carrying `queries` queries.
+    pub fn batch(&self, queries: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_queries.fetch_add(queries, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of the counters.
     #[must_use]
     pub fn snapshot(&self) -> FrontendSnapshot {
@@ -190,6 +198,8 @@ impl FrontendStats {
             read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
             pipelined_peak: self.pipelined_peak.load(Ordering::Relaxed),
             health_probes: self.health_probes.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_queries: self.batch_queries.load(Ordering::Relaxed),
         }
     }
 }
@@ -216,6 +226,10 @@ pub struct FrontendSnapshot {
     pub pipelined_peak: u64,
     /// `Health` probes served.
     pub health_probes: u64,
+    /// `SolveBatch` requests served.
+    pub batches: u64,
+    /// Queries carried by those `SolveBatch` requests.
+    pub batch_queries: u64,
 }
 
 /// A point-in-time, serializable view of the service counters.

@@ -62,6 +62,10 @@ pub const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
 pub enum WireRequest {
     /// Provision paths for an instance.
     Solve(SolveRequest),
+    /// Provision paths for many instances in one request line; each query
+    /// is admitted, deadlined, and answered individually (one response
+    /// line per query, matched by the query's `id`).
+    SolveBatch(SolveBatchRequest),
     /// Fetch the service counters.
     Metrics,
     /// Cheap liveness/readiness probe for load balancers.
@@ -74,6 +78,32 @@ pub struct SolveRequest {
     /// The kRSP instance.
     pub instance: Instance,
     /// Latency budget in milliseconds; omitted uses the service default.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Payload of [`WireRequest::SolveBatch`]: many solve queries on one line.
+///
+/// Unlike pipelined `Solve` requests, the ids here are *part of the
+/// payload* (`u64`, chosen by the client, unique within the batch) rather
+/// than an envelope member; every per-query response line echoes its
+/// query's id as the usual top-level `"id"` member, so a pipelining client
+/// consumes batch responses with the same matcher it already has.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SolveBatchRequest {
+    /// The queries, answered in completion order.
+    pub queries: Vec<BatchQuery>,
+}
+
+/// One query inside a [`SolveBatchRequest`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BatchQuery {
+    /// Client-chosen response-matching id, echoed as the response's
+    /// top-level `"id"` member.
+    pub id: u64,
+    /// The kRSP instance.
+    pub instance: Instance,
+    /// Latency budget in milliseconds; omitted uses the service default.
+    /// The deadline ladder applies per query, not per batch.
     pub deadline_ms: Option<u64>,
 }
 
@@ -348,6 +378,10 @@ pub(crate) fn solve_response(out: Result<Response, Rejection>) -> WireResponse {
 }
 
 /// Evaluates one already-parsed request against the service.
+///
+/// [`WireRequest::SolveBatch`] does not fit the one-request/one-response
+/// shape — use [`dispatch_batch`] (or the NDJSON servers, which fan it out
+/// to one line per query); here it answers with a `"parse"` error.
 #[must_use]
 pub fn dispatch(service: &Service, request: WireRequest) -> WireResponse {
     match request {
@@ -362,14 +396,58 @@ pub fn dispatch(service: &Service, request: WireRequest) -> WireResponse {
                 deadline: solve.deadline_ms.map(Duration::from_millis),
             }))
         }
+        WireRequest::SolveBatch(_) => wire_error(
+            ErrorKind::Parse,
+            "SolveBatch produces one response per query; use dispatch_batch or an NDJSON server",
+        ),
     }
 }
 
-/// Evaluates one raw NDJSON line, returning the response line (without the
-/// trailing newline).
+/// Evaluates every query of a batch against the service, synchronously and
+/// in order, returning `(query id, response)` pairs. Each query is
+/// admitted and deadlined individually, so one shed, infeasible, or
+/// panicking query never poisons its siblings.
+#[must_use]
+pub fn dispatch_batch(service: &Service, batch: SolveBatchRequest) -> Vec<(u64, WireResponse)> {
+    batch
+        .queries
+        .into_iter()
+        .map(|q| {
+            let response = if let Err(e) = q.instance.validate() {
+                wire_error(ErrorKind::Parse, format!("invalid instance: {e}"))
+            } else {
+                solve_response(service.provision(Request {
+                    instance: q.instance,
+                    deadline: q.deadline_ms.map(Duration::from_millis),
+                }))
+            };
+            (q.id, response)
+        })
+        .collect()
+}
+
+/// Evaluates one raw NDJSON line, returning the response line(s) (without
+/// the trailing newline). A `SolveBatch` line yields one `\n`-joined
+/// response line per query, each carrying its query's `"id"`.
 #[must_use]
 pub fn dispatch_line(service: &Service, line: &str) -> String {
     let response = match serde_json::from_str::<WireRequest>(line) {
+        Ok(WireRequest::SolveBatch(batch)) => {
+            if batch.queries.is_empty() {
+                wire_error(ErrorKind::Parse, "empty SolveBatch: no queries")
+            } else {
+                if let Some(stats) = service.frontend_stats() {
+                    stats.batch(batch.queries.len() as u64);
+                }
+                return dispatch_batch(service, batch)
+                    .iter()
+                    .map(|(id, response)| {
+                        encode_response_line(Some(&Content::Int(i128::from(*id))), response)
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n");
+            }
+        }
         Ok(req) => dispatch(service, req),
         Err(e) => wire_error(ErrorKind::Parse, format!("bad request: {e}")),
     };

@@ -476,6 +476,14 @@ impl Service {
         *lock_recover(&self.shared.frontend) = Some(stats);
     }
 
+    /// The attached frontend counters, if a frontend has registered any —
+    /// how non-reactor entry points (the threaded server's `SolveBatch`
+    /// fan-out) account the traffic they serve.
+    #[must_use]
+    pub fn frontend_stats(&self) -> Option<Arc<FrontendStats>> {
+        lock_recover(&self.shared.frontend).clone()
+    }
+
     /// The service configuration.
     #[must_use]
     pub fn config(&self) -> &ServiceConfig {

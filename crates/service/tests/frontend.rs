@@ -10,7 +10,9 @@
 
 use krsp::Instance;
 use krsp_graph::{DiGraph, NodeId};
-use krsp_service::proto::{self, SolveRequest, WireRequest, WireResponse};
+use krsp_service::proto::{
+    self, BatchQuery, SolveBatchRequest, SolveRequest, WireRequest, WireResponse,
+};
 use krsp_service::{
     serve_with_shutdown, ErrorKind, HealthStatus, ServeOptions, Service, ServiceConfig,
 };
@@ -473,4 +475,142 @@ fn scaling_smoke_512_connections_bounded_threads() {
         }
     }
     assert_eq!(answered, CONNS, "zero dropped responses at {CONNS} conns");
+}
+
+/// Regression (ISSUE 7): an oversize line that triggers discard-to-newline
+/// while id'd requests are in flight must answer with an *id-matched*
+/// structured error. The old framer dropped the line's head before the id
+/// could be read and emitted a bare ordered error, which a pipelined
+/// client charges to the wrong request.
+#[test]
+fn oversize_error_is_id_matched_while_solves_are_in_flight() {
+    let _fp = fp_lock();
+    // Hold the in-flight solve long enough that the oversize error must
+    // overtake it — proving the error is answered out-of-order by id, not
+    // spliced into the ordered stream ahead of the solve's response.
+    krsp_failpoint::cfg("service.solve", "delay(300)").expect("arm service.solve");
+    let server = TestServer::start(
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+        quick_opts(),
+    );
+    let mut conn = server.connect();
+
+    send_line(
+        &mut conn,
+        &proto::encode_request_with_id(
+            1,
+            &WireRequest::Solve(SolveRequest {
+                instance: instance(1),
+                deadline_ms: None,
+            }),
+        ),
+    );
+    // An id-carrying line that blows the cap: the canonical client splice
+    // (`{"id":7,...`) followed by enough padding to cross MAX_LINE_BYTES.
+    let mut oversize = String::from("{\"id\":7,\"Solve\":\"");
+    oversize.push_str(&"x".repeat(proto::MAX_LINE_BYTES + 1024));
+    send_line(&mut conn, &oversize);
+
+    let first = proto::decode_response_line(&read_reply(&mut conn)).expect("first reply parses");
+    match first {
+        (Some(7), WireResponse::Error(e)) => assert_eq!(e.kind, ErrorKind::OversizeLine),
+        other => panic!("expected the id-matched oversize error first, got {other:?}"),
+    }
+    let second = proto::decode_response_line(&read_reply(&mut conn)).expect("second reply parses");
+    assert_eq!(second.0, Some(1), "the delayed solve keeps its own id");
+    assert!(matches!(second.1, WireResponse::Solved(_)));
+}
+
+/// `SolveBatch` round-trip through the reactor frontend: one request line,
+/// one id-matched response per query, mixed outcomes kept per-query, and
+/// the batch counters visible in `Metrics`.
+#[test]
+fn solve_batch_round_trips_with_per_query_responses() {
+    let _fp = fp_lock();
+    let server = TestServer::start(
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+        quick_opts(),
+    );
+    let mut conn = server.connect();
+
+    // d = 3 is below the instance's best achievable total delay (12):
+    // query 12 must come back `Rejected` without touching its siblings.
+    let tight = {
+        let feasible = instance(3);
+        Instance::new(
+            feasible.graph.clone(),
+            feasible.s,
+            feasible.t,
+            feasible.k,
+            3,
+        )
+        .expect("tight instance is well-formed")
+    };
+    let batch = WireRequest::SolveBatch(SolveBatchRequest {
+        queries: vec![
+            BatchQuery {
+                id: 10,
+                instance: instance(1),
+                deadline_ms: None,
+            },
+            BatchQuery {
+                id: 11,
+                instance: instance(2),
+                deadline_ms: Some(5000),
+            },
+            BatchQuery {
+                id: 12,
+                instance: tight,
+                deadline_ms: None,
+            },
+        ],
+    });
+    send_line(
+        &mut conn,
+        &serde_json::to_string(&batch).expect("batch serializes"),
+    );
+
+    let mut outcomes = std::collections::HashMap::new();
+    for _ in 0..3 {
+        let (id, resp) = proto::decode_response_line(&read_reply(&mut conn)).expect("reply parses");
+        outcomes.insert(id.expect("every batch response carries its query id"), resp);
+    }
+    assert!(
+        matches!(outcomes.get(&10), Some(WireResponse::Solved(r)) if r.delay <= 20),
+        "query 10: {:?}",
+        outcomes.get(&10)
+    );
+    assert!(
+        matches!(outcomes.get(&11), Some(WireResponse::Solved(_))),
+        "query 11: {:?}",
+        outcomes.get(&11)
+    );
+    assert!(
+        matches!(outcomes.get(&12), Some(WireResponse::Rejected(_))),
+        "query 12: {:?}",
+        outcomes.get(&12)
+    );
+
+    // An empty batch is a parse error, not silence.
+    send_line(&mut conn, "{\"SolveBatch\":{\"queries\":[]}}");
+    match serde_json::from_str::<WireResponse>(&read_reply(&mut conn)) {
+        Ok(WireResponse::Error(e)) => assert_eq!(e.kind, ErrorKind::Parse),
+        other => panic!("expected a parse error for an empty batch, got {other:?}"),
+    }
+
+    send_line(&mut conn, "\"Metrics\"");
+    match serde_json::from_str::<WireResponse>(&read_reply(&mut conn)) {
+        Ok(WireResponse::Metrics(m)) => {
+            assert_eq!(m.frontend.batches, 1, "one SolveBatch line served");
+            assert_eq!(m.frontend.batch_queries, 3);
+            assert_eq!(m.completed + m.infeasible, 3, "metrics: {m:?}");
+        }
+        other => panic!("expected Metrics, got {other:?}"),
+    }
 }

@@ -31,6 +31,9 @@ KRSP_FAILPOINTS='cache.get=delay(1);singleflight.join=delay(1);proto.read=delay(
 echo "== chaos storm (T10: mid-replay shutdown under load)"
 cargo test -q --release --test chaos -- --ignored t10_chaos_storm_report
 
+echo "== batch differential suite (solve_batch ≡ N independent solves)"
+cargo test -q --test batch
+
 echo "== frontend scaling smoke (512 conns, bounded threads, no drops)"
 cargo test -q --release -p krsp-service --test frontend -- --ignored scaling
 
@@ -38,8 +41,13 @@ echo "== bench harness smoke (tiny sizes, JSON must validate)"
 smoke_out="$(mktemp)"
 cargo run -q --release -p krsp-bench --bin kernels -- --smoke --out "$smoke_out" >/dev/null
 # The binary self-validates its JSON before writing; a nonempty file with
-# the expected schema line means the harness ran end to end.
+# the expected schema line means the harness ran end to end. The smoke
+# grid includes the batch-axis rows (csp_batch / solve_batch), whose
+# checksum cross-validation against unbatched solves runs inside the
+# binary — reaching this grep means the batch plane answered every query
+# bit-identically.
 grep -q '"schema": "krsp-bench-kernels/v1"' "$smoke_out"
+grep -q '"bench": "solve_batch"' "$smoke_out"
 rm -f "$smoke_out"
 
 echo "CI OK"

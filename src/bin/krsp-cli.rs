@@ -21,9 +21,11 @@
 //! `serve` runs the NDJSON provisioning service on `addr` (e.g.
 //! `127.0.0.1:7447`; port 0 picks a free port and prints it). One JSON
 //! request per line: `{"Solve": {"instance": {...}, "deadline_ms": 250}}`,
-//! `"Metrics"`, or `"Health"`. The default frontend is event-driven (one
-//! reactor thread multiplexing every connection; requests may carry ids
-//! and pipeline); `--threaded` selects the legacy thread-per-connection
+//! `{"SolveBatch": {"queries": [{"id": 1, "instance": {...},
+//! "deadline_ms": 250}, ...]}}` (one line in, one id-matched response
+//! line per query out), `"Metrics"`, or `"Health"`. The default frontend
+//! is event-driven (one reactor thread multiplexing every connection;
+//! requests may carry ids and pipeline); `--threaded` selects the legacy thread-per-connection
 //! server for A/B comparison. `--max-conns` / `--per-client-conns` cap
 //! open connections (excess accepts are answered with a `"shed"` error
 //! and closed) and `--rate R` token-buckets each client address to R

@@ -7,7 +7,7 @@
 //!             [--tightness T] [--seed S] [--deadline-ms MS]
 //!             [--workers W] [--queue Q] [--cache CAP] [--shards S]
 //!             [--no-coalesce] [--out report.json]
-//!             [--connect ADDR] [--retries N] [--pipeline N]
+//!             [--connect ADDR] [--retries N] [--pipeline N] [--batch N]
 //!
 //! The human-readable summary goes to stderr; the full JSON
 //! [`LoadReport`](krsp_service::LoadReport) goes to stdout (or `--out`).
@@ -24,6 +24,11 @@
 //! connection using per-request ids (responses are matched out of order;
 //! the report then carries the observed reordering and per-id latencies);
 //! a connection that dies mid-window reissues its outstanding ids.
+//! `--batch N` groups N requests into each `SolveBatch` wire line instead
+//! (one request, N id-matched responses; per-query latency spans from the
+//! batch line's send to that id's response). `--pipeline` and `--batch`
+//! are mutually exclusive — they prescribe conflicting framings for the
+//! same connection.
 
 use krsp_service::load::{self, LoadSpec, RemoteSpec};
 use krsp_service::{Service, ServiceConfig};
@@ -71,6 +76,7 @@ fn main() {
             "--connect" => connect = Some(parse::<String>(a, it.next())),
             "--retries" => retries = parse(a, it.next()),
             "--pipeline" => spec.pipeline = parse(a, it.next()),
+            "--batch" => spec.batch = parse(a, it.next()),
             "--family" => {
                 spec.family = match parse::<String>(a, it.next()).as_str() {
                     "gnm" => Family::Gnm,
@@ -85,6 +91,12 @@ fn main() {
     }
     if spec.pipeline > 1 && connect.is_none() {
         fail("--pipeline requires --connect (in-process replays scale with --clients)");
+    }
+    if spec.batch > 1 && connect.is_none() {
+        fail("--batch requires --connect (in-process replays scale with --clients)");
+    }
+    if spec.batch > 1 && spec.pipeline > 1 {
+        fail("--batch and --pipeline are mutually exclusive");
     }
     // A forced deadline only bites if it is also the default for requests
     // the spec leaves bare.

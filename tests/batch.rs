@@ -1,0 +1,273 @@
+//! Batch-plane differential suite (ISSUE 7): `solve_batch` must be
+//! bit-identical to N independent `solve` calls at every solver width, and
+//! a panicking instance inside a batch must poison only its own slot.
+//!
+//! Every test serializes on [`test_lock`]: the failpoint registry and the
+//! solver width are both process-global, so concurrent tests would observe
+//! each other's overrides. The guard clears failpoints and restores the
+//! default width on drop, pass or fail. The shared-digest half of the
+//! differential story (one `TopoDigest`, many queries, bit-identical to
+//! per-query rebuilds) is pinned in `crates/flow/src/csp.rs` tests; this
+//! suite covers the full-solver batch entry point.
+
+use krsp_suite::krsp::{self, solve, solve_batch, BatchError, Config, Instance, Solved};
+use krsp_suite::krsp_gen::{instantiate_with_retries, Family, Regime, Workload};
+use krsp_suite::krsp_graph::{DiGraph, NodeId};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+const FAMILIES: [Family; 5] = [
+    Family::Gnm,
+    Family::Grid,
+    Family::Layered,
+    Family::Geometric,
+    Family::ScaleFree,
+];
+const REGIMES: [Regime; 3] = [Regime::Uniform, Regime::Correlated, Regime::Anticorrelated];
+
+/// The chaos suite's tradeoff instance: `d = 24` exercises the full
+/// bicameral cycle search (the `bicameral.seed` failpoint fires once per
+/// solve), while `d = 14` is answered before the seed scan starts and
+/// never reaches the site.
+fn tradeoff(d_bound: i64) -> Instance {
+    let g = DiGraph::from_edges(
+        6,
+        &[
+            (0, 1, 1, 10),
+            (1, 5, 1, 10), // cheap slow: (2, 20)
+            (0, 2, 8, 1),
+            (2, 5, 8, 1), // fast pricey: (16, 2)
+            (0, 3, 2, 6),
+            (3, 5, 2, 6), // middle: (4, 12)
+            (0, 4, 9, 2),
+            (4, 5, 9, 2), // spare fast: (18, 4)
+        ],
+    );
+    Instance::new(g, NodeId(0), NodeId(5), 2, d_bound).expect("tradeoff instance is well-formed")
+}
+
+/// `k = 2` through a single-edge bottleneck: rejected by the max-flow
+/// feasibility check before any search machinery (or failpoint) runs.
+fn structurally_infeasible() -> Instance {
+    let g = DiGraph::from_edges(3, &[(0, 1, 1, 1), (1, 2, 1, 1)]);
+    Instance::new(g, NodeId(0), NodeId(2), 2, 10).expect("bottleneck instance is well-formed")
+}
+
+/// Serializes every test in this binary and restores process-global state
+/// (failpoint registry, solver width) on drop, including panicking exits.
+struct TestGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for TestGuard {
+    fn drop(&mut self) {
+        krsp_failpoint::clear();
+        krsp::set_solver_width(0);
+    }
+}
+
+fn test_lock() -> TestGuard {
+    quiet_injected_panics();
+    static LOCK: Mutex<()> = Mutex::new(());
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    krsp_failpoint::clear();
+    TestGuard(guard)
+}
+
+/// Suppresses backtrace spam from panics this suite injects on purpose;
+/// any other panic still reports through the previous hook.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("failpoint") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Full-solve fingerprint (cf. `tests/kernels.rs`): every observable of a
+/// run except wall time — solution edge set, cost, delay, LP bound, probe
+/// count, and the complete cycle-cancellation trajectory.
+fn fingerprint(r: Result<&Solved, String>) -> String {
+    match r {
+        Err(e) => format!("err:{e}"),
+        Ok(s) => {
+            let iters: Vec<String> = s
+                .stats
+                .iterations
+                .iter()
+                .map(|it| {
+                    format!(
+                        "{:?}/{}/{}/{}/{}/{}/{:?}",
+                        it.kind,
+                        it.cycle_cost,
+                        it.cycle_delay,
+                        it.cost_after,
+                        it.delay_after,
+                        it.fast_pass,
+                        it.bound_used
+                    )
+                })
+                .collect();
+            format!(
+                "cost={} delay={} lb={:?} probes={} edges={:?} iters=[{}]",
+                s.solution.cost,
+                s.solution.delay,
+                s.solution.lower_bound,
+                s.stats.probes,
+                s.solution.edges,
+                iters.join(";")
+            )
+        }
+    }
+}
+
+fn solve_print(r: &Result<Solved, krsp::SolveError>) -> String {
+    fingerprint(r.as_ref().map_err(|e| format!("{e:?}")))
+}
+
+fn batch_print(r: &Result<Solved, BatchError>) -> String {
+    fingerprint(r.as_ref().map_err(|e| match e {
+        BatchError::Solve(e) => format!("{e:?}"),
+        BatchError::Panicked(msg) => format!("panic:{msg}"),
+    }))
+}
+
+/// A panicking query maps to `BatchError::Panicked` on *its* slot only:
+/// siblings in the same batch — including ones sharing the worker whose
+/// scratch the panicking solve abandoned mid-flight — still answer, and
+/// answer bit-identically to standalone solves.
+#[test]
+fn batch_panic_is_contained_to_the_offending_slot() {
+    let _guard = test_lock();
+    let batch = vec![tradeoff(24), structurally_infeasible(), tradeoff(14)];
+    let cfg = Config::default();
+
+    krsp_failpoint::cfg("bicameral.seed", "panic").expect("arm bicameral.seed");
+    let results = solve_batch(&batch, &cfg);
+    assert_eq!(results.len(), 3);
+    match &results[0] {
+        Err(BatchError::Panicked(msg)) => {
+            assert!(msg.contains("bicameral.seed"), "panic message: {msg}")
+        }
+        other => panic!("armed seed scan must panic slot 0, got {other:?}"),
+    }
+    assert!(
+        matches!(
+            &results[1],
+            Err(BatchError::Solve(krsp::SolveError::StructurallyInfeasible))
+        ),
+        "slot 1 keeps its own error kind: {:?}",
+        results[1]
+    );
+    let survivor = results[2]
+        .as_ref()
+        .expect("d = 14 never reaches the seed scan");
+    assert!(survivor.solution.delay <= 14);
+
+    // Disarmed, the same batch (and the same worker-pool scratch that a
+    // panicking solve abandoned in an arbitrary state) solves cleanly.
+    krsp_failpoint::clear();
+    let recovered = solve_batch(&batch, &cfg);
+    assert_eq!(
+        batch_print(&recovered[0]),
+        solve_print(&solve(&batch[0], &cfg)),
+        "slot 0 recovers bit-identically once disarmed"
+    );
+    assert_eq!(batch_print(&recovered[2]), batch_print(&results[2]));
+
+    let summary = krsp::summarize(&batch, &results);
+    assert_eq!(summary.panicked, 1);
+    assert_eq!(summary.infeasible, 1);
+    assert_eq!(summary.solved, 1);
+}
+
+/// `1*panic`: exactly one query in a wide batch absorbs the injected
+/// panic; every sibling must be bit-identical to its standalone solve.
+#[test]
+fn one_shot_panic_poisons_exactly_one_query() {
+    let _guard = test_lock();
+    let batch: Vec<Instance> = (0..6).map(|_| tradeoff(24)).collect();
+    let cfg = Config::default();
+    krsp::set_solver_width(2);
+
+    krsp_failpoint::cfg("bicameral.seed", "1*panic").expect("arm bicameral.seed");
+    let results = solve_batch(&batch, &cfg);
+    krsp_failpoint::clear();
+
+    let panicked = results
+        .iter()
+        .filter(|r| matches!(r, Err(BatchError::Panicked(_))))
+        .count();
+    assert_eq!(panicked, 1, "exactly one slot absorbs the one-shot panic");
+
+    let oracle = solve_print(&solve(&batch[0], &cfg));
+    for (i, r) in results.iter().enumerate() {
+        if r.is_ok() {
+            assert_eq!(batch_print(r), oracle, "sibling {i} diverged");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The batch entry point is bit-identical to N independent `solve`
+    /// calls at widths 1, 2, and 8: same solutions, same LP bounds, same
+    /// cancellation trajectories, slot for slot — the per-worker scratch
+    /// pool and the parallel map may change scheduling, never output.
+    #[test]
+    fn solve_batch_bit_identical_to_independent_solves(
+        fam_ix in 0usize..FAMILIES.len(),
+        reg_ix in 0usize..REGIMES.len(),
+        seed in 0u64..1_000_000,
+        tightness_pct in 25u64..75,
+        k in 2usize..4,
+        extra in 2usize..6,
+    ) {
+        let batch: Vec<Instance> = (0..extra as u64 + 1)
+            .filter_map(|j| {
+                instantiate_with_retries(
+                    Workload {
+                        family: FAMILIES[fam_ix],
+                        n: 18,
+                        m: 72,
+                        regime: REGIMES[reg_ix],
+                        k,
+                        tightness: tightness_pct as f64 / 100.0,
+                        seed: seed.wrapping_add(j * 7919),
+                    },
+                    40,
+                )
+            })
+            .collect();
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let cfg = Config::default();
+        let guard = test_lock();
+
+        krsp::set_solver_width(1);
+        let oracle: Vec<String> = batch.iter().map(|inst| solve_print(&solve(inst, &cfg))).collect();
+        for width in [1usize, 2, 8] {
+            krsp::set_solver_width(width);
+            let got = solve_batch(&batch, &cfg);
+            prop_assert_eq!(got.len(), batch.len());
+            for (slot, (g, want)) in got.iter().zip(&oracle).enumerate() {
+                prop_assert_eq!(
+                    &batch_print(g), want,
+                    "family {:?} regime {:?} seed {} slot {} diverges at width {}",
+                    FAMILIES[fam_ix], REGIMES[reg_ix], seed, slot, width
+                );
+            }
+        }
+        drop(guard);
+    }
+}

@@ -943,7 +943,6 @@ mod tests {
             let handle = std::thread::spawn(move || {
                 std::thread::sleep(Duration::from_millis(50));
                 waker.wake();
-                waker.wake(); // coalesces, must not jam the pipe
             });
             let mut events = Vec::new();
             r.poll(&mut events, Some(Duration::from_secs(30)))
@@ -955,6 +954,17 @@ mod tests {
                 waited < Duration::from_secs(10),
                 "poll was not interrupted (waited {waited:?})"
             );
+            // Coalescing, checked deterministically from this thread (a
+            // second wake racing the in-poll drain is a legitimate signal
+            // for the *next* poll, not a stale byte — so it can't be
+            // asserted against from a racing thread): two wakes, one poll
+            // observes and drains both.
+            let w2 = r.waker();
+            w2.wake();
+            w2.wake(); // coalesces, must not jam the pipe
+            r.poll(&mut events, Some(Duration::from_secs(30)))
+                .expect("poll");
+            assert!(events.is_empty(), "wake is not a caller event");
             // The pipe was drained: the next poll does not spin.
             let t1 = Instant::now();
             r.poll(&mut events, Some(Duration::from_millis(80)))

@@ -293,13 +293,32 @@ impl Parser<'_> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
+            // Bulk-copy the run of plain characters up to the next quote,
+            // escape, or end of input: one UTF-8 validation per run. (The
+            // per-character path used to re-validate everything from the
+            // cursor to the END of the input for every character, making
+            // string scanning O(line²) — harmless on small lines,
+            // pathological on the multi-hundred-KB `SolveBatch` lines the
+            // batch plane ships.) Stopping only at ASCII `"` / `\` is
+            // safe: those bytes cannot occur inside a multi-byte UTF-8
+            // sequence, so the run always ends on a character boundary.
+            let start = self.pos;
+            while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error("bad utf8".into()))?;
+                out.push_str(run);
+            }
             match self.peek() {
                 None => return Err(Error("unterminated string".into())),
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
                 }
-                Some(b'\\') => {
+                Some(_) => {
+                    // A backslash escape.
                     self.pos += 1;
                     match self.peek() {
                         Some(b'"') => out.push('"'),
@@ -336,15 +355,6 @@ impl Parser<'_> {
                         }
                     }
                     self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so the
-                    // byte stream is valid UTF-8).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| Error("bad utf8".into()))?;
-                    let ch = s.chars().next().unwrap();
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
                 }
             }
         }
@@ -453,5 +463,33 @@ mod tests {
         let s = to_string(&"héllo → 𝄞".to_string()).unwrap();
         let back: String = from_str(&s).unwrap();
         assert_eq!(back, "héllo → 𝄞");
+    }
+
+    #[test]
+    fn string_runs_end_on_every_boundary() {
+        // The string scanner bulk-copies runs between escapes; pin every
+        // boundary shape: escape at the start, between multi-byte
+        // characters, back-to-back escapes, and a run ending the string.
+        for raw in [
+            "\\nhead",
+            "héllo\\t𝄞tail",
+            "a\\\\\\\"b",
+            "𝄞\\u0041𝄞",
+            "plain run with no escapes at all",
+            "",
+        ] {
+            let line = format!("\"{raw}\"");
+            let parsed = parse_value(&line).unwrap();
+            let expected: String = to_string(&parsed).unwrap();
+            // Round-trip through the serializer and back: the value the
+            // scanner produced must re-encode to an equivalent string.
+            assert_eq!(parse_value(&expected).unwrap(), parsed, "raw = {raw:?}");
+        }
+        assert_eq!(
+            parse_value("\"héllo\\t𝄞tail\"").unwrap(),
+            Content::Str("héllo\t𝄞tail".into())
+        );
+        assert!(parse_value("\"dangling\\").is_err());
+        assert!(parse_value("\"unterminated run").is_err());
     }
 }
