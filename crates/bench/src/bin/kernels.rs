@@ -16,7 +16,12 @@
 //! and `solve_batch` runs the same end-to-end query set through
 //! [`krsp::solve_batch`] windows of 1/8/64 vs unbatched `solve` calls —
 //! the amortization curve is `per_iter_ms` falling as the batch size
-//! grows. Everything is pinned — fixed seeds, fixed workload grid, fixed
+//! grows. The `rsp_kernel` family (EXPERIMENTS.md T13) races the pluggable
+//! RSP kernels — `classic` (flat FPTAS) vs `interval` (interval-scaling
+//! FPTAS) — at ε = 1/16; their paths may legitimately differ, so instead
+//! of checksum equality both variants are cross-validated in-binary
+//! against the exact DP (`cost ≤ (1+ε)·OPT`, `delay ≤ D`).
+//! Everything is pinned — fixed seeds, fixed workload grid, fixed
 //! iteration counts — so two runs on the same machine measure the same
 //! work and the JSON can be compared commit to commit. The report records
 //! the host (`nproc`, os, arch) so committed numbers carry their context.
@@ -31,7 +36,7 @@ use krsp_bench::standard_workload;
 use krsp_flow::bellman_ford::BfScratch;
 use krsp_flow::{
     constrained_shortest_path_with, constrained_shortest_paths_digested, find_negative_cycle_in,
-    reference, rsp_fptas_with, CspQuery, DpScratch, TopoDigest,
+    kernel, reference, rsp_fptas_with, CspQuery, DpScratch, TopoDigest, KERNEL_KINDS,
 };
 use krsp_gen::{Family, Regime};
 use krsp_graph::{NodeId, ResidualGraph};
@@ -82,6 +87,10 @@ struct Report {
     schema: String,
     mode: String,
     host: Host,
+    /// `null` on multi-core recorders. On a single-core host the
+    /// threads-axis and batch-axis rows cannot show parallel gains, so the
+    /// report says so instead of committing silently misleading numbers.
+    caveat: Option<String>,
     results: Vec<Measurement>,
     speedups: Vec<Speedup>,
 }
@@ -266,6 +275,65 @@ fn main() {
             || fingerprint(rsp_fptas_with(g, s, t, d, 1, 4, &mut dp).as_ref()),
             || fingerprint(reference::rsp_fptas(g, s, t, d, 1, 4).as_ref()),
         );
+    }
+
+    // --- rsp_kernel: pluggable FPTAS backends, kernel axis ---------------
+    // The classic kernel always sweeps its full ~4(n+1)/ε scaled budget;
+    // the interval kernel brackets OPT with cheap coarse-ε tests first and
+    // sweeps only a narrow window, with early exit at the first feasible
+    // level. Their paths may legitimately differ (each certifies its own
+    // answer), so the variants are NOT checksum-compared; instead every
+    // kernel's answer is cross-validated against the exact DP: feasibility
+    // must agree, `delay ≤ D`, and `cost ≤ (1+ε)·OPT`. ε = 1/16 is the
+    // small-ε regime the interval scheme targets.
+    let (eps_num, eps_den) = (1u32, 16u32);
+    for (label, inst) in &grid {
+        let g = &inst.graph;
+        let (s, t) = (inst.s, inst.t);
+        let d = inst.delay_bound;
+        let exact = constrained_shortest_path_with(g, s, t, d, &mut dp);
+        for kind in KERNEL_KINDS {
+            h.record(
+                "rsp_kernel",
+                label,
+                kind.as_str(),
+                if smoke { 2 } else { 15 },
+                || {
+                    fingerprint(
+                        kernel(kind)
+                            .solve_with(g, s, t, d, eps_num, eps_den, &mut dp)
+                            .expect("1/16 is a valid epsilon")
+                            .as_ref(),
+                    )
+                },
+            );
+            let got = kernel(kind)
+                .solve_with(g, s, t, d, eps_num, eps_den, &mut dp)
+                .expect("1/16 is a valid epsilon");
+            match (&exact, &got) {
+                (Some(opt), Some(p)) => {
+                    assert!(
+                        p.delay <= d,
+                        "rsp_kernel/{label}/{kind}: delay {} > bound {d}",
+                        p.delay
+                    );
+                    assert!(
+                        i128::from(p.cost) * i128::from(eps_den)
+                            <= i128::from(opt.cost) * i128::from(eps_den + eps_num),
+                        "rsp_kernel/{label}/{kind}: cost {} > (1+ε)·OPT (OPT = {})",
+                        p.cost,
+                        opt.cost
+                    );
+                }
+                (None, None) => {}
+                _ => panic!(
+                    "rsp_kernel/{label}/{kind}: feasibility disagrees with the exact DP \
+                     (exact = {}, kernel = {})",
+                    exact.is_some(),
+                    got.is_some()
+                ),
+            }
+        }
     }
 
     // --- bellman_ford: scratch reuse vs per-call allocation -------------
@@ -544,6 +612,25 @@ fn main() {
         }
     }
 
+    // Kernel-axis speedup: classic over interval per-iteration. > 1.0
+    // means the interval kernel's narrow final sweep pays at ε = 1/16.
+    for m in &h.results {
+        if m.bench != "rsp_kernel" || m.variant != "classic" {
+            continue;
+        }
+        if let Some(iv) = h
+            .results
+            .iter()
+            .find(|r| r.bench == m.bench && r.config == m.config && r.variant == "interval")
+        {
+            speedups.push(Speedup {
+                bench: "rsp_kernel(classic/interval)".to_string(),
+                config: m.config.clone(),
+                speedup: m.per_iter_ms / iv.per_iter_ms.max(1e-9),
+            });
+        }
+    }
+
     // Batch amortization: per-query cost unbatched over the widest batch.
     // > 1.0 means batching pays; the committed full-mode numbers are the
     // T12 acceptance curve.
@@ -565,10 +652,17 @@ fn main() {
         }
     }
 
+    let host = Host::detect();
+    let caveat = (host.nproc == 1).then(|| {
+        "recorded on a single-core host: threads-axis and batch-axis rows cannot show \
+         parallel gains here; per-iteration A/B and kernel-axis comparisons remain valid"
+            .to_string()
+    });
     let report = Report {
         schema: "krsp-bench-kernels/v1".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
-        host: Host::detect(),
+        host,
+        caveat,
         results: h.results,
         speedups,
     };

@@ -16,7 +16,7 @@ use crate::instance::Instance;
 use crate::phase1::{self, Phase1Backend};
 use crate::solution::Solution;
 use krsp_flow::karp::min_ratio_cycle;
-use krsp_flow::{min_cost_k_flow_fast as min_cost_k_flow, rsp_fptas_with, DpScratch};
+use krsp_flow::{kernel, min_cost_k_flow_fast as min_cost_k_flow, DpScratch, KernelKind};
 use krsp_graph::{DiGraph, EdgeId, EdgeSet, ResidualGraph};
 use krsp_numeric::Lex2;
 
@@ -61,6 +61,17 @@ pub fn min_delay(inst: &Instance) -> Option<Solution> {
 /// one of the experiment axes).
 #[must_use]
 pub fn greedy_rsp(inst: &Instance) -> Option<Solution> {
+    greedy_rsp_with_kernel(inst, KernelKind::Classic)
+}
+
+/// [`greedy_rsp`] with an explicit [RSP kernel](krsp_flow::RspKernel)
+/// backend for the per-path FPTAS stages. `KernelKind::Classic` reproduces
+/// [`greedy_rsp`] bit-for-bit; `KernelKind::Interval` gives the same
+/// per-path `(1+1/4)` guarantee through the interval-scaling scheme (the
+/// stages may pick different — equally certified — paths).
+#[must_use]
+pub fn greedy_rsp_with_kernel(inst: &Instance, kind: KernelKind) -> Option<Solution> {
+    let rsp = kernel(kind);
     let per_path = inst.delay_bound / inst.k as i64;
     let mut remaining = inst.graph.clone();
     let mut chosen: Vec<EdgeId> = Vec::new();
@@ -69,7 +80,9 @@ pub fn greedy_rsp(inst: &Instance) -> Option<Solution> {
     // One DP arena for all k FPTAS stages.
     let mut scratch = DpScratch::new();
     for _ in 0..inst.k {
-        let p = rsp_fptas_with(&remaining, inst.s, inst.t, per_path, 1, 4, &mut scratch)?;
+        let p = rsp
+            .solve_with(&remaining, inst.s, inst.t, per_path, 1, 4, &mut scratch)
+            .expect("1/4 is a valid epsilon")?;
         let used: std::collections::HashSet<EdgeId> = p.edges.iter().copied().collect();
         for &e in &p.edges {
             chosen.push(back[e.index()]);

@@ -78,6 +78,9 @@ pub use batch::{shared_executor, solve_batch, summarize, BatchError, BatchSummar
 pub use bicameral::{BSearch, CycleKind, Engine, SearchScratch};
 pub use instance::{Instance, InstanceError};
 pub use krsp_flow::CancelToken;
+pub use krsp_flow::{
+    kernel as rsp_kernel, DpScratch, KernelError, KernelKind, RspKernel, KERNEL_KINDS,
+};
 pub use phase1::Phase1Backend;
 pub use scaling::{solve_scaled, Eps, ScaledSolved};
 pub use solution::Solution;

@@ -442,71 +442,194 @@ fn dp_sweep(
         if b & 31 == 0 && cancel.is_cancelled() {
             return false;
         }
-        let row = b * n;
-        if b > 0 {
-            // Carry-over: start from the previous level (one memcpy).
-            scratch.value.copy_within((row - n)..row, row);
-        }
-        scratch.value[row + s.index()] = 0;
-        // Cross-level transitions, in edge-id order (ties must resolve as
-        // in the reference kernel).
-        for pe in buckets.pos {
-            if pe.budget as usize > b {
-                continue;
-            }
-            let vu = scratch.value[(b - pe.budget as usize) * n + pe.src as usize];
-            if vu == UNREACHED {
-                continue;
-            }
-            let cand = vu + pe.obj;
-            let slot = row + pe.dst as usize;
-            if cand < scratch.value[slot] {
-                scratch.value[slot] = cand;
-                scratch.par_edge[slot] = pe.id;
-                scratch.par_level[slot] = (b - pe.budget as usize) as u32;
-            }
-        }
-        if !has_zero {
+        dp_level(scratch, buckets, n, s, b, has_zero);
+    }
+    true
+}
+
+/// Relaxes one DP level `b`: carry-over from level `b−1`, positive-budget
+/// transitions in edge-id order, then the within-level zero-budget pass.
+/// Level `b` depends only on levels `≤ b`, so sweeps may stop after any
+/// prefix of levels and the computed rows match a full sweep bit-for-bit.
+fn dp_level(
+    scratch: &mut DpScratch,
+    buckets: &Buckets<'_>,
+    n: usize,
+    s: NodeId,
+    b: usize,
+    has_zero: bool,
+) {
+    let row = b * n;
+    if b > 0 {
+        // Carry-over: start from the previous level (one memcpy).
+        scratch.value.copy_within((row - n)..row, row);
+    }
+    scratch.value[row + s.index()] = 0;
+    // Cross-level transitions, in edge-id order (ties must resolve as
+    // in the reference kernel).
+    for pe in buckets.pos {
+        if pe.budget as usize > b {
             continue;
         }
-        // Within-level relaxation over zero-budget edges (Dijkstra flavor).
-        // Only nodes with outgoing zero-budget edges can propagate, so only
-        // they enter the heap; everything else is pure overhead.
-        scratch.gen += 1;
-        let gen = scratch.gen;
-        scratch.heap.clear();
-        for v in 0..n as u32 {
-            if zero_tail(buckets.zero_start, v) && scratch.value[row + v as usize] != UNREACHED {
-                scratch
-                    .heap
-                    .push(Reverse((scratch.value[row + v as usize], v)));
-            }
+        let vu = scratch.value[(b - pe.budget as usize) * n + pe.src as usize];
+        if vu == UNREACHED {
+            continue;
         }
-        while let Some(Reverse((dv, v))) = scratch.heap.pop() {
-            if scratch.settled[v as usize] == gen || scratch.value[row + v as usize] != dv {
-                continue;
-            }
-            scratch.settled[v as usize] = gen;
-            let (lo, hi) = (
-                buckets.zero_start[v as usize] as usize,
-                buckets.zero_start[v as usize + 1] as usize,
-            );
-            for i in lo..hi {
-                let ze = buckets.zero[i];
-                let cand = dv + ze.obj;
-                let slot = row + ze.dst as usize;
-                if cand < scratch.value[slot] {
-                    scratch.value[slot] = cand;
-                    scratch.par_edge[slot] = ze.id;
-                    scratch.par_level[slot] = b as u32;
-                    if zero_tail(buckets.zero_start, ze.dst) {
-                        scratch.heap.push(Reverse((cand, ze.dst)));
-                    }
+        let cand = vu + pe.obj;
+        let slot = row + pe.dst as usize;
+        if cand < scratch.value[slot] {
+            scratch.value[slot] = cand;
+            scratch.par_edge[slot] = pe.id;
+            scratch.par_level[slot] = (b - pe.budget as usize) as u32;
+        }
+    }
+    if !has_zero {
+        return;
+    }
+    // Within-level relaxation over zero-budget edges (Dijkstra flavor).
+    // Only nodes with outgoing zero-budget edges can propagate, so only
+    // they enter the heap; everything else is pure overhead.
+    scratch.gen += 1;
+    let gen = scratch.gen;
+    scratch.heap.clear();
+    for v in 0..n as u32 {
+        if zero_tail(buckets.zero_start, v) && scratch.value[row + v as usize] != UNREACHED {
+            scratch
+                .heap
+                .push(Reverse((scratch.value[row + v as usize], v)));
+        }
+    }
+    while let Some(Reverse((dv, v))) = scratch.heap.pop() {
+        if scratch.settled[v as usize] == gen || scratch.value[row + v as usize] != dv {
+            continue;
+        }
+        scratch.settled[v as usize] = gen;
+        let (lo, hi) = (
+            buckets.zero_start[v as usize] as usize,
+            buckets.zero_start[v as usize + 1] as usize,
+        );
+        for i in lo..hi {
+            let ze = buckets.zero[i];
+            let cand = dv + ze.obj;
+            let slot = row + ze.dst as usize;
+            if cand < scratch.value[slot] {
+                scratch.value[slot] = cand;
+                scratch.par_edge[slot] = ze.id;
+                scratch.par_level[slot] = b as u32;
+                if zero_tail(buckets.zero_start, ze.dst) {
+                    scratch.heap.push(Reverse((cand, ze.dst)));
                 }
             }
         }
     }
-    true
+}
+
+/// Outcome of a target-aware DP sweep ([`dp_sweep_until`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SweepOutcome {
+    /// First level at which `t` is reachable with value ≤ the feasibility
+    /// bound.
+    Found(usize),
+    /// All levels computed; no level qualified.
+    Exhausted,
+    /// The scratch's [`CancelToken`] tripped mid-run (table is partial).
+    Cancelled,
+}
+
+/// [`dp_sweep`] with an early exit: stops at the first level `b` whose
+/// value at `t` is reachable and at most `feas_bound`. Because level `b`
+/// depends only on levels `≤ b`, the returned level — and the parent chain
+/// behind it — is exactly the one a full sweep plus a bottom-up scan finds;
+/// the sweep just skips the levels above it.
+#[must_use]
+fn dp_sweep_until(
+    scratch: &mut DpScratch,
+    buckets: &Buckets<'_>,
+    n: usize,
+    s: NodeId,
+    levels: usize,
+    t: NodeId,
+    feas_bound: i64,
+) -> SweepOutcome {
+    fail_point!("csp.dp", |_msg| SweepOutcome::Cancelled);
+    let cancel = scratch.cancel.clone();
+    if cancel.is_cancelled() {
+        return SweepOutcome::Cancelled;
+    }
+    scratch.n = n;
+    scratch.levels = levels;
+    let has_zero = !buckets.zero.is_empty();
+    scratch.value.clear();
+    scratch.value.resize(levels * n, UNREACHED);
+    scratch.par_edge.clear();
+    scratch.par_edge.resize(levels * n, NO_PARENT);
+    scratch.par_level.clear();
+    scratch.par_level.resize(levels * n, 0);
+    if scratch.settled.len() < n {
+        scratch.settled.resize(n, 0);
+    }
+    for b in 0..levels {
+        if b & 31 == 0 && cancel.is_cancelled() {
+            return SweepOutcome::Cancelled;
+        }
+        dp_level(scratch, buckets, n, s, b, has_zero);
+        let v = scratch.value[b * n + t.index()];
+        if v != UNREACHED && v <= feas_bound {
+            return SweepOutcome::Found(b);
+        }
+    }
+    SweepOutcome::Exhausted
+}
+
+/// [`budget_dp`] with the early exit of [`dp_sweep_until`]: digests the
+/// weights into the scratch buckets, then sweeps until the first level
+/// whose value at `t` is at most `feas_bound`.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+fn budget_dp_until(
+    scratch: &mut DpScratch,
+    graph: &DiGraph,
+    s: NodeId,
+    bound: usize,
+    budget_of: impl Fn(EdgeId) -> i64,
+    objective_of: impl Fn(EdgeId) -> i64,
+    t: NodeId,
+    feas_bound: i64,
+) -> SweepOutcome {
+    let n = graph.node_count();
+    digest_buckets(
+        graph,
+        bound,
+        budget_of,
+        objective_of,
+        BucketBufs {
+            ebud: &mut scratch.ebud,
+            eobj: &mut scratch.eobj,
+            pos: &mut scratch.pos,
+            zero: &mut scratch.zero,
+            zero_start: &mut scratch.zero_start,
+        },
+    );
+    let pos = std::mem::take(&mut scratch.pos);
+    let zero = std::mem::take(&mut scratch.zero);
+    let zero_start = std::mem::take(&mut scratch.zero_start);
+    let outcome = dp_sweep_until(
+        scratch,
+        &Buckets {
+            pos: &pos,
+            zero: &zero,
+            zero_start: &zero_start,
+        },
+        n,
+        s,
+        bound + 1,
+        t,
+        feas_bound,
+    );
+    scratch.pos = pos;
+    scratch.zero = zero;
+    scratch.zero_start = zero_start;
+    outcome
 }
 
 /// Reconstructs the path reaching `t` at level `b` of a [`budget_dp`] run.
@@ -890,6 +1013,255 @@ pub fn rsp_fptas_with(
     Some(p)
 }
 
+/// Interval-scaling FPTAS for the restricted shortest path problem
+/// (Holzmüller-style improvement over the classic scheme): same contract as
+/// [`rsp_fptas`] — `delay ≤ delay_bound`, `cost ≤ (1+ε)·OPT`, or `None` if
+/// infeasible — but the final scaled DP runs over a bracket narrowed well
+/// below the classic scheme's fixed `ub ≤ 4·lb`, so at small ε most of the
+/// budget levels the classic kernel sweeps are never computed.
+///
+/// Allocates a fresh [`DpScratch`]; use [`rsp_fptas_interval_with`] to
+/// amortize across calls.
+#[must_use]
+pub fn rsp_fptas_interval(
+    graph: &DiGraph,
+    s: NodeId,
+    t: NodeId,
+    delay_bound: i64,
+    eps_num: u32,
+    eps_den: u32,
+) -> Option<CspPath> {
+    rsp_fptas_interval_with(
+        graph,
+        s,
+        t,
+        delay_bound,
+        eps_num,
+        eps_den,
+        &mut DpScratch::new(),
+    )
+}
+
+/// [`rsp_fptas_interval`] over a caller-owned scratch arena.
+///
+/// The scheme sharpens the classic pipeline in three places:
+///
+/// 1. every interval test that *passes* keeps the witness path it
+///    recovered, so `ub` is always the cost of a real delay-feasible path
+///    (an *incumbent*), not the looser analytic bound `2c`;
+/// 2. after the ε₀ = 1 geometric shrink, a short ladder of higher-precision
+///    interval tests (ε_t = 1/2, then 1/4, …) keeps halving the bracket
+///    while each test costs only `(n+1)/ε_t` DP levels — negligible against
+///    the `(ub/lb)·(n+1)/ε` levels it saves from the final DP. The ladder
+///    stops as soon as a round would cost a constant fraction of the final
+///    DP (`ε_t < 2ε`), or the bracket already certifies the incumbent
+///    (`ub ≤ (1+ε)·lb` — then the incumbent is returned with no final DP
+///    at all);
+/// 3. the final scaled DP stops at the first delay-feasible level instead
+///    of sweeping the whole budget range and scanning afterwards — sound
+///    because level `b` depends only on levels `≤ b`.
+///
+/// Every interval test is a cancellation point (the scratch's
+/// [`CancelToken`] is honoured exactly like [`rsp_fptas_with`]'s) and
+/// carries the `csp.interval_test` failpoint for fault injection.
+#[must_use]
+pub fn rsp_fptas_interval_with(
+    graph: &DiGraph,
+    s: NodeId,
+    t: NodeId,
+    delay_bound: i64,
+    eps_num: u32,
+    eps_den: u32,
+    scratch: &mut DpScratch,
+) -> Option<CspPath> {
+    assert!(eps_num > 0 && eps_den > 0, "epsilon must be positive");
+    assert!(delay_bound >= 0);
+    let n = graph.node_count() as i64;
+
+    // Phase A — feasibility + bottleneck bracket, as in the classic scheme,
+    // except the threshold Dijkstra's witness path is materialized: it is
+    // the first incumbent, so `ub` starts at a real path cost (≤ n·c*).
+    let sentinel = graph.total_delay().max(delay_bound).saturating_add(1);
+    let min_delay_path_using = |threshold: i64| -> Option<Vec<EdgeId>> {
+        let (dist, pred) = dijkstra(graph, s, |e| {
+            if graph.edge(e).cost <= threshold {
+                graph.edge(e).delay
+            } else {
+                sentinel
+            }
+        });
+        match dist[t.index()] {
+            Some(d) if d <= delay_bound => crate::dijkstra::path_to(graph, &dist, &pred, t),
+            _ => None,
+        }
+    };
+    let mut costs: Vec<i64> = graph.edges().iter().map(|e| e.cost).collect();
+    costs.push(0);
+    costs.sort_unstable();
+    costs.dedup();
+    min_delay_path_using(*costs.last().unwrap())?;
+    let mut lo = 0usize;
+    let mut hi = costs.len() - 1;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if min_delay_path_using(costs[mid]).is_some() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let cstar = costs[lo];
+    let witness = min_delay_path_using(cstar).expect("threshold c* is feasible by construction");
+    let mut incumbent = CspPath::from_edges(graph, witness);
+    debug_assert!(incumbent.delay <= delay_bound);
+    if cstar == 0 {
+        // A zero-cost feasible path exists; the witness is exactly the
+        // min-delay path over cost-0 edges (edges above the threshold carry
+        // the sentinel weight), hence optimal.
+        debug_assert_eq!(incumbent.cost, 0);
+        return Some(incumbent);
+    }
+    let mut lb = cstar; // OPT ≥ lb, always (test failures only raise it)
+    let mut ub = incumbent.cost.max(lb); // witnessed by the incumbent
+
+    // Generalized interval test at precision ε_t = tn/td: does a
+    // delay-feasible path of cost ≤ (1+ε_t)·c exist? θ = c·tn/(td·(n+1)),
+    // scaled(e) = ⌊cost(e)/θ⌋, budget = ⌊c/θ⌋ = ⌊td·(n+1)/tn⌋. If OPT ≤ c
+    // then scaled(P*) ≤ budget, so the sweep reaches a delay-feasible level
+    // and the recovered path Q has cost ≤ θ·(budget + n) ≤ (1+ε_t)·c; a
+    // completed test that finds nothing therefore certifies OPT > c. The
+    // early-exit sweep stops at the first feasible level, so a test costs
+    // at most `td·(n+1)/tn` levels.
+    let test = |scratch: &mut DpScratch, c: i64, tn: i64, td: i64| -> SweepOutcome {
+        fail_point!("csp.interval_test", |_msg| SweepOutcome::Cancelled);
+        let denom = c as i128 * tn as i128;
+        let scaled = |e: EdgeId| -> i128 {
+            graph.edge(e).cost as i128 * td as i128 * (n as i128 + 1) / denom
+        };
+        let budget = (td as i128 * (n as i128 + 1) / tn as i128).min(i128::from(u32::MAX)) as usize;
+        budget_dp_until(
+            scratch,
+            graph,
+            s,
+            budget,
+            |e| scaled(e).min(budget as i128 + 1) as i64,
+            |e| graph.edge(e).delay,
+            t,
+            delay_bound,
+        )
+    };
+    // Applies one test outcome to the bracket; returns `false` on
+    // cancellation (the bracket is then untouched — a cancelled probe must
+    // never masquerade as an "OPT > c" certificate).
+    let apply = |scratch: &mut DpScratch,
+                 c: i64,
+                 tn: i64,
+                 td: i64,
+                 lb: &mut i64,
+                 ub: &mut i64,
+                 incumbent: &mut CspPath|
+     -> bool {
+        match test(scratch, c, tn, td) {
+            SweepOutcome::Found(b) => {
+                let edges = recover(scratch, graph, s, t, b);
+                let p = CspPath::from_edges(graph, edges);
+                debug_assert!(p.delay <= delay_bound);
+                debug_assert!(
+                    p.cost as i128 * td as i128 <= c as i128 * (td + tn) as i128,
+                    "test contract: cost ≤ (1+ε_t)·c"
+                );
+                *ub = (*ub).min(p.cost.max(*lb));
+                if p.cost < incumbent.cost {
+                    *incumbent = p;
+                }
+                true
+            }
+            SweepOutcome::Exhausted => {
+                *lb = c + 1;
+                true
+            }
+            SweepOutcome::Cancelled => false,
+        }
+    };
+
+    // Phase B — ε₀ = 1 geometric shrink until ub ≤ 4·lb, exactly as the
+    // classic scheme, but each pass tightens ub to the witness path's
+    // actual cost (≤ 2c), which can only shrink the bracket faster.
+    while ub > 4 * lb {
+        if scratch.cancel.is_cancelled() {
+            return None;
+        }
+        let c = geometric_midpoint(lb, ub);
+        if !apply(scratch, c, 1, 1, &mut lb, &mut ub, &mut incumbent) {
+            return None;
+        }
+        debug_assert!(lb <= ub);
+    }
+
+    // Already certified? cost(incumbent) = ub ≤ (1+ε)·lb ≤ (1+ε)·OPT.
+    let certified =
+        |lb: i64, ub: i64| ub as i128 * eps_den as i128 <= lb as i128 * (eps_den + eps_num) as i128;
+
+    // Phase C — refinement ladder: two tests per precision tier ε_t = 1/2,
+    // 1/4, 1/8 drive the bracket toward its (1+ε_t)² fixed point. A tier
+    // only runs while it is clearly profitable (ε_t ≥ 2ε, so a test costs
+    // at most half the final DP's per-unit-bracket rate) and the bracket
+    // is not yet certified.
+    'ladder: for td in [2i64, 4, 8] {
+        for _ in 0..2 {
+            if certified(lb, ub) {
+                return Some(incumbent);
+            }
+            if i128::from(td) * i128::from(eps_num) * 2 > i128::from(eps_den) {
+                break 'ladder; // ε_t = 1/td < 2ε: not worth another test
+            }
+            if scratch.cancel.is_cancelled() {
+                return None;
+            }
+            let c = geometric_midpoint(lb, ub);
+            if !apply(scratch, c, 1, td, &mut lb, &mut ub, &mut incumbent) {
+                return None;
+            }
+            debug_assert!(lb <= ub);
+        }
+    }
+    if certified(lb, ub) {
+        return Some(incumbent);
+    }
+
+    // Phase D — final scaled DP at the target ε over the narrowed bracket,
+    // stopping at the first delay-feasible level. θ = lb·ε/(n+1), as in the
+    // classic scheme; the budget covers scaled(P*) ≤ ub/θ plus n+1 slack,
+    // and the incumbent guarantees a feasible level exists within it.
+    let denom = lb as i128 * eps_num as i128;
+    let scaled = |e: EdgeId| -> i128 {
+        graph.edge(e).cost as i128 * (n as i128 + 1) * eps_den as i128 / denom
+    };
+    let budget = ((ub as i128 * (n as i128 + 1) * eps_den as i128) / denom + n as i128 + 1)
+        .min(i128::from(u32::MAX)) as usize;
+    match budget_dp_until(
+        scratch,
+        graph,
+        s,
+        budget,
+        |e| scaled(e).min(budget as i128 + 1) as i64,
+        |e| graph.edge(e).delay,
+        t,
+        delay_bound,
+    ) {
+        SweepOutcome::Found(b) => {
+            let edges = recover(scratch, graph, s, t, b);
+            let p = CspPath::from_edges(graph, edges);
+            debug_assert!(p.delay <= delay_bound);
+            Some(p)
+        }
+        // The incumbent's scaled cost fits the budget, so exhaustion cannot
+        // happen on a completed sweep; return the incumbent defensively.
+        SweepOutcome::Exhausted => Some(incumbent),
+        SweepOutcome::Cancelled => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1190,6 +1562,30 @@ mod tests {
                         "approx {} vs opt {}", a.cost, e.cost);
                 }
                 (e, a) => prop_assert!(false, "feasibility mismatch: exact={:?} approx={:?}", e.is_some(), a.is_some()),
+            }
+        }
+
+        #[test]
+        fn prop_interval_fptas_within_factor((g, d) in arb_graph()) {
+            // The interval kernel promises the same (1+ε) guarantee as the
+            // classic one — feasibility parity with the exact DP, delay
+            // within budget, cost within factor — without bit-identity.
+            let exact = constrained_shortest_path(&g, NodeId(0), NodeId(6), d);
+            for (num, den) in [(1u32, 2u32), (1, 8), (1, 16)] {
+                let approx = rsp_fptas_interval(&g, NodeId(0), NodeId(6), d, num, den);
+                match (&exact, approx) {
+                    (None, None) => {}
+                    (Some(e), Some(a)) => {
+                        prop_assert!(a.delay <= d);
+                        prop_assert!(
+                            a.cost as i128 * den as i128
+                                <= e.cost as i128 * (den + num) as i128,
+                            "eps {}/{}: approx {} vs opt {}", num, den, a.cost, e.cost);
+                    }
+                    (e, a) => prop_assert!(false,
+                        "feasibility mismatch at eps {}/{}: exact={:?} approx={:?}",
+                        num, den, e.is_some(), a.is_some()),
+                }
             }
         }
 

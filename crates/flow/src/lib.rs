@@ -32,6 +32,7 @@ pub mod dijkstra;
 pub mod dinic;
 pub mod edmonds_karp;
 pub mod karp;
+pub mod kernel;
 pub mod mcf;
 pub mod mcf_fast;
 pub mod reference;
@@ -42,13 +43,16 @@ pub use bellman_ford::{bellman_ford, find_negative_cycle_in, BfResult, BfScratch
 pub use cancel::CancelToken;
 pub use csp::{
     constrained_shortest_path, constrained_shortest_path_digested, constrained_shortest_path_with,
-    constrained_shortest_paths_digested, rsp_fptas, rsp_fptas_with, CspPath, CspQuery, DpScratch,
-    TopoDigest,
+    constrained_shortest_paths_digested, rsp_fptas, rsp_fptas_interval, rsp_fptas_interval_with,
+    rsp_fptas_with, CspPath, CspQuery, DpScratch, TopoDigest,
 };
 pub use dijkstra::dijkstra;
 pub use dinic::{max_edge_disjoint_paths, Dinic};
 pub use edmonds_karp::{max_edge_disjoint_paths_ek, EdmondsKarp};
 pub use karp::min_mean_cycle;
+pub use kernel::{
+    kernel, ClassicFptas, IntervalScalingFptas, KernelError, KernelKind, RspKernel, KERNEL_KINDS,
+};
 pub use mcf::{min_cost_k_flow, McfFlow};
 pub use mcf_fast::min_cost_k_flow_fast;
 pub use weight::Weight;

@@ -240,6 +240,7 @@ mod tests {
             },
             rung: Rung::MinDelay,
             guarantee: Rung::MinDelay.guarantee(),
+            kernel: krsp::KernelKind::Classic,
         }
     }
 

@@ -20,10 +20,26 @@
 //! deadline covers it; [`Rung::MinDelay`] is always attempted as the last
 //! resort. A rung that *fails* (stalls, iteration limit) falls through to
 //! the next; genuine infeasibility short-circuits.
+//!
+//! ## Kernel assignment
+//!
+//! Each rung is additionally assigned an RSP-kernel backend
+//! ([`KernelKind`], DESIGN.md §4.16) through a [`KernelLadder`]. The kernel
+//! is consulted wherever a rung solves a restricted-shortest-path
+//! subproblem — today that is the `k = 1` fast path of the
+//! [`Rung::Full`]/[`Rung::SingleProbe`] rungs, which answer single-path
+//! instances through the configured `(1+ε)` kernel at ε = 1 (certifying the
+//! same `cost ≤ 2·C_OPT`, `delay ≤ D` the Full rung advertises) instead of
+//! spinning up the k-path cycle-cancellation machinery. Rungs whose
+//! algorithms never touch the RSP subproblem ([`Rung::LpRounding`],
+//! [`Rung::MinDelay`]) carry their assignment for observability only; the
+//! answering rung's kernel is reported on every response either way.
 
 use krsp::{
-    baselines, solve_with, CancelToken, Config, Instance, SearchScratch, Solution, SolveError,
+    baselines, rsp_kernel, solve_with, CancelToken, Config, DpScratch, Instance, KernelKind,
+    SearchScratch, Solution, SolveError,
 };
+use krsp_graph::EdgeSet;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -191,6 +207,39 @@ impl LadderPolicy {
     }
 }
 
+/// Per-rung RSP-kernel assignment (module docs, "Kernel assignment").
+///
+/// Indexed by [`Rung::index`]; defaults to [`KernelKind::Classic`]
+/// everywhere, which reproduces the pre-trait service behavior exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelLadder([KernelKind; Rung::LADDER.len()]);
+
+impl Default for KernelLadder {
+    fn default() -> Self {
+        KernelLadder::uniform(KernelKind::Classic)
+    }
+}
+
+impl KernelLadder {
+    /// The same kernel on every rung (what `--kernel` and the per-request
+    /// wire override select).
+    #[must_use]
+    pub fn uniform(kind: KernelKind) -> Self {
+        KernelLadder([kind; Rung::LADDER.len()])
+    }
+
+    /// The kernel assigned to `rung`.
+    #[must_use]
+    pub fn for_rung(&self, rung: Rung) -> KernelKind {
+        self.0[rung.index()]
+    }
+
+    /// Reassigns one rung's kernel.
+    pub fn set(&mut self, rung: Rung, kind: KernelKind) {
+        self.0[rung.index()] = kind;
+    }
+}
+
 /// A ladder answer: the solution plus which rung produced it.
 #[derive(Clone, Debug)]
 pub struct Degraded {
@@ -200,6 +249,8 @@ pub struct Degraded {
     pub rung: Rung,
     /// [`Rung::guarantee`] of that rung, recorded at solve time.
     pub guarantee: Guarantee,
+    /// The RSP kernel assigned to the answering rung.
+    pub kernel: KernelKind,
 }
 
 /// Why the ladder produced no solution.
@@ -227,7 +278,14 @@ pub fn solve_degraded(
     remaining: Duration,
     policy: &LadderPolicy,
 ) -> Result<Degraded, LadderError> {
-    solve_degraded_with(inst, cfg, remaining, policy, &CancelToken::never())
+    solve_degraded_with(
+        inst,
+        cfg,
+        remaining,
+        policy,
+        &KernelLadder::default(),
+        &CancelToken::never(),
+    )
 }
 
 /// [`solve_degraded`] with a cooperative [`CancelToken`] threaded into the
@@ -242,6 +300,7 @@ pub fn solve_degraded_with(
     cfg: &Config,
     remaining: Duration,
     policy: &LadderPolicy,
+    kernels: &KernelLadder,
     cancel: &CancelToken,
 ) -> Result<Degraded, LadderError> {
     let start = policy.admit(inst, remaining);
@@ -252,12 +311,14 @@ pub fn solve_degraded_with(
         if rung != Rung::MinDelay && cancel.is_cancelled() {
             continue;
         }
-        match attempt(inst, cfg, rung, &mut scratch) {
+        let kernel = kernels.for_rung(rung);
+        match attempt(inst, cfg, rung, kernel, &mut scratch, cancel) {
             Attempt::Solved(solution) => {
                 return Ok(Degraded {
                     solution,
                     rung,
                     guarantee: rung.guarantee(),
+                    kernel,
                 })
             }
             Attempt::Infeasible => return Err(LadderError::Infeasible),
@@ -273,8 +334,37 @@ enum Attempt {
     RungFailed,
 }
 
-fn attempt(inst: &Instance, cfg: &Config, rung: Rung, scratch: &mut SearchScratch) -> Attempt {
+fn attempt(
+    inst: &Instance,
+    cfg: &Config,
+    rung: Rung,
+    kernel: KernelKind,
+    scratch: &mut SearchScratch,
+    cancel: &CancelToken,
+) -> Attempt {
     match rung {
+        // k = 1 *is* the restricted-shortest-path subproblem: answer it
+        // through the rung's assigned kernel at ε = 1 (cost ≤ 2·OPT, delay
+        // ≤ D — exactly the Full rung's advertised guarantee) instead of
+        // the k-path cycle-cancellation machinery.
+        Rung::Full | Rung::SingleProbe if inst.k == 1 => {
+            let mut dp = DpScratch::new();
+            dp.set_cancel(cancel.clone());
+            let solved = rsp_kernel(kernel)
+                .solve_with(&inst.graph, inst.s, inst.t, inst.delay_bound, 1, 1, &mut dp)
+                .expect("1/1 is a valid epsilon");
+            match solved {
+                Some(p) => {
+                    match Solution::from_edge_set(inst, EdgeSet::from_edges(inst.m(), &p.edges)) {
+                        Some(sol) => Attempt::Solved(sol),
+                        None => Attempt::RungFailed,
+                    }
+                }
+                // A cancelled kernel proved nothing about feasibility.
+                None if cancel.is_cancelled() => Attempt::RungFailed,
+                None => Attempt::Infeasible,
+            }
+        }
         Rung::Full | Rung::SingleProbe => {
             let cfg = Config {
                 single_probe: rung == Rung::SingleProbe,
@@ -418,12 +508,72 @@ mod tests {
             &Config::default(),
             Duration::from_secs(60),
             &LadderPolicy::default(),
+            &KernelLadder::default(),
             &cancel,
         )
         .unwrap();
         assert_eq!(out.rung, Rung::MinDelay);
         assert_eq!(out.guarantee, Rung::MinDelay.guarantee());
         assert!(out.solution.delay <= 14);
+    }
+
+    #[test]
+    fn kernel_ladder_assigns_per_rung() {
+        let mut kernels = KernelLadder::default();
+        for rung in Rung::LADDER {
+            assert_eq!(kernels.for_rung(rung), KernelKind::Classic);
+        }
+        kernels.set(Rung::SingleProbe, KernelKind::Interval);
+        assert_eq!(kernels.for_rung(Rung::SingleProbe), KernelKind::Interval);
+        assert_eq!(kernels.for_rung(Rung::Full), KernelKind::Classic);
+        let uniform = KernelLadder::uniform(KernelKind::Interval);
+        for rung in Rung::LADDER {
+            assert_eq!(uniform.for_rung(rung), KernelKind::Interval);
+        }
+    }
+
+    #[test]
+    fn k1_instances_answer_through_the_assigned_kernel() {
+        // k = 1 over the tradeoff graph: OPT = 4 (the (2,6)+(2,6) legs)
+        // under budget 12; both kernels certify cost ≤ 2·OPT, delay ≤ D,
+        // and the answer reports the rung's kernel.
+        let g = DiGraph::from_edges(
+            6,
+            &[
+                (0, 1, 1, 10),
+                (1, 5, 1, 10),
+                (0, 2, 8, 1),
+                (2, 5, 8, 1),
+                (0, 3, 2, 6),
+                (3, 5, 2, 6),
+            ],
+        );
+        let inst = Instance::new(g, NodeId(0), NodeId(5), 1, 12).unwrap();
+        for kind in [KernelKind::Classic, KernelKind::Interval] {
+            let out = solve_degraded_with(
+                &inst,
+                &Config::default(),
+                Duration::from_secs(60),
+                &LadderPolicy::default(),
+                &KernelLadder::uniform(kind),
+                &CancelToken::never(),
+            )
+            .unwrap();
+            assert_eq!(out.rung, Rung::Full, "{kind}");
+            assert_eq!(out.kernel, kind);
+            assert!(out.solution.delay <= 12);
+            assert!(out.solution.cost <= 8, "cost {} > 2·OPT", out.solution.cost);
+        }
+        // Infeasible k = 1 budget short-circuits at the kernel.
+        let tight = Instance::new(inst.graph.clone(), NodeId(0), NodeId(5), 1, 1).unwrap();
+        let err = solve_degraded(
+            &tight,
+            &Config::default(),
+            Duration::from_secs(60),
+            &LadderPolicy::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, LadderError::Infeasible);
     }
 
     #[test]

@@ -529,6 +529,7 @@ impl Frontend {
                 SolveRequest {
                     instance: query.instance,
                     deadline_ms: query.deadline_ms,
+                    kernel: query.kernel,
                 },
             );
         }
@@ -661,6 +662,7 @@ impl Frontend {
             Request {
                 instance: solve.instance,
                 deadline: solve.deadline_ms.map(Duration::from_millis),
+                kernel: solve.kernel,
             },
             move |out| {
                 // Rendering happens on the worker, off the reactor thread.

@@ -36,8 +36,8 @@
 //! ]);
 //! let inst = Instance::new(g, NodeId(0), NodeId(3), 2, 20).unwrap();
 //! let svc = Service::new(ServiceConfig::default());
-//! let first = svc.provision(Request { instance: inst.clone(), deadline: None }).unwrap();
-//! let second = svc.provision(Request { instance: inst, deadline: None }).unwrap();
+//! let first = svc.provision(Request { instance: inst.clone(), deadline: None, kernel: None }).unwrap();
+//! let second = svc.provision(Request { instance: inst, deadline: None, kernel: None }).unwrap();
 //! assert!(!first.cache_hit && second.cache_hit);
 //! assert_eq!(first.solution.cost, second.solution.cost);
 //! ```
@@ -90,7 +90,8 @@ mod sync_util;
 
 pub use cache::{CacheStats, ShardedCache, SolutionCache};
 pub use degrade::{
-    solve_degraded, solve_degraded_with, Degraded, Guarantee, LadderError, LadderPolicy, Rung,
+    solve_degraded, solve_degraded_with, Degraded, Guarantee, KernelLadder, LadderError,
+    LadderPolicy, Rung,
 };
 pub use hash::{canonical_key, CacheKey};
 pub use load::{run_remote, LoadReport, LoadSpec, RemoteSpec};
@@ -98,7 +99,8 @@ pub use metrics::{FrontendSnapshot, LatencyHistogram, MetricsSnapshot};
 pub use proto::{
     decode_response_line, encode_request_with_id, health_reply, serve, serve_on,
     serve_threaded_with_shutdown, serve_with_shutdown, ErrorKind, HealthReply, HealthStatus,
-    ServeOptions, SolveRequest, SolvedReply, WireError, WireRequest, WireResponse, MAX_LINE_BYTES,
+    RungKernel, ServeOptions, SolveRequest, SolvedReply, WireError, WireRequest, WireResponse,
+    MAX_LINE_BYTES,
 };
 pub use quarantine::Quarantine;
 pub use service::{Rejection, Request, Response, Service, ServiceConfig};

@@ -66,6 +66,9 @@ pub struct LoadSpec {
     /// per-query responses by id. Mutually exclusive with `pipeline > 1`;
     /// ignored by in-process replays.
     pub batch: usize,
+    /// RSP-kernel override stamped on every issued request; `None` leaves
+    /// the server's configured kernel ladder in charge.
+    pub kernel: Option<krsp::KernelKind>,
 }
 
 impl Default for LoadSpec {
@@ -83,6 +86,7 @@ impl Default for LoadSpec {
             deadline_ms: None,
             pipeline: 1,
             batch: 1,
+            kernel: None,
         }
     }
 }
@@ -318,6 +322,7 @@ pub fn run(service: &Service, spec: &LoadSpec) -> LoadReport {
                 let out = service.provision(Request {
                     instance: pool[i % pool.len()].clone(),
                     deadline: spec.deadline_ms.map(Duration::from_millis),
+                    kernel: spec.kernel,
                 });
                 let mut t = lock_recover(&tally);
                 match out {
@@ -764,6 +769,7 @@ fn run_batched_client(
                 id: (base + j) as u64,
                 instance: pool[(base + j) % pool.len()].clone(),
                 deadline_ms: spec.deadline_ms,
+                kernel: spec.kernel,
             })
             .collect();
         let line =
@@ -855,6 +861,7 @@ pub fn run_remote(spec: &LoadSpec, remote: &RemoteSpec) -> std::io::Result<LoadR
             serde_json::to_string(&WireRequest::Solve(SolveRequest {
                 instance: inst.clone(),
                 deadline_ms: spec.deadline_ms,
+                kernel: spec.kernel,
             }))
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
         })
@@ -1060,6 +1067,7 @@ mod tests {
         let req = WireRequest::Solve(SolveRequest {
             instance: inst,
             deadline_ms: Some(250),
+            kernel: None,
         });
         let plain = serde_json::to_string(&req).unwrap();
         assert_eq!(

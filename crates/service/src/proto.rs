@@ -12,6 +12,12 @@
 //! {"Solve": {"instance": {...}, "deadline_ms": 250}}
 //! ```
 //!
+//! A solve payload may additionally carry `"kernel": "classic"` or
+//! `"kernel": "interval"` to override the service's RSP-kernel ladder
+//! (DESIGN.md §4.16) for that request; absent or `null` uses the server's
+//! configured default, and the answering kernel is echoed back in every
+//! solved reply.
+//!
 //! `"Metrics"` (a bare string) fetches a
 //! [`MetricsSnapshot`](crate::metrics::MetricsSnapshot), and `"Health"`
 //! fetches a [`HealthReply`] (ready/draining/shedding plus width and cache
@@ -42,7 +48,7 @@
 use crate::degrade::{Guarantee, Rung};
 use crate::metrics::MetricsSnapshot;
 use crate::service::{Rejection, Request, Response, Service};
-use krsp::Instance;
+use krsp::{Instance, KernelKind};
 use serde::{Content, Deserialize, Serialize};
 use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -73,12 +79,55 @@ pub enum WireRequest {
 }
 
 /// Payload of [`WireRequest::Solve`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SolveRequest {
     /// The kRSP instance.
     pub instance: Instance,
     /// Latency budget in milliseconds; omitted uses the service default.
     pub deadline_ms: Option<u64>,
+    /// RSP-kernel override (`"classic"` or `"interval"`); absent or `null`
+    /// uses the service's configured kernel ladder.
+    pub kernel: Option<KernelKind>,
+}
+
+// Hand-written so `kernel` can be genuinely optional on the wire: the
+// vendored serde derive requires every member on deserialize and writes
+// `None` as `null`, but the kernel override postdates deployed clients.
+// Absent (or `null`) means "service default", and `None` is omitted on
+// serialize, so kernel-less requests stay byte-identical to the historical
+// format.
+impl Serialize for SolveRequest {
+    fn to_content(&self) -> Content {
+        let mut entries = vec![
+            ("instance".to_string(), self.instance.to_content()),
+            ("deadline_ms".to_string(), self.deadline_ms.to_content()),
+        ];
+        if let Some(kind) = self.kernel {
+            entries.push(("kernel".to_string(), kind.to_content()));
+        }
+        Content::Map(entries)
+    }
+}
+
+impl Deserialize for SolveRequest {
+    fn from_content(c: &Content) -> Result<Self, serde::DeError> {
+        Ok(SolveRequest {
+            instance: Instance::from_content(c.field("instance")?)?,
+            deadline_ms: Option::from_content(c.field("deadline_ms")?)?,
+            kernel: opt_kernel_member(c)?,
+        })
+    }
+}
+
+/// The optional `"kernel"` member shared by [`SolveRequest`] and
+/// [`BatchQuery`]: absent or `null` means "service default", otherwise a
+/// kernel-kind string (a bad string is still a parse error, not a silent
+/// fallback).
+fn opt_kernel_member(c: &Content) -> Result<Option<KernelKind>, serde::DeError> {
+    match c.field("kernel") {
+        Ok(member) => Option::from_content(member),
+        Err(_) => Ok(None),
+    }
 }
 
 /// Payload of [`WireRequest::SolveBatch`]: many solve queries on one line.
@@ -95,7 +144,7 @@ pub struct SolveBatchRequest {
 }
 
 /// One query inside a [`SolveBatchRequest`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BatchQuery {
     /// Client-chosen response-matching id, echoed as the response's
     /// top-level `"id"` member.
@@ -105,6 +154,36 @@ pub struct BatchQuery {
     /// Latency budget in milliseconds; omitted uses the service default.
     /// The deadline ladder applies per query, not per batch.
     pub deadline_ms: Option<u64>,
+    /// RSP-kernel override for this query; absent or `null` uses the
+    /// service's configured kernel ladder.
+    pub kernel: Option<KernelKind>,
+}
+
+// Hand-written for the same reason as `SolveRequest`: `kernel` must be
+// optional-on-absent and omitted when `None`.
+impl Serialize for BatchQuery {
+    fn to_content(&self) -> Content {
+        let mut entries = vec![
+            ("id".to_string(), self.id.to_content()),
+            ("instance".to_string(), self.instance.to_content()),
+            ("deadline_ms".to_string(), self.deadline_ms.to_content()),
+        ];
+        if let Some(kind) = self.kernel {
+            entries.push(("kernel".to_string(), kind.to_content()));
+        }
+        Content::Map(entries)
+    }
+}
+
+impl Deserialize for BatchQuery {
+    fn from_content(c: &Content) -> Result<Self, serde::DeError> {
+        Ok(BatchQuery {
+            id: u64::from_content(c.field("id")?)?,
+            instance: Instance::from_content(c.field("instance")?)?,
+            deadline_ms: Option::from_content(c.field("deadline_ms")?)?,
+            kernel: opt_kernel_member(c)?,
+        })
+    }
 }
 
 /// A response line.
@@ -199,6 +278,23 @@ pub struct HealthReply {
     pub cache_misses: u64,
     /// Solution-cache evictions so far.
     pub cache_evictions: u64,
+    /// The service's default RSP kernel — the top (`full`) rung's
+    /// assignment, which is what `--kernel` sets uniformly. Per-rung
+    /// detail in `kernels`.
+    pub kernel: KernelKind,
+    /// The RSP kernel assigned to each ladder rung, best rung first
+    /// (DESIGN.md §4.16). A per-request `"kernel"` override replaces this
+    /// whole map with a uniform one for that request.
+    pub kernels: Vec<RungKernel>,
+}
+
+/// One rung's kernel assignment inside [`HealthReply::kernels`].
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RungKernel {
+    /// The ladder rung.
+    pub rung: Rung,
+    /// The RSP kernel assigned to it.
+    pub kernel: KernelKind,
 }
 
 /// Builds a [`HealthReply`] from the service's current state. `conn_caps`
@@ -229,6 +325,14 @@ pub fn health_reply(service: &Service, conn_caps: Option<(u64, u64)>) -> HealthR
         cache_hits: m.cache_hits,
         cache_misses: m.cache_misses,
         cache_evictions: m.cache_evictions,
+        kernel: cfg.kernels.for_rung(Rung::Full),
+        kernels: Rung::LADDER
+            .into_iter()
+            .map(|rung| RungKernel {
+                rung,
+                kernel: cfg.kernels.for_rung(rung),
+            })
+            .collect(),
     }
 }
 
@@ -335,6 +439,8 @@ pub struct SolvedReply {
     pub rung: Rung,
     /// The rung's advertised guarantee.
     pub guarantee: Guarantee,
+    /// The RSP kernel assigned to the answering rung.
+    pub kernel: KernelKind,
     /// Whether the solution cache answered.
     pub cache_hit: bool,
     /// Whether the answer piggybacked on a concurrent identical request's
@@ -358,6 +464,7 @@ pub(crate) fn solve_response(out: Result<Response, Rejection>) -> WireResponse {
             edges: r.solution.edges.iter().map(|e| e.0).collect(),
             rung: r.rung,
             guarantee: r.guarantee,
+            kernel: r.kernel,
             cache_hit: r.cache_hit,
             coalesced: r.coalesced,
             latency_us: r.latency.as_micros().min(u128::from(u64::MAX)) as u64,
@@ -394,6 +501,7 @@ pub fn dispatch(service: &Service, request: WireRequest) -> WireResponse {
             solve_response(service.provision(Request {
                 instance: solve.instance,
                 deadline: solve.deadline_ms.map(Duration::from_millis),
+                kernel: solve.kernel,
             }))
         }
         WireRequest::SolveBatch(_) => wire_error(
@@ -419,6 +527,7 @@ pub fn dispatch_batch(service: &Service, batch: SolveBatchRequest) -> Vec<(u64, 
                 solve_response(service.provision(Request {
                     instance: q.instance,
                     deadline: q.deadline_ms.map(Duration::from_millis),
+                    kernel: q.kernel,
                 }))
             };
             (q.id, response)
@@ -903,6 +1012,7 @@ mod tests {
         let req = WireRequest::Solve(SolveRequest {
             instance: inst(20),
             deadline_ms: Some(250),
+            kernel: None,
         });
         let text = serde_json::to_string(&req).unwrap();
         let back: WireRequest = serde_json::from_str(&text).unwrap();
@@ -918,6 +1028,75 @@ mod tests {
     }
 
     #[test]
+    fn kernel_member_is_optional_and_omitted_when_none() {
+        // A kernel-less request serializes without a "kernel" member at
+        // all (historical byte compatibility), and a historical line
+        // missing the member parses as `None` rather than erroring.
+        let req = WireRequest::Solve(SolveRequest {
+            instance: inst(20),
+            deadline_ms: Some(250),
+            kernel: None,
+        });
+        let text = serde_json::to_string(&req).unwrap();
+        assert!(!text.contains("kernel"), "line = {text}");
+        match serde_json::from_str::<WireRequest>(&text).unwrap() {
+            WireRequest::Solve(s) => assert_eq!(s.kernel, None),
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        // An explicit override round-trips as a snake_case string, and
+        // `null` means "absent".
+        for kind in krsp::KERNEL_KINDS {
+            let req = WireRequest::Solve(SolveRequest {
+                instance: inst(20),
+                deadline_ms: None,
+                kernel: Some(kind),
+            });
+            let text = serde_json::to_string(&req).unwrap();
+            assert!(text.contains(&format!("\"kernel\":\"{kind}\"")), "{text}");
+            match serde_json::from_str::<WireRequest>(&text).unwrap() {
+                WireRequest::Solve(s) => assert_eq!(s.kernel, Some(kind)),
+                other => panic!("wrong variant: {other:?}"),
+            }
+            let nulled = text.replace(&format!("\"kernel\":\"{kind}\""), "\"kernel\":null");
+            match serde_json::from_str::<WireRequest>(&nulled).unwrap() {
+                WireRequest::Solve(s) => assert_eq!(s.kernel, None),
+                other => panic!("wrong variant: {other:?}"),
+            }
+        }
+
+        // A bad kernel string is a parse error, not a silent default.
+        let bad = text.replace(
+            "\"deadline_ms\":250",
+            "\"deadline_ms\":250,\"kernel\":\"exact\"",
+        );
+        assert!(serde_json::from_str::<WireRequest>(&bad).is_err());
+    }
+
+    #[test]
+    fn solved_replies_and_health_report_the_kernel() {
+        let svc = Service::new(ServiceConfig::default());
+        match dispatch(
+            &svc,
+            WireRequest::Solve(SolveRequest {
+                instance: inst(20),
+                deadline_ms: None,
+                kernel: Some(krsp::KernelKind::Interval),
+            }),
+        ) {
+            WireResponse::Solved(r) => assert_eq!(r.kernel, krsp::KernelKind::Interval),
+            other => panic!("expected Solved, got {other:?}"),
+        }
+        let health = health_reply(&svc, None);
+        assert_eq!(health.kernel, krsp::KernelKind::Classic);
+        assert_eq!(health.kernels.len(), Rung::LADDER.len());
+        for (entry, rung) in health.kernels.iter().zip(Rung::LADDER) {
+            assert_eq!(entry.rung, rung);
+            assert_eq!(entry.kernel, krsp::KernelKind::Classic);
+        }
+    }
+
+    #[test]
     fn dispatch_solves_rejects_and_reports() {
         let svc = Service::new(ServiceConfig::default());
         let ok = dispatch(
@@ -925,6 +1104,7 @@ mod tests {
             WireRequest::Solve(SolveRequest {
                 instance: inst(20),
                 deadline_ms: None,
+                kernel: None,
             }),
         );
         match ok {
@@ -939,6 +1119,7 @@ mod tests {
             WireRequest::Solve(SolveRequest {
                 instance: inst(3),
                 deadline_ms: None,
+                kernel: None,
             }),
         );
         assert!(matches!(infeasible, WireResponse::Rejected(_)));
@@ -983,6 +1164,7 @@ mod tests {
         let req = serde_json::to_string(&WireRequest::Solve(SolveRequest {
             instance: inst(20),
             deadline_ms: None,
+            kernel: None,
         }))
         .unwrap();
         stream.write_all(req.as_bytes()).unwrap();
@@ -1078,6 +1260,7 @@ mod tests {
         let req = serde_json::to_string(&WireRequest::Solve(SolveRequest {
             instance: inst(20),
             deadline_ms: Some(1000),
+            kernel: None,
         }))
         .unwrap();
         stream.write_all(req.as_bytes()).unwrap();

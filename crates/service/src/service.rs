@@ -24,13 +24,15 @@
 //!    `krsp::verify::audit` against the rung's advertised guarantee.
 
 use crate::cache::ShardedCache;
-use crate::degrade::{solve_degraded_with, Degraded, Guarantee, LadderError, LadderPolicy, Rung};
-use crate::hash::canonical_key;
+use crate::degrade::{
+    solve_degraded_with, Degraded, Guarantee, KernelLadder, LadderError, LadderPolicy, Rung,
+};
+use crate::hash::{canonical_key, CacheKey};
 use crate::metrics::{FrontendStats, MetricsSnapshot};
 use crate::quarantine::Quarantine;
 use crate::singleflight::{Join, Singleflight};
 use crate::sync_util::{lock_recover, wait_timeout_recover};
-use krsp::{CancelToken, Config, Executor, Instance, Solution};
+use krsp::{CancelToken, Config, Executor, Instance, KernelKind, Solution};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -61,6 +63,9 @@ pub struct ServiceConfig {
     pub solver: Config,
     /// Degradation-ladder admission thresholds.
     pub ladder: LadderPolicy,
+    /// Per-rung RSP-kernel assignment (DESIGN.md §4.16). A request may
+    /// override this with a uniform ladder via [`Request::kernel`].
+    pub kernels: KernelLadder,
     /// Solver panics on one key before it is quarantined (0 disables the
     /// quarantine entirely).
     pub quarantine_threshold: u32,
@@ -86,6 +91,7 @@ impl Default for ServiceConfig {
             // width: a wider rayon pool finishes the top rungs sooner, so
             // tighter deadlines still admit them.
             ladder: LadderPolicy::for_width(krsp::solver_width()),
+            kernels: KernelLadder::default(),
             quarantine_threshold: 2,
             quarantine_ttl: Duration::from_secs(30),
             quarantine_capacity: 128,
@@ -100,6 +106,10 @@ pub struct Request {
     pub instance: Instance,
     /// Latency budget; `None` uses [`ServiceConfig::default_deadline`].
     pub deadline: Option<Duration>,
+    /// RSP-kernel override: `Some(kind)` replaces the configured
+    /// [`ServiceConfig::kernels`] ladder with a uniform `kind` ladder for
+    /// this request only; `None` uses the service default.
+    pub kernel: Option<KernelKind>,
 }
 
 /// A successful provisioning answer.
@@ -111,6 +121,8 @@ pub struct Response {
     pub rung: Rung,
     /// The rung's advertised guarantee, recorded per request.
     pub guarantee: Guarantee,
+    /// The RSP kernel assigned to the rung that produced the answer.
+    pub kernel: KernelKind,
     /// Whether the answer came from the solution cache.
     pub cache_hit: bool,
     /// Whether the answer piggybacked on a concurrent identical request's
@@ -249,7 +261,7 @@ impl Service {
         let admitted_at = Instant::now();
         let deadline = request.deadline.unwrap_or(self.shared.cfg.default_deadline);
         self.admit()?;
-        let out = self.drive(&request.instance, admitted_at, deadline);
+        let out = self.drive(&request.instance, request.kernel, admitted_at, deadline);
         self.release();
         out
     }
@@ -280,7 +292,7 @@ impl Service {
         // own leader on a single worker cannot exist — the leader's job
         // ran to completion first, retiring the flight).
         self.executor.submit(Box::new(move || {
-            let out = svc.drive(&request.instance, admitted_at, deadline);
+            let out = svc.drive(&request.instance, request.kernel, admitted_at, deadline);
             svc.release();
             complete(out);
         }));
@@ -324,11 +336,17 @@ impl Service {
     fn drive(
         &self,
         instance: &Instance,
+        kernel: Option<KernelKind>,
         admitted_at: Instant,
         deadline: Duration,
     ) -> Result<Response, Rejection> {
         let shared = &self.shared;
-        let key = canonical_key(instance);
+        // A per-request kernel override swaps in a uniform ladder; the
+        // effective ladder is part of the cache key, so answers, coalesced
+        // flights, and quarantine strikes are all scoped per kernel — a
+        // kernel that keeps panicking on a key never blocks the others.
+        let kernels = kernel.map_or(shared.cfg.kernels, KernelLadder::uniform);
+        let key = kernel_scoped_key(canonical_key(instance), &kernels);
         // The request's cancel token: trips when the service shuts down or
         // the deadline passes, degrading the solve to its cheapest rung.
         let cancel = shared
@@ -344,6 +362,7 @@ impl Service {
                     solution: hit.solution,
                     rung: hit.rung,
                     guarantee: hit.guarantee,
+                    kernel: hit.kernel,
                     cache_hit: true,
                     coalesced: false,
                     latency,
@@ -365,13 +384,13 @@ impl Service {
             }
 
             if !shared.cfg.coalesce {
-                let solved = self.solve_on_pool(instance, remaining, &cancel);
+                let solved = self.solve_on_pool(instance, &kernels, remaining, &cancel);
                 self.record_outcome(key, &solved);
                 return finish_fresh(shared, solved, admitted_at, deadline, false);
             }
             match shared.flights.join(key) {
                 Join::Leader(leader) => {
-                    let solved = self.solve_on_pool(instance, remaining, &cancel);
+                    let solved = self.solve_on_pool(instance, &kernels, remaining, &cancel);
                     // Populate the cache before retiring the flight, so a
                     // request arriving after the flight is gone hits the
                     // cache instead of solving again.
@@ -420,11 +439,12 @@ impl Service {
     fn solve_on_pool(
         &self,
         instance: &Instance,
+        kernels: &KernelLadder,
         remaining: Duration,
         cancel: &CancelToken,
     ) -> Result<Degraded, SolveFailure> {
         if Executor::on_worker_thread() {
-            return solve_job(&self.shared, instance, remaining, cancel);
+            return solve_job(&self.shared, instance, kernels, remaining, cancel);
         }
         let slot = Arc::new(Slot {
             result: Mutex::new(None),
@@ -434,12 +454,13 @@ impl Service {
             let shared = Arc::clone(&self.shared);
             let slot = Arc::clone(&slot);
             let instance = instance.clone();
+            let kernels = *kernels;
             let cancel = cancel.clone();
             // `solve_job` contains every panic behind `catch_unwind`, so
             // this closure always fills the slot and the condvar wait below
             // cannot hang on a dead worker.
             self.executor.submit(Box::new(move || {
-                let out = solve_job(&shared, &instance, remaining, &cancel);
+                let out = solve_job(&shared, &instance, &kernels, remaining, &cancel);
                 *lock_recover(&slot.result) = Some(out);
                 slot.done.notify_all();
             }));
@@ -548,6 +569,7 @@ impl Service {
 fn solve_job(
     shared: &Shared,
     instance: &Instance,
+    kernels: &KernelLadder,
     remaining: Duration,
     cancel: &CancelToken,
 ) -> Result<Degraded, SolveFailure> {
@@ -562,6 +584,7 @@ fn solve_job(
             &shared.cfg.solver,
             remaining,
             &shared.cfg.ladder,
+            kernels,
             cancel,
         );
         #[cfg(debug_assertions)]
@@ -575,6 +598,20 @@ fn solve_job(
         Ok(Err(LadderError::Infeasible)) => Err(SolveFailure::Infeasible),
         Err(payload) => Err(SolveFailure::Panicked(panic_message(payload.as_ref()))),
     }
+}
+
+/// Folds the effective kernel ladder into an instance digest so distinct
+/// kernel assignments occupy disjoint cache/singleflight/quarantine key
+/// spaces. The all-[`KernelKind::Classic`] default folds to a zero tag,
+/// keeping default-configuration keys identical to the plain instance
+/// digest.
+fn kernel_scoped_key(base: CacheKey, kernels: &KernelLadder) -> CacheKey {
+    let mut tag = 0u128;
+    for rung in Rung::LADDER {
+        tag = (tag << 8) | kernels.for_rung(rung) as u128;
+    }
+    // Splitmix-style odd multiplier diffuses the small tag across the word.
+    CacheKey(base.0 ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c835))
 }
 
 /// Best-effort text of a panic payload (`&str` and `String` payloads cover
@@ -610,6 +647,7 @@ fn finish_fresh(
                 solution: degraded.solution,
                 rung: degraded.rung,
                 guarantee: degraded.guarantee,
+                kernel: degraded.kernel,
                 cache_hit: false,
                 coalesced,
                 latency,
@@ -706,6 +744,7 @@ mod tests {
         Request {
             instance: tradeoff(d),
             deadline: None,
+            kernel: None,
         }
     }
 
@@ -742,6 +781,7 @@ mod tests {
             .provision(Request {
                 instance: tradeoff(14),
                 deadline: Some(Duration::ZERO),
+                kernel: None,
             })
             .unwrap();
         assert_eq!(out.rung, Rung::MinDelay);
@@ -759,6 +799,7 @@ mod tests {
             .provision(Request {
                 instance: tradeoff(14),
                 deadline: Some(Duration::from_nanos(1)),
+                kernel: None,
             })
             .unwrap_err();
         assert_eq!(err, Rejection::DeadlineExpired);

@@ -55,6 +55,7 @@ fn solve_line(inst: &Instance) -> String {
     serde_json::to_string(&WireRequest::Solve(SolveRequest {
         instance: inst.clone(),
         deadline_ms: None,
+        kernel: None,
     }))
     .expect("request serializes")
 }
@@ -152,6 +153,7 @@ fn pipelined_responses_come_back_out_of_order_and_id_matched() {
             &WireRequest::Solve(SolveRequest {
                 instance: instance(1),
                 deadline_ms: None,
+                kernel: None,
             })
         ),
         proto::encode_request_with_id(
@@ -159,6 +161,7 @@ fn pipelined_responses_come_back_out_of_order_and_id_matched() {
             &WireRequest::Solve(SolveRequest {
                 instance: instance(2),
                 deadline_ms: None,
+                kernel: None,
             })
         ),
     );
@@ -302,6 +305,7 @@ fn oversize_lines_and_midline_disconnects_leave_the_server_healthy() {
             &WireRequest::Solve(SolveRequest {
                 instance: instance(1),
                 deadline_ms: None,
+                kernel: None,
             })
         )
     );
@@ -376,6 +380,7 @@ fn per_address_rate_limit_rejects_excess_solves() {
                 &WireRequest::Solve(SolveRequest {
                     instance: instance(1),
                     deadline_ms: None,
+                    kernel: None,
                 }),
             ) + "\n"
         })
@@ -452,6 +457,7 @@ fn scaling_smoke_512_connections_bounded_threads() {
             &WireRequest::Solve(SolveRequest {
                 instance: instance(1 + (i % 3) as i64),
                 deadline_ms: None,
+                kernel: None,
             }),
         );
         send_line(conn, &line);
@@ -505,6 +511,7 @@ fn oversize_error_is_id_matched_while_solves_are_in_flight() {
             &WireRequest::Solve(SolveRequest {
                 instance: instance(1),
                 deadline_ms: None,
+                kernel: None,
             }),
         ),
     );
@@ -558,16 +565,19 @@ fn solve_batch_round_trips_with_per_query_responses() {
                 id: 10,
                 instance: instance(1),
                 deadline_ms: None,
+                kernel: None,
             },
             BatchQuery {
                 id: 11,
                 instance: instance(2),
                 deadline_ms: Some(5000),
+                kernel: None,
             },
             BatchQuery {
                 id: 12,
                 instance: tight,
                 deadline_ms: None,
+                kernel: None,
             },
         ],
     });

@@ -55,6 +55,7 @@ fn stress_duplicate_heavy_storm_completes_and_balances() {
                     let out = svc.provision(Request {
                         instance: tradeoff(d),
                         deadline: None,
+                        kernel: None,
                     });
                     let r = out.expect("feasible instance under a roomy queue");
                     assert!(r.solution.delay <= d, "budget violated for D={d}");
@@ -121,6 +122,7 @@ fn stress_cache_thrash_keeps_counters_coherent() {
                     let out = svc.provision(Request {
                         instance: tradeoff(d),
                         deadline: None,
+                        kernel: None,
                     });
                     match out {
                         Ok(r) => assert!(r.solution.delay <= d),

@@ -14,6 +14,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+if [ "$cores" -le 1 ]; then
+    echo "!!==========================================================!!" >&2
+    echo "!! WARNING: single-core host (nproc = $cores).                  !!" >&2
+    echo "!! The threads-axis (bicameral_search) and batch-axis rows  !!" >&2
+    echo "!! cannot show parallel gains here; the report's \"caveat\"   !!" >&2
+    echo "!! field records this. Do not quote parallel speedups from  !!" >&2
+    echo "!! this run. Per-iteration A/B and kernel-axis comparisons  !!" >&2
+    echo "!! remain valid.                                            !!" >&2
+    echo "!!==========================================================!!" >&2
+fi
+
 cargo run --release -p krsp-bench --bin kernels -- "$@" >/dev/null
 echo "BENCH_kernels.json updated:"
 grep -A2 '"speedups"' -m1 BENCH_kernels.json >/dev/null # sanity: section exists

@@ -34,6 +34,9 @@ cargo test -q --release --test chaos -- --ignored t10_chaos_storm_report
 echo "== batch differential suite (solve_batch ≡ N independent solves)"
 cargo test -q --test batch
 
+echo "== kernel differential suite (classic ≡ guarantees ≡ interval, widths 1/2/8)"
+cargo test -q --test kernel_diff
+
 echo "== frontend scaling smoke (512 conns, bounded threads, no drops)"
 cargo test -q --release -p krsp-service --test frontend -- --ignored scaling
 
@@ -45,9 +48,15 @@ cargo run -q --release -p krsp-bench --bin kernels -- --smoke --out "$smoke_out"
 # grid includes the batch-axis rows (csp_batch / solve_batch), whose
 # checksum cross-validation against unbatched solves runs inside the
 # binary — reaching this grep means the batch plane answered every query
-# bit-identically.
+# bit-identically. The rsp_kernel rows run BOTH kernels (classic and
+# interval) and guarantee-audit each against the exact DP inside the
+# binary — reaching these greps means both kernels answered every smoke
+# instance within (1+ε)·OPT under the delay bound.
 grep -q '"schema": "krsp-bench-kernels/v1"' "$smoke_out"
 grep -q '"bench": "solve_batch"' "$smoke_out"
+grep -q '"variant": "classic"' "$smoke_out"
+grep -q '"variant": "interval"' "$smoke_out"
+grep -q '"bench": "rsp_kernel(classic/interval)"' "$smoke_out"
 rm -f "$smoke_out"
 
 echo "CI OK"

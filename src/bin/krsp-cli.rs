@@ -10,6 +10,7 @@
 //!                  [--deadline-ms MS] [--strict-deadlines]
 //!                  [--grace-ms MS] [--max-conns N] [--per-client-conns N]
 //!                  [--rate R] [--rate-burst B] [--threaded]
+//!                  [--kernel classic|interval]
 //!   krsp-cli load [krsp-load flags...]
 //!
 //! `--threads T` (or the `KRSP_THREADS` env var) sets the solver's
@@ -30,7 +31,10 @@
 //! open connections (excess accepts are answered with a `"shed"` error
 //! and closed) and `--rate R` token-buckets each client address to R
 //! solves/s (burst `--rate-burst`, default 2R; excess gets
-//! `"rate_limited"` errors). SIGTERM/ctrl-c triggers a graceful drain:
+//! `"rate_limited"` errors). `--kernel` assigns the named RSP kernel
+//! (`classic` or `interval`, DESIGN.md §4.16) uniformly across the
+//! degrade ladder; individual requests may still override it with a
+//! `"kernel"` member. SIGTERM/ctrl-c triggers a graceful drain:
 //! the listener stops accepting, in-flight requests finish within
 //! `--grace-ms` (default 5000), and a final metrics snapshot is flushed
 //! to stderr. `load` forwards to the `krsp-load` replay tool (same flags;
@@ -200,6 +204,10 @@ fn cmd_serve(args: &[String]) {
                 cfg.default_deadline = Duration::from_millis(arg(a, it.next()));
             }
             "--strict-deadlines" => cfg.reject_expired = true,
+            "--kernel" => {
+                let kind: krsp::KernelKind = arg(a, it.next());
+                cfg.kernels = krsp_service::KernelLadder::uniform(kind);
+            }
             "--grace-ms" => opts.grace = Duration::from_millis(arg(a, it.next())),
             "--max-conns" => opts.max_conns = arg(a, it.next()),
             "--per-client-conns" => opts.per_client_conns = arg(a, it.next()),
@@ -215,8 +223,22 @@ fn cmd_serve(args: &[String]) {
         .local_addr()
         .expect("bound listener has an address");
     let service = Service::new(cfg);
+    // The kernel map: one word when uniform, rung=kernel pairs otherwise.
+    let kernels = service.config().kernels;
+    let uniform = krsp_service::Rung::LADDER
+        .iter()
+        .all(|&r| kernels.for_rung(r) == kernels.for_rung(krsp_service::Rung::Full));
+    let kernel_map = if uniform {
+        kernels.for_rung(krsp_service::Rung::Full).to_string()
+    } else {
+        krsp_service::Rung::LADDER
+            .iter()
+            .map(|&r| format!("{r}={}", kernels.for_rung(r)))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
     println!(
-        "krsp-service listening on {local} ({} workers, queue {}, cache {}x{} shards, coalesce {}, solver threads {})",
+        "krsp-service listening on {local} ({} workers, queue {}, cache {}x{} shards, coalesce {}, solver threads {}, kernel {kernel_map})",
         service.config().workers,
         service.config().queue_capacity,
         service.config().cache_capacity,

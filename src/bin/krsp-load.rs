@@ -8,6 +8,7 @@
 //!             [--workers W] [--queue Q] [--cache CAP] [--shards S]
 //!             [--no-coalesce] [--out report.json]
 //!             [--connect ADDR] [--retries N] [--pipeline N] [--batch N]
+//!             [--kernel classic|interval]
 //!
 //! The human-readable summary goes to stderr; the full JSON
 //! [`LoadReport`](krsp_service::LoadReport) goes to stdout (or `--out`).
@@ -28,7 +29,9 @@
 //! (one request, N id-matched responses; per-query latency spans from the
 //! batch line's send to that id's response). `--pipeline` and `--batch`
 //! are mutually exclusive — they prescribe conflicting framings for the
-//! same connection.
+//! same connection. `--kernel` stamps an RSP-kernel override
+//! (DESIGN.md §4.16) on every issued request, both in-process and over
+//! the wire; omitted, the server's configured kernel ladder decides.
 
 use krsp_service::load::{self, LoadSpec, RemoteSpec};
 use krsp_service::{Service, ServiceConfig};
@@ -77,6 +80,7 @@ fn main() {
             "--retries" => retries = parse(a, it.next()),
             "--pipeline" => spec.pipeline = parse(a, it.next()),
             "--batch" => spec.batch = parse(a, it.next()),
+            "--kernel" => spec.kernel = Some(parse(a, it.next())),
             "--family" => {
                 spec.family = match parse::<String>(a, it.next()).as_str() {
                     "gnm" => Family::Gnm,

@@ -114,6 +114,7 @@ fn leader_panic_is_contained_and_followers_recover() {
                     svc.provision(Request {
                         instance: inst,
                         deadline: Some(Duration::from_secs(5)),
+                        kernel: None,
                     })
                 })
             })
@@ -139,6 +140,7 @@ fn leader_panic_is_contained_and_followers_recover() {
         .provision(Request {
             instance: tradeoff(24),
             deadline: None,
+            kernel: None,
         })
         .is_ok());
 }
@@ -160,6 +162,7 @@ fn seed_panic_yields_structured_errors_and_quarantine() {
             WireRequest::Solve(SolveRequest {
                 instance: tradeoff(24),
                 deadline_ms: Some(5000),
+                kernel: None,
             }),
         );
         match reply {
@@ -179,6 +182,7 @@ fn seed_panic_yields_structured_errors_and_quarantine() {
         WireRequest::Solve(SolveRequest {
             instance: tradeoff(24),
             deadline_ms: Some(5000),
+            kernel: None,
         }),
     ))
     .expect("serialize error reply");
@@ -190,6 +194,7 @@ fn seed_panic_yields_structured_errors_and_quarantine() {
         WireRequest::Solve(SolveRequest {
             instance: tradeoff(14),
             deadline_ms: Some(5000),
+            kernel: None,
         }),
     ) {
         WireResponse::Solved(r) => assert!(r.delay <= 14),
@@ -211,6 +216,7 @@ fn expired_deadline_degrades_to_a_completed_rung() {
         .provision(Request {
             instance: inst.clone(),
             deadline: Some(Duration::from_millis(50)),
+            kernel: None,
         })
         .expect("cancellation degrades, it does not reject");
     assert_ne!(
@@ -284,6 +290,7 @@ fn shutdown_drains_in_flight_wire_requests() {
     let line = serde_json::to_string(&WireRequest::Solve(SolveRequest {
         instance: tradeoff(24),
         deadline_ms: Some(5000),
+        kernel: None,
     }))
     .expect("serialize request");
     conn.get_mut()
@@ -311,6 +318,7 @@ fn shutdown_drains_in_flight_wire_requests() {
         svc.provision(Request {
             instance: tradeoff(14),
             deadline: None,
+            kernel: None,
         }),
         Err(Rejection::ShuttingDown)
     ));
@@ -411,6 +419,7 @@ fn t10_chaos_storm_report() {
         clients: 4,
         n: 24,
         deadline_ms: Some(2000),
+        kernel: None,
         ..load::LoadSpec::default()
     };
     let remote = RemoteSpec {
