@@ -95,6 +95,10 @@ pub struct RunStats {
     pub probes: usize,
     /// Total wall-clock time.
     pub wall: Duration,
+    /// Whether a previous-epoch seed participated in this solve (either
+    /// accepted outright on its certificate or used to tighten the
+    /// bisection). Always `false` for cold solves.
+    pub warm_start: bool,
 }
 
 /// A solved instance: the solution plus run statistics.
@@ -238,28 +242,127 @@ pub fn solve_with(
     inst.validate().map_err(|_| SolveError::DelayInfeasible)?;
     let p1 = phase1::run(inst, cfg.phase1_backend)?;
 
-    let mut stats = RunStats {
+    let stats = RunStats {
         phase1_cost: p1.cost,
         phase1_delay: p1.delay,
         lp_bound: p1.lp_bound.to_f64(),
         ..RunStats::default()
-    };
-    let finish = |mut solution: Solution, mut stats: RunStats, start: Instant| {
-        solution.lower_bound = Some(p1.lp_bound);
-        stats.wall = start.elapsed();
-        Solved { solution, stats }
     };
 
     // Already feasible after rounding? Done — cost ≤ 2·C_LP by Lemma 5.
     if p1.delay <= inst.delay_bound {
         let solution =
             Solution::from_edge_set(inst, p1.flow.clone()).expect("phase-1 flow is a valid k-flow");
-        return Ok(finish(solution, stats, start));
+        return Ok(finish(solution, stats, &p1, start));
     }
 
     // Fallback feasible answer: the phase-1 feasible extreme (cost UB).
     let fallback = Solution::from_edge_set(inst, p1.feasible_flow.clone())
         .expect("feasible extreme is a valid k-flow");
+    drive(inst, &p1, cfg, scratch, fallback, stats, start)
+}
+
+/// [`solve_with`] seeded with a previous topology epoch's solution.
+///
+/// The seed is first **re-verified against the current weights** (flow
+/// decomposition, cycle stripping, fresh cost/delay — [`Solution::from_edge_set`]).
+/// A seed that no longer decomposes or misses the delay budget is discarded
+/// and the call degenerates to a plain [`solve_with`] — **bit-identical to a
+/// cold solve**, since everything downstream is deterministic. A verified
+/// seed participates two ways:
+///
+/// * **certificate accept** — when the seed's cost is within the Full rung's
+///   own audit bound (`cost ≤ 2·C_LP`, exact rational compare), it already
+///   carries the `(1, 2)` guarantee for the *new* epoch, so the whole `Ĉ`
+///   bisection is skipped;
+/// * **bisection resume** — otherwise the seed is still a feasible solution,
+///   hence `cost ≥ C_OPT`, so it soundly tightens the bisection's upper
+///   bound and replaces the phase-1 extreme as fallback when cheaper.
+///
+/// Either way the returned answer satisfies exactly the guarantees of the
+/// cold path; `stats.warm_start` records whether the seed was used.
+pub fn solve_warm_with(
+    inst: &Instance,
+    cfg: &Config,
+    scratch: &mut bicameral::SearchScratch,
+    seed: &krsp_graph::EdgeSet,
+) -> Result<Solved, SolveError> {
+    let start = Instant::now();
+    if inst.validate().is_err() {
+        return solve_with(inst, cfg, scratch);
+    }
+    // A seed sized for a different edge list cannot be from this topology's
+    // lineage (weight-only epochs never change the edge count).
+    if seed.capacity() != inst.graph.edge_count() {
+        return solve_with(inst, cfg, scratch);
+    }
+    // Re-verify under the current weights; any failure → cold, bit-identical.
+    let Some(verified) = Solution::from_edge_set(inst, seed.clone()) else {
+        return solve_with(inst, cfg, scratch);
+    };
+    if verified.delay > inst.delay_bound {
+        return solve_with(inst, cfg, scratch);
+    }
+    let p1 = match phase1::run(inst, cfg.phase1_backend) {
+        Ok(p1) => p1,
+        Err(_) => return solve_with(inst, cfg, scratch),
+    };
+
+    let mut stats = RunStats {
+        phase1_cost: p1.cost,
+        phase1_delay: p1.delay,
+        lp_bound: p1.lp_bound.to_f64(),
+        warm_start: true,
+        ..RunStats::default()
+    };
+
+    // Phase-1 rounding already feasible: the cold path would return it
+    // without probing — do exactly that (the seed played no role).
+    if p1.delay <= inst.delay_bound {
+        stats.warm_start = false;
+        let solution =
+            Solution::from_edge_set(inst, p1.flow.clone()).expect("phase-1 flow is a valid k-flow");
+        return Ok(finish(solution, stats, &p1, start));
+    }
+
+    // Certificate accept: the seed meets the Full rung's audit bound under
+    // the *new* weights, so it is a certified answer as-is.
+    if krsp_numeric::Rat::int(verified.cost as i128) <= krsp_numeric::Rat::int(2) * p1.lp_bound {
+        return Ok(finish(verified, stats, &p1, start));
+    }
+
+    // Bisection resume: the seed is feasible, so seed.cost ≥ C_OPT makes it
+    // a sound (possibly tighter) upper bound and fallback.
+    let extreme = Solution::from_edge_set(inst, p1.feasible_flow.clone())
+        .expect("feasible extreme is a valid k-flow");
+    let fallback = if verified.cost < extreme.cost {
+        verified
+    } else {
+        extreme
+    };
+    drive(inst, &p1, cfg, scratch, fallback, stats, start)
+}
+
+/// Stamps the LP lower bound and wall time onto a finished solve.
+fn finish(mut solution: Solution, mut stats: RunStats, p1: &Phase1, start: Instant) -> Solved {
+    solution.lower_bound = Some(p1.lp_bound);
+    stats.wall = start.elapsed();
+    Solved { solution, stats }
+}
+
+/// The `Ĉ`-bisected cancellation tail shared by [`solve_with`] and
+/// [`solve_warm_with`]: `fallback` is a delay-feasible solution whose cost
+/// upper-bounds `C_OPT` (the phase-1 extreme on the cold path, possibly a
+/// cheaper re-verified seed on the warm path).
+fn drive(
+    inst: &Instance,
+    p1: &Phase1,
+    cfg: &Config,
+    scratch: &mut bicameral::SearchScratch,
+    fallback: Solution,
+    mut stats: RunStats,
+    start: Instant,
+) -> Result<Solved, SolveError> {
     let ub = fallback.cost;
     let lb = p1.lp_bound.ceil().max(0) as i64;
 
@@ -272,13 +375,13 @@ pub fn solve_with(
 
     if cfg.single_probe {
         stats.probes = 1;
-        return match probe(inst, &p1, ub.max(1), cfg, scratch) {
+        return match probe(inst, p1, ub.max(1), cfg, scratch) {
             Some(pr) => {
                 stats.iterations = pr.iterations;
-                Ok(finish(pr.solution, stats, start))
+                Ok(finish(pr.solution, stats, p1, start))
             }
             None if cancel.is_cancelled() => Err(SolveError::Cancelled),
-            None => Ok(finish(fallback, stats, start)),
+            None => Ok(finish(fallback, stats, p1, start)),
         };
     }
 
@@ -291,7 +394,7 @@ pub fn solve_with(
             return Err(SolveError::Cancelled);
         }
         stats.probes += 1;
-        match probe(inst, &p1, hi, cfg, scratch) {
+        match probe(inst, p1, hi, cfg, scratch) {
             Some(pr) if pr.solution.cost <= 2 * hi => {
                 best = Some(pr);
                 break;
@@ -316,7 +419,7 @@ pub fn solve_with(
         }
         // Fall back to the feasible extreme (valid (1, 2−α·…) anyway).
         stats.wall = start.elapsed();
-        return Ok(finish(fallback, stats, start));
+        return Ok(finish(fallback, stats, p1, start));
     }
     while lo < hi {
         if cancel.is_cancelled() {
@@ -324,7 +427,7 @@ pub fn solve_with(
         }
         let mid = lo + (hi - lo) / 2;
         stats.probes += 1;
-        match probe(inst, &p1, mid, cfg, scratch) {
+        match probe(inst, p1, mid, cfg, scratch) {
             Some(pr) if pr.solution.cost <= 2 * mid => {
                 hi = mid;
                 best = Some(pr);
@@ -340,7 +443,7 @@ pub fn solve_with(
         stats.iterations = pr.iterations;
         pr.solution
     };
-    Ok(finish(solution, stats, start))
+    Ok(finish(solution, stats, p1, start))
 }
 
 #[cfg(test)]
@@ -420,6 +523,77 @@ mod tests {
         assert!(solved.solution.delay <= 22);
         let opt = crate::exact::brute_force(&inst).unwrap();
         assert!(solved.solution.cost <= 2 * opt.cost);
+    }
+
+    #[test]
+    fn warm_start_accepts_certified_seed_and_matches_guarantee() {
+        let cfg = Config::default();
+        for d in [6, 14, 22, 32] {
+            let inst = tradeoff(d);
+            let cold = solve(&inst, &cfg).unwrap();
+            // Seed the same instance with its own cold solution: trivially
+            // verified and certified, so the warm path must accept it.
+            let warm = solve_warm_with(
+                &inst,
+                &cfg,
+                &mut bicameral::SearchScratch::new(),
+                &cold.solution.edges,
+            )
+            .unwrap();
+            assert!(warm.solution.delay <= d);
+            assert_eq!(warm.solution.cost, cold.solution.cost);
+            assert_eq!(warm.solution.lower_bound, cold.solution.lower_bound);
+            // When the bisection would have run, the seed skips it.
+            if cold.stats.probes > 0 {
+                assert!(warm.stats.warm_start);
+                assert_eq!(warm.stats.probes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_bad_seed_is_bit_identical_to_cold() {
+        let cfg = Config::default();
+        let inst = tradeoff(14);
+        let cold = solve(&inst, &cfg).unwrap();
+        // An empty edge set is not a k-flow: verification fails, the call
+        // must degenerate to the cold solve exactly.
+        let warm = solve_warm_with(
+            &inst,
+            &cfg,
+            &mut bicameral::SearchScratch::new(),
+            &krsp_graph::EdgeSet::default(),
+        )
+        .unwrap();
+        assert_eq!(warm.solution.edges, cold.solution.edges);
+        assert_eq!(warm.solution.cost, cold.solution.cost);
+        assert_eq!(warm.solution.delay, cold.solution.delay);
+        assert!(!warm.stats.warm_start);
+        assert_eq!(warm.stats.probes, cold.stats.probes);
+    }
+
+    #[test]
+    fn warm_start_stale_seed_after_weight_bump_stays_sound() {
+        // Solve at one epoch, bump the cost of an edge on the solution's
+        // cheap leg, re-solve warm on the next epoch: the answer must carry
+        // the same guarantee as a cold solve on the new instance.
+        let cfg = Config::default();
+        let inst = tradeoff(22);
+        let cold0 = solve(&inst, &cfg).unwrap();
+        let g1 = inst.graph.with_updates(&[(krsp_graph::EdgeId(0), 50, 10)]);
+        let inst1 = Instance::new(g1, inst.s, inst.t, inst.k, inst.delay_bound).unwrap();
+        let warm = solve_warm_with(
+            &inst1,
+            &cfg,
+            &mut bicameral::SearchScratch::new(),
+            &cold0.solution.edges,
+        )
+        .unwrap();
+        let cold1 = solve(&inst1, &cfg).unwrap();
+        let opt = crate::exact::brute_force(&inst1).unwrap();
+        assert!(warm.solution.delay <= inst1.delay_bound);
+        assert!(warm.solution.cost <= 2 * opt.cost);
+        assert!(cold1.solution.cost <= 2 * opt.cost);
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod scaling;
 pub mod solution;
 pub mod verify;
 
-pub use algorithm1::{solve, solve_with, Config, RunStats, SolveError, Solved};
+pub use algorithm1::{solve, solve_warm_with, solve_with, Config, RunStats, SolveError, Solved};
 
 /// The data-parallel width the solver's internal fan-outs (the bicameral
 /// seed scan, [`solve_batch`]'s default executor) will use: the

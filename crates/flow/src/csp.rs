@@ -269,6 +269,12 @@ pub struct TopoDigest {
     n: usize,
     m: usize,
     bound: usize,
+    /// Topology version this digest describes; 0 for a fresh build, parent
+    /// epoch + 1 for a digest derived through [`TopoDigest::evolve`].
+    epoch: u64,
+    /// Edge ids whose weights changed vs. the parent epoch (empty at epoch
+    /// 0). This is the compact delta the cache-invalidation sweep consumes.
+    delta: Vec<u32>,
 }
 
 impl TopoDigest {
@@ -317,6 +323,8 @@ impl TopoDigest {
             n: graph.node_count(),
             m: graph.edge_count(),
             bound,
+            epoch: 0,
+            delta: Vec::new(),
         }
     }
 
@@ -324,6 +332,90 @@ impl TopoDigest {
     #[must_use]
     pub fn bound(&self) -> usize {
         self.bound
+    }
+
+    /// The topology epoch this digest was built for (0 = fresh build).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Edge ids whose weights changed vs. the parent epoch.
+    #[must_use]
+    pub fn delta(&self) -> &[u32] {
+        &self.delta
+    }
+
+    /// Derives the digest for the next topology epoch from a weight-only
+    /// update, patching edge buckets in place instead of re-walking the
+    /// whole edge list.
+    ///
+    /// `graph` is the *new* graph (same structure as the one this digest was
+    /// built from — typically produced by [`DiGraph::with_updates`]) and
+    /// `changed` lists the edges whose cost/delay differ from the parent
+    /// epoch. Only valid for digests built with [`TopoDigest::delay_cost`]
+    /// (budget = delay, objective = cost). When a change moves an edge
+    /// across bucket classes (zero ↔ positive ↔ above-bound) the CSR layout
+    /// shifts, so the digest falls back to a full rebuild — the result is
+    /// identical either way, only the construction cost differs.
+    ///
+    /// # Panics
+    /// Panics when the graph shape differs from the digest's, or any new
+    /// weight is negative.
+    #[must_use]
+    pub fn evolve(&self, graph: &DiGraph, changed: &[EdgeId]) -> TopoDigest {
+        self.check_graph(graph);
+        let epoch = self.epoch + 1;
+        let delta: Vec<u32> = changed.iter().map(|e| e.0).collect();
+        let rebuild = |epoch: u64, delta: Vec<u32>| {
+            let mut d = TopoDigest::delay_cost(graph, self.bound as i64);
+            d.epoch = epoch;
+            d.delta = delta;
+            d
+        };
+        let mut next = TopoDigest {
+            pos: self.pos.clone(),
+            zero: self.zero.clone(),
+            zero_start: self.zero_start.clone(),
+            n: self.n,
+            m: self.m,
+            bound: self.bound,
+            epoch,
+            delta: delta.clone(),
+        };
+        for &e in changed {
+            let rec = graph.edge(e);
+            let (b, o) = (rec.delay, rec.cost);
+            assert!(b >= 0, "budgets must be nonnegative");
+            assert!(o >= 0, "objectives must be nonnegative");
+            // `pos` is in edge-id order by construction, so membership is a
+            // binary search away.
+            let in_pos = next.pos.binary_search_by_key(&e.0, |p| p.id);
+            let zlo = next.zero_start[rec.src.index()] as usize;
+            let zhi = next.zero_start[rec.src.index() + 1] as usize;
+            let in_zero = next.zero[zlo..zhi].iter().position(|z| z.id == e.0);
+            if b >= 1 && b <= self.bound as i64 {
+                match (in_pos, in_zero) {
+                    (Ok(i), None) => {
+                        next.pos[i].budget = b as u32;
+                        next.pos[i].obj = o;
+                    }
+                    // was zero-budget or above-bound: bucket class changed
+                    _ => return rebuild(epoch, delta),
+                }
+            } else if b == 0 {
+                match (in_pos, in_zero) {
+                    (Err(_), Some(k)) => next.zero[zlo + k].obj = o,
+                    _ => return rebuild(epoch, delta),
+                }
+            } else {
+                // b > bound: the edge must be in neither bucket.
+                if in_pos.is_ok() || in_zero.is_some() {
+                    return rebuild(epoch, delta);
+                }
+            }
+        }
+        next
     }
 
     #[inline]
@@ -1395,6 +1487,53 @@ mod tests {
                     &mut scratch_d,
                 );
                 assert_eq!(rebuilt, digested, "bound {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn evolved_digest_matches_fresh_build() {
+        let g = DiGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1, 10),
+                (1, 3, 1, 10),
+                (0, 2, 10, 1),
+                (2, 3, 10, 1),
+                (1, 2, 0, 0), // zero-delay bridge
+            ],
+        );
+        let base = TopoDigest::delay_cost(&g, 25);
+        assert_eq!(base.epoch(), 0);
+        // Weight-only updates that keep every edge in its bucket class:
+        // in-place patch path.
+        let g1 = g.with_updates(&[(EdgeId(0), 3, 12), (EdgeId(3), 8, 2)]);
+        assert!(g1.shares_adjacency_with(&g));
+        let d1 = base.evolve(&g1, &[EdgeId(0), EdgeId(3)]);
+        assert_eq!(d1.epoch(), 1);
+        assert_eq!(d1.delta(), &[0, 3]);
+        // A class-changing update (zero-delay bridge gains delay): rebuild
+        // fallback path.
+        let g2 = g1.with_updates(&[(EdgeId(4), 1, 2)]);
+        let d2 = d1.evolve(&g2, &[EdgeId(4)]);
+        assert_eq!(d2.epoch(), 2);
+        // Both evolved digests answer bit-identically to fresh builds.
+        let mut sa = DpScratch::new();
+        let mut sb = DpScratch::new();
+        for (gr, dig) in [(&g1, &d1), (&g2, &d2)] {
+            let fresh = TopoDigest::delay_cost(gr, 25);
+            for d in 0..=25i64 {
+                let a =
+                    constrained_shortest_path_digested(gr, dig, NodeId(0), NodeId(3), d, &mut sa);
+                let b = constrained_shortest_path_digested(
+                    gr,
+                    &fresh,
+                    NodeId(0),
+                    NodeId(3),
+                    d,
+                    &mut sb,
+                );
+                assert_eq!(a, b, "bound {d}");
             }
         }
     }

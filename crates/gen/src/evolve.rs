@@ -1,0 +1,185 @@
+//! Topology evolution streams: deterministic weight-update sequences for
+//! rolling cost updates and link-flap storms.
+//!
+//! Real provisioning traffic runs against a slowly mutating network; these
+//! generators produce the mutation side of that workload. Every stream is
+//! seeded and deterministic, mirroring the philosophy of [`crate::Workload`]:
+//! the same `(graph, params, seed)` always yields the same update sequence,
+//! so replay experiments and chaos tests are reproducible.
+
+use krsp_graph::{Cost, Delay, DiGraph, EdgeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha20Rng;
+
+/// One edge-weight mutation: edge `edge` takes weights `(cost, delay)` at
+/// the next epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightChange {
+    /// The mutated edge.
+    pub edge: EdgeId,
+    /// New edge cost.
+    pub cost: Cost,
+    /// New edge delay.
+    pub delay: Delay,
+}
+
+impl WeightChange {
+    /// True when this change does not decrease either weight of `edge`
+    /// relative to `graph` — the condition under which cached solutions
+    /// avoiding `edge` stay certified (their recorded LP lower bound can
+    /// only move up).
+    #[must_use]
+    pub fn is_non_decreasing(&self, graph: &DiGraph) -> bool {
+        let e = graph.edge(self.edge);
+        self.cost >= e.cost && self.delay >= e.delay
+    }
+}
+
+/// Applies a batch of changes, returning the next-epoch graph (adjacency
+/// shared with `graph` — see [`DiGraph::with_updates`]).
+#[must_use]
+pub fn apply(graph: &DiGraph, changes: &[WeightChange]) -> DiGraph {
+    let triples: Vec<(EdgeId, Cost, Delay)> =
+        changes.iter().map(|c| (c.edge, c.cost, c.delay)).collect();
+    graph.with_updates(&triples)
+}
+
+/// A rolling cost-update step: `count` distinct random edges get their cost
+/// scaled by `num/den` (rounded up, so the update is always non-decreasing
+/// when `num ≥ den`); delays are untouched. Returns at most
+/// `min(count, edge_count)` changes, in edge-id order.
+#[must_use]
+pub fn cost_ramp(
+    graph: &DiGraph,
+    count: usize,
+    num: i64,
+    den: i64,
+    seed: u64,
+) -> Vec<WeightChange> {
+    assert!(num > 0 && den > 0, "scale factor must be positive");
+    let m = graph.edge_count();
+    let picks = pick_distinct(m, count.min(m), seed);
+    picks
+        .into_iter()
+        .map(|i| {
+            let e = graph.edge(EdgeId(i as u32));
+            let scaled = (e.cost.saturating_mul(num) + den - 1) / den;
+            WeightChange {
+                edge: EdgeId(i as u32),
+                cost: scaled.max(e.cost.min(1)),
+                delay: e.delay,
+            }
+        })
+        .collect()
+}
+
+/// A link-flap: the flapping edge's weights spike by `factor` (both cost and
+/// delay — the link is effectively down), then the second element restores
+/// the original weights. Apply the two halves at consecutive epochs.
+#[must_use]
+pub fn link_flap(graph: &DiGraph, edge: EdgeId, factor: i64) -> (WeightChange, WeightChange) {
+    assert!(factor >= 1, "flap factor must be ≥ 1");
+    let e = graph.edge(edge);
+    let spike = WeightChange {
+        edge,
+        cost: e.cost.saturating_mul(factor).max(1),
+        delay: e.delay.saturating_mul(factor).max(1),
+    };
+    let restore = WeightChange {
+        edge,
+        cost: e.cost,
+        delay: e.delay,
+    };
+    (spike, restore)
+}
+
+/// A storm of `flaps` independent link-flaps on distinct random edges.
+/// Returns `(spikes, restores)`; apply all spikes at one epoch and all
+/// restores at the next (or interleave per-edge for a rolling storm).
+#[must_use]
+pub fn flap_storm(
+    graph: &DiGraph,
+    flaps: usize,
+    factor: i64,
+    seed: u64,
+) -> (Vec<WeightChange>, Vec<WeightChange>) {
+    let m = graph.edge_count();
+    let picks = pick_distinct(m, flaps.min(m), seed);
+    let mut spikes = Vec::with_capacity(picks.len());
+    let mut restores = Vec::with_capacity(picks.len());
+    for i in picks {
+        let (s, r) = link_flap(graph, EdgeId(i as u32), factor);
+        spikes.push(s);
+        restores.push(r);
+    }
+    (spikes, restores)
+}
+
+/// `count` distinct indices in `0..m`, ascending, deterministic in `seed`.
+fn pick_distinct(m: usize, count: usize, seed: u64) -> Vec<usize> {
+    let mut rng = ChaCha20Rng::seed_from_u64(seed);
+    let mut picked = vec![false; m];
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let i = rng.gen_range(0..m);
+        if !picked[i] {
+            picked[i] = true;
+            out.push(i);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> DiGraph {
+        DiGraph::from_edges(4, &[(0, 1, 4, 6), (1, 3, 4, 6), (0, 2, 8, 2), (2, 3, 8, 2)])
+    }
+
+    #[test]
+    fn cost_ramp_is_deterministic_and_non_decreasing() {
+        let g = grid();
+        let a = cost_ramp(&g, 2, 3, 2, 42);
+        let b = cost_ramp(&g, 2, 3, 2, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        for c in &a {
+            assert!(c.is_non_decreasing(&g), "ramp must only raise costs");
+            assert_eq!(c.delay, g.edge(c.edge).delay);
+        }
+        let g2 = apply(&g, &a);
+        assert!(g2.shares_adjacency_with(&g));
+        assert_eq!(
+            g2.edge(a[0].edge).cost,
+            (g.edge(a[0].edge).cost * 3 + 1) / 2
+        );
+    }
+
+    #[test]
+    fn flap_spike_then_restore_roundtrips() {
+        let g = grid();
+        let (spike, restore) = link_flap(&g, EdgeId(1), 100);
+        assert!(spike.is_non_decreasing(&g));
+        let flapped = apply(&g, &[spike]);
+        assert_eq!(flapped.edge(EdgeId(1)).cost, 400);
+        assert_eq!(flapped.edge(EdgeId(1)).delay, 600);
+        // Restore is a *decrease* relative to the flapped graph.
+        assert!(!restore.is_non_decreasing(&flapped));
+        let back = apply(&flapped, &[restore]);
+        assert_eq!(back.edges(), g.edges());
+    }
+
+    #[test]
+    fn storm_picks_distinct_edges() {
+        let g = grid();
+        let (spikes, restores) = flap_storm(&g, 3, 10, 7);
+        assert_eq!(spikes.len(), 3);
+        assert_eq!(restores.len(), 3);
+        let mut ids: Vec<u32> = spikes.iter().map(|c| c.edge.0).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 3, "edges must be distinct");
+    }
+}

@@ -8,12 +8,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod evolve;
 pub mod families;
 pub mod fig1;
 pub mod hardness;
 pub mod io;
 pub mod regimes;
 
+pub use evolve::{apply as apply_changes, cost_ramp, flap_storm, link_flap, WeightChange};
 pub use families::{geometric, gnm, grid, layered, scale_free, Family};
 pub use fig1::fig1_instance;
 pub use hardness::{has_even_split, partition_chain};

@@ -1,8 +1,9 @@
 //! Compact adjacency-list digraph with parallel-edge support.
 
 use crate::{Cost, Delay};
-use serde::{Deserialize, Serialize};
+use serde::{Content, DeError, Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a node, dense in `0..graph.node_count()`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -65,11 +66,16 @@ pub struct EdgeRef {
 ///
 /// Nodes are dense integers; edges keep insertion order and may be parallel
 /// (same endpoints) or self-loops — both arise in residual constructions.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+///
+/// The adjacency arrays are behind `Arc` so weight-only derivatives
+/// ([`DiGraph::with_updates`], [`DiGraph::map_weights`]) share them
+/// structurally: a topology epoch bump clones only the edge records.
+/// Mutating the *structure* (`add_node` / `add_edge`) copies-on-write.
+#[derive(Clone, Debug, Default)]
 pub struct DiGraph {
     edges: Vec<EdgeRef>,
-    out: Vec<Vec<EdgeId>>,
-    inn: Vec<Vec<EdgeId>>,
+    out: Arc<Vec<Vec<EdgeId>>>,
+    inn: Arc<Vec<Vec<EdgeId>>>,
 }
 
 impl DiGraph {
@@ -78,8 +84,8 @@ impl DiGraph {
     pub fn new(n: usize) -> Self {
         DiGraph {
             edges: Vec::new(),
-            out: vec![Vec::new(); n],
-            inn: vec![Vec::new(); n],
+            out: Arc::new(vec![Vec::new(); n]),
+            inn: Arc::new(vec![Vec::new(); n]),
         }
     }
 
@@ -109,8 +115,8 @@ impl DiGraph {
 
     /// Appends a fresh node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
-        self.out.push(Vec::new());
-        self.inn.push(Vec::new());
+        Arc::make_mut(&mut self.out).push(Vec::new());
+        Arc::make_mut(&mut self.inn).push(Vec::new());
         NodeId((self.out.len() - 1) as u32)
     }
 
@@ -129,9 +135,42 @@ impl DiGraph {
             cost,
             delay,
         });
-        self.out[src.index()].push(id);
-        self.inn[dst.index()].push(id);
+        Arc::make_mut(&mut self.out)[src.index()].push(id);
+        Arc::make_mut(&mut self.inn)[dst.index()].push(id);
         id
+    }
+
+    /// Rewrites the weights of edge `e` in place, leaving the shared
+    /// adjacency arrays untouched.
+    ///
+    /// Panics if `e` is out of range.
+    pub fn set_edge_weights(&mut self, e: EdgeId, cost: Cost, delay: Delay) {
+        let rec = &mut self.edges[e.index()];
+        rec.cost = cost;
+        rec.delay = delay;
+    }
+
+    /// A weight-patched copy sharing this graph's adjacency arrays.
+    ///
+    /// `changes` is a list of `(edge, new_cost, new_delay)` triples; the
+    /// returned graph has identical structure (same node/edge ids, same
+    /// iteration order) and its `out`/`inn` arrays are the *same* allocations
+    /// as `self`'s (`Arc` clones) — this is the structural-sharing primitive
+    /// behind topology epochs. Panics if any edge id is out of range.
+    #[must_use]
+    pub fn with_updates(&self, changes: &[(EdgeId, Cost, Delay)]) -> DiGraph {
+        let mut g = self.clone();
+        for &(e, c, d) in changes {
+            g.set_edge_weights(e, c, d);
+        }
+        g
+    }
+
+    /// True when `self` and `other` share the same adjacency allocations
+    /// (i.e. one was derived from the other by weight-only updates).
+    #[must_use]
+    pub fn shares_adjacency_with(&self, other: &DiGraph) -> bool {
+        Arc::ptr_eq(&self.out, &other.out) && Arc::ptr_eq(&self.inn, &other.inn)
     }
 
     /// The stored record of edge `e`.
@@ -198,12 +237,16 @@ impl DiGraph {
     }
 
     /// A copy with weights transformed by `f(cost, delay) -> (cost, delay)`.
+    ///
+    /// The copy shares this graph's adjacency arrays (structure is unchanged,
+    /// only the edge records are rewritten).
     #[must_use]
     pub fn map_weights(&self, mut f: impl FnMut(Cost, Delay) -> (Cost, Delay)) -> DiGraph {
-        let mut g = DiGraph::new(self.node_count());
-        for e in &self.edges {
+        let mut g = self.clone();
+        for e in &mut g.edges {
             let (c, d) = f(e.cost, e.delay);
-            g.add_edge(e.src, e.dst, c, d);
+            e.cost = c;
+            e.delay = d;
         }
         g
     }
@@ -223,6 +266,36 @@ impl DiGraph {
         }
         s.push_str("}\n");
         s
+    }
+}
+
+// The adjacency arrays are fully determined by `edges` + the node count, so
+// the wire form carries only `{n, edges}` and rebuilds `out`/`inn` on read.
+// (Hand-written because the vendored serde has no `Arc` support.)
+impl Serialize for DiGraph {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("n".to_string(), Content::Int(self.node_count() as i128)),
+            ("edges".to_string(), self.edges.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for DiGraph {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let n = usize::from_content(c.field("n")?)?;
+        let edges = Vec::<EdgeRef>::from_content(c.field("edges")?)?;
+        let mut g = DiGraph::new(n);
+        for e in edges {
+            if e.src.index() >= n || e.dst.index() >= n {
+                return Err(DeError(format!(
+                    "edge {} -> {} out of range for {n} nodes",
+                    e.src.0, e.dst.0
+                )));
+            }
+            g.add_edge(e.src, e.dst, e.cost, e.delay);
+        }
+        Ok(g)
     }
 }
 
@@ -310,6 +383,52 @@ mod tests {
         let dot = diamond().to_dot();
         assert!(dot.contains("0 -> 1"));
         assert!(dot.contains("c=7,d=8"));
+    }
+
+    #[test]
+    fn weight_updates_share_adjacency() {
+        let g = diamond();
+        let h = g.with_updates(&[(EdgeId(0), 100, 200), (EdgeId(3), 1, 1)]);
+        assert!(h.shares_adjacency_with(&g));
+        assert_eq!(h.edge(EdgeId(0)).cost, 100);
+        assert_eq!(h.edge(EdgeId(0)).delay, 200);
+        assert_eq!(h.edge(EdgeId(3)).cost, 1);
+        // untouched edges and all structure preserved
+        assert_eq!(h.edge(EdgeId(1)), g.edge(EdgeId(1)));
+        assert_eq!(h.out_edges(NodeId(0)), g.out_edges(NodeId(0)));
+        // map_weights also shares
+        let m = g.map_weights(|c, d| (c + 1, d));
+        assert!(m.shares_adjacency_with(&g));
+        assert_eq!(m.edge(EdgeId(2)).cost, 6);
+    }
+
+    #[test]
+    fn structural_mutation_unshares() {
+        let g = diamond();
+        let mut h = g.clone();
+        assert!(h.shares_adjacency_with(&g));
+        h.add_edge(NodeId(3), NodeId(0), 1, 1);
+        assert!(!h.shares_adjacency_with(&g));
+        // original untouched
+        assert!(g.out_edges(NodeId(3)).is_empty());
+        assert_eq!(h.out_edges(NodeId(3)), &[EdgeId(5)]);
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_adjacency() {
+        let g = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let h: DiGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(h.node_count(), g.node_count());
+        assert_eq!(h.edges(), g.edges());
+        assert_eq!(h.out_edges(NodeId(0)), g.out_edges(NodeId(0)));
+        assert_eq!(h.in_edges(NodeId(3)), g.in_edges(NodeId(3)));
+    }
+
+    #[test]
+    fn serde_rejects_out_of_range_edge() {
+        let bad = r#"{"n":2,"edges":[{"src":0,"dst":5,"cost":1,"delay":1}]}"#;
+        assert!(serde_json::from_str::<DiGraph>(bad).is_err());
     }
 
     #[test]

@@ -24,7 +24,11 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-/// Monotone counters describing cache behavior since construction.
+/// Counters describing cache behavior since construction. `hits`, `misses`,
+/// `evictions`, and `invalidations` are monotone; `entries` and `bytes` are
+/// live gauges maintained incrementally on every insert/evict/remove (the
+/// drift-free bookkeeping is property-tested against a from-scratch
+/// recount).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups that found an entry.
@@ -33,16 +37,26 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries displaced by capacity pressure.
     pub evictions: u64,
+    /// Entries removed explicitly (quarantine purges, epoch invalidation).
+    pub invalidations: u64,
+    /// Live entry count.
+    pub entries: u64,
+    /// Estimated live bytes across entries.
+    pub bytes: u64,
 }
 
 impl CacheStats {
-    /// Component-wise sum, for aggregating shards.
+    /// Component-wise sum, for aggregating shards (gauges sum to the
+    /// aggregate gauge).
     #[must_use]
     pub fn merge(self, other: CacheStats) -> CacheStats {
         CacheStats {
             hits: self.hits + other.hits,
             misses: self.misses + other.misses,
             evictions: self.evictions + other.evictions,
+            invalidations: self.invalidations + other.invalidations,
+            entries: self.entries + other.entries,
+            bytes: self.bytes + other.bytes,
         }
     }
 }
@@ -50,6 +64,14 @@ impl CacheStats {
 struct Entry {
     value: Degraded,
     last_used: u64,
+}
+
+/// Estimated resident size of one cached answer: the struct itself plus the
+/// solution's edge-set bitmap (the only heap payload that scales with the
+/// instance).
+fn entry_weight(d: &Degraded) -> u64 {
+    let bitmap = d.solution.edges.capacity().div_ceil(64) * 8;
+    (std::mem::size_of::<Entry>() + bitmap) as u64
 }
 
 /// A least-recently-used map from canonical instance keys to ladder
@@ -121,18 +143,60 @@ impl SolutionCache {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| *k)
             {
-                self.map.remove(&oldest);
+                if let Some(old) = self.map.remove(&oldest) {
+                    self.stats.entries -= 1;
+                    self.stats.bytes -= entry_weight(&old.value);
+                }
                 self.stats.evictions += 1;
             }
         }
-        self.map.insert(
+        let weight = entry_weight(&value);
+        if let Some(prev) = self.map.insert(
             key,
             Entry {
                 value,
                 last_used: self.tick,
             },
-        );
+        ) {
+            // Refresh of an existing key: swap the old weight out first so
+            // the byte gauge moves exactly once per stored copy.
+            self.stats.bytes -= entry_weight(&prev.value);
+        } else {
+            self.stats.entries += 1;
+        }
+        self.stats.bytes += weight;
     }
+
+    /// Removes `key` outright (quarantine purge, epoch invalidation),
+    /// decrementing the entry/byte gauges exactly once. Returns the evicted
+    /// answer, `None` if the key was absent (gauges untouched).
+    pub fn remove(&mut self, key: CacheKey) -> Option<Degraded> {
+        let entry = self.map.remove(&key)?;
+        self.stats.entries -= 1;
+        self.stats.bytes -= entry_weight(&entry.value);
+        self.stats.invalidations += 1;
+        Some(entry.value)
+    }
+
+    /// From-scratch `(entries, bytes)` recount over the live map — the
+    /// ground truth the incremental gauges are property-tested against.
+    #[must_use]
+    pub fn recount(&self) -> (u64, u64) {
+        (
+            self.map.len() as u64,
+            self.map.values().map(|e| entry_weight(&e.value)).sum(),
+        )
+    }
+}
+
+/// Per-entry verdict of a cache sweep (see [`ShardedCache::sweep`]).
+pub enum Sweep {
+    /// Leave the entry in place.
+    Keep,
+    /// Remove the entry (counted as an invalidation).
+    Evict,
+    /// Move the entry to a new key (epoch re-scoping); recency is reset.
+    Rekey(CacheKey),
 }
 
 /// An N-way sharded [`SolutionCache`]: each shard is an independent LRU
@@ -192,6 +256,59 @@ impl ShardedCache {
         lock_recover(&self.shards[self.shard_of(key)]).put(key, value);
     }
 
+    /// Removes `key` from its shard (quarantine purge, targeted
+    /// invalidation); that shard's entry/byte gauges decrement exactly once.
+    pub fn remove(&self, key: CacheKey) -> Option<Degraded> {
+        lock_recover(&self.shards[self.shard_of(key)]).remove(key)
+    }
+
+    /// Full-cache sweep for epoch bumps: `decide` sees every live entry and
+    /// returns its fate — keep it, evict it, or move it to a new key (the
+    /// epoch-rescoped digest). Rekeyed entries are reinserted *after* all
+    /// shards have been drained (their new key may route to a different
+    /// shard), so the sweep never deadlocks on two shard locks at once.
+    /// Returns `(kept, evicted, rekeyed)` counts.
+    pub fn sweep(&self, mut decide: impl FnMut(&CacheKey, &Degraded) -> Sweep) -> (u64, u64, u64) {
+        let (mut kept, mut evicted) = (0u64, 0u64);
+        let mut rekeyed: Vec<(CacheKey, Degraded)> = Vec::new();
+        for shard in &self.shards {
+            let mut s = lock_recover(shard);
+            let fates: Vec<(CacheKey, Sweep)> = s
+                .map
+                .iter()
+                .map(|(k, e)| (*k, decide(k, &e.value)))
+                .collect();
+            for (k, fate) in fates {
+                match fate {
+                    Sweep::Keep => kept += 1,
+                    Sweep::Evict => {
+                        s.remove(k);
+                        evicted += 1;
+                    }
+                    Sweep::Rekey(nk) => {
+                        if let Some(v) = s.remove(k) {
+                            rekeyed.push((nk, v));
+                        }
+                    }
+                }
+            }
+        }
+        let moved = rekeyed.len() as u64;
+        for (nk, v) in rekeyed {
+            self.put(nk, v);
+        }
+        (kept, evicted, moved)
+    }
+
+    /// From-scratch `(entries, bytes)` recount across shards.
+    #[must_use]
+    pub fn recount(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(e, b), s| {
+            let (se, sb) = lock_recover(s).recount();
+            (e + se, b + sb)
+        })
+    }
+
     /// Total entries across shards.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -231,9 +348,14 @@ mod tests {
     use krsp_graph::EdgeSet;
 
     fn dummy(cost: i64) -> Degraded {
+        dummy_sized(cost, 0)
+    }
+
+    /// A dummy whose edge-set capacity (and hence byte weight) varies.
+    fn dummy_sized(cost: i64, cap: usize) -> Degraded {
         Degraded {
             solution: krsp::Solution {
-                edges: EdgeSet::with_capacity(0),
+                edges: EdgeSet::with_capacity(cap),
                 cost,
                 delay: 0,
                 lower_bound: None,
@@ -241,6 +363,7 @@ mod tests {
             rung: Rung::MinDelay,
             guarantee: Rung::MinDelay.guarantee(),
             kernel: krsp::KernelKind::Classic,
+            warm: false,
         }
     }
 
@@ -369,7 +492,112 @@ mod tests {
         assert_eq!(c.stats().evictions, 200 - c.len() as u64);
     }
 
+    #[test]
+    fn remove_decrements_gauges_exactly_once() {
+        let mut c = SolutionCache::new(4);
+        c.put(key(1), dummy_sized(1, 100));
+        c.put(key(2), dummy_sized(2, 500));
+        assert_eq!(c.stats().entries, 2);
+        assert_eq!((c.stats().entries, c.stats().bytes), c.recount());
+        let removed = c.remove(key(1)).unwrap();
+        assert_eq!(removed.solution.cost, 1);
+        assert_eq!(c.stats().entries, 1);
+        assert_eq!(c.stats().invalidations, 1);
+        assert_eq!((c.stats().entries, c.stats().bytes), c.recount());
+        // Double-remove is a no-op on every counter.
+        assert!(c.remove(key(1)).is_none());
+        assert_eq!(c.stats().entries, 1);
+        assert_eq!(c.stats().invalidations, 1);
+        assert_eq!((c.stats().entries, c.stats().bytes), c.recount());
+    }
+
+    #[test]
+    fn refresh_and_eviction_keep_byte_gauge_exact() {
+        let mut c = SolutionCache::new(2);
+        c.put(key(1), dummy_sized(1, 1000));
+        let big = c.stats().bytes;
+        c.put(key(1), dummy_sized(1, 10)); // refresh with a smaller payload
+        assert!(c.stats().bytes < big);
+        assert_eq!((c.stats().entries, c.stats().bytes), c.recount());
+        c.put(key(2), dummy_sized(2, 64));
+        c.put(key(3), dummy_sized(3, 64)); // evicts LRU
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!((c.stats().entries, c.stats().bytes), c.recount());
+    }
+
+    #[test]
+    fn sweep_keeps_evicts_and_rekeys() {
+        let c = ShardedCache::new(64, 4);
+        for v in 0..12u64 {
+            c.put(spread(v), dummy_sized(v as i64, v as usize * 32));
+        }
+        // Evict odd costs, rekey cost 0 and 2, keep the rest.
+        let (kept, evicted, rekeyed) = c.sweep(|k, d| {
+            if d.solution.cost % 2 == 1 {
+                Sweep::Evict
+            } else if d.solution.cost <= 2 {
+                Sweep::Rekey(CacheKey(k.0 ^ 0xdead_beef))
+            } else {
+                Sweep::Keep
+            }
+        });
+        assert_eq!((kept, evicted, rekeyed), (4, 6, 2));
+        assert_eq!(c.len(), 6);
+        // Rekeyed entries answer at their new key, not the old one.
+        assert!(c.get(spread(0)).is_none());
+        assert_eq!(
+            c.get(CacheKey(spread(0).0 ^ 0xdead_beef))
+                .unwrap()
+                .solution
+                .cost,
+            0
+        );
+        let agg = c.stats();
+        let (entries, bytes) = c.recount();
+        assert_eq!((agg.entries, agg.bytes), (entries, bytes));
+    }
+
     proptest::proptest! {
+        /// Satellite 3: after any interleaving of inserts, targeted removes
+        /// (the quarantine-purge path), and sweeps (the epoch-invalidation
+        /// path), each shard's incremental entry/byte gauges must equal a
+        /// from-scratch recount — i.e. every removal decrements exactly once
+        /// and every refresh swaps weights exactly once.
+        #[test]
+        fn prop_gauges_match_recount_under_interleaving(
+            ops in proptest::collection::vec((0u8..=3, 0u64..32, 0usize..512), 1..200),
+            shards in 1usize..6,
+        ) {
+            let c = ShardedCache::new(16, shards);
+            for (op, k, sz) in ops {
+                match op {
+                    0 => c.put(spread(k), dummy_sized(k as i64, sz)),
+                    1 => { c.remove(spread(k)); }
+                    2 => { c.get(spread(k)); }
+                    _ => {
+                        // Epoch-style sweep: evict small payloads, rekey the
+                        // rest of the matching population.
+                        c.sweep(|ck, d| {
+                            if d.solution.edges.capacity() < sz / 2 {
+                                Sweep::Evict
+                            } else if ck.0 & 1 == u128::from(k) & 1 {
+                                Sweep::Rekey(CacheKey(ck.0 ^ (u128::from(k) << 77)))
+                            } else {
+                                Sweep::Keep
+                            }
+                        });
+                    }
+                }
+                // Per-shard gauge == per-shard recount, not just aggregate.
+                for shard in &c.shards {
+                    let s = lock_recover(shard);
+                    let (entries, bytes) = s.recount();
+                    proptest::prop_assert_eq!(s.stats().entries, entries);
+                    proptest::prop_assert_eq!(s.stats().bytes, bytes);
+                }
+            }
+        }
+
         /// With capacity ample enough that no shard ever evicts, a sharded
         /// cache is observationally identical to a 1-shard cache under any
         /// op sequence: same per-key answers, same aggregate counters.

@@ -36,8 +36,8 @@
 //! answering rung's kernel is reported on every response either way.
 
 use krsp::{
-    baselines, rsp_kernel, solve_with, CancelToken, Config, DpScratch, Instance, KernelKind,
-    SearchScratch, Solution, SolveError,
+    baselines, rsp_kernel, solve_warm_with, solve_with, CancelToken, Config, DpScratch, Instance,
+    KernelKind, SearchScratch, Solution, SolveError,
 };
 use krsp_graph::EdgeSet;
 use serde::{Deserialize, Serialize};
@@ -241,7 +241,10 @@ impl KernelLadder {
 }
 
 /// A ladder answer: the solution plus which rung produced it.
-#[derive(Clone, Debug)]
+///
+/// Serializable so the disk cache tier can persist answers across daemon
+/// restarts (DESIGN.md §4.17).
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Degraded {
     /// The solution.
     pub solution: Solution,
@@ -251,6 +254,9 @@ pub struct Degraded {
     pub guarantee: Guarantee,
     /// The RSP kernel assigned to the answering rung.
     pub kernel: KernelKind,
+    /// Whether a previous-epoch seed participated in the answering solve
+    /// (see [`krsp::solve_warm_with`]).
+    pub warm: bool,
 }
 
 /// Why the ladder produced no solution.
@@ -303,6 +309,25 @@ pub fn solve_degraded_with(
     kernels: &KernelLadder,
     cancel: &CancelToken,
 ) -> Result<Degraded, LadderError> {
+    solve_degraded_seeded(inst, cfg, remaining, policy, kernels, cancel, None)
+}
+
+/// [`solve_degraded_with`] with an optional warm-start seed: a previous
+/// topology epoch's solution edge set, threaded into the solver rungs
+/// ([`Rung::Full`] / [`Rung::SingleProbe`]) through [`krsp::solve_warm_with`].
+/// The seed is re-verified there against the current weights, so a stale or
+/// invalid seed degrades to the cold path bit-identically; rungs that never
+/// run Algorithm 1 ignore it.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_degraded_seeded(
+    inst: &Instance,
+    cfg: &Config,
+    remaining: Duration,
+    policy: &LadderPolicy,
+    kernels: &KernelLadder,
+    cancel: &CancelToken,
+    seed: Option<&EdgeSet>,
+) -> Result<Degraded, LadderError> {
     let start = policy.admit(inst, remaining);
     // One cycle-search scratch for every solver rung the ladder attempts.
     let mut scratch = SearchScratch::new();
@@ -312,13 +337,14 @@ pub fn solve_degraded_with(
             continue;
         }
         let kernel = kernels.for_rung(rung);
-        match attempt(inst, cfg, rung, kernel, &mut scratch, cancel) {
-            Attempt::Solved(solution) => {
+        match attempt(inst, cfg, rung, kernel, &mut scratch, cancel, seed) {
+            Attempt::Solved(solution, warm) => {
                 return Ok(Degraded {
                     solution,
                     rung,
                     guarantee: rung.guarantee(),
                     kernel,
+                    warm,
                 })
             }
             Attempt::Infeasible => return Err(LadderError::Infeasible),
@@ -329,11 +355,12 @@ pub fn solve_degraded_with(
 }
 
 enum Attempt {
-    Solved(Solution),
+    Solved(Solution, bool),
     Infeasible,
     RungFailed,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn attempt(
     inst: &Instance,
     cfg: &Config,
@@ -341,6 +368,7 @@ fn attempt(
     kernel: KernelKind,
     scratch: &mut SearchScratch,
     cancel: &CancelToken,
+    seed: Option<&EdgeSet>,
 ) -> Attempt {
     match rung {
         // k = 1 *is* the restricted-shortest-path subproblem: answer it
@@ -356,7 +384,7 @@ fn attempt(
             match solved {
                 Some(p) => {
                     match Solution::from_edge_set(inst, EdgeSet::from_edges(inst.m(), &p.edges)) {
-                        Some(sol) => Attempt::Solved(sol),
+                        Some(sol) => Attempt::Solved(sol, false),
                         None => Attempt::RungFailed,
                     }
                 }
@@ -370,8 +398,12 @@ fn attempt(
                 single_probe: rung == Rung::SingleProbe,
                 ..*cfg
             };
-            match solve_with(inst, &cfg, scratch) {
-                Ok(s) => Attempt::Solved(s.solution),
+            let solved = match seed {
+                Some(seed) => solve_warm_with(inst, &cfg, scratch, seed),
+                None => solve_with(inst, &cfg, scratch),
+            };
+            match solved {
+                Ok(s) => Attempt::Solved(s.solution, s.stats.warm_start),
                 // A cancelled rung proved nothing about feasibility — fall
                 // through so MinDelay can still answer.
                 Err(SolveError::IterationLimit | SolveError::Cancelled) => Attempt::RungFailed,
@@ -379,11 +411,11 @@ fn attempt(
             }
         }
         Rung::LpRounding => match baselines::lp_rounding_only(inst) {
-            Some(sol) => Attempt::Solved(sol),
+            Some(sol) => Attempt::Solved(sol, false),
             None => Attempt::RungFailed,
         },
         Rung::MinDelay => match baselines::min_delay(inst) {
-            Some(sol) if sol.delay <= inst.delay_bound => Attempt::Solved(sol),
+            Some(sol) if sol.delay <= inst.delay_bound => Attempt::Solved(sol, false),
             // The min-delay routing is the feasibility certificate: if even
             // it busts the budget (or no k disjoint paths exist), the
             // instance is infeasible outright.

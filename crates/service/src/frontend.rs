@@ -46,7 +46,7 @@ use crate::proto::{
     SolveRequest, WireRequest, WireResponse, MAX_LINE_BYTES,
 };
 use crate::service::{Request, Service};
-use crate::sync_util::lock_recover;
+use crate::sync_util::{lock_recover, saturating_deadline};
 use krsp_reactor::{Event, Interest, Mode, Reactor, Token, Waker};
 use serde::Content;
 use std::collections::{HashMap, VecDeque};
@@ -104,8 +104,9 @@ struct Completion {
 /// Work parked behind the connection's in-order (id-less) stream.
 enum Queued {
     /// A response decided at receipt time (parse error, oversize line,
-    /// rate limit), waiting its turn to be written.
-    Respond(WireResponse),
+    /// rate limit), waiting its turn to be written. Boxed: `WireResponse`
+    /// dwarfs the request variant and queues hold many of these.
+    Respond(Box<WireResponse>),
     /// A request evaluated when it reaches the front of the queue.
     Request(WireRequest),
 }
@@ -244,7 +245,8 @@ impl Frontend {
 
     fn run(mut self) -> std::io::Result<()> {
         let mut events: Vec<Event> = Vec::new();
-        self.reactor.set_timer(Instant::now() + self.tick, SWEEP);
+        self.reactor
+            .set_timer(saturating_deadline(Instant::now(), self.tick), SWEEP);
         loop {
             self.reactor.poll(&mut events, None)?;
             // Off-thread completions first: their responses unblock queued
@@ -389,11 +391,17 @@ impl Frontend {
                 }
             }
         }
-        // The slow-loris clock: ticking iff a line is mid-flight.
+        // The slow-loris clock: ticking iff a line is mid-flight. A stall
+        // that starts between sweeps arms its own wake-up at the exact
+        // reap deadline — with a coarse sweep tick the reap would
+        // otherwise slip by up to a whole tick past `read_timeout`.
         if conn.line.is_empty() && !conn.discarding {
             conn.partial_since = None;
         } else if conn.partial_since.is_none() {
-            conn.partial_since = Some(Instant::now());
+            let since = Instant::now();
+            conn.partial_since = Some(since);
+            self.reactor
+                .set_timer(saturating_deadline(since, self.opts.read_timeout), SWEEP);
         }
         for item in framed {
             if !self.conns.contains_key(&token) {
@@ -411,7 +419,7 @@ impl Frontend {
                             let line = proto::encode_response_line(Some(&id), &error);
                             self.queue_response(token, &line);
                         }
-                        None => self.enqueue_ordered(token, Queued::Respond(error)),
+                        None => self.enqueue_ordered(token, Queued::Respond(Box::new(error))),
                     }
                 }
                 Framed::Line(raw) => self.handle_line(token, &raw),
@@ -438,7 +446,7 @@ impl Frontend {
             (None, Err(msg)) => {
                 self.enqueue_ordered(
                     token,
-                    Queued::Respond(proto::wire_error(ErrorKind::Parse, msg)),
+                    Queued::Respond(Box::new(proto::wire_error(ErrorKind::Parse, msg))),
                 );
             }
             // Batches fan out immediately: every query carries its own id
@@ -459,6 +467,13 @@ impl Frontend {
                 let line = proto::encode_response_line(Some(&id), &response);
                 self.queue_response(token, &line);
             }
+            // Epoch control-plane requests are synchronous cache/registry
+            // operations (no solver pool): evaluated inline, like Metrics.
+            (Some(id), Ok(request @ (WireRequest::Register(_) | WireRequest::Epoch(_)))) => {
+                let response = proto::dispatch(&self.service, request);
+                let line = proto::encode_response_line(Some(&id), &response);
+                self.queue_response(token, &line);
+            }
             (Some(id), Ok(WireRequest::Solve(solve))) => {
                 if let Some(refused) = self.screen_solve(token, &solve) {
                     let line = proto::encode_response_line(Some(&id), &refused);
@@ -471,7 +486,7 @@ impl Frontend {
             // in order, evaluated only when their turn comes.
             (None, Ok(WireRequest::Solve(solve))) => {
                 if let Some(refused) = self.screen_solve(token, &solve) {
-                    self.enqueue_ordered(token, Queued::Respond(refused));
+                    self.enqueue_ordered(token, Queued::Respond(Box::new(refused)));
                     return;
                 }
                 self.enqueue_ordered(token, Queued::Request(WireRequest::Solve(solve)));
@@ -492,10 +507,10 @@ impl Frontend {
         if batch.queries.is_empty() {
             self.enqueue_ordered(
                 token,
-                Queued::Respond(proto::wire_error(
+                Queued::Respond(Box::new(proto::wire_error(
                     ErrorKind::Parse,
                     "empty SolveBatch: no queries",
-                )),
+                ))),
             );
             return;
         }
@@ -632,6 +647,14 @@ impl Frontend {
                     self.dispatch_solve(token, None, true, solve);
                     return;
                 }
+                Queued::Request(request @ (WireRequest::Register(_) | WireRequest::Epoch(_))) => {
+                    // In the ordered stream these wait their turn, so an
+                    // id-less client can Solve → Epoch → Solve and observe
+                    // the advance exactly between the two answers.
+                    let response = proto::dispatch(&self.service, request);
+                    let line = proto::encode_response_line(None, &response);
+                    self.queue_response(token, &line);
+                }
                 // Unreachable: batches fan out at receipt (handle_line)
                 // and never join the id-less ordered stream.
                 Queued::Request(WireRequest::SolveBatch(batch)) => {
@@ -731,7 +754,13 @@ impl Frontend {
                         conn.out_pos = 0;
                     }
                     if conn.write_stall_since.is_none() {
-                        conn.write_stall_since = Some(Instant::now());
+                        // Same deal as the read-stall clock: arm a wake-up
+                        // at the reap deadline so a coarse sweep tick does
+                        // not stretch `write_timeout`.
+                        let since = Instant::now();
+                        conn.write_stall_since = Some(since);
+                        self.reactor
+                            .set_timer(saturating_deadline(since, self.opts.write_timeout), SWEEP);
                     }
                     if !conn.wants_write {
                         conn.wants_write = true;
@@ -843,12 +872,25 @@ impl Frontend {
                 (bucket.tokens + now.duration_since(bucket.last).as_secs_f64() * rate).min(burst);
             per_client.contains_key(ip) || refilled < burst
         });
-        self.reactor.set_timer(now + self.tick, SWEEP);
+        // Re-arm at the next interesting instant, not a fixed tick out:
+        // a surviving stalled connection's reap deadline may land well
+        // inside the tick, and sleeping the full tick would stretch its
+        // configured timeout by up to a whole sweep period.
+        let mut next = saturating_deadline(now, self.tick);
+        for conn in self.conns.values() {
+            if let Some(since) = conn.partial_since {
+                next = next.min(saturating_deadline(since, self.opts.read_timeout));
+            }
+            if let Some(since) = conn.write_stall_since {
+                next = next.min(saturating_deadline(since, self.opts.write_timeout));
+            }
+        }
+        self.reactor.set_timer(next.max(now), SWEEP);
     }
 
     fn begin_drain(&mut self, now: Instant) {
         self.draining = true;
-        self.drain_deadline = Some(now + self.opts.grace);
+        self.drain_deadline = Some(saturating_deadline(now, self.opts.grace));
         // Stop accepting: deregister and close the listener so the port
         // frees immediately, then flip the service (new solves shed, in-
         // flight ones degrade to their cheapest rung and finish).

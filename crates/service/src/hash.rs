@@ -13,6 +13,7 @@
 //! instance equality and stores no instance copy.
 
 use krsp::Instance;
+use krsp_graph::DiGraph;
 
 /// A canonical 128-bit digest of a kRSP instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -80,6 +81,95 @@ pub fn canonical_key(inst: &Instance) -> CacheKey {
     CacheKey(h.finish())
 }
 
+/// Weight-free digest of a topology's *structure*: sorted `(src, dst)`
+/// endpoint pairs plus node/edge counts. Stable across weight-only epochs
+/// (which never touch the edge list), so it identifies a topology lineage.
+#[must_use]
+pub fn structural_key(graph: &DiGraph) -> u128 {
+    let mut ends: Vec<(u32, u32)> = graph.edges().iter().map(|e| (e.src.0, e.dst.0)).collect();
+    ends.sort_unstable();
+    let mut h = Fnv2::new();
+    h.write_u64(graph.node_count() as u64);
+    h.write_u64(ends.len() as u64);
+    for (src, dst) in ends {
+        h.write_u64(u64::from(src));
+        h.write_u64(u64::from(dst));
+    }
+    h.finish()
+}
+
+/// Digest of the full weighted graph (no query parameters): identifies the
+/// exact weight assignment of one topology epoch. Same canonicalization as
+/// [`canonical_key`] (sorted weighted edge tuples), so rebuilt/reordered
+/// graphs with identical weights digest identically.
+#[must_use]
+pub fn weights_key(graph: &DiGraph) -> u128 {
+    let mut edges: Vec<(u32, u32, i64, i64)> = graph
+        .edges()
+        .iter()
+        .map(|e| (e.src.0, e.dst.0, e.cost, e.delay))
+        .collect();
+    edges.sort_unstable();
+    let mut h = Fnv2::new();
+    h.write_u64(graph.node_count() as u64);
+    h.write_u64(edges.len() as u64);
+    for (src, dst, cost, delay) in edges {
+        h.write_u64(u64::from(src));
+        h.write_u64(u64::from(dst));
+        h.write_i64(cost);
+        h.write_i64(delay);
+    }
+    h.finish()
+}
+
+/// Cache key for a query against an epoch-registered topology: the
+/// topology's [`structural_key`] plus `(s, t, k, D)` — deliberately
+/// **weight-free**, so the key survives weight-only epoch bumps and the
+/// epoch number joins through [`scope_key`] instead. The leading marker
+/// byte keeps this key family disjoint from [`canonical_key`]'s input
+/// domain.
+#[must_use]
+pub fn query_key(topo: u128, s: u32, t: u32, k: usize, delay_bound: i64) -> CacheKey {
+    let mut h = Fnv2::new();
+    h.write_u64(u64::from(b'q'));
+    h.write_u64((topo >> 64) as u64);
+    h.write_u64(topo as u64);
+    h.write_u64(u64::from(s));
+    h.write_u64(u64::from(t));
+    h.write_u64(k as u64);
+    h.write_i64(delay_bound);
+    CacheKey(h.finish())
+}
+
+/// Folds a request's scope — the per-rung kernel assignment tag and the
+/// topology epoch — into its base instance digest.
+///
+/// The tag is avalanched through a splitmix-style multiply–xorshift mix
+/// before the XOR. A bare `tag × odd-constant` fold (the PR 8 scheme) is
+/// linear: two scopes whose tags XOR to the same value shift every key by
+/// the same amount, so once epoch counters join the kernel bits, nearby
+/// `(kernel, epoch)` pairs could cancel against each other across requests.
+/// The mix breaks that linearity. A zero tag (all-classic ladder, epoch 0)
+/// still folds to zero, so historical keys are unchanged.
+#[must_use]
+pub fn scope_key(base: CacheKey, kernel_tag: u32, epoch: u64) -> CacheKey {
+    let tag = (u128::from(kernel_tag) << 64) | u128::from(epoch);
+    CacheKey(base.0 ^ mix_tag(tag))
+}
+
+/// splitmix-style finalizer over the 128-bit scope tag; `mix_tag(0) = 0`.
+fn mix_tag(tag: u128) -> u128 {
+    if tag == 0 {
+        return 0;
+    }
+    let mut x = tag;
+    x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c835);
+    x ^= x >> 64;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9_94d0_49bb_1331_11eb);
+    x ^= x >> 61;
+    x
+}
+
 #[cfg(test)]
 // Tests may unwrap: a panic is exactly the failure report we want there.
 #[allow(clippy::unwrap_used)]
@@ -145,5 +235,67 @@ mod tests {
         let mut slower = edges();
         slower[1].3 += 1; // delay of one edge
         assert_ne!(canonical_key(&base), canonical_key(&inst_from(&slower)));
+    }
+
+    #[test]
+    fn structural_key_ignores_weights_weights_key_does_not() {
+        let base = inst_from(&edges());
+        let mut bumped = edges();
+        bumped[0].2 += 7;
+        bumped[3].3 += 2;
+        let changed = inst_from(&bumped);
+        assert_eq!(structural_key(&base.graph), structural_key(&changed.graph));
+        assert_ne!(weights_key(&base.graph), weights_key(&changed.graph));
+        // A structural change moves both.
+        let mut extra = edges();
+        extra.push((1, 2, 1, 1));
+        let grown = inst_from(&extra);
+        assert_ne!(structural_key(&base.graph), structural_key(&grown.graph));
+        assert_ne!(weights_key(&base.graph), weights_key(&grown.graph));
+    }
+
+    #[test]
+    fn query_key_distinct_per_parameter() {
+        let topo = structural_key(&inst_from(&edges()).graph);
+        let base = query_key(topo, 0, 3, 2, 20);
+        let variants = [
+            query_key(topo, 1, 3, 2, 20),
+            query_key(topo, 0, 2, 2, 20),
+            query_key(topo, 0, 3, 1, 20),
+            query_key(topo, 0, 3, 2, 21),
+            query_key(topo ^ 1, 0, 3, 2, 20),
+        ];
+        for v in variants {
+            assert_ne!(v, base);
+        }
+    }
+
+    // Satellite regression for the PR 8 XOR fold: distinct (kernel tag,
+    // epoch) scopes must never collide on the same instance. The old
+    // `tag × odd` fold was linear in the tag, so scope pairs with equal
+    // tag-XOR shifted keys identically; the splitmix-style mix avalanches
+    // every tag bit instead. 16 kernel ladders × 64 epochs = 1024 scopes,
+    // all pairwise distinct here.
+    #[test]
+    fn distinct_kernel_epoch_scopes_never_collide() {
+        let base = canonical_key(&inst_from(&edges()));
+        let mut seen = std::collections::HashMap::new();
+        for ladder in 0u32..16 {
+            // Spread the 4 two-valued rung assignments over the 4 tag bytes
+            // the service packs (one kernel byte per rung).
+            let kernel_tag = (ladder & 1)
+                | ((ladder >> 1) & 1) << 8
+                | ((ladder >> 2) & 1) << 16
+                | ((ladder >> 3) & 1) << 24;
+            for epoch in 0u64..64 {
+                let key = scope_key(base, kernel_tag, epoch);
+                if let Some(prev) = seen.insert(key, (kernel_tag, epoch)) {
+                    panic!("scope collision: {prev:?} vs ({kernel_tag}, {epoch})");
+                }
+            }
+        }
+        // Historical invariant: the all-classic / epoch-0 scope is the
+        // identity fold.
+        assert_eq!(scope_key(base, 0, 0), base);
     }
 }

@@ -51,6 +51,8 @@
 
 pub mod cache;
 pub mod degrade;
+pub mod disk;
+pub mod epoch;
 #[cfg(unix)]
 mod frontend;
 #[cfg(not(unix))]
@@ -90,17 +92,22 @@ mod sync_util;
 
 pub use cache::{CacheStats, ShardedCache, SolutionCache};
 pub use degrade::{
-    solve_degraded, solve_degraded_with, Degraded, Guarantee, KernelLadder, LadderError,
-    LadderPolicy, Rung,
+    solve_degraded, solve_degraded_seeded, solve_degraded_with, Degraded, Guarantee, KernelLadder,
+    LadderError, LadderPolicy, Rung,
 };
-pub use hash::{canonical_key, CacheKey};
-pub use load::{run_remote, LoadReport, LoadSpec, RemoteSpec};
+pub use disk::{DiskCache, DiskStats};
+pub use epoch::{EpochError, EpochRegistry, EpochReport, EpochScope};
+pub use hash::{canonical_key, scope_key, structural_key, CacheKey};
+pub use load::{
+    run_remote, run_rolling, LoadReport, LoadSpec, RemoteSpec, RollingReport, RollingSpec,
+    WindowReport,
+};
 pub use metrics::{FrontendSnapshot, LatencyHistogram, MetricsSnapshot};
 pub use proto::{
     decode_response_line, encode_request_with_id, health_reply, serve, serve_on,
-    serve_threaded_with_shutdown, serve_with_shutdown, ErrorKind, HealthReply, HealthStatus,
-    RungKernel, ServeOptions, SolveRequest, SolvedReply, WireError, WireRequest, WireResponse,
-    MAX_LINE_BYTES,
+    serve_threaded_with_shutdown, serve_with_shutdown, EpochReply, EpochRequest, ErrorKind,
+    HealthReply, HealthStatus, RegisterRequest, RegisteredReply, RungKernel, ServeOptions,
+    SolveRequest, SolvedReply, WireChange, WireError, WireRequest, WireResponse, MAX_LINE_BYTES,
 };
 pub use quarantine::Quarantine;
 pub use service::{Rejection, Request, Response, Service, ServiceConfig};

@@ -972,6 +972,287 @@ pub fn run_remote(spec: &LoadSpec, remote: &RemoteSpec) -> std::io::Result<LoadR
     ))
 }
 
+/// Shape of a rolling-update replay: windows of repeat traffic separated
+/// by epoch advances that ramp a few edge costs, exercising the
+/// epoch-aware cache (retention + warm starts) instead of the cold path a
+/// plain replay with mutated weights would take.
+#[derive(Clone, Debug)]
+pub struct RollingSpec {
+    /// Replay windows. The first runs against the freshly registered
+    /// lineages at epoch 0; each later window runs after one epoch
+    /// advance per lineage.
+    pub windows: usize,
+    /// Edges whose cost is ramped in each advance (per lineage).
+    pub ramp_edges: usize,
+    /// Cost scale numerator: each picked edge's cost becomes
+    /// `ceil(cost · num / den)`. `num ≥ den` keeps the delta
+    /// non-decreasing, which is what lets untouched entries survive.
+    pub ramp_num: i64,
+    /// Cost scale denominator.
+    pub ramp_den: i64,
+}
+
+impl Default for RollingSpec {
+    fn default() -> Self {
+        RollingSpec {
+            windows: 3,
+            ramp_edges: 1,
+            ramp_num: 11,
+            ramp_den: 10,
+        }
+    }
+}
+
+/// One window of a rolling replay: its traffic outcome plus what the
+/// epoch advance that *preceded* it did to the cache (zeros for the
+/// first window — nothing precedes it).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct WindowReport {
+    /// Window index (0-based).
+    pub window: u64,
+    /// Requests issued in this window.
+    pub issued: u64,
+    /// Requests answered with a solution.
+    pub completed: u64,
+    /// Answers served from the cache (memory or disk tier).
+    pub cache_hits: u64,
+    /// Structured error replies and exhausted-retry transport failures.
+    pub wire_errors: u64,
+    /// Warm-started fresh solves during this window (server-side counter
+    /// delta across the window).
+    pub warm_starts: u64,
+    /// Disk-tier hits during this window (server-side counter delta).
+    pub disk_hits: u64,
+    /// Cached entries the preceding advance rekeyed into the new epoch.
+    pub advance_retained: u64,
+    /// Cached entries the preceding advance evicted.
+    pub advance_evicted: u64,
+    /// Warm-start seeds the preceding advance left waiting.
+    pub advance_seeds: u64,
+    /// Latency over all answered requests in this window.
+    pub latency: LatencySummary,
+    /// Latency over this window's cache hits only.
+    pub latency_cache_hit: LatencySummary,
+    /// Latency over this window's cache misses only.
+    pub latency_cache_miss: LatencySummary,
+}
+
+/// The outcome of a rolling-update replay, serializable for `results/`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RollingReport {
+    /// Topology lineages registered (one per distinct instance).
+    pub lineages: u64,
+    /// Replay windows in order.
+    pub windows: Vec<WindowReport>,
+    /// Reconnect-and-reissue attempts across the whole replay.
+    pub transport_retries: u64,
+    /// The server's counters after the final window.
+    pub service_metrics: MetricsSnapshot,
+}
+
+/// Fetches the server's metrics snapshot over `client`; a server that
+/// cannot answer yields the default (all-zero) snapshot, mirroring
+/// [`run_remote`]'s final fetch.
+fn fetch_metrics(client: &mut WireClient, retries_made: &AtomicU64) -> MetricsSnapshot {
+    let line =
+        serde_json::to_string(&WireRequest::Metrics).unwrap_or_else(|_| "\"Metrics\"".to_string());
+    client
+        .roundtrip(&line, retries_made)
+        .ok()
+        .and_then(|r| serde_json::from_str::<WireResponse>(r.trim()).ok())
+        .and_then(|r| match r {
+            WireResponse::Metrics(m) => Some(m),
+            _ => None,
+        })
+        .unwrap_or_default()
+}
+
+/// Replays a rolling-update scenario over the wire: registers every pool
+/// instance's topology as a lineage, then alternates traffic windows with
+/// epoch advances whose cost ramps are mirrored onto the client-side
+/// instances (so each window's requests match the lineage's *current*
+/// weights and land in the epoch-scoped cache lane rather than missing
+/// into canonical keys).
+///
+/// Each window's report carries both client-side outcomes (completion,
+/// hits, exact latency order statistics) and server-side counter deltas
+/// (`warm_starts`, `disk_hits`) captured from metrics snapshots bracketing
+/// the window, plus what the preceding advance retained/evicted/seeded.
+///
+/// # Errors
+/// Returns an error when registration fails (transport or a non-
+/// `Registered` reply), when a request line cannot be serialized, or when
+/// a ramped instance no longer validates — transport failures *during* a
+/// window are absorbed into that window's `wire_errors` instead.
+///
+/// # Panics
+/// Panics when no feasible instance can be generated from the spec.
+pub fn run_rolling(
+    spec: &LoadSpec,
+    rolling: &RollingSpec,
+    remote: &RemoteSpec,
+) -> std::io::Result<RollingReport> {
+    let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let mut pool = build_pool(spec);
+    assert!(
+        !pool.is_empty(),
+        "load spec generated no feasible instances"
+    );
+
+    let retries_made = AtomicU64::new(0);
+    let mut client = WireClient::new(&remote.addr, remote.retries, spec.seed);
+
+    // Register every instance's topology; the handle (a hex structural
+    // digest) names the lineage in later Epoch advances.
+    let mut topos: Vec<String> = Vec::with_capacity(pool.len());
+    for inst in &pool {
+        let line = serde_json::to_string(&WireRequest::Register(proto::RegisterRequest {
+            graph: inst.graph.clone(),
+        }))
+        .map_err(|e| invalid(e.to_string()))?;
+        let reply = client.roundtrip(&line, &retries_made)?;
+        match serde_json::from_str::<WireResponse>(reply.trim()) {
+            Ok(WireResponse::Registered(r)) => topos.push(r.topo),
+            other => {
+                return Err(invalid(format!(
+                    "registration got a non-Registered reply: {other:?}"
+                )))
+            }
+        }
+    }
+
+    let mut windows = Vec::with_capacity(rolling.windows.max(1));
+    let mut last_metrics = MetricsSnapshot::default();
+    for w in 0..rolling.windows.max(1) {
+        // Between windows: one epoch advance per lineage, mirrored onto
+        // the client-side instance so its weights keep matching.
+        let (mut retained, mut evicted, mut seeds) = (0u64, 0u64, 0u64);
+        if w > 0 {
+            for (i, inst) in pool.iter_mut().enumerate() {
+                let changes = krsp_gen::cost_ramp(
+                    &inst.graph,
+                    rolling.ramp_edges,
+                    rolling.ramp_num,
+                    rolling.ramp_den,
+                    spec.seed
+                        .wrapping_add(7919 * w as u64)
+                        .wrapping_add(i as u64),
+                );
+                let wire: Vec<proto::WireChange> = changes
+                    .iter()
+                    .map(|c| proto::WireChange {
+                        edge: c.edge.0,
+                        cost: c.cost,
+                        delay: c.delay,
+                    })
+                    .collect();
+                let line = serde_json::to_string(&WireRequest::Epoch(proto::EpochRequest {
+                    topo: topos[i].clone(),
+                    changes: wire,
+                }))
+                .map_err(|e| invalid(e.to_string()))?;
+                let reply = client.roundtrip(&line, &retries_made)?;
+                match serde_json::from_str::<WireResponse>(reply.trim()) {
+                    Ok(WireResponse::Epoch(r)) => {
+                        retained += r.retained;
+                        evicted += r.evicted;
+                        seeds += r.seeds;
+                    }
+                    other => {
+                        return Err(invalid(format!(
+                            "epoch advance got a non-Epoch reply: {other:?}"
+                        )))
+                    }
+                }
+                let graph = krsp_gen::apply_changes(&inst.graph, &changes);
+                *inst = krsp::Instance::new(graph, inst.s, inst.t, inst.k, inst.delay_bound)
+                    .map_err(|e| invalid(format!("ramped instance no longer validates: {e}")))?;
+            }
+        }
+
+        let lines: Vec<String> = pool
+            .iter()
+            .map(|inst| {
+                serde_json::to_string(&WireRequest::Solve(SolveRequest {
+                    instance: inst.clone(),
+                    deadline_ms: spec.deadline_ms,
+                    kernel: spec.kernel,
+                }))
+                .map_err(|e| invalid(e.to_string()))
+            })
+            .collect::<std::io::Result<_>>()?;
+
+        let before = fetch_metrics(&mut client, &retries_made);
+        let mut t = Tally::default();
+        for i in 0..spec.requests {
+            let sent = Instant::now();
+            let reply = client.roundtrip(&lines[i % lines.len()], &retries_made);
+            let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            let response = reply
+                .ok()
+                .and_then(|r| serde_json::from_str::<WireResponse>(r.trim()).ok());
+            tally_response(&mut t, response, us);
+        }
+        let after = fetch_metrics(&mut client, &retries_made);
+
+        let all: Vec<u64> = t
+            .hit_latencies
+            .iter()
+            .chain(t.miss_latencies.iter())
+            .copied()
+            .collect();
+        windows.push(WindowReport {
+            window: w as u64,
+            issued: spec.requests as u64,
+            completed: t.completed,
+            cache_hits: t.cache_hits,
+            wire_errors: t.wire_errors,
+            warm_starts: after.warm_starts.saturating_sub(before.warm_starts),
+            disk_hits: after.disk_hits.saturating_sub(before.disk_hits),
+            advance_retained: retained,
+            advance_evicted: evicted,
+            advance_seeds: seeds,
+            latency: LatencySummary::from_samples(all),
+            latency_cache_hit: LatencySummary::from_samples(t.hit_latencies),
+            latency_cache_miss: LatencySummary::from_samples(t.miss_latencies),
+        });
+        last_metrics = after;
+    }
+
+    Ok(RollingReport {
+        lineages: pool.len() as u64,
+        windows,
+        transport_retries: retries_made.load(Ordering::Relaxed),
+        service_metrics: last_metrics,
+    })
+}
+
+/// Formats a human-readable one-screen summary of a rolling replay: one
+/// line per window.
+#[must_use]
+pub fn render_rolling(report: &RollingReport) -> String {
+    let mut out = format!("lineages {}  windows:", report.lineages);
+    for w in &report.windows {
+        out.push_str(&format!(
+            "\n  w{}: completed {}/{}  hits {}  warm {}  disk {}  \
+             advance(retained/evicted/seeds) {}/{}/{}  p50 {} µs (hit {} | miss {})",
+            w.window,
+            w.completed,
+            w.issued,
+            w.cache_hits,
+            w.warm_starts,
+            w.disk_hits,
+            w.advance_retained,
+            w.advance_evicted,
+            w.advance_seeds,
+            w.latency.p50_us,
+            w.latency_cache_hit.p50_us,
+            w.latency_cache_miss.p50_us,
+        ));
+    }
+    out
+}
+
 /// Formats a human-readable one-screen summary of a report.
 #[must_use]
 pub fn render(report: &LoadReport) -> String {
@@ -1175,5 +1456,71 @@ mod tests {
             ..spec
         };
         assert!(run_remote(&bad, &remote).is_err());
+    }
+
+    #[test]
+    fn rolling_replay_advances_epochs_between_windows() {
+        use crate::proto::serve_on;
+        use std::net::TcpListener;
+
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        {
+            let svc = svc.clone();
+            std::thread::spawn(move || {
+                let _ = serve_on(&svc, listener);
+            });
+        }
+        let spec = LoadSpec {
+            requests: 8,
+            unique: 2,
+            clients: 1,
+            n: 24,
+            ..LoadSpec::default()
+        };
+        let rolling = RollingSpec {
+            windows: 3,
+            ramp_edges: 1,
+            ramp_num: 11,
+            ramp_den: 10,
+        };
+        let remote = RemoteSpec {
+            addr: addr.to_string(),
+            retries: 2,
+        };
+        let report = run_rolling(&spec, &rolling, &remote).unwrap();
+        assert_eq!(report.lineages, 2);
+        assert_eq!(report.windows.len(), 3);
+        for w in &report.windows {
+            assert_eq!(w.issued, 8);
+            assert_eq!(w.wire_errors, 0, "window {} hit wire errors", w.window);
+            assert_eq!(w.completed, 8, "window {} lost answers", w.window);
+        }
+        // Cycling 2 instances through 8 requests repeats each 4× — the
+        // repeats must hit the (epoch-scoped) cache in every window.
+        assert!(
+            report.windows.iter().all(|w| w.cache_hits >= 4),
+            "epoch-scoped keys missed the cache: {report:?}"
+        );
+        // The first window has no preceding advance; every later one
+        // swept each lineage's cache and accounted every entry.
+        assert_eq!(report.windows[0].advance_retained, 0);
+        assert_eq!(report.windows[0].advance_evicted, 0);
+        for w in &report.windows[1..] {
+            assert!(
+                w.advance_retained + w.advance_evicted > 0,
+                "advance before window {} touched no entries: {report:?}",
+                w.window
+            );
+        }
+        assert!(report.service_metrics.epoch_advances >= 4);
+        let text = serde_json::to_string(&report).unwrap();
+        let back: RollingReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.windows.len(), 3);
+        assert!(render_rolling(&report).contains("w2:"));
     }
 }

@@ -251,6 +251,28 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Cache entries displaced by capacity pressure.
     pub cache_evictions: u64,
+    /// Cache entries removed deliberately (epoch invalidation or
+    /// quarantine purge), as opposed to capacity eviction.
+    pub cache_invalidations: u64,
+    /// Answers served from the disk tier (promoted into the LRU on hit).
+    pub disk_hits: u64,
+    /// Disk-tier lookups that missed (no record, or unreadable).
+    pub disk_misses: u64,
+    /// Records recovered from disk segments when the tier opened — the
+    /// restart-warmth measure.
+    pub disk_recovered: u64,
+    /// Records dropped by the disk recovery scan (torn or corrupt).
+    pub disk_dropped: u64,
+    /// Fresh solves that accepted or resumed from a warm-start seed.
+    pub warm_starts: u64,
+    /// Topology-epoch advances applied.
+    pub epoch_advances: u64,
+    /// Cache entries rekeyed (retained) across epoch advances.
+    pub epoch_retained: u64,
+    /// Cache entries evicted (reseeded) by epoch advances.
+    pub epoch_evicted: u64,
+    /// Highest epoch across registered topology lineages.
+    pub epoch: u64,
     /// Requests answered by piggybacking on another request's in-flight
     /// solve (singleflight followers).
     pub coalesced: u64,

@@ -76,6 +76,42 @@ pub enum WireRequest {
     Metrics,
     /// Cheap liveness/readiness probe for load balancers.
     Health,
+    /// Register a topology lineage for epoch-scoped caching: later solves
+    /// on this graph get weight-free cache keys, and [`WireRequest::Epoch`]
+    /// can invalidate them selectively on weight updates.
+    Register(RegisterRequest),
+    /// Advance a registered lineage's epoch with a weight delta.
+    Epoch(EpochRequest),
+}
+
+/// Payload of [`WireRequest::Register`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RegisterRequest {
+    /// The topology (with its current weights) to track as a lineage.
+    pub graph: krsp_graph::DiGraph,
+}
+
+/// Payload of [`WireRequest::Epoch`]: a weight-only delta against a
+/// registered lineage.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EpochRequest {
+    /// The lineage's structural digest as 32 hex digits — the `topo` a
+    /// [`WireResponse::Registered`] reply handed back. (Hex because the
+    /// digest is a `u128` and JSON integers top out well below that.)
+    pub topo: String,
+    /// The edges whose weights change, with their new values.
+    pub changes: Vec<WireChange>,
+}
+
+/// One edge-weight mutation inside an [`EpochRequest`].
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WireChange {
+    /// Index of the mutated edge in the lineage's edge array.
+    pub edge: u32,
+    /// New edge cost.
+    pub cost: i64,
+    /// New edge delay.
+    pub delay: i64,
 }
 
 /// Payload of [`WireRequest::Solve`].
@@ -203,9 +239,39 @@ pub enum WireResponse {
     Metrics(MetricsSnapshot),
     /// Readiness probe answer.
     Health(HealthReply),
+    /// A lineage was registered (or re-confirmed).
+    Registered(RegisteredReply),
+    /// A lineage's epoch advanced.
+    Epoch(EpochReply),
     /// The request failed for an operational reason: unparseable line,
     /// load shed, deadline, or a contained solver fault.
     Error(WireError),
+}
+
+/// Payload of [`WireResponse::Registered`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RegisteredReply {
+    /// The lineage's structural digest, 32 hex digits — quote it back in
+    /// [`EpochRequest::topo`].
+    pub topo: String,
+    /// The lineage's current epoch (0 on first registration).
+    pub epoch: u64,
+}
+
+/// Payload of [`WireResponse::Epoch`]: what the advance did to the cache.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EpochReply {
+    /// The lineage's structural digest, echoed back.
+    pub topo: String,
+    /// The epoch the lineage is now at.
+    pub epoch: u64,
+    /// Cached entries rekeyed into the new epoch (still served verbatim).
+    pub retained: u64,
+    /// Cached entries evicted because their solutions touched a changed
+    /// edge (or the delta decreased a weight).
+    pub evicted: u64,
+    /// Warm-start seeds now waiting for the new epoch's solves.
+    pub seeds: u64,
 }
 
 /// Coarse serving state reported by [`WireRequest::Health`], serialized as
@@ -504,10 +570,50 @@ pub fn dispatch(service: &Service, request: WireRequest) -> WireResponse {
                 kernel: solve.kernel,
             }))
         }
+        WireRequest::Register(register) => {
+            let (structural, epoch) = service.register_topology(&register.graph);
+            WireResponse::Registered(RegisteredReply {
+                topo: format!("{structural:032x}"),
+                epoch,
+            })
+        }
+        WireRequest::Epoch(req) => dispatch_epoch(service, &req),
         WireRequest::SolveBatch(_) => wire_error(
             ErrorKind::Parse,
             "SolveBatch produces one response per query; use dispatch_batch or an NDJSON server",
         ),
+    }
+}
+
+/// Evaluates an [`WireRequest::Epoch`] advance: hex-decodes the lineage
+/// handle, converts the wire delta, and reports what the sweep did. Bad
+/// handles and out-of-range edges answer with a `"parse"` error — they are
+/// client mistakes, not service faults.
+fn dispatch_epoch(service: &Service, req: &EpochRequest) -> WireResponse {
+    let Ok(structural) = u128::from_str_radix(&req.topo, 16) else {
+        return wire_error(
+            ErrorKind::Parse,
+            format!("topo is not a hex digest: {:?}", req.topo),
+        );
+    };
+    let changes: Vec<krsp_gen::WeightChange> = req
+        .changes
+        .iter()
+        .map(|c| krsp_gen::WeightChange {
+            edge: krsp_graph::EdgeId(c.edge),
+            cost: c.cost,
+            delay: c.delay,
+        })
+        .collect();
+    match service.advance_epoch(structural, &changes) {
+        Ok(report) => WireResponse::Epoch(EpochReply {
+            topo: req.topo.clone(),
+            epoch: report.epoch,
+            retained: report.retained,
+            evicted: report.evicted,
+            seeds: report.seeds,
+        }),
+        Err(e) => wire_error(ErrorKind::Parse, e.to_string()),
     }
 }
 
@@ -973,7 +1079,7 @@ pub fn serve_threaded_with_shutdown(
     // connections close on their next poll tick.
     drop(listener);
     service.begin_shutdown();
-    let deadline = Instant::now() + opts.grace;
+    let deadline = crate::sync_util::saturating_deadline(Instant::now(), opts.grace);
     while conns.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
         std::thread::sleep(opts.poll.min(Duration::from_millis(10)));
     }
@@ -1127,6 +1233,77 @@ mod tests {
         match metrics {
             WireResponse::Metrics(m) => assert_eq!(m.completed, 1),
             other => panic!("expected Metrics, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_and_epoch_round_trip_over_the_wire() {
+        let svc = Service::new(ServiceConfig::default());
+        let instance = inst(20);
+
+        // Register the topology; the reply's topo is the hex handle an
+        // Epoch advance quotes back.
+        let line = serde_json::to_string(&WireRequest::Register(RegisterRequest {
+            graph: instance.graph.clone(),
+        }))
+        .unwrap();
+        let reply: WireResponse = serde_json::from_str(&dispatch_line(&svc, &line)).unwrap();
+        let WireResponse::Registered(registered) = reply else {
+            panic!("expected Registered, got {reply:?}");
+        };
+        assert_eq!(registered.epoch, 0);
+        assert_eq!(registered.topo.len(), 32);
+
+        // Populate the cache, then advance with a no-op-valued delta on
+        // edge 0 (on the cheap path, which the k=2 answer uses): the one
+        // entry is evicted into a seed.
+        let solved = dispatch(
+            &svc,
+            WireRequest::Solve(SolveRequest {
+                instance,
+                deadline_ms: None,
+                kernel: None,
+            }),
+        );
+        assert!(matches!(solved, WireResponse::Solved(_)));
+        let line = serde_json::to_string(&WireRequest::Epoch(EpochRequest {
+            topo: registered.topo.clone(),
+            changes: vec![WireChange {
+                edge: 0,
+                cost: 1,
+                delay: 5,
+            }],
+        }))
+        .unwrap();
+        let reply: WireResponse = serde_json::from_str(&dispatch_line(&svc, &line)).unwrap();
+        let WireResponse::Epoch(advanced) = reply else {
+            panic!("expected Epoch, got {reply:?}");
+        };
+        assert_eq!(advanced.topo, registered.topo);
+        assert_eq!(advanced.epoch, 1);
+        assert_eq!(advanced.retained + advanced.evicted, 1);
+
+        // A bogus handle and an out-of-range edge both answer with parse
+        // errors, not panics.
+        for bad in [
+            EpochRequest {
+                topo: "not-hex".to_string(),
+                changes: Vec::new(),
+            },
+            EpochRequest {
+                topo: registered.topo.clone(),
+                changes: vec![WireChange {
+                    edge: 999,
+                    cost: 1,
+                    delay: 1,
+                }],
+            },
+        ] {
+            let reply = dispatch(&svc, WireRequest::Epoch(bad));
+            match reply {
+                WireResponse::Error(e) => assert_eq!(e.kind, ErrorKind::Parse),
+                other => panic!("expected Error, got {other:?}"),
+            }
         }
     }
 

@@ -14,7 +14,7 @@
 //! limit.
 
 use crate::hash::CacheKey;
-use crate::sync_util::lock_recover;
+use crate::sync_util::{lock_recover, saturating_deadline};
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -68,13 +68,16 @@ impl Quarantine {
                 map.remove(&victim);
             }
         }
+        // A `Duration::MAX`-style TTL ("quarantine forever") must clamp,
+        // not panic the striking worker mid-bookkeeping.
+        let expires = saturating_deadline(now, self.ttl);
         let entry = map.entry(key).or_insert(Entry {
             strikes: 0,
-            expires: now + self.ttl,
+            expires,
             active: false,
         });
         entry.strikes = entry.strikes.saturating_add(1);
-        entry.expires = now + self.ttl;
+        entry.expires = expires;
         let newly_active = !entry.active && entry.strikes >= self.threshold;
         entry.active |= newly_active;
         newly_active
@@ -141,6 +144,13 @@ mod tests {
         }
         assert!(!q.is_quarantined(CacheKey(9)));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn unbounded_ttl_clamps_instead_of_panicking() {
+        let q = Quarantine::new(1, Duration::MAX, 8);
+        assert!(q.strike(CacheKey(4)), "strike must not panic on TTL math");
+        assert!(q.is_quarantined(CacheKey(4)));
     }
 
     #[test]

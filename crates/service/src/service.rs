@@ -25,15 +25,20 @@
 
 use crate::cache::ShardedCache;
 use crate::degrade::{
-    solve_degraded_with, Degraded, Guarantee, KernelLadder, LadderError, LadderPolicy, Rung,
+    solve_degraded_seeded, Degraded, Guarantee, KernelLadder, LadderError, LadderPolicy, Rung,
 };
-use crate::hash::{canonical_key, CacheKey};
+use crate::disk::DiskCache;
+use crate::epoch::{EpochError, EpochRegistry, EpochReport, EpochScope};
+use crate::hash::{canonical_key, scope_key, CacheKey};
 use crate::metrics::{FrontendStats, MetricsSnapshot};
 use crate::quarantine::Quarantine;
 use crate::singleflight::{Join, Singleflight};
-use crate::sync_util::{lock_recover, wait_timeout_recover};
+use crate::sync_util::{lock_recover, saturating_deadline, wait_timeout_recover};
 use krsp::{CancelToken, Config, Executor, Instance, KernelKind, Solution};
+use krsp_gen::WeightChange;
+use krsp_graph::{DiGraph, EdgeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -74,6 +79,12 @@ pub struct ServiceConfig {
     pub quarantine_ttl: Duration,
     /// Maximum keys tracked by the quarantine (oldest-expiring evicted).
     pub quarantine_capacity: usize,
+    /// Directory for the crash-safe disk cache tier; `None` disables it.
+    /// Solutions append to segment files here and survive a SIGKILL — a
+    /// restarted daemon recovers them and answers warm.
+    pub cache_dir: Option<PathBuf>,
+    /// Byte cap for the disk tier (oldest segments pruned); 0 = uncapped.
+    pub cache_disk_cap: u64,
 }
 
 impl Default for ServiceConfig {
@@ -95,6 +106,8 @@ impl Default for ServiceConfig {
             quarantine_threshold: 2,
             quarantine_ttl: Duration::from_secs(30),
             quarantine_capacity: 128,
+            cache_dir: None,
+            cache_disk_cap: 0,
         }
     }
 }
@@ -194,6 +207,10 @@ struct Shared {
     in_flight: AtomicUsize,
     /// Negative cache of keys whose solves keep panicking.
     quarantine: Quarantine,
+    /// Crash-safe second cache tier (None without `cache_dir`).
+    disk: Option<DiskCache>,
+    /// Registered topology lineages for epoch-scoped keys and warm seeds.
+    epochs: EpochRegistry,
     /// Master shutdown token; every request token is its child, so
     /// tripping it degrades in-flight solves to their cheapest rung.
     shutdown: CancelToken,
@@ -234,6 +251,22 @@ impl Service {
         // the variable is unset).
         krsp_failpoint::setup_from_env();
         let executor = Arc::new(Executor::new(cfg.workers));
+        // The disk tier opens (and recovers) before the first request; an
+        // unopenable directory degrades to memory-only rather than failing
+        // the whole service.
+        let disk =
+            cfg.cache_dir
+                .as_ref()
+                .and_then(|dir| match DiskCache::open(dir, cfg.cache_disk_cap) {
+                    Ok(d) => Some(d),
+                    Err(e) => {
+                        eprintln!(
+                            "krsp-service: disk cache at {} disabled: {e}",
+                            dir.display()
+                        );
+                        None
+                    }
+                });
         let shared = Arc::new(Shared {
             cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
             flights: Singleflight::new(cfg.cache_shards),
@@ -244,6 +277,8 @@ impl Service {
                 cfg.quarantine_ttl,
                 cfg.quarantine_capacity,
             ),
+            disk,
+            epochs: EpochRegistry::default(),
             shutdown: CancelToken::cancellable(),
             drain_lock: Mutex::new(()),
             idle: Condvar::new(),
@@ -346,7 +381,18 @@ impl Service {
         // flights, and quarantine strikes are all scoped per kernel — a
         // kernel that keeps panicking on a key never blocks the others.
         let kernels = kernel.map_or(shared.cfg.kernels, KernelLadder::uniform);
-        let key = kernel_scoped_key(canonical_key(instance), &kernels);
+        let ktag = kernel_tag(&kernels);
+        // A request whose graph matches a registered topology lineage (at
+        // its current weights) keys by structure + query + epoch instead of
+        // the full weighted digest, so a later weight-only epoch advance
+        // invalidates its entry selectively; everything else keys by the
+        // canonical digest at epoch 0 (bit-identical to the historical
+        // keys for the default kernel ladder).
+        let scope = shared.epochs.lookup(instance);
+        let key = match &scope {
+            Some(s) => scope_key(s.base, ktag, s.epoch),
+            None => scope_key(canonical_key(instance), ktag, 0),
+        };
         // The request's cancel token: trips when the service shuts down or
         // the deadline passes, degrading the solve to its cheapest rung.
         let cancel = shared
@@ -370,9 +416,33 @@ impl Service {
                 });
             }
 
-            // Quarantine after the cache: a cached answer predating the
-            // strikes is still a valid answer, but a fresh solve on a
-            // striking key would crash-loop the workers.
+            // Disk tier on an LRU miss: a record that survived a restart
+            // (or LRU pressure) answers like a cache hit and is promoted
+            // back into the LRU for its successors.
+            if let Some(disk) = &shared.disk {
+                if let Some(hit) = disk.get(key) {
+                    shared.cache.put(key, hit.clone());
+                    let latency = admitted_at.elapsed();
+                    let deadline_missed = latency > deadline;
+                    finish_metrics(shared, latency, deadline_missed, None, false);
+                    return Ok(Response {
+                        solution: hit.solution,
+                        rung: hit.rung,
+                        guarantee: hit.guarantee,
+                        kernel: hit.kernel,
+                        cache_hit: true,
+                        coalesced: false,
+                        latency,
+                        deadline_missed,
+                    });
+                }
+            }
+
+            // Quarantine after both cache tiers: a stored answer predating
+            // the strikes is still a valid answer, but a fresh solve on a
+            // striking key would crash-loop the workers. (Activation also
+            // purges the key's LRU entry — see `record_outcome` — so a
+            // quarantined key normally has nothing cached to serve.)
             if shared.quarantine.is_quarantined(key) {
                 return Err(Rejection::Quarantined);
             }
@@ -383,18 +453,26 @@ impl Service {
                 return Err(Rejection::DeadlineExpired);
             }
 
+            // A seed is the previous epoch's evicted answer for this exact
+            // query: the solver re-verifies it against the new weights and
+            // warm-starts when it still certifies, falling back to the
+            // bit-identical cold solve when it does not. Consuming it here
+            // (leader / uncoalesced paths only) means followers never race
+            // for it.
             if !shared.cfg.coalesce {
-                let solved = self.solve_on_pool(instance, &kernels, remaining, &cancel);
-                self.record_outcome(key, &solved);
+                let seed = scope.as_ref().and_then(|s| shared.epochs.take_seed(s, key));
+                let solved = self.solve_on_pool(instance, &kernels, remaining, &cancel, seed);
+                self.record_outcome(key, scope.as_ref(), ktag, &solved);
                 return finish_fresh(shared, solved, admitted_at, deadline, false);
             }
             match shared.flights.join(key) {
                 Join::Leader(leader) => {
-                    let solved = self.solve_on_pool(instance, &kernels, remaining, &cancel);
+                    let seed = scope.as_ref().and_then(|s| shared.epochs.take_seed(s, key));
+                    let solved = self.solve_on_pool(instance, &kernels, remaining, &cancel, seed);
                     // Populate the cache before retiring the flight, so a
                     // request arriving after the flight is gone hits the
                     // cache instead of solving again.
-                    self.record_outcome(key, &solved);
+                    self.record_outcome(key, scope.as_ref(), ktag, &solved);
                     if matches!(solved, Err(SolveFailure::Panicked(_))) {
                         // Abort the flight instead of publishing the panic:
                         // each follower wakes with `None` and re-drives on
@@ -418,14 +496,36 @@ impl Service {
     }
 
     /// Post-solve bookkeeping shared by the coalesced and independent
-    /// paths: successes populate the cache, contained panics strike the
-    /// quarantine (and count activations).
-    fn record_outcome(&self, key: crate::hash::CacheKey, solved: &Result<Degraded, SolveFailure>) {
+    /// paths: successes populate both cache tiers (and register with the
+    /// epoch lineage when the request is scoped to one), contained panics
+    /// strike the quarantine — an activation also purges the key's LRU
+    /// entry, so the quarantine is authoritative until its TTL lapses.
+    fn record_outcome(
+        &self,
+        key: CacheKey,
+        scope: Option<&EpochScope>,
+        ktag: u32,
+        solved: &Result<Degraded, SolveFailure>,
+    ) {
         match solved {
-            Ok(d) => self.shared.cache.put(key, d.clone()),
+            Ok(d) => {
+                self.shared.cache.put(key, d.clone());
+                if let Some(s) = scope {
+                    self.shared.epochs.record_issued(s, key, ktag);
+                }
+                if let Some(disk) = &self.shared.disk {
+                    // Disk persistence is best-effort: a full or failing
+                    // volume degrades the tier, never the answer.
+                    let _ = disk.put(key, d);
+                }
+                if d.warm {
+                    lock_recover(&self.shared.metrics).warm_starts += 1;
+                }
+            }
             Err(SolveFailure::Panicked(_)) => {
                 if self.shared.quarantine.strike(key) {
                     lock_recover(&self.shared.metrics).quarantined += 1;
+                    self.shared.cache.remove(key);
                 }
             }
             Err(SolveFailure::Infeasible) => {}
@@ -442,9 +542,17 @@ impl Service {
         kernels: &KernelLadder,
         remaining: Duration,
         cancel: &CancelToken,
+        seed: Option<EdgeSet>,
     ) -> Result<Degraded, SolveFailure> {
         if Executor::on_worker_thread() {
-            return solve_job(&self.shared, instance, kernels, remaining, cancel);
+            return solve_job(
+                &self.shared,
+                instance,
+                kernels,
+                remaining,
+                cancel,
+                seed.as_ref(),
+            );
         }
         let slot = Arc::new(Slot {
             result: Mutex::new(None),
@@ -460,7 +568,14 @@ impl Service {
             // this closure always fills the slot and the condvar wait below
             // cannot hang on a dead worker.
             self.executor.submit(Box::new(move || {
-                let out = solve_job(&shared, &instance, &kernels, remaining, &cancel);
+                let out = solve_job(
+                    &shared,
+                    &instance,
+                    &kernels,
+                    remaining,
+                    &cancel,
+                    seed.as_ref(),
+                );
                 *lock_recover(&slot.result) = Some(out);
                 slot.done.notify_all();
             }));
@@ -483,11 +598,50 @@ impl Service {
         m.cache_hits = c.hits;
         m.cache_misses = c.misses;
         m.cache_evictions = c.evictions;
+        m.cache_invalidations = c.invalidations;
         m.per_shard = self.shared.cache.shard_stats();
+        if let Some(disk) = &self.shared.disk {
+            let d = disk.stats();
+            m.disk_hits = d.hits;
+            m.disk_misses = d.misses;
+            m.disk_recovered = d.recovered;
+            m.disk_dropped = d.dropped;
+        }
+        m.epoch = self.shared.epochs.max_epoch();
         if let Some(frontend) = lock_recover(&self.shared.frontend).as_ref() {
             m.frontend = frontend.snapshot();
         }
         m
+    }
+
+    /// Registers `graph` as a topology lineage at epoch 0 (idempotent for
+    /// the same structure). Subsequent requests whose graph matches the
+    /// lineage's current weights get epoch-scoped, weight-free cache keys,
+    /// so [`Service::advance_epoch`] can invalidate selectively instead of
+    /// orphaning every entry on a weight change. Returns the structural
+    /// digest (the lineage handle) and the current epoch.
+    pub fn register_topology(&self, graph: &DiGraph) -> (u128, u64) {
+        self.shared.epochs.register(graph)
+    }
+
+    /// Applies a weight delta to a registered lineage, bumping its epoch:
+    /// cached entries untouched by the delta are re-keyed to the new epoch
+    /// in place (they stay exact), touched entries are evicted into
+    /// warm-start seeds that the next solve of the same query consumes.
+    pub fn advance_epoch(
+        &self,
+        structural: u128,
+        changes: &[WeightChange],
+    ) -> Result<EpochReport, EpochError> {
+        let report = self
+            .shared
+            .epochs
+            .advance(&self.shared.cache, structural, changes)?;
+        let mut m = lock_recover(&self.shared.metrics);
+        m.epoch_advances += 1;
+        m.epoch_retained += report.retained;
+        m.epoch_evicted += report.evicted;
+        Ok(report)
     }
 
     /// Registers the TCP frontend's live counters so [`Service::metrics`]
@@ -537,7 +691,7 @@ impl Service {
     /// preceded by [`Service::begin_shutdown`] (otherwise new arrivals can
     /// keep the count from reaching zero).
     pub fn drain(&self, grace: Duration) -> bool {
-        let deadline = Instant::now() + grace;
+        let deadline = saturating_deadline(Instant::now(), grace);
         let mut guard = lock_recover(&self.shared.drain_lock);
         loop {
             if self.in_flight() == 0 {
@@ -572,6 +726,7 @@ fn solve_job(
     kernels: &KernelLadder,
     remaining: Duration,
     cancel: &CancelToken,
+    seed: Option<&EdgeSet>,
 ) -> Result<Degraded, SolveFailure> {
     let caught = catch_unwind(AssertUnwindSafe(|| {
         #[cfg(test)]
@@ -579,13 +734,14 @@ fn solve_job(
             gate(shared);
         }
         krsp_failpoint::fail_point!("service.solve");
-        let out = solve_degraded_with(
+        let out = solve_degraded_seeded(
             instance,
             &shared.cfg.solver,
             remaining,
             &shared.cfg.ladder,
             kernels,
             cancel,
+            seed,
         );
         #[cfg(debug_assertions)]
         if let Ok(degraded) = &out {
@@ -600,18 +756,18 @@ fn solve_job(
     }
 }
 
-/// Folds the effective kernel ladder into an instance digest so distinct
-/// kernel assignments occupy disjoint cache/singleflight/quarantine key
-/// spaces. The all-[`KernelKind::Classic`] default folds to a zero tag,
-/// keeping default-configuration keys identical to the plain instance
-/// digest.
-fn kernel_scoped_key(base: CacheKey, kernels: &KernelLadder) -> CacheKey {
-    let mut tag = 0u128;
+/// Packs the effective kernel ladder into a 4-byte tag (one kernel byte
+/// per rung) for [`scope_key`], so distinct kernel assignments occupy
+/// disjoint cache/singleflight/quarantine key spaces. The
+/// all-[`KernelKind::Classic`] default packs to zero, which `scope_key`
+/// folds as the identity at epoch 0 — default-configuration keys stay
+/// identical to the plain instance digest.
+fn kernel_tag(kernels: &KernelLadder) -> u32 {
+    let mut tag = 0u32;
     for rung in Rung::LADDER {
-        tag = (tag << 8) | kernels.for_rung(rung) as u128;
+        tag = (tag << 8) | kernels.for_rung(rung) as u32;
     }
-    // Splitmix-style odd multiplier diffuses the small tag across the word.
-    CacheKey(base.0 ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c835))
+    tag
 }
 
 /// Best-effort text of a panic payload (`&str` and `String` payloads cover
@@ -1051,5 +1207,96 @@ mod tests {
         // least some requests must have seen backpressure.
         assert!(m.rejected_queue_full > 0, "no backpressure observed");
         assert_eq!(m.completed + m.rejected_queue_full, 12);
+    }
+
+    #[test]
+    fn disk_tier_answers_across_a_restart() {
+        let dir = std::env::temp_dir().join(format!("krsp-svc-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServiceConfig {
+            workers: 2,
+            cache_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let first = {
+            let svc = Service::new(cfg.clone());
+            let first = svc.provision(req(14)).unwrap();
+            assert!(!first.cache_hit);
+            first
+        };
+        // A fresh service over the same directory — the LRU is empty, the
+        // disk tier is not.
+        let svc = Service::new(cfg);
+        let again = svc.provision(req(14)).unwrap();
+        assert!(again.cache_hit, "restart must answer from the disk tier");
+        assert_eq!(again.solution.cost, first.solution.cost);
+        assert_eq!(again.solution.delay, first.solution.delay);
+        let m = svc.metrics();
+        assert!(m.disk_hits >= 1, "disk hit not counted: {m:?}");
+        assert!(m.disk_recovered >= 1, "recovery scan found nothing");
+        // Promoted into the LRU: the next lookup is a memory hit.
+        let third = svc.provision(req(14)).unwrap();
+        assert!(third.cache_hit);
+        assert_eq!(svc.metrics().disk_hits, m.disk_hits);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn epoch_advance_retains_rekeys_and_warm_starts() {
+        use krsp_graph::EdgeId;
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        // D = 22 makes the phase-1 rounding infeasible, so the cold solve
+        // probes — exactly the work a certified seed skips.
+        let inst = tradeoff(22);
+        let (topo, epoch0) = svc.register_topology(&inst.graph);
+        assert_eq!(epoch0, 0);
+        let first = svc.provision(req(22)).unwrap();
+        assert!(!first.cache_hit);
+        // The optimum pairs 0→3→5 with 0→2→5 (edge indices 2..=5); the
+        // 0→1 edge (index 0) is off-solution. Re-asserting its current
+        // weights is a valid non-decreasing delta that touches nothing
+        // the cached answer uses, so the entry is rekeyed, not evicted.
+        let report = svc
+            .advance_epoch(
+                topo,
+                &[krsp_gen::WeightChange {
+                    edge: EdgeId(0),
+                    cost: 1,
+                    delay: 10,
+                }],
+            )
+            .unwrap();
+        assert_eq!((report.epoch, report.retained, report.evicted), (1, 1, 0));
+        let second = svc.provision(req(22)).unwrap();
+        assert!(second.cache_hit, "untouched entry must survive the epoch");
+        // Touching a used edge (0→3, index 4) evicts the entry into a
+        // warm-start seed; the next solve of the same query consumes it.
+        let report = svc
+            .advance_epoch(
+                topo,
+                &[krsp_gen::WeightChange {
+                    edge: EdgeId(4),
+                    cost: 2,
+                    delay: 6,
+                }],
+            )
+            .unwrap();
+        assert_eq!((report.epoch, report.retained, report.evicted), (2, 0, 1));
+        assert_eq!(report.seeds, 1);
+        let third = svc.provision(req(22)).unwrap();
+        assert!(!third.cache_hit, "touched entry must not be served stale");
+        assert_eq!(third.solution.cost, first.solution.cost);
+        let m = svc.metrics();
+        assert_eq!(m.epoch, 2);
+        assert_eq!(m.epoch_advances, 2);
+        assert_eq!(m.epoch_retained, 1);
+        assert_eq!(m.epoch_evicted, 1);
+        assert!(
+            m.warm_starts >= 1,
+            "identical-weight seed must warm-start: {m:?}"
+        );
     }
 }

@@ -8,6 +8,23 @@
 //! right response to poison is to keep going with the inner value.
 
 use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// `now + d` without the panic `Instant` addition reserves for
+/// unrepresentable sums: a pathological duration (`Duration::MAX` grace
+/// periods, timeouts parsed from config) clamps to the farthest
+/// representable deadline instead of aborting the thread that armed it.
+pub(crate) fn saturating_deadline(now: Instant, d: Duration) -> Instant {
+    let mut d = d;
+    loop {
+        if let Some(t) = now.checked_add(d) {
+            return t;
+        }
+        // Halving converges on the largest representable offset quickly
+        // (the loop runs at most ~64 times, and only on overflow).
+        d /= 2;
+    }
+}
 
 /// Locks `m`, recovering the guard if a previous holder panicked.
 pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -38,6 +55,19 @@ pub(crate) fn wait_timeout_recover<'a, T>(
 mod tests {
     use super::*;
     use std::sync::Mutex;
+
+    #[test]
+    fn saturating_deadline_clamps_instead_of_panicking() {
+        let now = Instant::now();
+        assert_eq!(
+            saturating_deadline(now, Duration::from_secs(5)),
+            now + Duration::from_secs(5)
+        );
+        // `now + Duration::MAX` would panic; the clamp must not, and must
+        // still land in the future.
+        let far = saturating_deadline(now, Duration::MAX);
+        assert!(far > now + Duration::from_secs(3600));
+    }
 
     #[test]
     fn lock_recover_survives_poison() {

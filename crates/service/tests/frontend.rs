@@ -624,3 +624,89 @@ fn solve_batch_round_trips_with_per_query_responses() {
         other => panic!("expected Metrics, got {other:?}"),
     }
 }
+
+#[test]
+fn reap_latency_is_bounded_by_the_timeout_not_the_sweep_tick() {
+    // A deliberately coarse sweep tick (2 s) with a tight read timeout
+    // (50 ms): the stall-transition wake-up must reap the loris near its
+    // deadline instead of letting it linger until the next fixed tick.
+    let opts = ServeOptions {
+        poll: Duration::from_secs(2),
+        read_timeout: Duration::from_millis(50),
+        grace: Duration::from_secs(5),
+        ..ServeOptions::default()
+    };
+    let server = TestServer::start(ServiceConfig::default(), opts);
+
+    let mut loris = server.connect();
+    loris
+        .get_mut()
+        .write_all(b"{\"Solve\": {\"inst")
+        .expect("write partial line");
+    let stalled_at = Instant::now();
+    loris
+        .get_mut()
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set client read timeout");
+    let mut buf = [0u8; 16];
+    let n = loris.get_mut().read(&mut buf).expect("loris read");
+    let reaped_after = stalled_at.elapsed();
+    assert_eq!(n, 0, "server must close the timed-out loris connection");
+    assert!(
+        reaped_after < Duration::from_secs(1),
+        "reap took {reaped_after:?} — the sweep slept a full tick past the 50 ms timeout"
+    );
+}
+
+#[test]
+fn register_and_epoch_requests_are_served_by_the_frontend() {
+    let server = TestServer::start(
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+        quick_opts(),
+    );
+    let mut conn = server.connect();
+    let inst = instance(1);
+
+    // Id-less requests travel the ordered stream: Register → Solve →
+    // Epoch → Solve observes the advance exactly between the solves.
+    let register = serde_json::to_string(&WireRequest::Register(krsp_service::RegisterRequest {
+        graph: inst.graph.clone(),
+    }))
+    .expect("register serializes");
+    send_line(&mut conn, &register);
+    let reply = read_reply(&mut conn);
+    let topo = match serde_json::from_str::<WireResponse>(&reply) {
+        Ok(WireResponse::Registered(r)) => {
+            assert_eq!(r.epoch, 0);
+            r.topo
+        }
+        other => panic!("expected Registered, got {other:?}"),
+    };
+
+    send_line(&mut conn, &solve_line(&inst));
+    assert!(read_reply(&mut conn).starts_with("{\"Solved\""));
+
+    let advance = serde_json::to_string(&WireRequest::Epoch(krsp_service::EpochRequest {
+        topo,
+        changes: vec![krsp_service::WireChange {
+            edge: 0,
+            cost: 1,
+            delay: 5,
+        }],
+    }))
+    .expect("epoch serializes");
+    send_line(&mut conn, &advance);
+    match serde_json::from_str::<WireResponse>(&read_reply(&mut conn)) {
+        Ok(WireResponse::Epoch(e)) => {
+            assert_eq!(e.epoch, 1);
+            assert_eq!(e.retained + e.evicted, 1, "the solve's entry is tracked");
+        }
+        other => panic!("expected Epoch, got {other:?}"),
+    }
+
+    send_line(&mut conn, &solve_line(&inst));
+    assert!(read_reply(&mut conn).starts_with("{\"Solved\""));
+}

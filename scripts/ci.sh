@@ -26,10 +26,18 @@ echo "== chaos suite (failpoints + panic isolation + drain)"
 cargo test -q --test chaos
 # The same suite must hold with ambient jitter injected from the
 # environment — the env spec is additive on top of each test's own sites.
-KRSP_FAILPOINTS='cache.get=delay(1);singleflight.join=delay(1);proto.read=delay(1)' \
+KRSP_FAILPOINTS='cache.get=delay(1);singleflight.join=delay(1);proto.read=delay(1);cache.disk_write=delay(1);cache.disk_read=delay(1)' \
     cargo test -q --test chaos
 echo "== chaos storm (T10: mid-replay shutdown under load)"
 cargo test -q --release --test chaos -- --ignored t10_chaos_storm_report
+echo "== epoch report (T14: rolling retention, warm vs cold, SIGKILL restart)"
+# Regenerates results/t14_epochs.json and asserts the acceptance numbers
+# inside the test: retention > 0.8, warm p50 < cold p50 on
+# seed-participating re-solves, restart hit rate > 0 with disk recovery.
+cargo test -q --release --test chaos -- --ignored t14_epoch_warm_disk_report
+
+echo "== warm-start differential suite (seeded ≡ guarantees ≡ cold, widths 1/2/8)"
+cargo test -q --test warm_diff
 
 echo "== batch differential suite (solve_batch ≡ N independent solves)"
 cargo test -q --test batch

@@ -11,6 +11,7 @@
 //!                  [--grace-ms MS] [--max-conns N] [--per-client-conns N]
 //!                  [--rate R] [--rate-burst B] [--threaded]
 //!                  [--kernel classic|interval]
+//!                  [--cache-dir DIR] [--cache-disk-cap BYTES]
 //!   krsp-cli load [krsp-load flags...]
 //!
 //! `--threads T` (or the `KRSP_THREADS` env var) sets the solver's
@@ -34,7 +35,13 @@
 //! `"rate_limited"` errors). `--kernel` assigns the named RSP kernel
 //! (`classic` or `interval`, DESIGN.md §4.16) uniformly across the
 //! degrade ladder; individual requests may still override it with a
-//! `"kernel"` member. SIGTERM/ctrl-c triggers a graceful drain:
+//! `"kernel"` member. `--cache-dir DIR` adds a crash-safe disk tier
+//! under the in-memory LRU: every solved answer also appends to a
+//! checksummed segment file in DIR (fsync'd before it counts), a
+//! SIGKILL'd daemon restarted over the same DIR recovers the intact
+//! records and answers them warm, and `--cache-disk-cap BYTES` bounds
+//! the tier by pruning the oldest segments (0 = uncapped).
+//! SIGTERM/ctrl-c triggers a graceful drain:
 //! the listener stops accepting, in-flight requests finish within
 //! `--grace-ms` (default 5000), and a final metrics snapshot is flushed
 //! to stderr. `load` forwards to the `krsp-load` replay tool (same flags;
@@ -208,6 +215,11 @@ fn cmd_serve(args: &[String]) {
                 let kind: krsp::KernelKind = arg(a, it.next());
                 cfg.kernels = krsp_service::KernelLadder::uniform(kind);
             }
+            "--cache-dir" => {
+                let dir: String = arg(a, it.next());
+                cfg.cache_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--cache-disk-cap" => cfg.cache_disk_cap = arg(a, it.next()),
             "--grace-ms" => opts.grace = Duration::from_millis(arg(a, it.next())),
             "--max-conns" => opts.max_conns = arg(a, it.next()),
             "--per-client-conns" => opts.per_client_conns = arg(a, it.next()),

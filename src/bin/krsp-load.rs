@@ -9,6 +9,7 @@
 //!             [--no-coalesce] [--out report.json]
 //!             [--connect ADDR] [--retries N] [--pipeline N] [--batch N]
 //!             [--kernel classic|interval]
+//!             [--rolling W] [--ramp-edges N] [--ramp-num X] [--ramp-den Y]
 //!
 //! The human-readable summary goes to stderr; the full JSON
 //! [`LoadReport`](krsp_service::LoadReport) goes to stdout (or `--out`).
@@ -32,8 +33,19 @@
 //! same connection. `--kernel` stamps an RSP-kernel override
 //! (DESIGN.md §4.16) on every issued request, both in-process and over
 //! the wire; omitted, the server's configured kernel ladder decides.
+//!
+//! `--rolling W` switches to the rolling-update replay (requires
+//! `--connect`): every pool topology is registered as a lineage, then `W`
+//! traffic windows of `--requests` each run back to back, separated by
+//! one epoch advance per lineage that ramps `--ramp-edges` edge costs by
+//! `--ramp-num/--ramp-den` (defaults 1 edge, ×11/10). The client mirrors
+//! each ramp onto its own instances so every window's requests match the
+//! lineage's current weights and exercise the epoch-scoped cache lane
+//! (retention, warm starts) instead of cold canonical keys. The JSON
+//! output is then a [`RollingReport`](krsp_service::RollingReport) with
+//! per-window latencies and server counter deltas.
 
-use krsp_service::load::{self, LoadSpec, RemoteSpec};
+use krsp_service::load::{self, LoadSpec, RemoteSpec, RollingSpec};
 use krsp_service::{Service, ServiceConfig};
 use krsp_suite::krsp_gen::Family;
 use std::time::Duration;
@@ -57,6 +69,8 @@ fn main() {
     let mut out: Option<String> = None;
     let mut connect: Option<String> = None;
     let mut retries: u32 = 5;
+    let mut rolling: usize = 0;
+    let mut roll = RollingSpec::default();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -81,6 +95,10 @@ fn main() {
             "--pipeline" => spec.pipeline = parse(a, it.next()),
             "--batch" => spec.batch = parse(a, it.next()),
             "--kernel" => spec.kernel = Some(parse(a, it.next())),
+            "--rolling" => rolling = parse(a, it.next()),
+            "--ramp-edges" => roll.ramp_edges = parse(a, it.next()),
+            "--ramp-num" => roll.ramp_num = parse(a, it.next()),
+            "--ramp-den" => roll.ramp_den = parse(a, it.next()),
             "--family" => {
                 spec.family = match parse::<String>(a, it.next()).as_str() {
                     "gnm" => Family::Gnm,
@@ -106,6 +124,26 @@ fn main() {
     // the spec leaves bare.
     if let Some(ms) = spec.deadline_ms {
         svc_cfg.default_deadline = Duration::from_millis(ms);
+    }
+
+    if rolling > 0 {
+        let addr = connect
+            .unwrap_or_else(|| fail("--rolling requires --connect (lineages live server-side)"));
+        if spec.pipeline > 1 || spec.batch > 1 {
+            fail("--rolling replays sequentially; drop --pipeline/--batch");
+        }
+        roll.windows = rolling;
+        let report = load::run_rolling(&spec, &roll, &RemoteSpec { addr, retries })
+            .unwrap_or_else(|e| fail(&format!("rolling replay failed: {e}")));
+        eprintln!("{}", load::render_rolling(&report));
+        let json = serde_json::to_string_pretty(&report)
+            .unwrap_or_else(|e| fail(&format!("cannot serialize report: {e}")));
+        match out {
+            Some(path) => std::fs::write(&path, json + "\n")
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}"))),
+            None => println!("{json}"),
+        }
+        return;
     }
 
     let report = match connect {
