@@ -168,13 +168,23 @@ impl SolutionCache {
     }
 
     /// Removes `key` outright (quarantine purge, epoch invalidation),
-    /// decrementing the entry/byte gauges exactly once. Returns the evicted
-    /// answer, `None` if the key was absent (gauges untouched).
+    /// decrementing the entry/byte gauges exactly once and counting one
+    /// invalidation. Returns the evicted answer, `None` if the key was
+    /// absent (counters untouched).
     pub fn remove(&mut self, key: CacheKey) -> Option<Degraded> {
+        let value = self.detach(key)?;
+        self.stats.invalidations += 1;
+        Some(value)
+    }
+
+    /// Removes `key` *without* counting an invalidation — the sweep's
+    /// rekey path, where the entry immediately reinserts under its new key
+    /// and keeps serving. The entry/byte gauges still decrement exactly
+    /// once.
+    fn detach(&mut self, key: CacheKey) -> Option<Degraded> {
         let entry = self.map.remove(&key)?;
         self.stats.entries -= 1;
         self.stats.bytes -= entry_weight(&entry.value);
-        self.stats.invalidations += 1;
         Some(entry.value)
     }
 
@@ -196,6 +206,8 @@ pub enum Sweep {
     /// Remove the entry (counted as an invalidation).
     Evict,
     /// Move the entry to a new key (epoch re-scoping); recency is reset.
+    /// The entry keeps serving, so this is *not* counted as an
+    /// invalidation.
     Rekey(CacheKey),
 }
 
@@ -286,7 +298,7 @@ impl ShardedCache {
                         evicted += 1;
                     }
                     Sweep::Rekey(nk) => {
-                        if let Some(v) = s.remove(k) {
+                        if let Some(v) = s.detach(k) {
                             rekeyed.push((nk, v));
                         }
                     }
@@ -555,6 +567,9 @@ mod tests {
         let agg = c.stats();
         let (entries, bytes) = c.recount();
         assert_eq!((agg.entries, agg.bytes), (entries, bytes));
+        // Only the evictions are invalidations: a rekeyed entry keeps
+        // serving, so moving it must not inflate the counter.
+        assert_eq!(agg.invalidations, 6);
     }
 
     proptest::proptest! {

@@ -205,6 +205,15 @@ impl DiskCache {
         inner.append(&line, key.0)
     }
 
+    /// Drops `key` from the live index (quarantine purge), so lookups miss
+    /// until a fresh `put`. The record's bytes stay in their segment —
+    /// unreachable for the rest of this run; like the quarantine table
+    /// itself, the purge does not survive a restart. Returns whether a
+    /// record was indexed.
+    pub fn remove(&self, key: CacheKey) -> bool {
+        lock_recover(&self.inner).index.remove(&key.0).is_some()
+    }
+
     /// The segment files currently on disk, oldest first (test hook for the
     /// kill-mid-write recovery suite).
     #[must_use]
@@ -501,6 +510,21 @@ mod tests {
         let c3 = DiskCache::open(&dir, 0).unwrap();
         assert_eq!(c3.stats().dropped, 0);
         assert_eq!(c3.get(CacheKey(1234)).unwrap().solution.cost, 77);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_unindexes_the_record() {
+        let dir = tmpdir("remove");
+        let c = DiskCache::open(&dir, 0).unwrap();
+        c.put(CacheKey(9), &answer(4)).unwrap();
+        assert!(c.remove(CacheKey(9)));
+        assert!(c.get(CacheKey(9)).is_none());
+        assert!(!c.remove(CacheKey(9)), "double remove is a no-op");
+        assert!(c.is_empty());
+        // A fresh put re-serves the key.
+        c.put(CacheKey(9), &answer(5)).unwrap();
+        assert_eq!(c.get(CacheKey(9)).unwrap().solution.cost, 5);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -165,9 +165,20 @@ impl EpochRegistry {
 
     /// Records that the cache now holds `scoped` for this lineage, so a
     /// future `advance` can rekey or reseed it.
+    ///
+    /// A record whose scope is not the lineage's *current* epoch is
+    /// dropped: a solve that raced an advance computed its answer under
+    /// the pre-advance weights, and tracking it would let the next
+    /// advance — which tests entries against its own delta only — rekey
+    /// that stale answer into the current epoch with full guarantees.
+    /// (The entry may still sit in the LRU under its old-epoch key, but
+    /// no lookup ever computes that key again.)
     pub fn record_issued(&self, scope: &EpochScope, scoped: CacheKey, kernel_tag: u32) {
         let mut map = lock_recover(&self.inner);
         if let Some(state) = map.get_mut(&scope.structural) {
+            if scope.epoch != state.epoch {
+                return;
+            }
             state.issued.insert(
                 scoped,
                 Issued {
@@ -465,6 +476,36 @@ mod tests {
         assert_eq!(report.evicted, 1);
         assert_eq!(report.seeds, 1);
         assert!(cache.get(hash::scope_key(scope.base, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn stale_epoch_records_are_never_tracked_or_rekeyed() {
+        let reg = EpochRegistry::default();
+        let cache = ShardedCache::new(64, 2);
+        let g = diamond();
+        let (structural, _) = reg.register(&g);
+        let scope0 = reg.lookup(&inst(&g, 20)).unwrap();
+        // A weight re-assert is a valid non-decreasing delta touching
+        // nothing: the epoch advances while a solve for `scope0` is still
+        // in flight.
+        let noop = [WeightChange {
+            edge: EdgeId(2),
+            cost: 4,
+            delay: 1,
+        }];
+        reg.advance(&cache, structural, &noop).unwrap();
+        // The straggler lands with its old-epoch scope. It may enter the
+        // LRU (its key is never looked up again), but the registry must
+        // refuse to track it.
+        let stale = hash::scope_key(scope0.base, 0, 0);
+        cache.put(stale, answer(&g, &[0, 1]));
+        reg.record_issued(&scope0, stale, 0);
+        // The next advance finds nothing to rekey: the answer computed two
+        // epochs back never reappears under a current-epoch key.
+        let report = reg.advance(&cache, structural, &noop).unwrap();
+        assert_eq!((report.retained, report.evicted), (0, 0));
+        assert!(cache.get(hash::scope_key(scope0.base, 0, 1)).is_none());
+        assert!(cache.get(hash::scope_key(scope0.base, 0, 2)).is_none());
     }
 
     #[test]

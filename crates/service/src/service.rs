@@ -393,6 +393,18 @@ impl Service {
             Some(s) => scope_key(s.base, ktag, s.epoch),
             None => scope_key(canonical_key(instance), ktag, 0),
         };
+        // Disk records outlive the process but the epoch registry does
+        // not: after a restart a re-registered lineage starts over at
+        // epoch 0, so a weight-free epoch-scoped key could alias records
+        // written under *different* weights in a previous run (weights
+        // drift while the daemon is down, or the old run was epochs
+        // ahead). The disk tier therefore always keys by the canonical
+        // weight-inclusive digest; for unscoped requests that is `key`
+        // itself.
+        let disk_key = shared.disk.as_ref().map(|_| match &scope {
+            Some(_) => scope_key(canonical_key(instance), ktag, 0),
+            None => key,
+        });
         // The request's cancel token: trips when the service shuts down or
         // the deadline passes, degrading the solve to its cheapest rung.
         let cancel = shared
@@ -419,8 +431,8 @@ impl Service {
             // Disk tier on an LRU miss: a record that survived a restart
             // (or LRU pressure) answers like a cache hit and is promoted
             // back into the LRU for its successors.
-            if let Some(disk) = &shared.disk {
-                if let Some(hit) = disk.get(key) {
+            if let (Some(disk), Some(dk)) = (&shared.disk, disk_key) {
+                if let Some(hit) = disk.get(dk) {
                     shared.cache.put(key, hit.clone());
                     let latency = admitted_at.elapsed();
                     let deadline_missed = latency > deadline;
@@ -441,8 +453,9 @@ impl Service {
             // Quarantine after both cache tiers: a stored answer predating
             // the strikes is still a valid answer, but a fresh solve on a
             // striking key would crash-loop the workers. (Activation also
-            // purges the key's LRU entry — see `record_outcome` — so a
-            // quarantined key normally has nothing cached to serve.)
+            // purges the key's LRU entry *and* its disk record — see
+            // `record_outcome` — so a quarantined key has nothing cached
+            // to serve.)
             if shared.quarantine.is_quarantined(key) {
                 return Err(Rejection::Quarantined);
             }
@@ -462,7 +475,7 @@ impl Service {
             if !shared.cfg.coalesce {
                 let seed = scope.as_ref().and_then(|s| shared.epochs.take_seed(s, key));
                 let solved = self.solve_on_pool(instance, &kernels, remaining, &cancel, seed);
-                self.record_outcome(key, scope.as_ref(), ktag, &solved);
+                self.record_outcome(key, disk_key, scope.as_ref(), ktag, &solved);
                 return finish_fresh(shared, solved, admitted_at, deadline, false);
             }
             match shared.flights.join(key) {
@@ -472,7 +485,7 @@ impl Service {
                     // Populate the cache before retiring the flight, so a
                     // request arriving after the flight is gone hits the
                     // cache instead of solving again.
-                    self.record_outcome(key, scope.as_ref(), ktag, &solved);
+                    self.record_outcome(key, disk_key, scope.as_ref(), ktag, &solved);
                     if matches!(solved, Err(SolveFailure::Panicked(_))) {
                         // Abort the flight instead of publishing the panic:
                         // each follower wakes with `None` and re-drives on
@@ -496,13 +509,16 @@ impl Service {
     }
 
     /// Post-solve bookkeeping shared by the coalesced and independent
-    /// paths: successes populate both cache tiers (and register with the
-    /// epoch lineage when the request is scoped to one), contained panics
-    /// strike the quarantine — an activation also purges the key's LRU
-    /// entry, so the quarantine is authoritative until its TTL lapses.
+    /// paths: successes populate both cache tiers (the disk tier under its
+    /// weight-inclusive `disk_key`) and register with the epoch lineage
+    /// when the request is scoped to one; contained panics strike the
+    /// quarantine — an activation purges the key's LRU entry *and* its
+    /// disk record, so the quarantine is authoritative until its TTL
+    /// lapses.
     fn record_outcome(
         &self,
         key: CacheKey,
+        disk_key: Option<CacheKey>,
         scope: Option<&EpochScope>,
         ktag: u32,
         solved: &Result<Degraded, SolveFailure>,
@@ -513,10 +529,10 @@ impl Service {
                 if let Some(s) = scope {
                     self.shared.epochs.record_issued(s, key, ktag);
                 }
-                if let Some(disk) = &self.shared.disk {
+                if let (Some(disk), Some(dk)) = (&self.shared.disk, disk_key) {
                     // Disk persistence is best-effort: a full or failing
                     // volume degrades the tier, never the answer.
-                    let _ = disk.put(key, d);
+                    let _ = disk.put(dk, d);
                 }
                 if d.warm {
                     lock_recover(&self.shared.metrics).warm_starts += 1;
@@ -526,6 +542,9 @@ impl Service {
                 if self.shared.quarantine.strike(key) {
                     lock_recover(&self.shared.metrics).quarantined += 1;
                     self.shared.cache.remove(key);
+                    if let (Some(disk), Some(dk)) = (&self.shared.disk, disk_key) {
+                        disk.remove(dk);
+                    }
                 }
             }
             Err(SolveFailure::Infeasible) => {}
@@ -1238,6 +1257,98 @@ mod tests {
         let third = svc.provision(req(14)).unwrap();
         assert!(third.cache_hit);
         assert_eq!(svc.metrics().disk_hits, m.disk_hits);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_with_drifted_weights_never_serves_stale_scoped_records() {
+        use krsp_graph::EdgeId;
+        let dir = std::env::temp_dir().join(format!("krsp-svc-drift-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServiceConfig {
+            workers: 2,
+            cache_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        // Run 1: an epoch-scoped answer lands in the disk tier.
+        let first = {
+            let svc = Service::new(cfg.clone());
+            svc.register_topology(&tradeoff(14).graph);
+            let first = svc.provision(req(14)).unwrap();
+            assert!(!first.cache_hit);
+            first
+        };
+        // Weights drift while the daemon is down; the restarted daemon
+        // re-registers the lineage, which starts over at epoch 0 — the
+        // aliasing scenario a weight-free disk key would fall for.
+        let drifted = {
+            let g = tradeoff(14).graph;
+            let bump: Vec<(EdgeId, i64, i64)> = g
+                .edges()
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (EdgeId(i as u32), e.cost + 1, e.delay))
+                .collect();
+            g.with_updates(&bump)
+        };
+        let svc = Service::new(cfg);
+        svc.register_topology(&drifted);
+        let out = svc
+            .provision(Request {
+                instance: Instance::new(drifted, NodeId(0), NodeId(5), 2, 14).unwrap(),
+                deadline: None,
+                kernel: None,
+            })
+            .unwrap();
+        assert!(
+            !out.cache_hit,
+            "pre-drift record must not answer post-drift"
+        );
+        // Re-solved under the new weights: all four solution edges cost
+        // one more (the uniform bump leaves the optimal pairing alone).
+        assert_eq!(out.solution.cost, first.solution.cost + 4);
+        // The pre-drift instance no longer matches the lineage's weights,
+        // so it keys canonically — the same weight-inclusive family the
+        // run-1 record was written under, which still answers it exactly.
+        let stale_weights = svc.provision(req(14)).unwrap();
+        assert!(
+            stale_weights.cache_hit,
+            "canonical disk record must survive"
+        );
+        assert_eq!(stale_weights.solution.cost, first.solution.cost);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_activation_purges_the_disk_record() {
+        let dir = std::env::temp_dir().join(format!("krsp-svc-quar-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            quarantine_threshold: 1,
+            quarantine_ttl: Duration::from_secs(60),
+            cache_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        });
+        let good = svc.provision(req(14)).unwrap();
+        assert!(!good.cache_hit, "first answer is fresh (and hits disk)");
+        // The key's solves start panicking (the stored answer predates the
+        // strikes): activation must leave *neither* tier anything to
+        // serve, or the quarantine never actually fast-fails the key.
+        let key = canonical_key(&tradeoff(14));
+        svc.record_outcome(
+            key,
+            Some(key),
+            None,
+            0,
+            &Err(SolveFailure::Panicked("injected".into())),
+        );
+        assert_eq!(svc.metrics().quarantined, 1);
+        assert_eq!(
+            svc.provision(req(14)).unwrap_err(),
+            Rejection::Quarantined,
+            "a quarantined key must not answer from the disk tier"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

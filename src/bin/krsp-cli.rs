@@ -265,8 +265,17 @@ fn cmd_serve(args: &[String]) {
     let shutdown = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&shutdown);
     if let Err(e) = ctrlc::set_handler(move || {
-        eprintln!("krsp-service: shutdown signal received, draining");
+        // Store before printing: a ctrl-c delivered to the whole process
+        // group kills a piped log consumer first, so this write can hit a
+        // readerless pipe and fail with EPIPE. `eprintln!` would panic and
+        // kill the watcher thread — with the store after it, the flag
+        // would never be set and the daemon would be undrainable.
         flag.store(true, Ordering::Release);
+        use std::io::Write;
+        let _ = writeln!(
+            std::io::stderr(),
+            "krsp-service: shutdown signal received, draining"
+        );
     }) {
         fail(&format!("cannot install signal handler: {e}"));
     }
@@ -279,12 +288,23 @@ fn cmd_serve(args: &[String]) {
         fail(&format!("listener failed: {e}"));
     }
     // Flush the final counters so an orchestrator tearing the pod down
-    // still gets the run's telemetry.
+    // still gets the run's telemetry. Best-effort writes: stdout/stderr
+    // may be dead pipes by now (same group-wide signal as above) and a
+    // drained daemon must still exit 0, not die in a panic it cannot
+    // even report.
+    use std::io::Write;
     match serde_json::to_string(&service.metrics()) {
-        Ok(json) => eprintln!("krsp-service: final metrics {json}"),
-        Err(e) => eprintln!("krsp-service: metrics serialize failed: {e}"),
+        Ok(json) => {
+            let _ = writeln!(std::io::stderr(), "krsp-service: final metrics {json}");
+        }
+        Err(e) => {
+            let _ = writeln!(
+                std::io::stderr(),
+                "krsp-service: metrics serialize failed: {e}"
+            );
+        }
     }
-    println!("krsp-service: drained and stopped");
+    let _ = writeln!(std::io::stdout(), "krsp-service: drained and stopped");
 }
 
 fn cmd_load(args: &[String]) {
