@@ -205,6 +205,11 @@ impl EpochRegistry {
         map.get(&structural).map(|s| (s.epoch, s.graph.clone()))
     }
 
+    /// Number of registered topology lineages.
+    pub fn lineage_count(&self) -> u64 {
+        lock_recover(&self.inner).len() as u64
+    }
+
     /// Highest epoch across registered lineages (0 when none).
     pub fn max_epoch(&self) -> u64 {
         lock_recover(&self.inner)

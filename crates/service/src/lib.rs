@@ -86,6 +86,7 @@ pub mod load;
 pub mod metrics;
 pub mod proto;
 pub mod quarantine;
+pub mod router;
 pub mod service;
 pub mod singleflight;
 mod sync_util;
@@ -106,9 +107,14 @@ pub use metrics::{FrontendSnapshot, LatencyHistogram, MetricsSnapshot};
 pub use proto::{
     decode_response_line, encode_request_with_id, health_reply, serve, serve_on,
     serve_threaded_with_shutdown, serve_with_shutdown, EpochReply, EpochRequest, ErrorKind,
-    HealthReply, HealthStatus, RegisterRequest, RegisteredReply, RungKernel, ServeOptions,
-    SolveRequest, SolvedReply, WireChange, WireError, WireRequest, WireResponse, MAX_LINE_BYTES,
+    HealthReply, HealthStatus, RegisterRequest, RegisteredReply, ReplicaStatus, RingReply,
+    RungKernel, ServeOptions, SolveRequest, SolvedReply, WireChange, WireError, WireRequest,
+    WireResponse, MAX_LINE_BYTES,
 };
 pub use quarantine::Quarantine;
+pub use router::{
+    resolve_seed, serve_ring_with_shutdown, RingState, Router, RouterOptions, DEFAULT_SEED,
+    SEED_ENV_VAR,
+};
 pub use service::{Rejection, Request, Response, Service, ServiceConfig};
 pub use singleflight::{Join, Leader, Singleflight};

@@ -221,6 +221,13 @@ pub struct LoadReport {
     pub latency_cache_hit: LatencySummary,
     /// Latency over cache misses only.
     pub latency_cache_miss: LatencySummary,
+    /// Latency over all answered requests measured from each request's
+    /// **last** transmission — the (re)issue that was actually answered —
+    /// rather than its first. [`LoadReport::latency`] spans every failed
+    /// attempt and the reconnect backoff between them (the caller's
+    /// view); this distribution excludes them (the replica's view).
+    /// The two are identical when no transport retries occurred.
+    pub latency_last_send: LatencySummary,
     /// The service's own counters after the run.
     pub service_metrics: MetricsSnapshot,
 }
@@ -240,6 +247,7 @@ struct Tally {
     per_rung: [u64; 4],
     hit_latencies: Vec<u64>,
     miss_latencies: Vec<u64>,
+    last_send_latencies: Vec<u64>,
 }
 
 impl Tally {
@@ -250,6 +258,7 @@ impl Tally {
         coalesced: bool,
         deadline_missed: bool,
         latency_us: u64,
+        latency_last_us: u64,
     ) {
         self.completed += 1;
         self.per_rung[rung.index()] += u64::from(!cache_hit && !coalesced);
@@ -261,6 +270,7 @@ impl Tally {
         } else {
             self.miss_latencies.push(latency_us);
         }
+        self.last_send_latencies.push(latency_last_us);
     }
 }
 
@@ -328,7 +338,16 @@ pub fn run(service: &Service, spec: &LoadSpec) -> LoadReport {
                 match out {
                     Ok(r) => {
                         let us = r.latency.as_micros().min(u128::from(u64::MAX)) as u64;
-                        t.record_solved(r.rung, r.cache_hit, r.coalesced, r.deadline_missed, us);
+                        // In-process there is no transport, so the first
+                        // and last send coincide.
+                        t.record_solved(
+                            r.rung,
+                            r.cache_hit,
+                            r.coalesced,
+                            r.deadline_missed,
+                            us,
+                            us,
+                        );
                     }
                     Err(Rejection::QueueFull) => t.rejected_queue_full += 1,
                     Err(Rejection::DeadlineExpired) => t.rejected_expired += 1,
@@ -396,6 +415,7 @@ fn build_report(
         latency: LatencySummary::from_samples(all),
         latency_cache_hit: LatencySummary::from_samples(t.hit_latencies),
         latency_cache_miss: LatencySummary::from_samples(t.miss_latencies),
+        latency_last_send: LatencySummary::from_samples(t.last_send_latencies),
         service_metrics,
     }
 }
@@ -403,11 +423,34 @@ fn build_report(
 /// Where and how [`run_remote`] replays over the wire.
 #[derive(Clone, Debug)]
 pub struct RemoteSpec {
-    /// Server address (`host:port`).
+    /// Server address (`host:port`), or a comma-separated list of
+    /// addresses. With a list, clients spread their initial connections
+    /// across the targets and rotate to the next one on each reconnect,
+    /// so a replay keeps going while any listed replica answers.
     pub addr: String,
     /// Reconnect-and-reissue attempts per request after a transport
     /// error, with jittered exponential backoff between attempts.
     pub retries: u32,
+}
+
+impl RemoteSpec {
+    /// The individual target addresses in [`RemoteSpec::addr`]. Never
+    /// empty: a list with no usable entries falls back to the raw string
+    /// so the connection error surfaces where it is acted on.
+    #[must_use]
+    pub fn addrs(&self) -> Vec<&str> {
+        let list: Vec<&str> = self
+            .addr
+            .split(',')
+            .map(str::trim)
+            .filter(|a| !a.is_empty())
+            .collect();
+        if list.is_empty() {
+            vec![self.addr.as_str()]
+        } else {
+            list
+        }
+    }
 }
 
 /// Deterministic jittered exponential backoff: base 10 ms doubling per
@@ -422,9 +465,13 @@ fn backoff_delay(attempt: u32, salt: u64) -> Duration {
     Duration::from_millis(cap / 2 + j % (cap / 2 + 1))
 }
 
-/// One client's connection to the server, lazily (re)established.
+/// One client's connection to the server, lazily (re)established. With a
+/// comma-separated address list the client starts on a salt-determined
+/// target (spreading concurrent clients across replicas) and rotates to
+/// the next target on every reconnect.
 struct WireClient {
-    addr: String,
+    addrs: Vec<String>,
+    target: usize,
     retries: u32,
     salt: u64,
     conn: Option<BufReader<TcpStream>>,
@@ -432,58 +479,64 @@ struct WireClient {
 
 impl WireClient {
     fn new(addr: &str, retries: u32, salt: u64) -> Self {
+        let mut addrs: Vec<String> = addr
+            .split(',')
+            .map(str::trim)
+            .filter(|a| !a.is_empty())
+            .map(str::to_string)
+            .collect();
+        if addrs.is_empty() {
+            addrs.push(addr.to_string());
+        }
+        let target = salt as usize % addrs.len();
         WireClient {
-            addr: addr.to_string(),
+            addrs,
+            target,
             retries,
             salt,
             conn: None,
         }
     }
 
-    /// Sends one request line and reads one reply line, reconnecting and
-    /// reissuing (the protocol is stateless per line, so a reissue is
-    /// safe) up to the retry budget.
-    fn roundtrip(&mut self, line: &str, retries_made: &AtomicU64) -> std::io::Result<String> {
-        let mut attempt = 0u32;
-        loop {
-            match self.try_roundtrip(line) {
-                Ok(reply) => return Ok(reply),
-                Err(e) => {
-                    self.conn = None;
-                    if attempt >= self.retries {
-                        return Err(e);
-                    }
-                    retries_made.fetch_add(1, Ordering::Relaxed);
-                    self.salt = self.salt.wrapping_add(0x9e37_79b9_7f4a_7c15);
-                    std::thread::sleep(backoff_delay(attempt, self.salt));
-                    attempt += 1;
-                }
-            }
-        }
+    /// Drops the current connection and moves to the next target address.
+    fn rotate(&mut self) {
+        self.conn = None;
+        self.target = self.target.wrapping_add(1) % self.addrs.len();
     }
 
-    fn try_roundtrip(&mut self, line: &str) -> std::io::Result<String> {
-        Ok(self.try_roundtrip_many(line, 1)?.remove(0).1)
+    /// Sends one request line and reads one reply line, reconnecting and
+    /// reissuing (the protocol is stateless per line, so a reissue is
+    /// safe) up to the retry budget. Returns the instant the answered
+    /// attempt was written alongside the reply, so callers can report
+    /// replica latency separately from retry/backoff time.
+    fn roundtrip(
+        &mut self,
+        line: &str,
+        retries_made: &AtomicU64,
+    ) -> std::io::Result<(Instant, String)> {
+        let (sent, mut replies) = self.roundtrip_many(line, 1, retries_made)?;
+        Ok((sent, replies.remove(0).1))
     }
 
     /// Sends one request line and reads `replies` reply lines — the
     /// multi-response shape of a `SolveBatch` line — with the same
-    /// reconnect-and-reissue policy as [`WireClient::roundtrip`]. Each
-    /// reply carries its receipt instant so per-query latency can span
-    /// only until *that* response arrived, not until the whole batch
-    /// drained.
+    /// reconnect-and-reissue policy as [`WireClient::roundtrip`]. The
+    /// returned instant is when the answered attempt's line was written;
+    /// each reply carries its receipt instant so per-query latency can
+    /// span only until *that* response arrived, not until the whole
+    /// batch drained.
     fn roundtrip_many(
         &mut self,
         line: &str,
         replies: usize,
         retries_made: &AtomicU64,
-    ) -> std::io::Result<Vec<(Instant, String)>> {
+    ) -> std::io::Result<(Instant, Vec<(Instant, String)>)> {
         let mut attempt = 0u32;
         loop {
             match self.try_roundtrip_many(line, replies) {
-                Ok(lines) => return Ok(lines),
+                Ok(out) => return Ok(out),
                 Err(e) => {
-                    self.conn = None;
+                    self.rotate();
                     if attempt >= self.retries {
                         return Err(e);
                     }
@@ -500,11 +553,13 @@ impl WireClient {
         &mut self,
         line: &str,
         replies: usize,
-    ) -> std::io::Result<Vec<(Instant, String)>> {
+    ) -> std::io::Result<(Instant, Vec<(Instant, String)>)> {
         if self.conn.is_none() {
-            self.conn = Some(BufReader::new(TcpStream::connect(&self.addr)?));
+            let addr = &self.addrs[self.target % self.addrs.len()];
+            self.conn = Some(BufReader::new(TcpStream::connect(addr)?));
         }
         let reader = self.conn.as_mut().expect("connected above");
+        let sent = Instant::now();
         reader.get_mut().write_all(line.as_bytes())?;
         reader.get_mut().write_all(b"\n")?;
         let mut out = Vec::with_capacity(replies);
@@ -518,12 +573,20 @@ impl WireClient {
             }
             out.push((Instant::now(), reply));
         }
-        Ok(out)
+        Ok((sent, out))
     }
 }
 
 /// Classifies one wire response (or its absence) into the tally.
-fn tally_response(t: &mut Tally, response: Option<WireResponse>, latency_us: u64) {
+/// `latency_us` spans from the request's first send (includes retries and
+/// backoff); `latency_last_us` from its last (the attempt that was
+/// answered).
+fn tally_response(
+    t: &mut Tally,
+    response: Option<WireResponse>,
+    latency_us: u64,
+    latency_last_us: u64,
+) {
     match response {
         Some(WireResponse::Solved(r)) => {
             t.record_solved(
@@ -532,6 +595,7 @@ fn tally_response(t: &mut Tally, response: Option<WireResponse>, latency_us: u64
                 r.coalesced,
                 r.deadline_missed,
                 latency_us,
+                latency_last_us,
             );
         }
         Some(WireResponse::Rejected(_)) => t.infeasible += 1,
@@ -558,9 +622,12 @@ fn line_with_id(line: &str, id: u64) -> String {
 struct Pending {
     /// The full request line, kept for reissue after a connection death.
     line: String,
-    /// When it was first sent; per-id latency spans reconnects, matching
-    /// the sequential client's retries-inclusive measurement.
-    sent: Instant,
+    /// When it was first sent; first-send latency spans reconnects,
+    /// matching the sequential client's retries-inclusive measurement.
+    first_send: Instant,
+    /// When it was last (re)issued; last-send latency excludes the dead
+    /// attempts and the reconnect backoff between them.
+    last_send: Instant,
 }
 
 /// One pipelined client: keeps up to `depth` ids in flight on a single
@@ -580,7 +647,9 @@ fn run_pipelined_client(
     start: Instant,
     interval: Option<Duration>,
 ) {
+    let addrs = remote.addrs();
     let mut conn: Option<BufReader<TcpStream>> = None;
+    let mut target = salt as usize % addrs.len();
     let mut outstanding: HashMap<u64, Pending> = HashMap::new();
     let mut order: VecDeque<u64> = VecDeque::new();
     let mut exhausted = false;
@@ -588,20 +657,25 @@ fn run_pipelined_client(
     loop {
         // (Re)establish the connection, reissuing everything outstanding
         // oldest-first (the protocol is stateless per line, so a reissue
-        // is safe).
+        // is safe). Each reissue restamps `last_send`, so the last-send
+        // latency measures only the attempt that gets answered.
         if conn.is_none() {
-            let established = TcpStream::connect(&remote.addr).ok().and_then(|s| {
-                let mut reader = BufReader::new(s);
-                for id in &order {
-                    let pending = outstanding.get(id).expect("order tracks outstanding");
-                    reader.get_mut().write_all(pending.line.as_bytes()).ok()?;
-                    reader.get_mut().write_all(b"\n").ok()?;
-                }
-                Some(reader)
-            });
+            let established = TcpStream::connect(addrs[target % addrs.len()])
+                .ok()
+                .and_then(|s| {
+                    let mut reader = BufReader::new(s);
+                    for id in &order {
+                        let pending = outstanding.get_mut(id).expect("order tracks outstanding");
+                        pending.last_send = Instant::now();
+                        reader.get_mut().write_all(pending.line.as_bytes()).ok()?;
+                        reader.get_mut().write_all(b"\n").ok()?;
+                    }
+                    Some(reader)
+                });
             match established {
                 Some(reader) => conn = Some(reader),
                 None => {
+                    target = target.wrapping_add(1) % addrs.len();
                     if attempt >= remote.retries {
                         // Budget exhausted: fail the whole window like the
                         // sequential client fails its one request, then
@@ -645,16 +719,19 @@ fn run_pipelined_client(
                 reader.get_mut().write_all(line.as_bytes()).is_ok()
                     && reader.get_mut().write_all(b"\n").is_ok()
             });
+            let now = Instant::now();
             outstanding.insert(
                 id,
                 Pending {
                     line,
-                    sent: Instant::now(),
+                    first_send: now,
+                    last_send: now,
                 },
             );
             order.push_back(id);
             if !wrote {
                 conn = None;
+                target = target.wrapping_add(1) % addrs.len();
                 break;
             }
         }
@@ -681,14 +758,22 @@ fn run_pipelined_client(
                             .expect("outstanding ids are ordered");
                         order.remove(pos);
                         let pending = outstanding.remove(&id).expect("checked above");
-                        let us =
-                            pending.sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                        let us = pending
+                            .first_send
+                            .elapsed()
+                            .as_micros()
+                            .min(u128::from(u64::MAX)) as u64;
+                        let us_last = pending
+                            .last_send
+                            .elapsed()
+                            .as_micros()
+                            .min(u128::from(u64::MAX)) as u64;
                         let mut t = lock_recover(tally);
                         if pos > 0 {
                             t.out_of_order += 1;
                             t.reorder_depth_max = t.reorder_depth_max.max(pos as u64);
                         }
-                        tally_response(&mut t, Some(response), us);
+                        tally_response(&mut t, Some(response), us, us_last);
                     }
                     other => {
                         // An id-less line (e.g. a shed error written at
@@ -697,10 +782,20 @@ fn run_pipelined_client(
                         if let Some(id) = order.pop_front() {
                             let pending =
                                 outstanding.remove(&id).expect("order tracks outstanding");
-                            let us =
-                                pending.sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                            let us = pending
+                                .first_send
+                                .elapsed()
+                                .as_micros()
+                                .min(u128::from(u64::MAX))
+                                as u64;
+                            let us_last = pending
+                                .last_send
+                                .elapsed()
+                                .as_micros()
+                                .min(u128::from(u64::MAX))
+                                as u64;
                             let response = other.ok().map(|(_, r)| r);
-                            tally_response(&mut lock_recover(tally), response, us);
+                            tally_response(&mut lock_recover(tally), response, us, us_last);
                         }
                     }
                 }
@@ -708,6 +803,7 @@ fn run_pipelined_client(
             _ => {
                 // EOF or transport error with a window in flight.
                 conn = None;
+                target = target.wrapping_add(1) % addrs.len();
                 if attempt >= remote.retries {
                     let mut t = lock_recover(tally);
                     t.wire_errors += outstanding.len() as u64;
@@ -781,13 +877,17 @@ fn run_batched_client(
                     continue;
                 }
             };
-        let sent = Instant::now();
+        let first_send = Instant::now();
         match client.roundtrip_many(&line, count, retries_made) {
-            Ok(replies) => {
+            Ok((last_send, replies)) => {
                 let mut expected: VecDeque<u64> = (base as u64..(base + count) as u64).collect();
                 for (received, reply) in replies {
                     let us = received
-                        .duration_since(sent)
+                        .duration_since(first_send)
+                        .as_micros()
+                        .min(u128::from(u64::MAX)) as u64;
+                    let us_last = received
+                        .duration_since(last_send)
                         .as_micros()
                         .min(u128::from(u64::MAX)) as u64;
                     match proto::decode_response_line(reply.trim()) {
@@ -802,14 +902,14 @@ fn run_batched_client(
                                 t.out_of_order += 1;
                                 t.reorder_depth_max = t.reorder_depth_max.max(pos as u64);
                             }
-                            tally_response(&mut t, Some(response), us);
+                            tally_response(&mut t, Some(response), us, us_last);
                         }
                         other => {
                             // An id-less or unknown-id line: charge it to
                             // the oldest unanswered query in the window.
                             if expected.pop_front().is_some() {
                                 let response = other.ok().map(|(_, r)| r);
-                                tally_response(&mut lock_recover(tally), response, us);
+                                tally_response(&mut lock_recover(tally), response, us, us_last);
                             }
                         }
                     }
@@ -820,13 +920,19 @@ fn run_batched_client(
     }
 }
 
-/// Replays `spec` over the NDJSON wire protocol against the server at
-/// `remote.addr`, one TCP connection per client thread.
+/// Replays `spec` over the NDJSON wire protocol against the server (or
+/// comma-separated servers) at `remote.addr`, one TCP connection per
+/// client thread. With multiple targets, clients spread their initial
+/// connections across the list and rotate to the next target on each
+/// reconnect.
 ///
 /// Transport errors reconnect and reissue with backoff; a request that
 /// exhausts its retry budget is tallied under `wire_errors` rather than
-/// failing the replay. The final metrics snapshot is fetched over a fresh
-/// connection (left at its default if the server is already gone).
+/// failing the replay. Answered requests contribute to two latency
+/// distributions: [`LoadReport::latency`] from the first send (spans
+/// retries and backoff) and [`LoadReport::latency_last_send`] from the
+/// answered attempt's send. The final metrics snapshot is fetched over a
+/// fresh connection (left at its default if the server is already gone).
 ///
 /// With [`LoadSpec::pipeline`] > 1 each client keeps that many requests
 /// in flight per connection, tagging them with ids and matching the
@@ -937,13 +1043,22 @@ pub fn run_remote(spec: &LoadSpec, remote: &RemoteSpec) -> std::io::Result<LoadR
                         std::thread::sleep(slot - now);
                     }
                 }
-                let sent = Instant::now();
+                let first_send = Instant::now();
                 let reply = client.roundtrip(&lines[i % lines.len()], retries_made);
-                let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-                let response = reply
-                    .ok()
-                    .and_then(|r| serde_json::from_str::<WireResponse>(r.trim()).ok());
-                tally_response(&mut lock_recover(tally), response, us);
+                let received = Instant::now();
+                let (last_send, response) = match reply {
+                    Ok((sent, r)) => (sent, serde_json::from_str::<WireResponse>(r.trim()).ok()),
+                    Err(_) => (first_send, None),
+                };
+                let us = received
+                    .duration_since(first_send)
+                    .as_micros()
+                    .min(u128::from(u64::MAX)) as u64;
+                let us_last = received
+                    .duration_since(last_send)
+                    .as_micros()
+                    .min(u128::from(u64::MAX)) as u64;
+                tally_response(&mut lock_recover(tally), response, us, us_last);
             });
         }
     });
@@ -955,7 +1070,7 @@ pub fn run_remote(spec: &LoadSpec, remote: &RemoteSpec) -> std::io::Result<LoadR
     let service_metrics = WireClient::new(&remote.addr, remote.retries, spec.seed)
         .roundtrip(&metrics_line, &retries_made)
         .ok()
-        .and_then(|r| serde_json::from_str::<WireResponse>(r.trim()).ok())
+        .and_then(|(_, r)| serde_json::from_str::<WireResponse>(r.trim()).ok())
         .and_then(|r| match r {
             WireResponse::Metrics(m) => Some(m),
             _ => None,
@@ -1059,7 +1174,7 @@ fn fetch_metrics(client: &mut WireClient, retries_made: &AtomicU64) -> MetricsSn
     client
         .roundtrip(&line, retries_made)
         .ok()
-        .and_then(|r| serde_json::from_str::<WireResponse>(r.trim()).ok())
+        .and_then(|(_, r)| serde_json::from_str::<WireResponse>(r.trim()).ok())
         .and_then(|r| match r {
             WireResponse::Metrics(m) => Some(m),
             _ => None,
@@ -1110,7 +1225,7 @@ pub fn run_rolling(
             graph: inst.graph.clone(),
         }))
         .map_err(|e| invalid(e.to_string()))?;
-        let reply = client.roundtrip(&line, &retries_made)?;
+        let (_, reply) = client.roundtrip(&line, &retries_made)?;
         match serde_json::from_str::<WireResponse>(reply.trim()) {
             Ok(WireResponse::Registered(r)) => topos.push(r.topo),
             other => {
@@ -1151,7 +1266,7 @@ pub fn run_rolling(
                     changes: wire,
                 }))
                 .map_err(|e| invalid(e.to_string()))?;
-                let reply = client.roundtrip(&line, &retries_made)?;
+                let (_, reply) = client.roundtrip(&line, &retries_made)?;
                 match serde_json::from_str::<WireResponse>(reply.trim()) {
                     Ok(WireResponse::Epoch(r)) => {
                         retained += r.retained;
@@ -1185,13 +1300,22 @@ pub fn run_rolling(
         let before = fetch_metrics(&mut client, &retries_made);
         let mut t = Tally::default();
         for i in 0..spec.requests {
-            let sent = Instant::now();
+            let first_send = Instant::now();
             let reply = client.roundtrip(&lines[i % lines.len()], &retries_made);
-            let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-            let response = reply
-                .ok()
-                .and_then(|r| serde_json::from_str::<WireResponse>(r.trim()).ok());
-            tally_response(&mut t, response, us);
+            let received = Instant::now();
+            let (last_send, response) = match reply {
+                Ok((sent, r)) => (sent, serde_json::from_str::<WireResponse>(r.trim()).ok()),
+                Err(_) => (first_send, None),
+            };
+            let us = received
+                .duration_since(first_send)
+                .as_micros()
+                .min(u128::from(u64::MAX)) as u64;
+            let us_last = received
+                .duration_since(last_send)
+                .as_micros()
+                .min(u128::from(u64::MAX)) as u64;
+            tally_response(&mut t, response, us, us_last);
         }
         let after = fetch_metrics(&mut client, &retries_made);
 
@@ -1275,10 +1399,18 @@ pub fn render(report: &LoadReport) -> String {
     } else {
         String::new()
     };
+    let retry_line = if r.transport_retries > 0 {
+        format!(
+            "\nlast-send µs: p50 {}  p99 {}  max {}  (excludes reconnect backoff)",
+            r.latency_last_send.p50_us, r.latency_last_send.p99_us, r.latency_last_send.max_us
+        )
+    } else {
+        String::new()
+    };
     format!(
         "issued {}  completed {}  rejected(queue/deadline) {}/{}  infeasible {}  errors {}  retries {}\n\
          wall {:.3}s  throughput {:.1} req/s  deadline-missed {}\n\
-         latency µs: p50 {}  p95 {}  p99 {}  mean {:.0}  max {}\n\
+         latency µs: p50 {}  p95 {}  p99 {}  mean {:.0}  max {}{retry_line}\n\
          cache: hits {}  coalesced {}  (hit p50 {} µs | miss p50 {} µs)\n\
          rungs: {rung_line}{pipeline_line}",
         r.issued,
@@ -1456,6 +1588,86 @@ mod tests {
             ..spec
         };
         assert!(run_remote(&bad, &remote).is_err());
+    }
+
+    #[test]
+    fn remote_spec_splits_and_never_yields_an_empty_list() {
+        let spec = RemoteSpec {
+            addr: "a:1, b:2 ,,c:3".to_string(),
+            retries: 0,
+        };
+        assert_eq!(spec.addrs(), vec!["a:1", "b:2", "c:3"]);
+        let empty = RemoteSpec {
+            addr: String::new(),
+            retries: 0,
+        };
+        assert_eq!(empty.addrs(), vec![""]);
+    }
+
+    #[test]
+    fn retried_requests_rotate_targets_and_report_both_latency_views() {
+        use crate::proto::serve_on;
+        use std::net::TcpListener;
+
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        // A dead target (bound then dropped, so connects are refused) in
+        // front of a live one: the client must start on the dead target,
+        // burn one retry with backoff, rotate, and complete everything.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let live = listener.local_addr().unwrap();
+        {
+            let svc = svc.clone();
+            std::thread::spawn(move || {
+                let _ = serve_on(&svc, listener);
+            });
+        }
+        // One client: salt = seed ^ 1 must be even so the initial target
+        // (salt % 2) is the dead address.
+        let spec = LoadSpec {
+            requests: 8,
+            unique: 2,
+            clients: 1,
+            seed: 43, // 43 ^ 1 == 42
+            n: 24,
+            ..LoadSpec::default()
+        };
+        let remote = RemoteSpec {
+            addr: format!("{dead},{live}"),
+            retries: 2,
+        };
+        let report = run_remote(&spec, &remote).unwrap();
+        assert_eq!(
+            report.wire_errors, 0,
+            "rotation did not reach the live target"
+        );
+        assert_eq!(report.completed + report.infeasible, 8);
+        assert!(
+            report.transport_retries >= 1,
+            "the dead target must have cost at least one retry"
+        );
+        // Both distributions cover every answered request; the first-send
+        // view additionally carries the reconnect backoff (≥ 5 ms for the
+        // first attempt), the last-send view must not.
+        assert_eq!(report.latency_last_send.count, report.latency.count);
+        assert!(
+            report.latency.max_us >= 5_000,
+            "first-send latency should include the backoff: {:?}",
+            report.latency
+        );
+        assert!(
+            report.latency.max_us >= report.latency_last_send.max_us,
+            "last-send latency exceeded first-send: {:?} vs {:?}",
+            report.latency_last_send,
+            report.latency
+        );
+        assert!(render(&report).contains("last-send"));
     }
 
     #[test]

@@ -239,6 +239,10 @@ pub enum WireResponse {
     Metrics(MetricsSnapshot),
     /// Readiness probe answer.
     Health(HealthReply),
+    /// The router's answer to [`WireRequest::Health`]: its view of the
+    /// replica ring (per-replica health plus routing counters). Single
+    /// replicas never send this.
+    Ring(RingReply),
     /// A lineage was registered (or re-confirmed).
     Registered(RegisteredReply),
     /// A lineage's epoch advanced.
@@ -323,7 +327,16 @@ impl Deserialize for HealthStatus {
 /// Payload of [`WireResponse::Health`]: enough for a load balancer to
 /// route (status), for capacity planning (width/workers/queue), and for a
 /// cheap cache-efficiency read, without the full metrics histogram.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// The trailing members (`draining_since_ms`, `accepting`, `lineages`,
+/// `max_epoch`) postdate deployed clients, so they are **optional on the
+/// wire**: absent members deserialize to `None`, and a reply in which
+/// they are all `None` serializes byte-identically to the historical
+/// format (the same compatibility contract as the `kernel` request
+/// member). A router uses them to make handoff decisions — a draining
+/// replica advertises *when* it started draining and that it no longer
+/// accepts new work — without guessing from the coarse status.
+#[derive(Clone, Debug)]
 pub struct HealthReply {
     /// Coarse serving state.
     pub status: HealthStatus,
@@ -352,6 +365,89 @@ pub struct HealthReply {
     /// (DESIGN.md §4.16). A per-request `"kernel"` override replaces this
     /// whole map with a uniform one for that request.
     pub kernels: Vec<RungKernel>,
+    /// Milliseconds since this replica began draining; absent while
+    /// serving normally. Lets an operator (or the router) distinguish a
+    /// fresh drain from one stuck past its grace.
+    pub draining_since_ms: Option<u64>,
+    /// Whether the replica accepts *new* work. Absent means accepting
+    /// (the historical implicit contract); an explicit `false` is the
+    /// drain handoff signal — in-flight work still completes, but a
+    /// router must stop sending and re-ring this replica's digests.
+    pub accepting: Option<bool>,
+    /// Registered topology lineages; absent when none are registered (so
+    /// the steady lineage-free reply stays byte-identical).
+    pub lineages: Option<u64>,
+    /// Highest epoch across registered lineages; absent alongside
+    /// `lineages`.
+    pub max_epoch: Option<u64>,
+}
+
+// Hand-written for the same reason as `SolveRequest`: the four trailing
+// members must be absent-tolerant on deserialize and omitted when `None`,
+// which the vendored serde derive cannot express.
+impl Serialize for HealthReply {
+    fn to_content(&self) -> Content {
+        let mut entries = vec![
+            ("status".to_string(), self.status.to_content()),
+            ("width".to_string(), self.width.to_content()),
+            ("workers".to_string(), self.workers.to_content()),
+            ("in_flight".to_string(), self.in_flight.to_content()),
+            ("queue_limit".to_string(), self.queue_limit.to_content()),
+            ("conns_open".to_string(), self.conns_open.to_content()),
+            ("cache_hits".to_string(), self.cache_hits.to_content()),
+            ("cache_misses".to_string(), self.cache_misses.to_content()),
+            (
+                "cache_evictions".to_string(),
+                self.cache_evictions.to_content(),
+            ),
+            ("kernel".to_string(), self.kernel.to_content()),
+            ("kernels".to_string(), self.kernels.to_content()),
+        ];
+        if let Some(ms) = self.draining_since_ms {
+            entries.push(("draining_since_ms".to_string(), ms.to_content()));
+        }
+        if let Some(accepting) = self.accepting {
+            entries.push(("accepting".to_string(), accepting.to_content()));
+        }
+        if let Some(lineages) = self.lineages {
+            entries.push(("lineages".to_string(), lineages.to_content()));
+        }
+        if let Some(epoch) = self.max_epoch {
+            entries.push(("max_epoch".to_string(), epoch.to_content()));
+        }
+        Content::Map(entries)
+    }
+}
+
+/// One optional member of a [`HealthReply`]-style map: absent (or `null`)
+/// is `None`, present must parse.
+fn opt_member<T: Deserialize>(c: &Content, name: &str) -> Result<Option<T>, serde::DeError> {
+    match c.field(name) {
+        Ok(member) => Option::from_content(member),
+        Err(_) => Ok(None),
+    }
+}
+
+impl Deserialize for HealthReply {
+    fn from_content(c: &Content) -> Result<Self, serde::DeError> {
+        Ok(HealthReply {
+            status: HealthStatus::from_content(c.field("status")?)?,
+            width: u64::from_content(c.field("width")?)?,
+            workers: u64::from_content(c.field("workers")?)?,
+            in_flight: u64::from_content(c.field("in_flight")?)?,
+            queue_limit: u64::from_content(c.field("queue_limit")?)?,
+            conns_open: u64::from_content(c.field("conns_open")?)?,
+            cache_hits: u64::from_content(c.field("cache_hits")?)?,
+            cache_misses: u64::from_content(c.field("cache_misses")?)?,
+            cache_evictions: u64::from_content(c.field("cache_evictions")?)?,
+            kernel: KernelKind::from_content(c.field("kernel")?)?,
+            kernels: Vec::from_content(c.field("kernels")?)?,
+            draining_since_ms: opt_member(c, "draining_since_ms")?,
+            accepting: opt_member(c, "accepting")?,
+            lineages: opt_member(c, "lineages")?,
+            max_epoch: opt_member(c, "max_epoch")?,
+        })
+    }
 }
 
 /// One rung's kernel assignment inside [`HealthReply::kernels`].
@@ -361,6 +457,43 @@ pub struct RungKernel {
     pub rung: Rung,
     /// The RSP kernel assigned to it.
     pub kernel: KernelKind,
+}
+
+/// One replica's entry inside a [`RingReply`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReplicaStatus {
+    /// The replica's listen address as configured.
+    pub addr: String,
+    /// Ring health state (`"up"`, `"degraded"`, `"draining"`, `"down"`).
+    pub state: String,
+    /// Consecutive probe/forward failures (resets on success).
+    pub consecutive_failures: u64,
+    /// The replica's self-reported drain age in milliseconds at the last
+    /// probe; `0` when not draining.
+    pub draining_since_ms: u64,
+    /// Router-side requests currently outstanding against this replica.
+    pub in_flight: u64,
+}
+
+/// Payload of [`WireResponse::Ring`]: the router's replica-set view plus
+/// its routing counters, answered to [`WireRequest::Health`] probes of the
+/// router itself.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RingReply {
+    /// Per-replica health, in configured order (the ring's index space).
+    pub replicas: Vec<ReplicaStatus>,
+    /// Solve requests routed (before retries).
+    pub requests: u64,
+    /// Failover retries: additional replicas tried after a transport
+    /// failure or a `shed` answer.
+    pub retries: u64,
+    /// Hedged second sends fired at the latency-quantile trigger.
+    pub hedges_fired: u64,
+    /// Hedged sends where the *second* replica answered first.
+    pub hedges_won: u64,
+    /// Requests structurally rejected by the router itself (deadline
+    /// budget exhausted or no live replica).
+    pub rejected: u64,
 }
 
 /// Builds a [`HealthReply`] from the service's current state. `conn_caps`
@@ -399,6 +532,16 @@ pub fn health_reply(service: &Service, conn_caps: Option<(u64, u64)>) -> HealthR
                 kernel: cfg.kernels.for_rung(rung),
             })
             .collect(),
+        draining_since_ms: service
+            .draining_since()
+            .map(|since| since.as_millis() as u64),
+        accepting: if service.is_shutting_down() {
+            Some(false)
+        } else {
+            None
+        },
+        lineages: (service.lineage_count() > 0).then(|| service.lineage_count()),
+        max_epoch: (service.lineage_count() > 0).then_some(m.epoch),
     }
 }
 
@@ -785,7 +928,7 @@ pub fn decode_response_line(line: &str) -> Result<(Option<u64>, WireResponse), S
 }
 
 /// One outcome of [`read_line_capped`].
-enum LineRead {
+pub(crate) enum LineRead {
     /// A complete line (without the trailing newline).
     Line(Vec<u8>),
     /// The line exceeded the cap; the remainder up to its newline has been
@@ -800,7 +943,7 @@ enum LineRead {
 /// (`partial = true`: bytes of the current line have arrived but not its
 /// newline), letting the caller distinguish an idle keepalive connection
 /// from a stalled sender.
-enum BlockAction {
+pub(crate) enum BlockAction {
     /// Keep waiting.
     Retry,
     /// Close the connection cleanly (reported as EOF).
@@ -816,7 +959,7 @@ enum BlockAction {
 /// plain blocking server retries forever, while the shutdown-aware server
 /// closes idle connections on drain and bounds how long a half-sent line
 /// may stall a thread.
-fn read_line_capped(
+pub(crate) fn read_line_capped(
     reader: &mut impl BufRead,
     max: usize,
     on_block: &mut dyn FnMut(bool) -> BlockAction,
@@ -1200,6 +1343,69 @@ mod tests {
             assert_eq!(entry.rung, rung);
             assert_eq!(entry.kernel, krsp::KernelKind::Classic);
         }
+    }
+
+    #[test]
+    fn health_trailing_members_absent_stay_byte_identical() {
+        // A steady-state reply (not draining, no lineages) must serialize
+        // exactly as it did before the trailing members existed, so old
+        // clients parse it unchanged.
+        let svc = Service::new(ServiceConfig::default());
+        let health = health_reply(&svc, None);
+        assert_eq!(health.draining_since_ms, None);
+        assert_eq!(health.accepting, None);
+        assert_eq!(health.lineages, None);
+        assert_eq!(health.max_epoch, None);
+        let text = serde_json::to_string(&WireResponse::Health(health.clone())).unwrap();
+        for member in ["draining_since_ms", "accepting", "lineages", "max_epoch"] {
+            assert!(!text.contains(member), "line = {text}");
+        }
+        // And a historical line (no trailing members) parses with all
+        // four as `None`.
+        match serde_json::from_str::<WireResponse>(&text).unwrap() {
+            WireResponse::Health(h) => {
+                assert_eq!(h.status, health.status);
+                assert_eq!(h.draining_since_ms, None);
+                assert_eq!(h.accepting, None);
+                assert_eq!(h.lineages, None);
+                assert_eq!(h.max_epoch, None);
+            }
+            other => panic!("expected Health, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn health_trailing_members_round_trip_when_present() {
+        let svc = Service::new(ServiceConfig::default());
+        let mut health = health_reply(&svc, None);
+        health.draining_since_ms = Some(1234);
+        health.accepting = Some(false);
+        health.lineages = Some(2);
+        health.max_epoch = Some(7);
+        let text = serde_json::to_string(&WireResponse::Health(health)).unwrap();
+        match serde_json::from_str::<WireResponse>(&text).unwrap() {
+            WireResponse::Health(h) => {
+                assert_eq!(h.draining_since_ms, Some(1234));
+                assert_eq!(h.accepting, Some(false));
+                assert_eq!(h.lineages, Some(2));
+                assert_eq!(h.max_epoch, Some(7));
+            }
+            other => panic!("expected Health, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn draining_service_advertises_handoff_members() {
+        let svc = Service::new(ServiceConfig::default());
+        let g = DiGraph::from_edges(4, &[(0, 1, 1, 5), (1, 3, 1, 5), (0, 2, 4, 1), (2, 3, 4, 1)]);
+        svc.register_topology(&g);
+        svc.begin_shutdown();
+        let health = health_reply(&svc, None);
+        assert_eq!(health.status, HealthStatus::Draining);
+        assert!(health.draining_since_ms.is_some());
+        assert_eq!(health.accepting, Some(false));
+        assert_eq!(health.lineages, Some(1));
+        assert!(health.max_epoch.is_some());
     }
 
     #[test]

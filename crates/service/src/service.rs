@@ -214,6 +214,10 @@ struct Shared {
     /// Master shutdown token; every request token is its child, so
     /// tripping it degrades in-flight solves to their cheapest rung.
     shutdown: CancelToken,
+    /// When [`Service::begin_shutdown`] first ran — the `Health` reply's
+    /// `draining_since_ms` field, so routers and operators can tell a
+    /// fresh drain from a stuck one.
+    draining_since: Mutex<Option<Instant>>,
     /// Pairs with `idle` so `drain` can park instead of spin-polling the
     /// `in_flight` counter.
     drain_lock: Mutex<()>,
@@ -280,6 +284,7 @@ impl Service {
             disk,
             epochs: EpochRegistry::default(),
             shutdown: CancelToken::cancellable(),
+            draining_since: Mutex::new(None),
             drain_lock: Mutex::new(()),
             idle: Condvar::new(),
             frontend: Mutex::new(None),
@@ -696,6 +701,7 @@ impl Service {
     /// it finishes (with a valid answer) instead of running its full
     /// course. Idempotent.
     pub fn begin_shutdown(&self) {
+        lock_recover(&self.shared.draining_since).get_or_insert_with(Instant::now);
         self.shared.shutdown.cancel();
     }
 
@@ -703,6 +709,20 @@ impl Service {
     #[must_use]
     pub fn is_shutting_down(&self) -> bool {
         self.shared.shutdown.is_cancelled()
+    }
+
+    /// How long the service has been draining (since the first
+    /// [`Service::begin_shutdown`]); `None` while serving normally.
+    #[must_use]
+    pub fn draining_since(&self) -> Option<Duration> {
+        lock_recover(&self.shared.draining_since).map(|at| at.elapsed())
+    }
+
+    /// Number of registered topology lineages (see
+    /// [`Service::register_topology`]).
+    #[must_use]
+    pub fn lineage_count(&self) -> u64 {
+        self.shared.epochs.lineage_count()
     }
 
     /// Blocks until every in-flight request has finished, or `grace`

@@ -36,6 +36,20 @@ echo "== epoch report (T14: rolling retention, warm vs cold, SIGKILL restart)"
 # seed-participating re-solves, restart hit rate > 0 with disk recovery.
 cargo test -q --release --test chaos -- --ignored t14_epoch_warm_disk_report
 
+echo "== replica-ring suite (router unit + chaos: failover, drain handoff, hedging)"
+cargo test -q -p krsp-service --lib router
+cargo test -q --test ring
+# The same chaos suite must hold with ambient router jitter injected from
+# the environment — tests that arm their own failure scripts replace these
+# sites, everything else absorbs the extra latency.
+KRSP_FAILPOINTS='router.dial=delay(1);router.forward=delay(1);router.probe=delay(1)' \
+    cargo test -q --test ring
+echo "== ring storm (T15: 1-vs-3 replica A/B + mid-replay replica kill)"
+# Regenerates results/t15_ring.json through real `krsp-cli route`/`serve`
+# processes; the test asserts 100% id-matched availability in every phase,
+# including the window where one of three replicas is killed mid-replay.
+cargo test -q --release --test ring -- --ignored t15_ring_storm_report
+
 echo "== warm-start differential suite (seeded ≡ guarantees ≡ cold, widths 1/2/8)"
 cargo test -q --test warm_diff
 

@@ -13,6 +13,14 @@
 //!                  [--kernel classic|interval]
 //!                  [--cache-dir DIR] [--cache-disk-cap BYTES]
 //!   krsp-cli load [krsp-load flags...]
+//!   krsp-cli route <addr> --replicas A,B,C [--vnodes N] [--seed S]
+//!                  [--probe-ms MS] [--probe-timeout-ms MS]
+//!                  [--dial-timeout-ms MS] [--deadline-ms MS]
+//!                  [--degrade-after N] [--down-after N] [--revive-after N]
+//!                  [--backoff-ms MS] [--backoff-cap-ms MS]
+//!                  [--hedge] [--hedge-quantile Q] [--hedge-min-ms MS]
+//!                  [--hedge-warmup N] [--pool N] [--max-conns N]
+//!                  [--grace-ms MS]
 //!
 //! `--threads T` (or the `KRSP_THREADS` env var) sets the solver's
 //! data-parallel width — the rayon pool behind the bicameral seed scan and
@@ -46,6 +54,22 @@
 //! `--grace-ms` (default 5000), and a final metrics snapshot is flushed
 //! to stderr. `load` forwards to the `krsp-load` replay tool (same flags;
 //! see its source header).
+//!
+//! `route` runs the replica-ring router (DESIGN.md §4.18) on `addr`,
+//! fronting the `krsp-cli serve` replicas listed in `--replicas` with the
+//! same NDJSON protocol the replicas speak. Each `Solve` is routed by its
+//! instance's canonical digest on a consistent-hash ring (`--vnodes`
+//! points per replica), retried on the next live replica after transport
+//! failures with deterministic jittered backoff (`--seed`, or the
+//! `KRSP_SEED` env var, keys the jitter so replays reproduce), and never
+//! retried past the client's deadline budget. Replica health is tracked
+//! by active `Health` probes every `--probe-ms` plus passive traffic
+//! signals; a draining replica (one that answered SIGTERM) stops getting
+//! new sends while its in-flight work hands off via retry. `--hedge`
+//! arms tail-latency hedging: when a solve outlives the observed
+//! `--hedge-quantile` latency, a second copy goes to the next ring
+//! replica and the first answer wins. A `"Health"` request to the router
+//! answers with per-replica ring states and router counters.
 
 use krsp_service::{serve_with_shutdown, ServeOptions, Service, ServiceConfig};
 use krsp_suite::krsp::{self, solve, solve_scaled, Config, Engine, Eps};
@@ -66,9 +90,10 @@ fn main() {
         Some("gen") => cmd_gen(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
         Some("load") => cmd_load(&args[1..]),
         _ => {
-            eprintln!("usage: krsp-cli solve|gen|info|serve|load ... (see source header)");
+            eprintln!("usage: krsp-cli solve|gen|info|serve|route|load ... (see source header)");
             std::process::exit(2);
         }
     }
@@ -305,6 +330,107 @@ fn cmd_serve(args: &[String]) {
         }
     }
     let _ = writeln!(std::io::stdout(), "krsp-service: drained and stopped");
+}
+
+fn cmd_route(args: &[String]) {
+    use krsp_service::{resolve_seed, serve_ring_with_shutdown, Router, RouterOptions};
+
+    let Some(addr) = args.first() else {
+        fail("route needs a bind address, e.g. 127.0.0.1:7440")
+    };
+    let mut opts = RouterOptions::default();
+    let mut seed_flag: Option<u64> = None;
+    let mut grace: Option<Duration> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        fn arg<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
+            value
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("bad value for {flag}")))
+        }
+        let ms = |flag: &str, value: Option<&String>| Duration::from_millis(arg(flag, value));
+        match a.as_str() {
+            "--replicas" => {
+                opts.replicas = arg::<String>(a, it.next())
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|r| !r.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--vnodes" => opts.vnodes = arg(a, it.next()),
+            "--seed" => seed_flag = Some(arg(a, it.next())),
+            "--probe-ms" => opts.probe_interval = ms(a, it.next()),
+            "--probe-timeout-ms" => opts.probe_timeout = ms(a, it.next()),
+            "--dial-timeout-ms" => opts.dial_timeout = ms(a, it.next()),
+            "--deadline-ms" => opts.default_deadline = ms(a, it.next()),
+            "--degrade-after" => opts.degrade_after = arg(a, it.next()),
+            "--down-after" => opts.down_after = arg(a, it.next()),
+            "--revive-after" => opts.revive_after = arg(a, it.next()),
+            "--backoff-ms" => opts.backoff_base = ms(a, it.next()),
+            "--backoff-cap-ms" => opts.backoff_cap = ms(a, it.next()),
+            "--hedge" => opts.hedge = true,
+            "--hedge-quantile" => opts.hedge_quantile = arg(a, it.next()),
+            "--hedge-min-ms" => opts.hedge_min = ms(a, it.next()),
+            "--hedge-warmup" => opts.hedge_warmup = arg(a, it.next()),
+            "--pool" => opts.pool_cap = arg(a, it.next()),
+            "--max-conns" => opts.max_conns = arg(a, it.next()),
+            "--grace-ms" => grace = Some(ms(a, it.next())),
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+    if opts.replicas.is_empty() {
+        fail("route needs --replicas A,B,... (at least one krsp-cli serve address)");
+    }
+    opts.seed = resolve_seed(seed_flag);
+    if let Some(g) = grace {
+        opts.grace = g;
+    }
+
+    let listener = std::net::TcpListener::bind(addr)
+        .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));
+    let local = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    let router = Router::new(opts);
+    let ropts = router.options();
+    println!(
+        "krsp-router listening on {local} ({} replicas × {} vnodes, probe every {:?}, hedge {}, seed {:#x})",
+        ropts.replicas.len(),
+        ropts.vnodes,
+        ropts.probe_interval,
+        if ropts.hedge { "on" } else { "off" },
+        ropts.seed
+    );
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    if let Err(e) = ctrlc::set_handler(move || {
+        // Same EPIPE-safe ordering as `serve`: set the flag before any
+        // write that might panic on a dead pipe.
+        flag.store(true, Ordering::Release);
+        use std::io::Write;
+        let _ = writeln!(
+            std::io::stderr(),
+            "krsp-router: shutdown signal received, draining"
+        );
+    }) {
+        fail(&format!("cannot install signal handler: {e}"));
+    }
+    if let Err(e) = serve_ring_with_shutdown(&router, listener, Arc::clone(&shutdown)) {
+        fail(&format!("router listener failed: {e}"));
+    }
+    // Best-effort final counters, mirroring `serve`'s drain telemetry.
+    use std::io::Write;
+    match serde_json::to_string(&router.ring_reply()) {
+        Ok(json) => {
+            let _ = writeln!(std::io::stderr(), "krsp-router: final ring state {json}");
+        }
+        Err(e) => {
+            let _ = writeln!(std::io::stderr(), "krsp-router: ring serialize failed: {e}");
+        }
+    }
+    let _ = writeln!(std::io::stdout(), "krsp-router: drained and stopped");
 }
 
 fn cmd_load(args: &[String]) {

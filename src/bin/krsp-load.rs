@@ -19,10 +19,16 @@
 //! the single-lock, no-coalescing baseline for A/B comparisons.
 //!
 //! `--connect ADDR` replays over the wire against a running
-//! `krsp-cli serve` instead of an in-process service (the `--workers` etc.
-//! service flags are then ignored). Transport errors reconnect and reissue
+//! `krsp-cli serve` (or `krsp-cli route`) instead of an in-process service
+//! (the `--workers` etc. service flags are then ignored). `ADDR` may be a
+//! comma-separated list — clients spread across the targets and rotate to
+//! the next one on each reconnect, so the replay keeps going while any
+//! listed replica answers. Transport errors reconnect and reissue
 //! with jittered exponential backoff, up to `--retries N` attempts per
-//! request (default 5). `--pipeline N` keeps N requests in flight per
+//! request (default 5); the report then carries both latency views —
+//! `latency` from each request's first send (spans retries and backoff)
+//! and `latency_last_send` from the answered attempt's send.
+//! `--pipeline N` keeps N requests in flight per
 //! connection using per-request ids (responses are matched out of order;
 //! the report then carries the observed reordering and per-id latencies);
 //! a connection that dies mid-window reissues its outstanding ids.
